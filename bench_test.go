@@ -1,0 +1,537 @@
+// Benchmark harness regenerating the paper's evaluation (one benchmark
+// per figure and table, see DESIGN.md's experiment index) plus scaling
+// sweeps and ablations of the design choices. Run with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/benchdata"
+	"repro/internal/core"
+	"repro/internal/cube"
+	"repro/internal/encode"
+	"repro/internal/netlist"
+	"repro/internal/sat"
+	"repro/internal/sg"
+	"repro/internal/sim"
+	"repro/internal/stg"
+	"repro/internal/synth"
+	"repro/internal/verify"
+)
+
+// mcFunctions extracts the per-signal excitation covers of a satisfied
+// report.
+func mcFunctions(b *testing.B, g *sg.Graph, rep *core.Report) map[int]netlist.SR {
+	b.Helper()
+	fns := map[int]netlist.SR{}
+	for sig := range g.Signals {
+		if g.Input[sig] {
+			continue
+		}
+		set, reset, err := rep.ExcitationFunctions(sig)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fns[sig] = netlist.SR{Set: set, Reset: reset}
+	}
+	return fns
+}
+
+// BenchmarkFig1Analysis measures the Section-II analysis of the Figure-1
+// state graph: region decomposition, property checks and the MC report.
+func BenchmarkFig1Analysis(b *testing.B) {
+	g := benchdata.Fig1SG()
+	for i := 0; i < b.N; i++ {
+		a := core.NewAnalyzer(g)
+		rep := a.CheckGraph()
+		if rep.Satisfied() {
+			b.Fatal("Fig1 must violate MC")
+		}
+	}
+}
+
+// BenchmarkFig2Netlist measures construction of the standard C- and
+// RS-implementation structures (Figure 2) from MC covers.
+func BenchmarkFig2Netlist(b *testing.B) {
+	g := benchdata.Fig4SG()
+	res, err := encode.Repair(g, encode.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fns := mcFunctions(b, res.G, res.Report)
+	for _, mode := range []struct {
+		name string
+		opts netlist.Options
+	}{
+		{"C", netlist.Options{}},
+		{"RS", netlist.Options{RS: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := netlist.Build(res.G, fns, mode.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEq1Baseline measures the Beerel–Meng-style baseline synthesis
+// of Figure 1 plus the verification that exposes its hazard.
+func BenchmarkEq1Baseline(b *testing.B) {
+	g := benchdata.Fig1SG()
+	for i := 0; i < b.N; i++ {
+		nl, err := baseline.Synthesize(g, netlist.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if verify.Check(nl, g).OK() {
+			b.Fatal("baseline must be hazardous")
+		}
+	}
+}
+
+// BenchmarkFig3Repair measures the Example-1 repair: SAT-driven state
+// signal insertion on Figure 1 until MC holds.
+func BenchmarkFig3Repair(b *testing.B) {
+	g := benchdata.Fig1SG()
+	for i := 0; i < b.N; i++ {
+		res, err := encode.Repair(g, encode.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(res.Added)), "signals")
+			b.ReportMetric(float64(res.G.NumStates()), "states")
+		}
+	}
+}
+
+// BenchmarkFig4Verify measures hazard detection on the Example-2
+// baseline implementation.
+func BenchmarkFig4Verify(b *testing.B) {
+	g := benchdata.Fig4SG()
+	nl, err := baseline.Synthesize(g, netlist.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res := verify.Check(nl, g)
+		if res.OK() {
+			b.Fatal("must be hazardous")
+		}
+	}
+}
+
+// BenchmarkFig4Repair measures the Example-2 end-to-end pipeline.
+func BenchmarkFig4Repair(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := synth.FromGraph(benchdata.Fig4SG(), synth.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.OK() {
+			b.Fatal("must verify")
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates every row of Table 1: full pipeline per
+// benchmark (state graph, MC analysis, SAT insertion, implementation,
+// verification).
+func BenchmarkTable1(b *testing.B) {
+	for _, e := range benchdata.Table1 {
+		b.Run(e.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := synth.FromSTG(e.STG(), synth.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rep.AddedSignals) != e.PaperAdded || !rep.OK() {
+					b.Fatalf("added %d (paper %d), ok=%v",
+						len(rep.AddedSignals), e.PaperAdded, rep.OK())
+				}
+				if i == 0 {
+					b.ReportMetric(float64(rep.Final.NumStates()), "states")
+					b.ReportMetric(float64(rep.Stats.Literals), "literals")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScaleChain sweeps pipeline length: linear state-graph growth
+// through analysis, synthesis and verification.
+func BenchmarkScaleChain(b *testing.B) {
+	for _, n := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			net := benchdata.GenBufferChain(n)
+			for i := 0; i < b.N; i++ {
+				rep, err := synth.FromSTG(net, synth.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rep.OK() {
+					b.Fatal("chain must verify")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScaleFork sweeps fork width: exponential composed-state
+// growth in the verifier.
+func BenchmarkScaleFork(b *testing.B) {
+	for _, k := range []int{2, 4, 6, 8} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			net := benchdata.GenParallelizer(k)
+			g, err := stg.BuildSG(net)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep := core.NewAnalyzer(g).CheckGraph()
+			fns := mcFunctions(b, g, rep)
+			nl, err := netlist.Build(g, fns, netlist.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				res := verify.Check(nl, g)
+				if !res.OK() {
+					b.Fatal("fork must verify")
+				}
+				if i == 0 {
+					b.ReportMetric(float64(res.States), "composed-states")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScaleSelector sweeps the k-way selector: insertion difficulty
+// grows with the number of conflicting interface states (⌈log2 k⌉ state
+// signals necessary).
+func BenchmarkScaleSelector(b *testing.B) {
+	for _, k := range []int{2, 3, 4} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			net := benchdata.GenSelectorRing(k)
+			for i := 0; i < b.N; i++ {
+				rep, err := synth.FromSTG(net, synth.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rep.OK() {
+					b.Fatal("selector must verify")
+				}
+				if i == 0 {
+					b.ReportMetric(float64(len(rep.AddedSignals)), "signals")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSharing is the Section-VI ablation: gate counts with private
+// versus shared AND terms on the fork specification.
+func BenchmarkSharing(b *testing.B) {
+	const forkSpec = `
+.model fork2
+.inputs a b
+.outputs y z
+.graph
+a+ y+ z+
+b+ y+ z+
+y+ a- b-
+z+ a- b-
+a- y- z-
+b- y- z-
+y- a+ b+
+z- a+ b+
+.marking { <y-,a+> <y-,b+> <z-,a+> <z-,b+> }
+.end
+`
+	for _, mode := range []struct {
+		name  string
+		share bool
+	}{{"private", false}, {"shared", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := synth.FromSTGSource(forkSpec, synth.Options{Share: mode.share})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rep.OK() {
+					b.Fatal("must verify")
+				}
+				if i == 0 {
+					b.ReportMetric(float64(rep.Stats.Ands), "ANDs")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCvsRS is the latch-style ablation: C-element versus RS-latch
+// implementations across the Table-1 suite (cost and verification-space
+// differences).
+func BenchmarkCvsRS(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		rs   bool
+	}{{"C", false}, {"RS", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				inv, lits := 0, 0
+				for _, name := range []string{"Delement", "luciano", "berkel2"} {
+					e, _ := benchdata.Table1ByName(name)
+					rep, err := synth.FromSTG(e.STG(), synth.Options{RS: mode.rs})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !rep.OK() {
+						b.Fatal("must verify")
+					}
+					inv += rep.Stats.Inverters
+					lits += rep.Stats.Literals
+				}
+				if i == 0 {
+					b.ReportMetric(float64(inv), "inverters")
+					b.ReportMetric(float64(lits), "literals")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCSCvsMC is the target ablation: state signals needed to
+// establish Complete State Coding (enough for complex gates) versus the
+// Monotonous Cover requirement (needed for basic gates). Figure 1 is
+// the separating case: CSC holds with zero insertions while MC needs
+// one.
+func BenchmarkCSCvsMC(b *testing.B) {
+	graphs := map[string]func() *sg.Graph{
+		"fig1":     benchdata.Fig1SG,
+		"fig4":     benchdata.Fig4SG,
+		"Delement": func() *sg.Graph { e, _ := benchdata.Table1ByName("Delement"); g, _ := stg.BuildSG(e.STG()); return g },
+	}
+	for _, mode := range []struct {
+		name   string
+		target encode.Target
+	}{{"csc", encode.TargetCSC}, {"mc", encode.TargetMC}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				total := 0
+				for name, mk := range graphs {
+					res, err := encode.Repair(mk(), encode.Options{Target: mode.target})
+					if err != nil {
+						b.Fatalf("%s: %v", name, err)
+					}
+					total += len(res.Added)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(total), "signals")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDecompose is the fan-in ablation: bounded-fan-in trees of the
+// MC implementation preserve function but break speed-independence
+// wherever a gate actually splits — the paper's architectural reason for
+// one AND gate per excitation region.
+func BenchmarkDecompose(b *testing.B) {
+	e, _ := benchdata.Table1ByName("berkel2")
+	g, err := stg.BuildSG(e.STG())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := synth.FromGraph(g, synth.Options{SkipVerify: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		d, err := netlist.Decompose(rep.Netlist, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := verify.Check(d, rep.Final)
+		if res.OK() {
+			b.Fatal("fan-in-2 decomposition must hazard")
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(res.Hazards)), "hazards")
+		}
+	}
+}
+
+// BenchmarkSimulate measures the random-delay SI simulator on the
+// repaired Figure-4 circuit.
+func BenchmarkSimulate(b *testing.B) {
+	rep, err := synth.FromGraph(benchdata.Fig4SG(), synth.Options{SkipVerify: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res := sim.Run(rep.Netlist, rep.Final, sim.Config{Seed: int64(i), MaxEvents: 2000})
+		if !res.OK() {
+			b.Fatalf("MC circuit hazarded in simulation: %s", res)
+		}
+	}
+}
+
+// BenchmarkComplexGateBaseline measures the Chu-style reference
+// implementation across the Table-1 suite.
+func BenchmarkComplexGateBaseline(b *testing.B) {
+	var graphs []*sg.Graph
+	for _, name := range []string{"mp-forward-pkt", "berkel2", "Delement"} {
+		e, _ := benchdata.Table1ByName(name)
+		g, err := stg.BuildSG(e.STG())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !g.CSC() {
+			continue // complex gates need CSC; skip conflicting specs
+		}
+		graphs = append(graphs, g)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range graphs {
+			nl, err := baseline.ComplexGate(g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !verify.Check(nl, g).OK() {
+				b.Fatal("complex gates must verify")
+			}
+		}
+	}
+}
+
+// BenchmarkExactVsHeuristicMinimize compares the espresso-style
+// heuristic minimizer with the SAT-based exact covering solver on the
+// baseline excitation functions of Figure 1.
+func BenchmarkExactVsHeuristicMinimize(b *testing.B) {
+	g := benchdata.Fig1SG()
+	b.Run("heuristic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fns, err := baseline.SOP(g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				lits := 0
+				for _, f := range fns {
+					lits += f.Set.LiteralCount() + f.Reset.LiteralCount()
+				}
+				b.ReportMetric(float64(lits), "literals")
+			}
+		}
+	})
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fns, err := baseline.SOPExact(g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				lits := 0
+				for _, f := range fns {
+					lits += f.Set.LiteralCount() + f.Reset.LiteralCount()
+				}
+				b.ReportMetric(float64(lits), "literals")
+			}
+		}
+	})
+}
+
+// BenchmarkInverterMapping measures the explicit-inverter transform plus
+// the untimed verification showing it breaks SI (the paper's
+// "justification of input inversions" discussion).
+func BenchmarkInverterMapping(b *testing.B) {
+	e, _ := benchdata.Table1ByName("berkel2")
+	g, err := stg.BuildSG(e.STG())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := synth.FromGraph(g, synth.Options{SkipVerify: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		inv := netlist.ExplicitInverters(rep.Netlist)
+		if verify.Check(inv, rep.Final).OK() {
+			b.Fatal("explicit inverters must break untimed SI here")
+		}
+	}
+}
+
+// BenchmarkReachability measures STG token-game reachability and signal
+// value inference alone.
+func BenchmarkReachability(b *testing.B) {
+	net := benchdata.GenBufferChain(24)
+	for i := 0; i < b.N; i++ {
+		if _, err := stg.BuildSG(net); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCubeMinimize measures the two-level minimizer substrate on
+// random 8-variable covers.
+func BenchmarkCubeMinimize(b *testing.B) {
+	rr := rand.New(rand.NewSource(7))
+	var covers []cube.Cover
+	for k := 0; k < 16; k++ {
+		c := cube.NewCover(8)
+		for j := 0; j < 12; j++ {
+			q := cube.NewFull(8)
+			for v := 0; v < 8; v++ {
+				switch rr.Intn(3) {
+				case 0:
+					q.Set(v, cube.Zero)
+				case 1:
+					q.Set(v, cube.One)
+				}
+			}
+			c.Add(q)
+		}
+		covers = append(covers, c)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cube.Minimize(covers[i%len(covers)], cube.NewCover(8))
+	}
+}
+
+// BenchmarkSATSolver measures the CDCL substrate on satisfiable random
+// 3-SAT near the easy side of the phase transition.
+func BenchmarkSATSolver(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rr := rand.New(rand.NewSource(int64(i)))
+		s := sat.New()
+		const n = 60
+		for v := 0; v < n; v++ {
+			s.NewVar()
+		}
+		for c := 0; c < 3*n; c++ {
+			var cl [3]sat.Lit
+			for j := range cl {
+				v := 1 + rr.Intn(n)
+				if rr.Intn(2) == 0 {
+					cl[j] = sat.Lit(v)
+				} else {
+					cl[j] = sat.Lit(-v)
+				}
+			}
+			s.AddClause(cl[0], cl[1], cl[2])
+		}
+		s.Solve()
+	}
+}

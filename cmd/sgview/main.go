@@ -1,0 +1,129 @@
+// Command sgview analyzes a Signal Transition Graph at the state-graph
+// level: it prints the reachable state graph with the paper's pictorial
+// codes, the behavioural property report (semi-modularity,
+// distributivity, persistency, CSC), the excitation/quiescent region
+// decomposition, and the Monotonous Cover report with per-region cubes
+// or violations.
+//
+// Usage:
+//
+//	sgview [flags] spec.g
+//	sgview [flags] -bench name
+//
+// Flags:
+//
+//	-regions signal   show the region decomposition of one signal
+//	-dot              print the state graph in Graphviz syntax
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/benchdata"
+	"repro/internal/core"
+	"repro/internal/sg"
+	"repro/internal/stg"
+)
+
+func main() {
+	bench := flag.String("bench", "", "analyze a built-in Table-1 benchmark")
+	regions := flag.String("regions", "", "show the region decomposition of this signal")
+	dot := flag.Bool("dot", false, "print the state graph in Graphviz syntax")
+	structure := flag.Bool("structure", false, "print the Petri-net structural analysis")
+	symbolic := flag.Bool("symbolic", false, "count reachable markings symbolically (BDD)")
+	flag.Parse()
+
+	var net *stg.STG
+	switch {
+	case *bench != "":
+		e, ok := benchdata.Table1ByName(*bench)
+		if !ok {
+			fatalf("unknown benchmark %q", *bench)
+		}
+		net = e.STG()
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		net, err = stg.Parse(string(data))
+		if err != nil {
+			fatalf("%v", err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *structure {
+		fmt.Println(net.Structure())
+		return
+	}
+	if *symbolic {
+		rep, err := stg.SymbolicReachability(net)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("reachable markings: %d (in %d image iterations, reachable-set BDD %d nodes)\n",
+			rep.States, rep.Iters, rep.FinalSize)
+		return
+	}
+
+	g, err := stg.BuildSG(net)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *dot {
+		fmt.Print(g.DOT())
+		return
+	}
+	fmt.Print(g.Dump())
+	fmt.Println()
+	fmt.Println(g.Check())
+	fmt.Println()
+
+	a := core.NewAnalyzer(g)
+	if *regions != "" {
+		sig := g.SignalIndex(*regions)
+		if sig < 0 {
+			fatalf("unknown signal %q", *regions)
+		}
+		printRegions(g, a, sig)
+		return
+	}
+	fmt.Println("MC report:")
+	fmt.Print(a.CheckGraph())
+}
+
+func printRegions(g *sg.Graph, a *core.Analyzer, sig int) {
+	regs := a.Regs[sig]
+	for _, er := range regs.ER {
+		fmt.Printf("%s:", g.ERLabel(er))
+		for _, s := range er.States {
+			fmt.Printf(" s%d(%s)", s, g.CodeString(s))
+		}
+		fmt.Printf("\n  unique entry: %v", er.UniqueEntry())
+		if er.UniqueEntry() {
+			fmt.Printf(", u_min = %s", g.CodeString(er.MinState()))
+		}
+		fmt.Printf("\n  triggers:")
+		for _, tr := range g.Triggers(er) {
+			fmt.Printf(" %s%s", g.Signals[tr.Signal], tr.Dir)
+		}
+		fmt.Printf("\n  cover cube: %s\n", a.CoverCube(er).StringNamed(g.Signals))
+	}
+	for _, qr := range regs.QR {
+		fmt.Printf("%s:", g.QRLabel(qr))
+		for _, s := range qr.States {
+			fmt.Printf(" s%d", s)
+		}
+		fmt.Println()
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sgview: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+// Quickstart: synthesize a speed-independent circuit from a Signal
+// Transition Graph with the Monotonous Cover method.
+//
+// The example is Martin's D-element — a passive handshake (r1/a1)
+// enclosing an active one (r2/a2) — whose state graph has the textbook
+// state-coding conflict: after a2- the interface repeats the code of the
+// state after r1+. MC synthesis detects this as a cover-cube violation,
+// inserts one state signal by SAT-based state assignment, emits the
+// standard C-element implementation, and verifies it hazard-free.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/synth"
+)
+
+const dElement = `
+.model Delement
+.inputs r1 a2
+.outputs a1 r2
+.graph
+r1+ r2+
+r2+ a2+
+a2+ r2-
+r2- a2-
+a2- a1+
+a1+ r1-
+r1- a1-
+a1- r1+
+.marking { <a1-,r1+> }
+.end
+`
+
+func main() {
+	// The one-call pipeline: STG → state graph → MC analysis → state
+	// signal insertion → standard C-implementation → SI verification.
+	rep, err := synth.FromSTGSource(dElement, synth.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Summary())
+
+	fmt.Println("\n-- what happened --")
+	fmt.Printf("The specification has %d states; its interface repeats a binary code\n", rep.Spec.NumStates())
+	fmt.Printf("with different outputs excited, so no cover cube can separate the two\n")
+	fmt.Printf("contexts. The synthesizer inserted %d state signal(s) (%v), giving a\n",
+		len(rep.AddedSignals), rep.AddedSignals)
+	fmt.Printf("%d-state graph that satisfies the Monotonous Cover requirement.\n", rep.Final.NumStates())
+	fmt.Printf("The circuit uses %d AND, %d OR gates and %d latches and verified\n",
+		rep.Stats.Ands, rep.Stats.Ors, rep.Stats.Latches)
+	fmt.Printf("speed-independent over %d composed states.\n", rep.Verify.States)
+}

@@ -1,0 +1,64 @@
+// Gate sharing (Section VI): two outputs with identical excitation
+// conditions share their AND terms under the generalized Monotonous
+// Cover requirement.
+//
+// The specification is a two-way fork: outputs y and z both rise after
+// a+ ∧ b+ and both fall after a- ∧ b-, so Sy = Sz = ab and Ry = Rz =
+// a'b'. Private AND gates per region would need four gates; Theorem 5
+// allows one gate per shared cube — two gates — and the shared circuit
+// still verifies speed-independent.
+//
+// Run with:
+//
+//	go run ./examples/sharing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/synth"
+)
+
+const fork = `
+.model fork
+.inputs a b
+.outputs y z
+.graph
+a+ y+ z+
+b+ y+ z+
+y+ a- b-
+z+ a- b-
+a- y- z-
+b- y- z-
+y- a+ b+
+z- a+ b+
+.marking { <y-,a+> <y-,b+> <z-,a+> <z-,b+> }
+.end
+`
+
+func main() {
+	private, err := synth.FromSTGSource(fork, synth.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	shared, err := synth.FromSTGSource(fork, synth.Options{Share: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("-- private AND gates (one per excitation region) --")
+	fmt.Printf("%s\n%s", private.Stats, private.Netlist)
+	fmt.Printf("verification: %s\n\n", private.Verify)
+
+	fmt.Println("-- shared AND gates (generalized MC, Section VI) --")
+	fmt.Printf("%s (saved %d AND terms)\n%s", shared.Stats, shared.SharedSaved, shared.Netlist)
+	fmt.Printf("verification: %s\n", shared.Verify)
+
+	if shared.Stats.Ands >= private.Stats.Ands {
+		fmt.Println("\nnote: sharing found no gain on this run")
+	} else {
+		fmt.Printf("\n%d AND gates instead of %d, still hazard-free (Theorem 5)\n",
+			shared.Stats.Ands, private.Stats.Ands)
+	}
+}

@@ -1,0 +1,82 @@
+// Timing study: simulate synthesized circuits under random gate delays,
+// compare the cycle time of the C-element and RS-latch implementations,
+// and optionally dump a VCD waveform for a standard viewer.
+//
+// Run with:
+//
+//	go run ./examples/timing            # cycle-time comparison
+//	go run ./examples/timing -vcd out.vcd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/benchdata"
+	"repro/internal/sim"
+	"repro/internal/stg"
+	"repro/internal/synth"
+)
+
+func main() {
+	vcdPath := flag.String("vcd", "", "write a VCD waveform of one run to this file")
+	bench := flag.String("bench", "Delement", "Table-1 benchmark to simulate")
+	flag.Parse()
+
+	e, ok := benchdata.Table1ByName(*bench)
+	if !ok {
+		log.Fatalf("unknown benchmark %q", *bench)
+	}
+	g, err := stg.BuildSG(e.STG())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark %s: mean handshake cycle time over 20 random delay assignments\n", e.Name)
+	for _, mode := range []struct {
+		name string
+		rs   bool
+	}{{"standard C-implementation ", false}, {"standard RS-implementation", true}} {
+		rep, err := synth.FromGraph(g, synth.Options{RS: mode.rs, SkipVerify: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var total, cycles float64
+		for seed := int64(0); seed < 20; seed++ {
+			res := sim.Run(rep.Netlist, rep.Final, sim.Config{Seed: seed, MaxEvents: 4000})
+			if !res.OK() {
+				log.Fatalf("%s seed %d: %s", mode.name, seed, res)
+			}
+			total += res.EndTime
+			cycles += float64(res.Cycles)
+		}
+		fmt.Printf("  %s: %6.1f time units/cycle (%s)\n", mode.name, total/cycles, rep.Stats)
+	}
+
+	if *vcdPath != "" {
+		rep, err := synth.FromGraph(g, synth.Options{SkipVerify: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		names := make([]string, rep.Netlist.NumNets())
+		for i, n := range rep.Netlist.Nets {
+			names[i] = n.Name
+		}
+		wf := sim.NewWaveform(names)
+		res := sim.Run(rep.Netlist, rep.Final, sim.Config{Seed: 1, MaxEvents: 600, Waveform: wf})
+		if !res.OK() {
+			log.Fatalf("simulation failed: %s", res)
+		}
+		f, err := os.Create(*vcdPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := wf.WriteVCD(f, e.Name); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d events, t=%.1f)\n", *vcdPath, res.Events, res.EndTime)
+	}
+}

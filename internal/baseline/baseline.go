@@ -1,0 +1,162 @@
+// Package baseline implements the two comparison synthesizers the paper
+// measures its method against:
+//
+//   - a Beerel–Meng-style [2] gate-level synthesizer: each excitation
+//     function is a two-level minimized correct cover of the excitation
+//     regions (Definition 16 only — no monotonicity requirement), so an
+//     excitation region may be covered by several cubes. The paper's
+//     Examples 1 and 2 show this produces hazardous circuits exactly
+//     when the MC requirement is violated (unacknowledged AND gates);
+//   - a complex-gate (Chu-style [3]) synthesizer: the whole next-state
+//     function of each non-input signal is one atomic gate, hazard-free
+//     by assumption, requiring only CSC. This is the implementation
+//     style whose impracticality (gates too complex for real libraries)
+//     motivates the paper.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cube"
+	"repro/internal/netlist"
+	"repro/internal/sg"
+)
+
+// SOP derives the Beerel–Meng-style excitation functions for every
+// non-input signal: Sa is a minimized cover with ON = 0*-set(a),
+// OFF = 1*-set(a) ∪ 0-set(a) and DC = 1-set(a) ∪ unreachable codes;
+// dually for Ra. The signal's own literal is excluded from the support,
+// as in the standard implementation structure. It fails when ON and OFF
+// collide after removing the own literal (a CSC-type conflict).
+func SOP(g *sg.Graph) (map[int]netlist.SR, error) {
+	return sop(g, func(on, dc cube.Cover) (cube.Cover, error) {
+		return cube.Minimize(on, dc), nil
+	})
+}
+
+// SOPExact is SOP with exact (minimum-cube) two-level minimization via
+// the SAT-based covering solver.
+func SOPExact(g *sg.Graph) (map[int]netlist.SR, error) {
+	return sop(g, cube.MinimizeExact)
+}
+
+func sop(g *sg.Graph, minimize func(on, dc cube.Cover) (cube.Cover, error)) (map[int]netlist.SR, error) {
+	a := core.NewAnalyzer(g)
+	n := g.NumSignals()
+
+	// project removes the signal's own literal from a state minterm.
+	project := func(s, sig int) cube.Cube {
+		c := a.MintermCube(s)
+		c.Set(sig, cube.Full)
+		return c
+	}
+
+	out := map[int]netlist.SR{}
+	for sig := range g.Signals {
+		if g.Input[sig] {
+			continue
+		}
+		sets := a.SetsOf(sig)
+		// build minimizes in the projected space: DC is everything that
+		// is neither a projected ON nor a projected OFF minterm — this
+		// covers both the free quiescent phase and unreachable codes,
+		// and keeps states whose projections collide with OFF out of
+		// the don't-care set.
+		build := func(on, off map[int]bool, name string) (cube.Cover, error) {
+			onC, offC := cube.NewCover(n), cube.NewCover(n)
+			for s := range on {
+				onC.Add(project(s, sig))
+			}
+			for s := range off {
+				offC.Add(project(s, sig))
+			}
+			if !onC.Disjoint(offC) {
+				return cube.Cover{}, fmt.Errorf(
+					"baseline: ON and OFF of %s collide without the own literal (CSC-type conflict)", name)
+			}
+			dc := onC.Union(offC).Complement()
+			return minimize(onC.SCC(), dc)
+		}
+		set, err := build(sets.ZeroStar, union(sets.OneStar, sets.Zero), "S"+g.Signals[sig])
+		if err != nil {
+			return nil, err
+		}
+		reset, err := build(sets.OneStar, union(sets.ZeroStar, sets.One), "R"+g.Signals[sig])
+		if err != nil {
+			return nil, err
+		}
+		out[sig] = netlist.SR{Set: set, Reset: reset}
+	}
+	return out, nil
+}
+
+func union(a, b map[int]bool) map[int]bool {
+	out := make(map[int]bool, len(a)+len(b))
+	for s := range a {
+		out[s] = true
+	}
+	for s := range b {
+		out[s] = true
+	}
+	return out
+}
+
+// Synthesize runs SOP and assembles the standard implementation.
+func Synthesize(g *sg.Graph, opts netlist.Options) (*netlist.Netlist, error) {
+	fns, err := SOP(g)
+	if err != nil {
+		return nil, err
+	}
+	return netlist.Build(g, fns, opts)
+}
+
+// ComplexGate builds the Chu-style implementation: one atomic complex
+// gate per non-input signal computing the next-state function
+// f_a = Sa + a·(¬Ra), with ON = 0*-set ∪ 1-set ∪ 1*-set... precisely the
+// states where the signal's next stable value is 1: 0*-set(a) ∪ 1-set(a)
+// — plus 1*-set is OFF since the signal is headed to 0. The own literal
+// is allowed (the gate implements a self-dependent next-state function).
+// It requires CSC.
+func ComplexGate(g *sg.Graph) (*netlist.Netlist, error) {
+	if !g.CSC() {
+		return nil, fmt.Errorf("baseline: CSC violated; no complex-gate implementation exists")
+	}
+	a := core.NewAnalyzer(g)
+	n := g.NumSignals()
+	reach := cube.NewCover(n)
+	for s := 0; s < g.NumStates(); s++ {
+		reach.Add(a.MintermCube(s))
+	}
+	unreachable := reach.SCC().Complement()
+
+	nl := &netlist.Netlist{G: g, SignalNet: make([]int, n)}
+	for sig, name := range g.Signals {
+		nl.SignalNet[sig] = sig
+		nl.Nets = append(nl.Nets, netlist.Net{Name: name, Driver: -1, Signal: sig, ComplementOf: -1})
+	}
+	for sig := range g.Signals {
+		if g.Input[sig] {
+			continue
+		}
+		sets := a.SetsOf(sig)
+		on, dc := cube.NewCover(n), cube.NewCover(n)
+		for s := range sets.ZeroStar {
+			on.Add(a.MintermCube(s))
+		}
+		for s := range sets.One {
+			on.Add(a.MintermCube(s))
+		}
+		dc = dc.Union(unreachable)
+		f := cube.Minimize(on.SCC(), dc)
+		gi := len(nl.Gates)
+		nl.Gates = append(nl.Gates, netlist.Gate{
+			Kind: netlist.Complex,
+			Name: "COMPLEX(" + g.Signals[sig] + ")",
+			Out:  nl.SignalNet[sig],
+			Fn:   f,
+		})
+		nl.Nets[nl.SignalNet[sig]].Driver = gi
+	}
+	return nl, nil
+}

@@ -1,0 +1,196 @@
+package baseline_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/benchdata"
+	"repro/internal/netlist"
+	"repro/internal/sg"
+	"repro/internal/stg"
+	"repro/internal/verify"
+)
+
+func mustSG(t *testing.T, src string) *sg.Graph {
+	t.Helper()
+	g, err := stg.BuildSG(stg.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+const celemG = `
+.model celem
+.inputs a b
+.outputs c
+.graph
+a+ c+
+b+ c+
+c+ a- b-
+a- c-
+b- c-
+c- a+ b+
+.marking { <c-,a+> <c-,b+> }
+.end
+`
+
+func TestSOPCleanSpecVerifies(t *testing.T) {
+	// On an MC-clean specification the baseline coincides with a correct
+	// implementation and passes verification.
+	g := mustSG(t, celemG)
+	nl, err := baseline.Synthesize(g, netlist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := verify.Check(nl, g)
+	if !res.OK() {
+		t.Fatalf("baseline on the C-element spec must verify:\n%s\n%s", res, nl)
+	}
+}
+
+func TestSOPFig4Hazardous(t *testing.T) {
+	// Example 2: the correct-cover baseline produces an unacknowledged
+	// AND gate and the circuit is hazardous.
+	g := benchdata.Fig4SG()
+	nl, err := baseline.Synthesize(g, netlist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := verify.Check(nl, g)
+	if res.OK() {
+		t.Fatalf("Fig4 baseline must be hazardous:\n%s", nl)
+	}
+	if len(res.Hazards) == 0 {
+		t.Fatalf("expected a semi-modularity hazard:\n%s", res)
+	}
+}
+
+func TestSOPFig4FunctionShape(t *testing.T) {
+	// Sb of the baseline needs at least two product terms (the two
+	// excitation regions cannot share one cube), matching the paper's
+	// t = c'd, b = a + t structure.
+	g := benchdata.Fig4SG()
+	fns, err := baseline.SOP(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := g.SignalIndex("b")
+	if fns[b].Set.Len() < 2 {
+		t.Fatalf("Sb = %s should need ≥ 2 cubes", fns[b].Set.StringNamed(g.Signals))
+	}
+	// Every state of every ER(+b) must be covered (functional
+	// correctness of the cover).
+	for s := 0; s < g.NumStates(); s++ {
+		if g.Excited(s, b) && !g.Value(s, b) {
+			m := make([]bool, g.NumSignals())
+			for i := range m {
+				m[i] = g.Value(s, i)
+			}
+			if !fns[b].Set.EvalMinterm(m) {
+				t.Errorf("Sb misses ER state %s", g.CodeString(s))
+			}
+		}
+	}
+}
+
+func TestSOPFig1Hazardous(t *testing.T) {
+	// Example 1: the Fig1 specification violates MC on signal d; the
+	// baseline synthesizes it anyway (with multi-cube covers) and the
+	// result must fail verification.
+	g := benchdata.Fig1SG()
+	nl, err := baseline.Synthesize(g, netlist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := verify.Check(nl, g)
+	if res.OK() {
+		t.Fatalf("Fig1 baseline must be hazardous:\n%s", nl)
+	}
+}
+
+func TestComplexGateFig4Verifies(t *testing.T) {
+	// The complex-gate implementation is hazard-free by construction
+	// (atomic gates): even the MC-violating Fig4 verifies, which is why
+	// complex gates are the reference point — but they are not basic
+	// gates.
+	g := benchdata.Fig4SG()
+	nl, err := baseline.ComplexGate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := verify.Check(nl, g)
+	if !res.OK() {
+		t.Fatalf("complex-gate implementation must verify:\n%s\n%s", res, nl)
+	}
+	st := nl.Stats()
+	if st.Complexes != 1 {
+		t.Fatalf("stats = %s, want 1 complex gate", st)
+	}
+}
+
+func TestComplexGateFig1Verifies(t *testing.T) {
+	g := benchdata.Fig1SG()
+	nl, err := baseline.ComplexGate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := verify.Check(nl, g)
+	if !res.OK() {
+		t.Fatalf("complex-gate Fig1 must verify:\n%s\n%s", res, nl)
+	}
+	if !strings.Contains(nl.String(), "COMPLEX") {
+		t.Error("rendering must show complex gates")
+	}
+}
+
+func TestComplexGateRequiresCSC(t *testing.T) {
+	// Cycle a+; c+; a-; a+; c-; a- has CSC violations.
+	g := &sg.Graph{Signals: []string{"a", "c"}, Input: []bool{true, false}}
+	s0 := g.AddState(0b00)
+	s1 := g.AddState(0b01)
+	s2 := g.AddState(0b11)
+	s3 := g.AddState(0b10)
+	s4 := g.AddState(0b11)
+	s5 := g.AddState(0b01)
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.AddEdge(s0, s1, 0, sg.Plus))
+	must(g.AddEdge(s1, s2, 1, sg.Plus))
+	must(g.AddEdge(s2, s3, 0, sg.Minus))
+	must(g.AddEdge(s3, s4, 0, sg.Plus))
+	must(g.AddEdge(s4, s5, 1, sg.Minus))
+	must(g.AddEdge(s5, s0, 0, sg.Minus))
+	if _, err := baseline.ComplexGate(g); err == nil {
+		t.Fatal("CSC violation must be rejected")
+	}
+}
+
+func TestSOPRejectsCSCConflict(t *testing.T) {
+	// Same CSC-violating graph: the ON/OFF collision must surface.
+	g := &sg.Graph{Signals: []string{"a", "c"}, Input: []bool{true, false}}
+	s0 := g.AddState(0b00)
+	s1 := g.AddState(0b01)
+	s2 := g.AddState(0b11)
+	s3 := g.AddState(0b10)
+	s4 := g.AddState(0b11)
+	s5 := g.AddState(0b01)
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.AddEdge(s0, s1, 0, sg.Plus))
+	must(g.AddEdge(s1, s2, 1, sg.Plus))
+	must(g.AddEdge(s2, s3, 0, sg.Minus))
+	must(g.AddEdge(s3, s4, 0, sg.Plus))
+	must(g.AddEdge(s4, s5, 1, sg.Minus))
+	must(g.AddEdge(s5, s0, 0, sg.Minus))
+	if _, err := baseline.SOP(g); err == nil {
+		t.Fatal("ON/OFF collision must be rejected")
+	}
+}

@@ -1,0 +1,281 @@
+// Package bdd implements reduced ordered binary decision diagrams with
+// hash-consing and an operation cache — the standard symbolic substrate
+// of EDA tools. It is used for symbolic reachability of Signal
+// Transition Graph markings (internal/stg's symbolic state counting),
+// which scales to nets whose explicit state graphs would be too large,
+// and is cross-checked against the explicit token game in the tests.
+package bdd
+
+import "fmt"
+
+// Manager owns the node table of one BDD universe with a fixed variable
+// order (variable 0 at the top).
+type Manager struct {
+	nvars  int
+	nodes  []node
+	unique map[node]int
+	cache  map[opKey]int
+}
+
+type node struct {
+	v      int // variable index; nvars for terminals
+	lo, hi int
+}
+
+type opKey struct {
+	op   byte
+	a, b int
+}
+
+// Terminal node indices.
+const (
+	False = 0
+	True  = 1
+)
+
+// New creates a manager over nvars variables.
+func New(nvars int) *Manager {
+	m := &Manager{
+		nvars:  nvars,
+		unique: make(map[node]int),
+		cache:  make(map[opKey]int),
+	}
+	m.nodes = append(m.nodes,
+		node{v: nvars, lo: -1, hi: -1}, // False
+		node{v: nvars, lo: -1, hi: -1}, // True
+	)
+	return m
+}
+
+// NumVars returns the variable count.
+func (m *Manager) NumVars() int { return m.nvars }
+
+// NumNodes returns the size of the node table (including terminals).
+func (m *Manager) NumNodes() int { return len(m.nodes) }
+
+// mk returns the canonical node for (v, lo, hi).
+func (m *Manager) mk(v, lo, hi int) int {
+	if lo == hi {
+		return lo
+	}
+	n := node{v: v, lo: lo, hi: hi}
+	if id, ok := m.unique[n]; ok {
+		return id
+	}
+	m.nodes = append(m.nodes, n)
+	id := len(m.nodes) - 1
+	m.unique[n] = id
+	return id
+}
+
+// Var returns the BDD of variable i.
+func (m *Manager) Var(i int) int {
+	if i < 0 || i >= m.nvars {
+		panic(fmt.Sprintf("bdd: variable %d out of range", i))
+	}
+	return m.mk(i, False, True)
+}
+
+// NVar returns the BDD of ¬variable i.
+func (m *Manager) NVar(i int) int {
+	return m.mk(i, True, False)
+}
+
+func (m *Manager) topVar(f, g int) int {
+	vf, vg := m.nodes[f].v, m.nodes[g].v
+	if vf < vg {
+		return vf
+	}
+	return vg
+}
+
+func (m *Manager) cofactors(f, v int) (lo, hi int) {
+	if m.nodes[f].v == v {
+		return m.nodes[f].lo, m.nodes[f].hi
+	}
+	return f, f
+}
+
+// And returns f ∧ g.
+func (m *Manager) And(f, g int) int {
+	switch {
+	case f == False || g == False:
+		return False
+	case f == True:
+		return g
+	case g == True:
+		return f
+	case f == g:
+		return f
+	}
+	if f > g {
+		f, g = g, f
+	}
+	k := opKey{op: '&', a: f, b: g}
+	if r, ok := m.cache[k]; ok {
+		return r
+	}
+	v := m.topVar(f, g)
+	fl, fh := m.cofactors(f, v)
+	gl, gh := m.cofactors(g, v)
+	r := m.mk(v, m.And(fl, gl), m.And(fh, gh))
+	m.cache[k] = r
+	return r
+}
+
+// Or returns f ∨ g.
+func (m *Manager) Or(f, g int) int {
+	switch {
+	case f == True || g == True:
+		return True
+	case f == False:
+		return g
+	case g == False:
+		return f
+	case f == g:
+		return f
+	}
+	if f > g {
+		f, g = g, f
+	}
+	k := opKey{op: '|', a: f, b: g}
+	if r, ok := m.cache[k]; ok {
+		return r
+	}
+	v := m.topVar(f, g)
+	fl, fh := m.cofactors(f, v)
+	gl, gh := m.cofactors(g, v)
+	r := m.mk(v, m.Or(fl, gl), m.Or(fh, gh))
+	m.cache[k] = r
+	return r
+}
+
+// Not returns ¬f.
+func (m *Manager) Not(f int) int {
+	switch f {
+	case False:
+		return True
+	case True:
+		return False
+	}
+	k := opKey{op: '!', a: f}
+	if r, ok := m.cache[k]; ok {
+		return r
+	}
+	n := m.nodes[f]
+	r := m.mk(n.v, m.Not(n.lo), m.Not(n.hi))
+	m.cache[k] = r
+	return r
+}
+
+// Diff returns f ∧ ¬g.
+func (m *Manager) Diff(f, g int) int { return m.And(f, m.Not(g)) }
+
+// Restrict fixes variable v to the given value in f.
+func (m *Manager) Restrict(f, v int, value bool) int {
+	if m.nodes[f].v > v {
+		return f
+	}
+	op := byte('r')
+	if value {
+		op = 'R'
+	}
+	k := opKey{op: op, a: f, b: v}
+	if r, ok := m.cache[k]; ok {
+		return r
+	}
+	n := m.nodes[f]
+	var r int
+	if n.v == v {
+		if value {
+			r = n.hi
+		} else {
+			r = n.lo
+		}
+	} else {
+		r = m.mk(n.v, m.Restrict(n.lo, v, value), m.Restrict(n.hi, v, value))
+	}
+	m.cache[k] = r
+	return r
+}
+
+// Exists quantifies variable v out of f: f[v=0] ∨ f[v=1].
+func (m *Manager) Exists(f, v int) int {
+	return m.Or(m.Restrict(f, v, false), m.Restrict(f, v, true))
+}
+
+// ExistsAll quantifies a set of variables.
+func (m *Manager) ExistsAll(f int, vars []int) int {
+	for _, v := range vars {
+		f = m.Exists(f, v)
+	}
+	return f
+}
+
+// Cube returns the conjunction of the given literals (variable, value).
+func (m *Manager) Cube(lits map[int]bool) int {
+	f := True
+	for v, val := range lits {
+		if val {
+			f = m.And(f, m.Var(v))
+		} else {
+			f = m.And(f, m.NVar(v))
+		}
+	}
+	return f
+}
+
+// SatCount returns the number of satisfying assignments of f over all
+// nvars variables.
+func (m *Manager) SatCount(f int) uint64 {
+	memo := map[int]uint64{}
+	var rec func(n int) uint64 // assignments over vars ≥ nodes[n].v
+	rec = func(n int) uint64 {
+		switch n {
+		case False:
+			return 0
+		case True:
+			return 1
+		}
+		if c, ok := memo[n]; ok {
+			return c
+		}
+		nd := m.nodes[n]
+		lo := rec(nd.lo) << uint(m.nodes[nd.lo].v-nd.v-1)
+		hi := rec(nd.hi) << uint(m.nodes[nd.hi].v-nd.v-1)
+		c := lo + hi
+		memo[n] = c
+		return c
+	}
+	return rec(f) << uint(m.nodes[f].v)
+}
+
+// Size returns the number of nodes reachable from f (the function's own
+// BDD size, excluding unrelated table entries).
+func (m *Manager) Size(f int) int {
+	seen := map[int]bool{}
+	var rec func(n int)
+	rec = func(n int) {
+		if seen[n] || n == False || n == True {
+			return
+		}
+		seen[n] = true
+		rec(m.nodes[n].lo)
+		rec(m.nodes[n].hi)
+	}
+	rec(f)
+	return len(seen) + 2
+}
+
+// Eval evaluates f under a complete assignment.
+func (m *Manager) Eval(f int, assign []bool) bool {
+	for f != False && f != True {
+		n := m.nodes[f]
+		if assign[n.v] {
+			f = n.hi
+		} else {
+			f = n.lo
+		}
+	}
+	return f == True
+}

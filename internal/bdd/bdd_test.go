@@ -1,0 +1,156 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTerminals(t *testing.T) {
+	m := New(3)
+	if m.And(True, False) != False || m.Or(True, False) != True {
+		t.Fatal("terminal algebra broken")
+	}
+	if m.Not(True) != False || m.Not(False) != True {
+		t.Fatal("negation broken")
+	}
+}
+
+func TestVarSemantics(t *testing.T) {
+	m := New(2)
+	x, y := m.Var(0), m.Var(1)
+	f := m.And(x, m.Not(y))
+	cases := []struct {
+		a    []bool
+		want bool
+	}{
+		{[]bool{false, false}, false},
+		{[]bool{true, false}, true},
+		{[]bool{true, true}, false},
+		{[]bool{false, true}, false},
+	}
+	for _, c := range cases {
+		if got := m.Eval(f, c.a); got != c.want {
+			t.Errorf("x∧¬y at %v = %v", c.a, got)
+		}
+	}
+	if m.SatCount(f) != 1 {
+		t.Errorf("satcount = %d", m.SatCount(f))
+	}
+}
+
+func TestCanonicity(t *testing.T) {
+	m := New(3)
+	// (x ∨ y) ∧ z built two ways must be the same node.
+	a := m.And(m.Or(m.Var(0), m.Var(1)), m.Var(2))
+	b := m.Or(m.And(m.Var(0), m.Var(2)), m.And(m.Var(1), m.Var(2)))
+	if a != b {
+		t.Fatal("equivalent functions got different nodes (canonicity broken)")
+	}
+}
+
+func TestRestrictExists(t *testing.T) {
+	m := New(3)
+	f := m.And(m.Var(0), m.Or(m.Var(1), m.Var(2)))
+	if got := m.Restrict(f, 0, false); got != False {
+		t.Fatal("f[x0=0] must be false")
+	}
+	g := m.Exists(f, 1) // x0 ∧ (⊤ ∨ x2) = x0
+	if g != m.Var(0) {
+		t.Fatal("∃x1 f must be x0")
+	}
+}
+
+func TestCube(t *testing.T) {
+	m := New(4)
+	c := m.Cube(map[int]bool{0: true, 2: false})
+	if m.SatCount(c) != 4 {
+		t.Fatalf("cube satcount = %d, want 4", m.SatCount(c))
+	}
+}
+
+// brute evaluates a random expression tree both through the BDD and by
+// direct evaluation.
+func TestQuickAgainstBruteForce(t *testing.T) {
+	type expr struct {
+		op   byte // 'v', '&', '|', '!'
+		v    int
+		l, r *expr
+	}
+	var build func(rr *rand.Rand, depth, nvars int) *expr
+	build = func(rr *rand.Rand, depth, nvars int) *expr {
+		if depth == 0 || rr.Intn(3) == 0 {
+			return &expr{op: 'v', v: rr.Intn(nvars)}
+		}
+		switch rr.Intn(3) {
+		case 0:
+			return &expr{op: '&', l: build(rr, depth-1, nvars), r: build(rr, depth-1, nvars)}
+		case 1:
+			return &expr{op: '|', l: build(rr, depth-1, nvars), r: build(rr, depth-1, nvars)}
+		default:
+			return &expr{op: '!', l: build(rr, depth-1, nvars)}
+		}
+	}
+	var evalExpr func(e *expr, a []bool) bool
+	evalExpr = func(e *expr, a []bool) bool {
+		switch e.op {
+		case 'v':
+			return a[e.v]
+		case '&':
+			return evalExpr(e.l, a) && evalExpr(e.r, a)
+		case '|':
+			return evalExpr(e.l, a) || evalExpr(e.r, a)
+		default:
+			return !evalExpr(e.l, a)
+		}
+	}
+	var toBDD func(m *Manager, e *expr) int
+	toBDD = func(m *Manager, e *expr) int {
+		switch e.op {
+		case 'v':
+			return m.Var(e.v)
+		case '&':
+			return m.And(toBDD(m, e.l), toBDD(m, e.r))
+		case '|':
+			return m.Or(toBDD(m, e.l), toBDD(m, e.r))
+		default:
+			return m.Not(toBDD(m, e.l))
+		}
+	}
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		nvars := 2 + rr.Intn(6)
+		e := build(rr, 4, nvars)
+		m := New(nvars)
+		g := toBDD(m, e)
+		count := uint64(0)
+		for v := 0; v < 1<<uint(nvars); v++ {
+			a := make([]bool, nvars)
+			for i := range a {
+				a[i] = v>>uint(i)&1 == 1
+			}
+			want := evalExpr(e, a)
+			if m.Eval(g, a) != want {
+				return false
+			}
+			if want {
+				count++
+			}
+		}
+		return m.SatCount(g) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSatCountShifts(t *testing.T) {
+	// Constant True over n vars has 2^n assignments.
+	m := New(10)
+	if got := m.SatCount(True); got != 1024 {
+		t.Fatalf("satcount(⊤) = %d", got)
+	}
+	if got := m.SatCount(m.Var(9)); got != 512 {
+		t.Fatalf("satcount(x9) = %d", got)
+	}
+}

@@ -1,0 +1,133 @@
+package benchdata_test
+
+import (
+	"testing"
+
+	"repro/internal/benchdata"
+	"repro/internal/stg"
+)
+
+func TestFigureGraphsAreWellFormed(t *testing.T) {
+	for _, g := range []interface {
+		CheckConsistency() error
+		OutputSemiModular() bool
+		NumStates() int
+	}{benchdata.Fig1SG(), benchdata.Fig4SG()} {
+		if err := g.CheckConsistency(); err != nil {
+			t.Fatal(err)
+		}
+		if !g.OutputSemiModular() {
+			t.Fatal("figure graphs must be output semi-modular")
+		}
+	}
+}
+
+func TestTable1EntriesParseAndMatchInterface(t *testing.T) {
+	if len(benchdata.Table1) != 9 {
+		t.Fatalf("Table 1 has %d entries, want 9", len(benchdata.Table1))
+	}
+	for _, e := range benchdata.Table1 {
+		g, err := stg.BuildSG(e.STG())
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		ins, outs := 0, 0
+		for _, isIn := range g.Input {
+			if isIn {
+				ins++
+			} else {
+				outs++
+			}
+		}
+		if ins != e.Inputs || outs != e.Outputs {
+			t.Errorf("%s: interface %d/%d, table says %d/%d",
+				e.Name, ins, outs, e.Inputs, e.Outputs)
+		}
+		if !g.OutputSemiModular() {
+			t.Errorf("%s: not output semi-modular", e.Name)
+		}
+		if err := g.CheckConsistency(); err != nil {
+			t.Errorf("%s: %v", e.Name, err)
+		}
+	}
+}
+
+func TestTable1ByName(t *testing.T) {
+	if _, ok := benchdata.Table1ByName("nak-pa"); !ok {
+		t.Fatal("nak-pa missing")
+	}
+	if _, ok := benchdata.Table1ByName("nope"); ok {
+		t.Fatal("unknown name found")
+	}
+}
+
+func TestGenBufferChain(t *testing.T) {
+	for _, n := range []int{1, 3, 8} {
+		g, err := stg.BuildSG(benchdata.GenBufferChain(n))
+		if err != nil {
+			t.Fatalf("chain%d: %v", n, err)
+		}
+		if got, want := g.NumStates(), 2*(n+1); got != want {
+			t.Errorf("chain%d: %d states, want %d", n, got, want)
+		}
+		if !g.USC() {
+			t.Errorf("chain%d: expected unique state codes", n)
+		}
+		if !g.SemiModular() {
+			t.Errorf("chain%d: expected semi-modularity", n)
+		}
+	}
+}
+
+func TestGenParallelizer(t *testing.T) {
+	for _, k := range []int{1, 2, 4} {
+		g, err := stg.BuildSG(benchdata.GenParallelizer(k))
+		if err != nil {
+			t.Fatalf("fork%d: %v", k, err)
+		}
+		// One concurrent diamond per phase: 2·2^k states.
+		if got, want := g.NumStates(), 2*(1<<uint(k)); got != want {
+			t.Errorf("fork%d: %d states, want %d", k, got, want)
+		}
+		if !g.SemiModular() {
+			t.Errorf("fork%d: expected semi-modularity", k)
+		}
+	}
+}
+
+func TestGenSelectorRing(t *testing.T) {
+	for _, k := range []int{2, 3, 4} {
+		g, err := stg.BuildSG(benchdata.GenSelectorRing(k))
+		if err != nil {
+			t.Fatalf("sel%d: %v", k, err)
+		}
+		if got, want := g.NumStates(), 4*k; got != want {
+			t.Errorf("sel%d: %d states, want %d", k, got, want)
+		}
+		if g.USC() {
+			t.Errorf("sel%d: selector must have code clashes", k)
+		}
+		if !g.CSC() {
+			// Different outputs excited on equal codes.
+			continue
+		}
+		t.Errorf("sel%d: expected CSC violations", k)
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"chain0": func() { benchdata.GenBufferChain(0) },
+		"fork0":  func() { benchdata.GenParallelizer(0) },
+		"sel0":   func() { benchdata.GenSelectorRing(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,162 @@
+// Package benchdata holds the paper's running examples (Figures 1, 3
+// and 4) and reconstructions of the nine Table-1 benchmarks, plus
+// parametric workload generators used by the scaling benchmarks.
+//
+// The original .tim benchmark files of Section VII are not archived with
+// the paper; each is rebuilt here as an STG with the same input/output
+// signal counts (see DESIGN.md for the substitution rationale).
+package benchdata
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sg"
+)
+
+// codeOf converts a paper-style code string over the given signal order
+// (first signal printed first) into a state code.
+func codeOf(bits string) uint64 {
+	var c uint64
+	for i := 0; i < len(bits); i++ {
+		switch bits[i] {
+		case '1':
+			c |= 1 << uint(i)
+		case '0':
+		default:
+			panic(fmt.Sprintf("benchdata: bad code string %q", bits))
+		}
+	}
+	return c
+}
+
+// edgeSpec is one arc of a hand-built state graph: from/to are indices
+// into the state list, t is a transition label such as "a+" or "d-".
+type edgeSpec struct {
+	from, to int
+	t        string
+}
+
+// buildSG assembles a state graph from explicit state codes and edges.
+// Signals are "name" or "name!" for inputs.
+func buildSG(name string, signals []string, codes []string, edges []edgeSpec) *sg.Graph {
+	g := &sg.Graph{Name: name}
+	for _, s := range signals {
+		if in := strings.HasSuffix(s, "!"); in {
+			g.Signals = append(g.Signals, strings.TrimSuffix(s, "!"))
+			g.Input = append(g.Input, true)
+		} else {
+			g.Signals = append(g.Signals, s)
+			g.Input = append(g.Input, false)
+		}
+	}
+	for _, c := range codes {
+		g.AddState(codeOf(c))
+	}
+	for _, e := range edges {
+		lab := e.t
+		var d sg.Dir
+		switch lab[len(lab)-1] {
+		case '+':
+			d = sg.Plus
+		case '-':
+			d = sg.Minus
+		default:
+			panic("benchdata: bad transition label " + lab)
+		}
+		sig := g.SignalIndex(lab[:len(lab)-1])
+		if sig < 0 {
+			panic("benchdata: unknown signal in " + lab)
+		}
+		if err := g.AddEdge(e.from, e.to, sig, d); err != nil {
+			panic(err)
+		}
+	}
+	if err := g.CheckConsistency(); err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Fig1SG returns the state graph of Figure 1 of the paper: inputs a, b
+// (in input conflict at the initial state), outputs c, d; 14 states;
+// output distributive but not persistent — ER(+d,1) cannot be covered by
+// a single cube, which Example 1 repairs by inserting a state signal.
+func Fig1SG() *sg.Graph {
+	codes := []string{
+		"0000", // s0  0*0*00  (initial)
+		"1000", // s1  100*0*
+		"0100", // s2  010*0
+		"1010", // s3  1*010*
+		"1001", // s4  100*1
+		"0010", // s5  0010*
+		"1011", // s6  1*0*11
+		"0011", // s7  00*11
+		"0110", // s8  0*110
+		"1110", // s9  1110*
+		"1111", // s10 1*111
+		"0111", // s11 011*1
+		"0101", // s12 01*01
+		"0001", // s13 0001*
+	}
+	edges := []edgeSpec{
+		{0, 1, "a+"}, {0, 2, "b+"},
+		{1, 3, "c+"}, {1, 4, "d+"},
+		{2, 8, "c+"},
+		{3, 5, "a-"}, {3, 6, "d+"},
+		{4, 6, "c+"},
+		{5, 7, "d+"},
+		{6, 7, "a-"}, {6, 10, "b+"},
+		{7, 11, "b+"},
+		{8, 9, "a+"},
+		{9, 10, "d+"},
+		{10, 11, "a-"},
+		{11, 12, "c-"},
+		{12, 13, "b-"},
+		{13, 0, "d-"},
+	}
+	return buildSG("fig1", []string{"a!", "b!", "c", "d"}, codes, edges)
+}
+
+// Fig4SG returns the state graph of Figure 4 (Example 2): inputs a, c, d,
+// output b; 15 states. The SG is persistent and every excitation region
+// has a correct single-cube cover, yet the cover cube `a` of ER(+b,1)
+// also covers state 10*01 inside ER(+b,2) — an MC violation that makes
+// the naive implementation t = c'd, b = a + t hazardous.
+func Fig4SG() *sg.Graph {
+	codes := []string{
+		"0000", // s0  0*000  (initial)
+		"1000", // s1  10*0*0
+		"1100", // s2  110*0
+		"1010", // s3  10*10*
+		"1110", // s4  1110*
+		"1011", // s5  10*11
+		"1111", // s6  1*111
+		"0111", // s7  01*11
+		"0011", // s8  001*1
+		"0001", // s9  0*0*01
+		"1001", // s10 10*01
+		"0101", // s11 0*101
+		"1101", // s12 1101*
+		"1100", // s13 1*100   (same code as s2, different excitation)
+		"0100", // s14 01*00
+	}
+	edges := []edgeSpec{
+		{0, 1, "a+"},
+		{1, 2, "b+"}, {1, 3, "c+"},
+		{2, 4, "c+"},
+		{3, 4, "b+"}, {3, 5, "d+"},
+		{4, 6, "d+"},
+		{5, 6, "b+"},
+		{6, 7, "a-"},
+		{7, 8, "b-"},
+		{8, 9, "c-"},
+		{9, 10, "a+"}, {9, 11, "b+"},
+		{10, 12, "b+"},
+		{11, 12, "a+"},
+		{12, 13, "d-"},
+		{13, 14, "a-"},
+		{14, 0, "b-"},
+	}
+	return buildSG("fig4", []string{"a!", "b", "c!", "d!"}, codes, edges)
+}

@@ -1,0 +1,95 @@
+package benchdata
+
+import (
+	"fmt"
+
+	"repro/internal/stg"
+)
+
+// GenBufferChain builds an n-stage buffer chain specification: one input
+// x propagates through n output stages c1…cn in a sequential ring
+// (x+; c1+; …; cn+; x-; c1-; …; cn-). The state graph is a simple cycle
+// of 2(n+1) states with unique codes: MC holds with no insertion, and
+// every stage degenerates to a wire of its predecessor. Scales the
+// analysis and verification pipeline linearly.
+func GenBufferChain(n int) *stg.STG {
+	if n < 1 {
+		panic("benchdata: chain length must be ≥ 1")
+	}
+	b := stg.NewBuilder(fmt.Sprintf("chain%d", n))
+	b.Signal("x", stg.Input)
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("c%d", i+1)
+		b.Signal(names[i], stg.Output)
+	}
+	prevPlus, prevMinus := "x+", "x-"
+	for _, c := range names {
+		b.Arc(prevPlus, c+"+")
+		b.Arc(prevMinus, c+"-")
+		prevPlus, prevMinus = c+"+", c+"-"
+	}
+	b.Arc(prevPlus, "x-")
+	b.Arc(prevMinus, "x+")
+	b.MarkBetween(prevMinus, "x+")
+	return b.Build()
+}
+
+// GenParallelizer builds a k-way fork/join: one input r launches k
+// concurrent output handshakes y1…yk, waits for all rises, withdraws,
+// and waits for all falls. The reachable state space grows as O(2^k):
+// the standard stress test for the composed-state verifier. Every yi is
+// a wire of r, so MC holds trivially.
+func GenParallelizer(k int) *stg.STG {
+	if k < 1 {
+		panic("benchdata: fork width must be ≥ 1")
+	}
+	b := stg.NewBuilder(fmt.Sprintf("fork%d", k))
+	b.Signal("r", stg.Input)
+	for i := 1; i <= k; i++ {
+		y := fmt.Sprintf("y%d", i)
+		b.Signal(y, stg.Output)
+		b.Arc("r+", y+"+")
+		b.Arc(y+"+", "r-")
+		b.Arc("r-", y+"-")
+		b.Arc(y+"-", "r+")
+		b.MarkBetween(y+"-", "r+")
+	}
+	return b.Build()
+}
+
+// GenSelectorRing builds a k-phase selector: one input a alternates
+// between k output handshakes x1…xk (a+; x1+; a-; x1-; a+; x2+; …).
+// All k post-request states share one interface code with different
+// excited outputs, so at least ⌈log2 k⌉ state signals are necessary —
+// the scaling workload for the SAT-driven insertion engine (k = 2 is
+// the paper-style toggle, our "luciano").
+func GenSelectorRing(k int) *stg.STG {
+	if k < 1 {
+		panic("benchdata: ring size must be ≥ 1")
+	}
+	b := stg.NewBuilder(fmt.Sprintf("sel%d", k))
+	b.Signal("a", stg.Input)
+	for i := 1; i <= k; i++ {
+		b.Signal(fmt.Sprintf("x%d", i), stg.Output)
+	}
+	occ := func(base string, i int) string {
+		if i == 1 {
+			return base
+		}
+		return fmt.Sprintf("%s/%d", base, i)
+	}
+	for i := 1; i <= k; i++ {
+		x := fmt.Sprintf("x%d", i)
+		aPlus, aMinus := occ("a+", i), occ("a-", i)
+		b.Arc(aPlus, x+"+")
+		b.Arc(x+"+", aMinus)
+		b.Arc(aMinus, x+"-")
+		next := occ("a+", i%k+1)
+		b.Arc(x+"-", next)
+		if i == k {
+			b.MarkBetween(x+"-", next)
+		}
+	}
+	return b.Build()
+}

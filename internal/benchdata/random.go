@@ -1,0 +1,98 @@
+package benchdata
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/stg"
+)
+
+// RandomSpec generates a pseudo-random, well-formed handshake
+// specification: a series-parallel composition of request/acknowledge
+// handshakes driven by one primary input. Every generated net is live
+// and 1-safe, its state graph is output semi-modular, and the behaviour
+// is a realistic controller shape (sequencers, forks and toggles) — the
+// fuzz workload for end-to-end pipeline properties.
+//
+// The generator is deterministic per seed. size bounds the number of
+// composition nodes (≥ 1).
+type RandomSpec struct {
+	Net     *stg.STG
+	Outputs int
+	Seed    int64
+}
+
+// GenRandomSpec builds a random specification with roughly `size`
+// handshake components.
+func GenRandomSpec(seed int64, size int) RandomSpec {
+	if size < 1 {
+		size = 1
+	}
+	rr := rand.New(rand.NewSource(seed))
+	b := stg.NewBuilder(fmt.Sprintf("rand%d", seed))
+	b.Signal("req", stg.Input)
+
+	outputs := 0
+	newOut := func() string {
+		outputs++
+		name := fmt.Sprintf("o%d", outputs)
+		b.Signal(name, stg.Output)
+		return name
+	}
+
+	// Each component is a behaviour with an entry transition pair
+	// (rise, fall): connecting pred.rise → entry.rise and entry.fall →
+	// ... — we build recursively, returning the (first, last) events of
+	// the rising and falling phases.
+	//
+	// A leaf handshake on output o contributes o+ in the rising phase
+	// and o- in the falling phase.
+	budget := size
+	type phase struct {
+		riseHead, riseTail string // first/last transition of the up phase
+		fallHead, fallTail string
+	}
+	var gen func(depth int) phase
+	gen = func(depth int) phase {
+		budget--
+		kind := rr.Intn(3)
+		if depth > 3 || budget <= 0 {
+			kind = 0
+		}
+		switch kind {
+		case 1: // SEQ of two sub-behaviours
+			a := gen(depth + 1)
+			c := gen(depth + 1)
+			b.Arc(a.riseTail, c.riseHead)
+			b.Arc(a.fallTail, c.fallHead)
+			return phase{a.riseHead, c.riseTail, a.fallHead, c.fallTail}
+		case 2: // PAR: fork through a split output, join through another
+			spl, join := newOut(), newOut()
+			a := gen(depth + 1)
+			c := gen(depth + 1)
+			b.Arc(spl+"+", a.riseHead)
+			b.Arc(spl+"+", c.riseHead)
+			b.Arc(a.riseTail, join+"+")
+			b.Arc(c.riseTail, join+"+")
+			b.Arc(spl+"-", a.fallHead)
+			b.Arc(spl+"-", c.fallHead)
+			b.Arc(a.fallTail, join+"-")
+			b.Arc(c.fallTail, join+"-")
+			return phase{spl + "+", join + "+", spl + "-", join + "-"}
+		default: // leaf handshake
+			o := newOut()
+			return phase{o + "+", o + "+", o + "-", o + "-"}
+		}
+	}
+
+	p := gen(0)
+	// Close the cycle: req+ starts the rising phase, its completion
+	// triggers req-; req- starts the falling phase, whose completion
+	// re-enables req+.
+	b.Arc("req+", p.riseHead)
+	b.Arc(p.riseTail, "req-")
+	b.Arc("req-", p.fallHead)
+	b.Arc(p.fallTail, "req+")
+	b.MarkBetween(p.fallTail, "req+")
+	return RandomSpec{Net: b.Build(), Outputs: outputs, Seed: seed}
+}

@@ -1,0 +1,310 @@
+package benchdata
+
+import (
+	"repro/internal/stg"
+)
+
+// Table1Entry describes one row of the paper's Table 1 ("RESULTS OF
+// MC-REDUCTION"): benchmark name, interface size and the number of state
+// signals the paper's state-assignment program inserted.
+type Table1Entry struct {
+	Name       string
+	Inputs     int
+	Outputs    int
+	PaperAdded int
+	Source     string // STG in .g syntax (reconstruction, see DESIGN.md)
+}
+
+// STG parses the benchmark's source.
+func (e Table1Entry) STG() *stg.STG { return stg.MustParse(e.Source) }
+
+// Table1 lists the nine benchmarks of Section VII. The original .tim
+// files are not archived with the paper; each entry is reconstructed as
+// an STG with the same input/output counts, built from the handshake
+// idioms the benchmark names refer to (NACK-based port adapter, van
+// Berkel handshake components, Martin's D-element, …). The reproduction
+// target is the shape of the table: small state graphs, 0–2 inserted
+// state signals, all solved quickly (the paper reports a 5-minute
+// timeout on a DEC 5000, never reached).
+var Table1 = []Table1Entry{
+	{
+		// NACK-based port adapter: a request q is either acknowledged
+		// (ai) — completing the transfer through e/d — or NAK'ed (ni),
+		// in which case the adapter pulses the retry flag c and repeats
+		// the request. The retry request re-enters the interface state
+		// of the first request, which forces one state signal.
+		Name: "nak-pa", Inputs: 4, Outputs: 5, PaperAdded: 1,
+		Source: `
+.model nak-pa
+.inputs r ai ni d
+.outputs q a b c e
+.graph
+p0 r+
+r+ q+
+q+ pc
+pc ai+ ni+
+ai+ e+
+e+ a+
+a+ d+
+d+ q-
+q- ai-
+ai- e-
+e- d-
+d- r-
+r- a-
+a- p0
+ni+ b+
+b+ q-/2
+q-/2 ni-
+ni- b-
+b- c+
+c+ c-
+c- q+/2
+q+/2 ai+/2
+ai+/2 e+/2
+e+/2 a+/2
+a+/2 d+/2
+d+/2 q-/3
+q-/3 ai-/2
+ai-/2 e-/2
+e-/2 d-/2
+d-/2 r-/2
+r-/2 a-/2
+a-/2 p0
+.marking { p0 }
+.end
+`,
+	},
+	{
+		// Two-phase controller in the style of Nowick's locally-clocked
+		// machines: the same input transition a+ starts an x-handshake
+		// in the first phase and a y-handshake in the second, so the two
+		// phases share interface codes and need one state signal.
+		Name: "nowick", Inputs: 3, Outputs: 2, PaperAdded: 1,
+		Source: `
+.model nowick
+.inputs a b c
+.outputs x y
+.graph
+a+ x+
+x+ b+
+b+ b-
+b- a-
+a- x-
+x- a+/2
+a+/2 y+
+y+ c+
+c+ c-
+c- a-/2
+a-/2 y-
+y- a+
+.marking { <y-,a+> }
+.end
+`,
+	},
+	{
+		// Event duplicator: the x handshake runs twice, then the y
+		// handshake runs twice (x x y y per super-cycle). Distinguishing
+		// quarter 1 from 2 and 3 from 4 needs two state signals.
+		Name: "duplicator", Inputs: 2, Outputs: 2, PaperAdded: 2,
+		Source: `
+.model duplicator
+.inputs a b
+.outputs x y
+.graph
+a+ x+
+x+ a-
+a- x-
+x- a+/2
+a+/2 b+
+b+ x+/2
+x+/2 a-/2
+a-/2 x-/2
+x-/2 a+/3
+a+/3 y+
+y+ a-/3
+a-/3 y-
+y- a+/4
+a+/4 b-
+b- y+/2
+y+/2 a-/4
+a-/4 y-/2
+y-/2 a+
+.marking { <y-/2,a+> }
+.end
+`,
+	},
+	{
+		// Four-phase controller alternating x and y handshakes with a
+		// b-exchange opening phases 1 and 3 (b·x, y, b̄·x, y): both
+		// (a,b) code classes carry three pairwise-conflicting interface
+		// states, needing two state signals.
+		Name: "ganesh_8", Inputs: 2, Outputs: 2, PaperAdded: 2,
+		Source: `
+.model ganesh_8
+.inputs a b
+.outputs x y
+.graph
+a+ b+
+b+ x+
+x+ a-
+a- x-
+x- a+/2
+a+/2 y+
+y+ a-/2
+a-/2 y-
+y- a+/3
+a+/3 b-
+b- x+/2
+x+/2 a-/3
+a-/3 x-/2
+x-/2 a+/4
+a+/4 y+/2
+y+/2 a-/4
+a-/4 y-/2
+y-/2 a+
+.marking { <y-/2,a+> }
+.end
+`,
+	},
+	{
+		// van Berkel handshake component SEQ(x;y) on a shared request:
+		// the two sequenced handshakes reuse the request code, one state
+		// signal.
+		Name: "berkel2", Inputs: 2, Outputs: 2, PaperAdded: 1,
+		Source: `
+.model berkel2
+.inputs a b
+.outputs x y
+.graph
+a+ x+
+x+ b+
+b+ b-
+b- a-
+a- x-
+x- a+/2
+a+/2 y+
+y+ a-/2
+a-/2 y-
+y- a+
+.marking { <y-,a+> }
+.end
+`,
+	},
+	{
+		// van Berkel 4-phase sequencer alternating x and y handshakes
+		// with a b-exchange opening phases 2 and 4 (x, b·y, x, b·y):
+		// both code classes carry three pairwise-conflicting interface
+		// states, needing two state signals.
+		Name: "berkel3", Inputs: 2, Outputs: 2, PaperAdded: 2,
+		Source: `
+.model berkel3
+.inputs a b
+.outputs x y
+.graph
+a+ x+
+x+ a-
+a- x-
+x- a+/2
+a+/2 b+
+b+ y+
+y+ a-/2
+a-/2 y-
+y- a+/3
+a+/3 x+/2
+x+/2 a-/3
+a-/3 x-/2
+x-/2 a+/4
+a+/4 b-
+b- y+/2
+y+/2 a-/4
+a-/4 y-/2
+y-/2 a+
+.marking { <y-/2,a+> }
+.end
+`,
+	},
+	{
+		// Packet-forwarding controller: a linear request pipeline that
+		// fans out into two concurrent done signals (u, v) — a marked
+		// graph with unique state codes, no state signal needed.
+		Name: "mp-forward-pkt", Inputs: 3, Outputs: 4, PaperAdded: 0,
+		Source: `
+.model mp-forward-pkt
+.inputs r x y
+.outputs p q u v
+.graph
+r+ p+
+p+ x+
+x+ q+
+q+ y+
+y+ u+ v+
+u+ r-
+v+ r-
+r- p-
+p- x-
+x- q-
+q- y-
+y- u- v-
+u- r+
+v- r+
+.marking { <u-,r+> <v-,r+> }
+.end
+`,
+	},
+	{
+		// Minimal toggle: one input alternates between the x and the y
+		// handshake — the smallest specification with a state-coding
+		// conflict, one state signal.
+		Name: "luciano", Inputs: 1, Outputs: 2, PaperAdded: 1,
+		Source: `
+.model luciano
+.inputs a
+.outputs x y
+.graph
+a+ x+
+x+ a-
+a- x-
+x- a+/2
+a+/2 y+
+y+ a-/2
+a-/2 y-
+y- a+
+.marking { <y-,a+> }
+.end
+`,
+	},
+	{
+		// Martin's D-element: passive handshake (r1/a1) encloses an
+		// active one (r2/a2); the state after a2- repeats the code of
+		// the state after r1+ — the textbook CSC violation, one state
+		// signal.
+		Name: "Delement", Inputs: 2, Outputs: 2, PaperAdded: 1,
+		Source: `
+.model Delement
+.inputs r1 a2
+.outputs a1 r2
+.graph
+r1+ r2+
+r2+ a2+
+a2+ r2-
+r2- a2-
+a2- a1+
+a1+ r1-
+r1- a1-
+a1- r1+
+.marking { <a1-,r1+> }
+.end
+`,
+	},
+}
+
+// Table1ByName returns the named entry.
+func Table1ByName(name string) (Table1Entry, bool) {
+	for _, e := range Table1 {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Table1Entry{}, false
+}

@@ -1,0 +1,731 @@
+// Package core implements the paper's central contribution: the
+// Monotonous Cover (MC) theory for speed-independent implementation of
+// state graphs with basic gates (Sections IV and VI).
+//
+// For every excitation region ER(*a_i) of a non-input signal the theory
+// asks for a single cube — the monotonous cover cube — that
+//
+//  1. covers every state of ER(*a_i),
+//  2. changes value at most once along any trace inside the constant
+//     function region CFR(*a_i) = ER(*a_i) ∪ QR(*a_i), and
+//  3. covers no reachable state outside CFR(*a_i).
+//
+// When every non-input excitation region has such a cube (the MC
+// requirement, Definition 18), the standard C-element and RS-latch
+// implementations built from those cubes are semi-modular and therefore
+// hazard-free under the unbounded gate delay model (Theorem 3). The MC
+// requirement also implies Complete State Coding and persistency
+// (Theorem 4, Corollary 1).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cube"
+	"repro/internal/sg"
+)
+
+// Analyzer caches the region decomposition of one state graph and
+// answers Monotonous Cover queries against it.
+type Analyzer struct {
+	G    *sg.Graph
+	Regs []*sg.Regions // indexed by signal
+}
+
+// NewAnalyzer computes the region decomposition of every signal.
+func NewAnalyzer(g *sg.Graph) *Analyzer {
+	a := &Analyzer{G: g, Regs: make([]*sg.Regions, g.NumSignals())}
+	for sig := range g.Signals {
+		a.Regs[sig] = g.RegionsOf(sig)
+	}
+	return a
+}
+
+// Minterm returns the binary code of state s as a value vector.
+func (a *Analyzer) Minterm(s int) []bool {
+	n := a.G.NumSignals()
+	out := make([]bool, n)
+	for i := 0; i < n; i++ {
+		out[i] = a.G.Value(s, i)
+	}
+	return out
+}
+
+// MintermCube returns the full minterm cube of state s.
+func (a *Analyzer) MintermCube(s int) cube.Cube {
+	return cube.NewMinterm(a.Minterm(s))
+}
+
+// CoverCube derives the canonical cover cube of the excitation region
+// (Definition 15, computed as in Lemma 3): one literal for every signal
+// ordered with respect to the region, at the signal's (constant) value
+// inside the region. It is the smallest cover cube; every other cover
+// cube is obtained by dropping literals from it.
+func (a *Analyzer) CoverCube(er *sg.Region) cube.Cube {
+	g := a.G
+	c := cube.NewFull(g.NumSignals())
+	ref := er.States[0]
+	for b := range g.Signals {
+		if b == er.Signal || !g.Ordered(er, b) {
+			continue
+		}
+		if g.Value(ref, b) {
+			c.Set(b, cube.One)
+		} else {
+			c.Set(b, cube.Zero)
+		}
+	}
+	return c
+}
+
+// Sets of Definition 13 for signal a:
+//
+//	0-set(a)  = ∪ QR(−a_i): a stable at 0,
+//	0*set(a)  = ∪ ER(+a_i): a excited at 0,
+//	1-set(a)  = ∪ QR(+a_i): a stable at 1,
+//	1*set(a)  = ∪ ER(−a_i): a excited at 1.
+type Sets struct {
+	Zero, ZeroStar, One, OneStar map[int]bool
+}
+
+// SetsOf computes the four characteristic state sets of signal sig.
+func (a *Analyzer) SetsOf(sig int) Sets {
+	s := Sets{
+		Zero:     map[int]bool{},
+		ZeroStar: map[int]bool{},
+		One:      map[int]bool{},
+		OneStar:  map[int]bool{},
+	}
+	regs := a.Regs[sig]
+	for _, er := range regs.ER {
+		dst := s.ZeroStar
+		if er.Dir == sg.Minus {
+			dst = s.OneStar
+		}
+		for _, st := range er.States {
+			dst[st] = true
+		}
+	}
+	for _, qr := range regs.QR {
+		// QR(+a): a stable at 1; QR(−a): a stable at 0.
+		dst := s.One
+		if qr.Dir == sg.Minus {
+			dst = s.Zero
+		}
+		for _, st := range qr.States {
+			dst[st] = true
+		}
+	}
+	return s
+}
+
+// ViolationKind classifies why a cube fails to be a monotonous cover.
+type ViolationKind int
+
+// Violation kinds.
+const (
+	// OK means no violation.
+	OK ViolationKind = iota
+	// NotCovering: condition (1) — the cube misses states of the ER.
+	NotCovering
+	// NonMonotonic: condition (2) — the cube rises again along a trace
+	// inside the CFR (a 0→1 edge within the CFR).
+	NonMonotonic
+	// OutsideCFR: condition (3) — the cube covers a reachable state
+	// outside the CFR.
+	OutsideCFR
+	// IncorrectCover: Definition 16 — the cube covers states where the
+	// signal's excitation function must be 0 (implies OutsideCFR).
+	IncorrectCover
+)
+
+// String names the violation kind.
+func (k ViolationKind) String() string {
+	switch k {
+	case OK:
+		return "ok"
+	case NotCovering:
+		return "does not cover ER"
+	case NonMonotonic:
+		return "non-monotonic inside CFR"
+	case OutsideCFR:
+		return "covers state outside CFR"
+	case IncorrectCover:
+		return "incorrect cover"
+	default:
+		return fmt.Sprintf("ViolationKind(%d)", int(k))
+	}
+}
+
+// Violation reports a failed Monotonous Cover condition with witness
+// states.
+type Violation struct {
+	Kind   ViolationKind
+	Signal int
+	ER     *sg.Region
+	Cube   cube.Cube
+	// States are witness states: uncovered ER states (NotCovering),
+	// covered states outside the CFR (OutsideCFR/IncorrectCover), or the
+	// endpoints (u, v) of a rising edge inside the CFR (NonMonotonic).
+	States []int
+}
+
+// Describe renders the violation with the graph's state codes.
+func (v *Violation) Describe(g *sg.Graph) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s for %s, cube %s:", v.Kind, g.ERLabel(v.ER), v.Cube)
+	for _, s := range v.States {
+		fmt.Fprintf(&b, " s%d(%s)", s, g.CodeString(s))
+	}
+	return b.String()
+}
+
+// covers reports whether cube c covers state s.
+func (a *Analyzer) covers(c cube.Cube, s int) bool {
+	return c.ContainsMinterm(a.Minterm(s))
+}
+
+// erIndex locates er inside its signal's region list.
+func (a *Analyzer) erIndex(er *sg.Region) int {
+	for i, r := range a.Regs[er.Signal].ER {
+		if r == er {
+			return i
+		}
+	}
+	panic("core: region not from this analyzer")
+}
+
+// CheckMC verifies the three Monotonous Cover conditions of Definition 17
+// for cube c against excitation region er, returning nil when c is a
+// monotonous cover.
+func (a *Analyzer) CheckMC(er *sg.Region, c cube.Cube) *Violation {
+	g := a.G
+	regs := a.Regs[er.Signal]
+	i := a.erIndex(er)
+	cfr := regs.CFR(i)
+
+	// Condition (1): cover all ER states.
+	var missed []int
+	for _, s := range er.States {
+		if !a.covers(c, s) {
+			missed = append(missed, s)
+		}
+	}
+	if len(missed) > 0 {
+		return &Violation{Kind: NotCovering, Signal: er.Signal, ER: er, Cube: c, States: missed}
+	}
+
+	// Condition (2): the cube changes at most once along any trace inside
+	// the CFR. Since the cube is 1 on the whole excitation region (the
+	// entry of every trace), "at most once" means the cube may only FALL
+	// inside the CFR: any rising edge within the CFR is a second change
+	// for some trace — and, at the gate level, an AND-gate rise that no
+	// latch acknowledges, which a later input can disable (this exact
+	// hazard is reproduced in the verifier tests).
+	if u, v := a.doubleChange(cfr, c); u >= 0 {
+		return &Violation{Kind: NonMonotonic, Signal: er.Signal, ER: er, Cube: c, States: []int{u, v}}
+	}
+
+	// Condition (3): cover no reachable state outside the CFR.
+	var outside []int
+	for s := 0; s < g.NumStates(); s++ {
+		if !cfr[s] && a.covers(c, s) {
+			outside = append(outside, s)
+		}
+	}
+	if len(outside) > 0 {
+		return &Violation{Kind: OutsideCFR, Signal: er.Signal, ER: er, Cube: c, States: outside}
+	}
+	return nil
+}
+
+// doubleChange looks for a monotonicity violation of cube c inside the
+// CFR: a rising edge (uncovered → covered) between CFR states. It
+// returns the edge's endpoints, or (-1, -1) when the cube only falls.
+func (a *Analyzer) doubleChange(cfr map[int]bool, c cube.Cube) (int, int) {
+	g := a.G
+	for u := range cfr {
+		if a.covers(c, u) {
+			continue
+		}
+		for _, e := range g.States[u].Succ {
+			if cfr[e.To] && a.covers(c, e.To) {
+				return u, e.To
+			}
+		}
+	}
+	return -1, -1
+}
+
+// CheckCorrectCover verifies Definition 16: the cube must not cover any
+// state where the excitation function of the region's signal has value 0
+// — for an up-region, 1*-set(a) ∪ 0-set(a); for a down-region,
+// 0*-set(a) ∪ 1-set(a).
+func (a *Analyzer) CheckCorrectCover(er *sg.Region, c cube.Cube) *Violation {
+	sets := a.SetsOf(er.Signal)
+	forbidden := func(s int) bool {
+		if er.Dir == sg.Plus {
+			return sets.OneStar[s] || sets.Zero[s]
+		}
+		return sets.ZeroStar[s] || sets.One[s]
+	}
+	var bad []int
+	for s := 0; s < a.G.NumStates(); s++ {
+		if forbidden(s) && a.covers(c, s) {
+			bad = append(bad, s)
+		}
+	}
+	if len(bad) > 0 {
+		return &Violation{Kind: IncorrectCover, Signal: er.Signal, ER: er, Cube: c, States: bad}
+	}
+	return nil
+}
+
+// FindMC searches for a monotonous cover cube for er. The canonical
+// cover cube is the smallest candidate; when it violates condition (2),
+// dropping literals can restore monotonicity at the risk of breaking
+// condition (3), so the search enumerates literal subsets in order of
+// increasing size. It returns the found cube, or the blocking violation
+// of the most constrained candidate.
+func (a *Analyzer) FindMC(er *sg.Region) (cube.Cube, *Violation) {
+	c := a.CoverCube(er)
+	v := a.CheckMC(er, c)
+	if v == nil {
+		return a.shrinkMC(er, c), nil
+	}
+	if v.Kind != NonMonotonic {
+		// Conditions (1) and (3) can only get worse by enlarging the
+		// cube; the canonical cube's verdict is final.
+		return cube.Cube{}, v
+	}
+	// Candidate literals to drop: only signals that change value inside
+	// the CFR can make the cube non-monotonic there — dropping a
+	// CFR-constant literal leaves the in-CFR pattern unchanged and only
+	// risks condition (3).
+	regs := a.Regs[er.Signal]
+	cfr := regs.CFR(a.erIndex(er))
+	lits := a.varyingLiterals(c, cfr)
+	for size := 1; size <= len(lits); size++ {
+		var found cube.Cube
+		ok := forEachSubset(lits, size, func(drop []int) bool {
+			cand := c.Clone()
+			for _, l := range drop {
+				cand.Set(l, cube.Full)
+			}
+			if a.CheckMC(er, cand) == nil {
+				found = cand
+				return true
+			}
+			return false
+		})
+		if ok {
+			return a.shrinkMC(er, found), nil
+		}
+	}
+	return cube.Cube{}, v
+}
+
+// shrinkMC greedily removes literals from a valid monotonous cover while
+// the MC conditions keep holding, mirroring the two-level optimization
+// the paper applies to the excitation functions (fewer literals, smaller
+// AND gates).
+func (a *Analyzer) shrinkMC(er *sg.Region, c cube.Cube) cube.Cube {
+	c = c.Clone()
+	for {
+		dropped := false
+		for _, l := range c.Literals() {
+			cand := c.Clone()
+			cand.Set(l, cube.Full)
+			if a.CheckMC(er, cand) == nil {
+				c = cand
+				dropped = true
+			}
+		}
+		if !dropped {
+			return c
+		}
+	}
+}
+
+// varyingLiterals returns the cube's literals whose signals take both
+// values over the given state set.
+func (a *Analyzer) varyingLiterals(c cube.Cube, states map[int]bool) []int {
+	var out []int
+	for _, l := range c.Literals() {
+		saw0, saw1 := false, false
+		for s := range states {
+			if a.G.Value(s, l) {
+				saw1 = true
+			} else {
+				saw0 = true
+			}
+			if saw0 && saw1 {
+				out = append(out, l)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// forEachSubset calls fn with every size-k subset of lits until fn
+// returns true; it reports whether fn succeeded.
+func forEachSubset(lits []int, k int, fn func([]int) bool) bool {
+	idx := make([]int, k)
+	var rec func(start, depth int) bool
+	rec = func(start, depth int) bool {
+		if depth == k {
+			sub := make([]int, k)
+			for i, j := range idx {
+				sub[i] = lits[j]
+			}
+			return fn(sub)
+		}
+		for i := start; i <= len(lits)-(k-depth); i++ {
+			idx[depth] = i
+			if rec(i+1, depth+1) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0, 0)
+}
+
+// RegionResult is the MC verdict for one excitation region.
+type RegionResult struct {
+	Signal    int
+	ER        *sg.Region
+	Cube      cube.Cube // valid when Violation == nil
+	Violation *Violation
+
+	// Degenerate marks the paper's degenerate case (Section IV, note 2):
+	// the signal's whole excitation function is a single literal, so the
+	// AND and OR gates disappear and a correct cover suffices in place
+	// of a monotonous one (here: the signal is a wire of another signal).
+	Degenerate bool
+}
+
+// Wire describes the degenerate single-literal implementation of a
+// signal: out follows Of (inverted when Inverted is set), with no AND/OR
+// logic at all.
+type Wire struct {
+	Of       int
+	Inverted bool
+}
+
+// WireOf checks whether non-input signal sig can be implemented as a
+// plain wire of another signal b: the literal b (resp. b') covers every
+// ER(+sig) correctly and the literal b' (resp. b) covers every ER(−sig)
+// correctly. It returns the wire description and true on success.
+func (a *Analyzer) WireOf(sig int) (Wire, bool) {
+	regs := a.Regs[sig]
+	if len(regs.ER) == 0 {
+		return Wire{}, false
+	}
+	n := a.G.NumSignals()
+	for b := range a.G.Signals {
+		if b == sig {
+			continue
+		}
+		for _, inverted := range []bool{false, true} {
+			up := cube.NewFull(n)
+			down := cube.NewFull(n)
+			if inverted {
+				up.Set(b, cube.Zero)
+				down.Set(b, cube.One)
+			} else {
+				up.Set(b, cube.One)
+				down.Set(b, cube.Zero)
+			}
+			ok := true
+			for _, er := range regs.ER {
+				c := up
+				if er.Dir == sg.Minus {
+					c = down
+				}
+				// The literal must cover the whole ER and cover it
+				// correctly (Definition 16) — monotonicity is waived in
+				// the degenerate case.
+				for _, s := range er.States {
+					if !a.covers(c, s) {
+						ok = false
+						break
+					}
+				}
+				if !ok || a.CheckCorrectCover(er, c) != nil {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return Wire{Of: b, Inverted: inverted}, true
+			}
+		}
+	}
+	return Wire{}, false
+}
+
+// Report is the outcome of checking the MC requirement on a whole graph.
+type Report struct {
+	G       *sg.Graph
+	A       *Analyzer // the analyzer that produced the report
+	Results []RegionResult
+}
+
+// Satisfied reports whether every non-input excitation region has a
+// monotonous cover (the MC requirement, Definition 18).
+func (r *Report) Satisfied() bool {
+	for _, res := range r.Results {
+		if res.Violation != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Violations returns the failing regions.
+func (r *Report) Violations() []*Violation {
+	var out []*Violation
+	for _, res := range r.Results {
+		if res.Violation != nil {
+			out = append(out, res.Violation)
+		}
+	}
+	return out
+}
+
+// String renders the report, one region per line.
+func (r *Report) String() string {
+	var b strings.Builder
+	for _, res := range r.Results {
+		if res.Violation == nil {
+			tag := "MC cube"
+			if res.Degenerate {
+				tag = "degenerate (wire) cube"
+			}
+			fmt.Fprintf(&b, "%s: %s %s\n",
+				r.G.ERLabel(res.ER), tag, res.Cube.StringNamed(r.G.Signals))
+		} else {
+			fmt.Fprintf(&b, "%s: VIOLATION %s\n", r.G.ERLabel(res.ER), res.Violation.Describe(r.G))
+		}
+	}
+	return b.String()
+}
+
+// CheckGraph evaluates the MC requirement for every excitation region of
+// every non-input signal.
+func (a *Analyzer) CheckGraph() *Report {
+	rep := &Report{G: a.G, A: a}
+	sigs := make([]int, 0, a.G.NumSignals())
+	for sig := range a.G.Signals {
+		if !a.G.Input[sig] {
+			sigs = append(sigs, sig)
+		}
+	}
+	sort.Ints(sigs)
+	for _, sig := range sigs {
+		var results []RegionResult
+		failed := false
+		for _, er := range a.Regs[sig].ER {
+			c, v := a.FindMC(er)
+			if v != nil {
+				failed = true
+			}
+			results = append(results, RegionResult{Signal: sig, ER: er, Cube: c, Violation: v})
+		}
+		if failed {
+			// Multiple transitions of one signal may share a single cube
+			// (Definition 19 with F a set of same-signal transitions):
+			// e.g. two excitation regions with identical codes in
+			// alternative branches. Try a generalized cube over all
+			// regions of the same direction.
+			failed = !a.groupSameFunction(sig, results)
+		}
+		if failed {
+			// Degenerate fallback: the whole signal as a single-literal
+			// wire needs only correct covers (Section IV, note 2).
+			if w, ok := a.WireOf(sig); ok {
+				n := a.G.NumSignals()
+				for i := range results {
+					c := cube.NewFull(n)
+					lit := cube.One
+					if (results[i].ER.Dir == sg.Plus) == w.Inverted {
+						lit = cube.Zero
+					}
+					c.Set(w.Of, lit)
+					results[i].Cube = c
+					results[i].Violation = nil
+					results[i].Degenerate = true
+				}
+			}
+		}
+		rep.Results = append(rep.Results, results...)
+	}
+	return rep
+}
+
+// groupSameFunction attempts to repair the failed regions of one signal
+// by covering groups of same-direction regions with one generalized MC
+// cube. It updates results in place and reports whether every region of
+// the signal ended up violation-free.
+func (a *Analyzer) groupSameFunction(sig int, results []RegionResult) bool {
+	for _, dir := range []sg.Dir{sg.Plus, sg.Minus} {
+		var idx []int
+		anyFailed := false
+		for i := range results {
+			if results[i].ER.Dir == dir {
+				idx = append(idx, i)
+				if results[i].Violation != nil {
+					anyFailed = true
+				}
+			}
+		}
+		if !anyFailed || len(idx) < 2 {
+			continue
+		}
+		// Candidate groups: all same-direction regions, then only the
+		// failed ones.
+		groups := [][]int{idx}
+		var failedOnly []int
+		for _, i := range idx {
+			if results[i].Violation != nil {
+				failedOnly = append(failedOnly, i)
+			}
+		}
+		if len(failedOnly) >= 2 && len(failedOnly) < len(idx) {
+			groups = append(groups, failedOnly)
+		}
+		for _, group := range groups {
+			ers := make([]*sg.Region, len(group))
+			sup := a.CoverCube(results[group[0]].ER)
+			for k, i := range group {
+				ers[k] = results[i].ER
+				if k > 0 {
+					sup = sup.Supercube(a.CoverCube(results[i].ER))
+				}
+			}
+			c, ok := a.findGeneralizedMC(ers, sup)
+			if !ok {
+				continue
+			}
+			// Theorem 5 side condition within the signal: the shared
+			// cube must not touch the regions outside the group.
+			touches := false
+			for _, i := range idx {
+				inGroup := false
+				for _, j := range group {
+					if i == j {
+						inGroup = true
+					}
+				}
+				if inGroup {
+					continue
+				}
+				for _, s := range results[i].ER.States {
+					if a.covers(c, s) {
+						touches = true
+					}
+				}
+			}
+			if touches {
+				continue
+			}
+			for _, i := range group {
+				results[i].Cube = c
+				results[i].Violation = nil
+			}
+			break
+		}
+	}
+	for i := range results {
+		if results[i].Violation != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// findGeneralizedMC searches for a generalized MC cube for the region
+// set, starting from the given candidate and dropping literals on
+// non-monotonicity, mirroring FindMC.
+func (a *Analyzer) findGeneralizedMC(ers []*sg.Region, c cube.Cube) (cube.Cube, bool) {
+	v := a.CheckGeneralizedMC(ers, c)
+	if v == nil {
+		return a.shrinkGeneralized(ers, c), true
+	}
+	if v.Kind != NonMonotonic {
+		return cube.Cube{}, false
+	}
+	union := map[int]bool{}
+	for _, er := range ers {
+		regs := a.Regs[er.Signal]
+		for s := range regs.CFR(a.erIndexIn(regs, er)) {
+			union[s] = true
+		}
+	}
+	lits := a.varyingLiterals(c, union)
+	for size := 1; size <= len(lits); size++ {
+		var found cube.Cube
+		ok := forEachSubset(lits, size, func(drop []int) bool {
+			cand := c.Clone()
+			for _, l := range drop {
+				cand.Set(l, cube.Full)
+			}
+			if a.CheckGeneralizedMC(ers, cand) == nil {
+				found = cand
+				return true
+			}
+			return false
+		})
+		if ok {
+			return a.shrinkGeneralized(ers, found), true
+		}
+	}
+	return cube.Cube{}, false
+}
+
+// shrinkGeneralized is shrinkMC for generalized covers.
+func (a *Analyzer) shrinkGeneralized(ers []*sg.Region, c cube.Cube) cube.Cube {
+	c = c.Clone()
+	for {
+		dropped := false
+		for _, l := range c.Literals() {
+			cand := c.Clone()
+			cand.Set(l, cube.Full)
+			if a.CheckGeneralizedMC(ers, cand) == nil {
+				c = cand
+				dropped = true
+			}
+		}
+		if !dropped {
+			return c
+		}
+	}
+}
+
+// ExcitationFunctions assembles the up- and down-excitation covers
+// (Sa, Ra) of a non-input signal from the MC cubes of a satisfied report.
+// It fails when the report has violations for that signal.
+func (r *Report) ExcitationFunctions(sig int) (set, reset cube.Cover, err error) {
+	n := r.G.NumSignals()
+	set, reset = cube.NewCover(n), cube.NewCover(n)
+	for _, res := range r.Results {
+		if res.Signal != sig {
+			continue
+		}
+		if res.Violation != nil {
+			return set, reset, fmt.Errorf("core: %s has no monotonous cover", r.G.ERLabel(res.ER))
+		}
+		if res.ER.Dir == sg.Plus {
+			set.Add(res.Cube)
+		} else {
+			reset.Add(res.Cube)
+		}
+	}
+	// Distinct regions may share one cube (e.g. both ERs of a repaired
+	// signal covered by the same inserted-signal literal): deduplicate.
+	return set.SCC(), reset.SCC(), nil
+}

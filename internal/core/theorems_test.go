@@ -1,0 +1,92 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sg"
+)
+
+// orCausalityGraph builds a semi-modular but non-distributive graph:
+// output c rises when a OR b has risen (OR-causality diamond), then
+// everything resets sequentially. Inputs a and b are concurrent.
+func orCausalityGraph(t *testing.T) *sg.Graph {
+	t.Helper()
+	g := &sg.Graph{Signals: []string{"a", "b", "c"}, Input: []bool{true, true, false}, Name: "orc"}
+	// Codes over (a,b,c), bit 0 = a.
+	s0 := g.AddState(0b000)   // a+, b+ concurrent
+	sa := g.AddState(0b001)   // a=1: b+ and c+ enabled
+	sb := g.AddState(0b010)   // b=1: a+ and c+ enabled
+	sab := g.AddState(0b011)  // c+ enabled
+	sac := g.AddState(0b101)  // b+ enabled
+	sbc := g.AddState(0b110)  // a+ enabled
+	sabc := g.AddState(0b111) // a- enabled
+	t1 := g.AddState(0b110)   // b- enabled (same code as sbc, different phase)
+	t2 := g.AddState(0b100)   // c- enabled
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.AddEdge(s0, sa, 0, sg.Plus))
+	must(g.AddEdge(s0, sb, 1, sg.Plus))
+	must(g.AddEdge(sa, sab, 1, sg.Plus))
+	must(g.AddEdge(sb, sab, 0, sg.Plus))
+	must(g.AddEdge(sa, sac, 2, sg.Plus))
+	must(g.AddEdge(sb, sbc, 2, sg.Plus))
+	must(g.AddEdge(sab, sabc, 2, sg.Plus))
+	must(g.AddEdge(sac, sabc, 1, sg.Plus))
+	must(g.AddEdge(sbc, sabc, 0, sg.Plus))
+	must(g.AddEdge(sabc, t1, 0, sg.Minus))
+	must(g.AddEdge(t1, t2, 1, sg.Minus))
+	must(g.AddEdge(t2, s0, 2, sg.Minus))
+	if err := g.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestLemma1MultipleMinimalStates(t *testing.T) {
+	// Lemma 1: in a semi-modular but not distributive SG, some ER has
+	// several minimal states. ER(+c) of the OR-causality diamond is
+	// entered through both a+ and b+.
+	g := orCausalityGraph(t)
+	if !g.OutputSemiModular() {
+		t.Fatal("OR-causality diamond is output semi-modular")
+	}
+	if g.OutputDistributive() {
+		t.Fatal("OR-causality makes the graph non-distributive")
+	}
+	a := core.NewAnalyzer(g)
+	c := g.SignalIndex("c")
+	multi := false
+	for _, er := range a.Regs[c].ER {
+		if er.Dir == sg.Plus && len(er.Min) > 1 {
+			multi = true
+		}
+	}
+	if !multi {
+		t.Fatal("Lemma 1: expected an ER(+c) with multiple minimal states")
+	}
+}
+
+func TestTheorem2NonDistributiveViolatesMC(t *testing.T) {
+	// Theorem 2: in a semi-modular non-distributive SG not every ER has
+	// a monotonous cover — ER(+c) here cannot be covered by one cube
+	// (its minimal states disagree on every ordered signal's value).
+	g := orCausalityGraph(t)
+	a := core.NewAnalyzer(g)
+	c := g.SignalIndex("c")
+	violated := false
+	for _, er := range a.Regs[c].ER {
+		if er.Dir != sg.Plus {
+			continue
+		}
+		if _, v := a.FindMC(er); v != nil {
+			violated = true
+		}
+	}
+	if !violated {
+		t.Fatal("Theorem 2: expected an MC violation on ER(+c)")
+	}
+}

@@ -1,0 +1,351 @@
+package cube
+
+import (
+	"sort"
+	"strings"
+)
+
+// Cover is a sum of cubes over a common variable space. The nil or empty
+// cover is the constant-0 function.
+type Cover struct {
+	n     int
+	cubes []Cube
+}
+
+// NewCover returns an empty (constant-0) cover over n variables.
+func NewCover(n int) Cover { return Cover{n: n} }
+
+// CoverOf builds a cover from the given cubes, which must share a variable
+// count. Empty cubes are dropped.
+func CoverOf(cubes ...Cube) Cover {
+	if len(cubes) == 0 {
+		return Cover{}
+	}
+	c := Cover{n: cubes[0].n}
+	for _, q := range cubes {
+		c.Add(q)
+	}
+	return c
+}
+
+// N returns the variable count of the cover's space.
+func (c Cover) N() int { return c.n }
+
+// Len returns the number of cubes.
+func (c Cover) Len() int { return len(c.cubes) }
+
+// Cube returns the i-th cube.
+func (c Cover) Cube(i int) Cube { return c.cubes[i] }
+
+// Cubes returns the underlying cube slice (not a copy).
+func (c Cover) Cubes() []Cube { return c.cubes }
+
+// Add appends a cube unless it is empty.
+func (c *Cover) Add(q Cube) {
+	if c.n == 0 && len(c.cubes) == 0 {
+		c.n = q.n
+	}
+	if q.n != c.n {
+		panic("cube: dimension mismatch in Cover.Add")
+	}
+	if q.IsEmpty() {
+		return
+	}
+	c.cubes = append(c.cubes, q)
+}
+
+// Clone returns a deep copy of the cover.
+func (c Cover) Clone() Cover {
+	d := Cover{n: c.n, cubes: make([]Cube, len(c.cubes))}
+	for i, q := range c.cubes {
+		d.cubes[i] = q.Clone()
+	}
+	return d
+}
+
+// IsEmpty reports whether the cover is the constant-0 function.
+func (c Cover) IsEmpty() bool { return len(c.cubes) == 0 }
+
+// EvalMinterm reports whether the cover contains the given minterm.
+func (c Cover) EvalMinterm(values []bool) bool {
+	for _, q := range c.cubes {
+		if q.ContainsMinterm(values) {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsCube reports whether the cover contains every minterm of cube q
+// (single- plus multi-cube containment, decided by tautology of the
+// cofactor).
+func (c Cover) ContainsCube(q Cube) bool {
+	if q.IsEmpty() {
+		return true
+	}
+	return c.CofactorCube(q).Tautology()
+}
+
+// LiteralCount returns the total number of literals over all cubes.
+func (c Cover) LiteralCount() int {
+	k := 0
+	for _, q := range c.cubes {
+		k += q.LiteralCount()
+	}
+	return k
+}
+
+// CofactorCube returns the cover's Shannon cofactor with respect to cube p.
+func (c Cover) CofactorCube(p Cube) Cover {
+	r := Cover{n: c.n}
+	for _, q := range c.cubes {
+		if cf, ok := q.Cofactor(p); ok {
+			r.cubes = append(r.cubes, cf)
+		}
+	}
+	return r
+}
+
+// varCube returns the single-literal cube x_i = v.
+func varCube(n, i int, v Lit) Cube {
+	c := NewFull(n)
+	c.Set(i, v)
+	return c
+}
+
+// mostBinate returns the index of the variable on which to split in unate
+// recursion: the variable appearing in the most cubes, preferring ones
+// that appear in both phases. Returns -1 when the cover is unate with no
+// constrained variable (all don't care).
+func (c Cover) mostBinate() int {
+	if len(c.cubes) == 0 {
+		return -1
+	}
+	n := c.n
+	pos := make([]int, n)
+	neg := make([]int, n)
+	for _, q := range c.cubes {
+		for i := 0; i < n; i++ {
+			switch q.Get(i) {
+			case One:
+				pos[i]++
+			case Zero:
+				neg[i]++
+			}
+		}
+	}
+	best, bestScore, binate := -1, -1, false
+	for i := 0; i < n; i++ {
+		if pos[i]+neg[i] == 0 {
+			continue
+		}
+		isBinate := pos[i] > 0 && neg[i] > 0
+		score := pos[i] + neg[i]
+		switch {
+		case isBinate && !binate:
+			best, bestScore, binate = i, score, true
+		case isBinate == binate && score > bestScore:
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// Tautology reports whether the cover equals the constant-1 function,
+// using unate recursion.
+func (c Cover) Tautology() bool {
+	// Quick exits.
+	for _, q := range c.cubes {
+		if q.IsFull() {
+			return true
+		}
+	}
+	if len(c.cubes) == 0 {
+		return false
+	}
+	i := c.mostBinate()
+	if i < 0 {
+		// All cubes are full; handled above, so the cover has at least
+		// one constrained variable unless it was empty.
+		return false
+	}
+	// Unate reduction: if variable i is unate, a tautology must remain a
+	// tautology when the literal is removed only if some cube without the
+	// literal covers; simplest correct route is plain Shannon expansion.
+	c0 := c.CofactorCube(varCube(c.n, i, Zero))
+	if !c0.Tautology() {
+		return false
+	}
+	c1 := c.CofactorCube(varCube(c.n, i, One))
+	return c1.Tautology()
+}
+
+// Complement returns a cover of the complement of c, by unate-recursive
+// Shannon expansion.
+func (c Cover) Complement() Cover {
+	return complementRec(c, NewFull(c.n))
+}
+
+// complementRec returns the complement of c restricted to the subspace
+// cube, expressed as cubes inside that subspace.
+func complementRec(c Cover, space Cube) Cover {
+	// Terminal cases.
+	if len(c.cubes) == 0 {
+		return CoverOf(space.Clone())
+	}
+	for _, q := range c.cubes {
+		if q.IsFull() {
+			return Cover{n: c.n}
+		}
+	}
+	if len(c.cubes) == 1 {
+		return complementCubeIn(c.cubes[0], space)
+	}
+	i := c.mostBinate()
+	if i < 0 {
+		return Cover{n: c.n}
+	}
+	r := Cover{n: c.n}
+	for _, v := range []Lit{Zero, One} {
+		sub := space.Clone()
+		sub.Set(i, v)
+		part := complementRec(c.CofactorCube(varCube(c.n, i, v)), sub)
+		r.cubes = append(r.cubes, part.cubes...)
+	}
+	return r
+}
+
+// complementCubeIn returns the complement of a single cube restricted to
+// the given subspace.
+func complementCubeIn(q Cube, space Cube) Cover {
+	r := Cover{n: q.n}
+	for i := 0; i < q.n; i++ {
+		l := q.Get(i)
+		if l != Zero && l != One {
+			continue
+		}
+		out := space.Clone()
+		if l == Zero {
+			out.Set(i, One)
+		} else {
+			out.Set(i, Zero)
+		}
+		if !out.IsEmpty() {
+			r.cubes = append(r.cubes, out)
+		}
+	}
+	return r
+}
+
+// SCC removes single-cube-contained cubes: any cube contained in another
+// single cube of the cover is dropped.
+func (c Cover) SCC() Cover {
+	keep := make([]bool, len(c.cubes))
+	for i := range keep {
+		keep[i] = true
+	}
+	for i, qi := range c.cubes {
+		if !keep[i] {
+			continue
+		}
+		for j, qj := range c.cubes {
+			if i == j || !keep[j] {
+				continue
+			}
+			if qi.Contains(qj) && !(qj.Contains(qi) && j < i) {
+				keep[j] = false
+			}
+		}
+	}
+	r := Cover{n: c.n}
+	for i, q := range c.cubes {
+		if keep[i] {
+			r.cubes = append(r.cubes, q)
+		}
+	}
+	return r
+}
+
+// Union returns the cube-list union of two covers.
+func (c Cover) Union(d Cover) Cover {
+	if c.n != d.n && c.Len() > 0 && d.Len() > 0 {
+		panic("cube: dimension mismatch in Union")
+	}
+	n := c.n
+	if n == 0 {
+		n = d.n
+	}
+	r := Cover{n: n}
+	r.cubes = append(r.cubes, c.cubes...)
+	r.cubes = append(r.cubes, d.cubes...)
+	return r
+}
+
+// IntersectCover returns a cover of the Boolean AND of two covers.
+func (c Cover) IntersectCover(d Cover) Cover {
+	r := Cover{n: c.n}
+	for _, a := range c.cubes {
+		for _, b := range d.cubes {
+			x := a.Intersect(b)
+			if !x.IsEmpty() {
+				r.cubes = append(r.cubes, x)
+			}
+		}
+	}
+	return r.SCC()
+}
+
+// Equivalent reports whether two covers denote the same Boolean function.
+func (c Cover) Equivalent(d Cover) bool {
+	for _, q := range c.cubes {
+		if !d.ContainsCube(q) {
+			return false
+		}
+	}
+	for _, q := range d.cubes {
+		if !c.ContainsCube(q) {
+			return false
+		}
+	}
+	return true
+}
+
+// Disjoint reports whether the two covers share no minterm.
+func (c Cover) Disjoint(d Cover) bool {
+	for _, a := range c.cubes {
+		for _, b := range d.cubes {
+			if a.Intersects(b) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the cover as newline-separated dash-notation cubes in a
+// canonical (sorted) order; the constant-0 cover renders as "(empty)".
+func (c Cover) String() string {
+	if len(c.cubes) == 0 {
+		return "(empty)"
+	}
+	lines := make([]string, len(c.cubes))
+	for i, q := range c.cubes {
+		lines[i] = q.String()
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// StringNamed renders the cover as a sum of named products, e.g.
+// "a b' + c d".
+func (c Cover) StringNamed(names []string) string {
+	if len(c.cubes) == 0 {
+		return "0"
+	}
+	parts := make([]string, len(c.cubes))
+	for i, q := range c.cubes {
+		parts[i] = q.StringNamed(names)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " + ")
+}

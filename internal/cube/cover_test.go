@@ -1,0 +1,252 @@
+package cube
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func coverFrom(strs ...string) Cover {
+	var c Cover
+	for _, s := range strs {
+		c.Add(MustParse(s))
+	}
+	return c
+}
+
+// allMinterms enumerates all 2^n minterms of an n-variable space.
+func allMinterms(n int) [][]bool {
+	out := make([][]bool, 0, 1<<uint(n))
+	for v := 0; v < 1<<uint(n); v++ {
+		m := make([]bool, n)
+		for i := 0; i < n; i++ {
+			m[i] = v>>uint(i)&1 == 1
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestTautologySimple(t *testing.T) {
+	if !coverFrom("1--", "0--").Tautology() {
+		t.Fatal("x + x' is a tautology")
+	}
+	if coverFrom("1--", "01-").Tautology() {
+		t.Fatal("x + x'y is not a tautology")
+	}
+	if !coverFrom("---").Tautology() {
+		t.Fatal("full cube is a tautology")
+	}
+	if NewCover(3).Tautology() {
+		t.Fatal("empty cover is not a tautology")
+	}
+	// xy + xy' + x'y + x'y'
+	if !coverFrom("11-", "10-", "01-", "00-").Tautology() {
+		t.Fatal("all four quadrants cover the space")
+	}
+}
+
+func TestComplementSemantics(t *testing.T) {
+	covers := []Cover{
+		coverFrom("11-", "0-1"),
+		coverFrom("1--"),
+		coverFrom("101", "010"),
+		NewCover(3),
+		coverFrom("---"),
+	}
+	for ci, f := range covers {
+		g := f.Complement()
+		for _, m := range allMinterms(3) {
+			if f.EvalMinterm(m) == g.EvalMinterm(m) {
+				t.Fatalf("cover %d: complement agrees with function at %v", ci, m)
+			}
+		}
+	}
+}
+
+func TestContainsCube(t *testing.T) {
+	f := coverFrom("1--", "01-")
+	if !f.ContainsCube(MustParse("11-")) {
+		t.Fatal("11- is inside x + x'y")
+	}
+	if !f.ContainsCube(MustParse("-1-")) {
+		t.Fatal("-1- = y is covered: y = xy + x'y")
+	}
+	if f.ContainsCube(MustParse("00-")) {
+		t.Fatal("00- is not covered")
+	}
+}
+
+func TestSCC(t *testing.T) {
+	f := coverFrom("1--", "11-", "110")
+	r := f.SCC()
+	if r.Len() != 1 || r.Cube(0).String() != "1--" {
+		t.Fatalf("SCC = %v", r)
+	}
+	// Duplicates collapse to one.
+	d := coverFrom("10-", "10-")
+	if d.SCC().Len() != 1 {
+		t.Fatalf("duplicate SCC = %v", d.SCC())
+	}
+}
+
+func TestEquivalentDisjoint(t *testing.T) {
+	a := coverFrom("1--", "01-")
+	b := coverFrom("1--", "-1-")
+	if !a.Equivalent(b) {
+		t.Fatal("x + x'y ≡ x + y")
+	}
+	c := coverFrom("00-")
+	if a.Equivalent(c) {
+		t.Fatal("different functions reported equivalent")
+	}
+	if !a.Disjoint(coverFrom("000")) {
+		t.Fatal("x+y and x'y'z' are disjoint")
+	}
+	if a.Disjoint(coverFrom("1-1")) {
+		t.Fatal("overlapping covers reported disjoint")
+	}
+}
+
+func TestIntersectCover(t *testing.T) {
+	a := coverFrom("1--", "-1-")
+	b := coverFrom("--1")
+	x := a.IntersectCover(b)
+	for _, m := range allMinterms(3) {
+		want := a.EvalMinterm(m) && b.EvalMinterm(m)
+		if x.EvalMinterm(m) != want {
+			t.Fatalf("AND mismatch at %v", m)
+		}
+	}
+}
+
+func TestMinimizeBasic(t *testing.T) {
+	// f = x y + x y' = x, minimization must find the single cube.
+	f := coverFrom("11-", "10-")
+	m := Minimize(f, NewCover(3))
+	if m.Len() != 1 || m.Cube(0).String() != "1--" {
+		t.Fatalf("Minimize = %v", m)
+	}
+	if !m.Equivalent(f) {
+		t.Fatal("minimized cover not equivalent")
+	}
+}
+
+func TestMinimizeWithDontCares(t *testing.T) {
+	// ON = 110, DC = 111 → the minimizer can produce 11-.
+	on := coverFrom("110")
+	dc := coverFrom("111")
+	m := Minimize(on, dc)
+	if m.Len() != 1 || m.Cube(0).String() != "11-" {
+		t.Fatalf("Minimize with DC = %v", m)
+	}
+}
+
+func TestMinimizeXorStaysTwoCubes(t *testing.T) {
+	// XOR has no two-level cover smaller than two cubes.
+	f := coverFrom("10", "01")
+	m := Minimize(f, NewCover(2))
+	if m.Len() != 2 {
+		t.Fatalf("XOR minimized to %d cubes", m.Len())
+	}
+	if !m.Equivalent(f) {
+		t.Fatal("XOR cover changed function")
+	}
+}
+
+func TestMinimizeEmpty(t *testing.T) {
+	m := Minimize(NewCover(4), NewCover(4))
+	if !m.IsEmpty() {
+		t.Fatalf("empty minimization = %v", m)
+	}
+}
+
+func randomCover(r *rand.Rand, n, k int) Cover {
+	c := NewCover(n)
+	for i := 0; i < k; i++ {
+		c.Add(randomCube(r, n))
+	}
+	return c
+}
+
+func TestQuickComplementIsComplement(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(8)
+		f := randomCover(rr, n, 1+rr.Intn(5))
+		g := f.Complement()
+		for k := 0; k < 40; k++ {
+			m := randomMinterm(rr, n)
+			if f.EvalMinterm(m) == g.EvalMinterm(m) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTautologyMatchesEnumeration(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(6)
+		f := randomCover(rr, n, 1+rr.Intn(6))
+		taut := true
+		for _, m := range allMinterms(n) {
+			if !f.EvalMinterm(m) {
+				taut = false
+				break
+			}
+		}
+		return f.Tautology() == taut
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMinimizePreservesFunction(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(7)
+		on := randomCover(rr, n, 1+rr.Intn(6))
+		m := Minimize(on, NewCover(n))
+		// Equivalence on the complete space.
+		for _, mt := range allMinterms(n) {
+			if on.EvalMinterm(mt) != m.EvalMinterm(mt) {
+				return false
+			}
+		}
+		// Minimization never increases cost.
+		return m.Len() <= on.SCC().Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMinimizeRespectsDontCares(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(6)
+		on := randomCover(rr, n, 1+rr.Intn(4))
+		dc := randomCover(rr, n, 1+rr.Intn(3))
+		m := Minimize(on, dc)
+		union := on.Union(dc)
+		for _, mt := range allMinterms(n) {
+			got := m.EvalMinterm(mt)
+			if on.EvalMinterm(mt) && !got {
+				return false // lost an ON minterm
+			}
+			if got && !union.EvalMinterm(mt) {
+				return false // strayed into the OFF set
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

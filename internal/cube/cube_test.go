@@ -1,0 +1,278 @@
+package cube
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLitString(t *testing.T) {
+	cases := map[Lit]string{Zero: "0", One: "1", Full: "-", Empty: "e"}
+	for l, want := range cases {
+		if got := l.String(); got != want {
+			t.Errorf("Lit(%d).String() = %q, want %q", l, got, want)
+		}
+	}
+}
+
+func TestNewFull(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 31, 32, 33, 64, 65, 100} {
+		c := NewFull(n)
+		if c.N() != n {
+			t.Fatalf("N() = %d, want %d", c.N(), n)
+		}
+		for i := 0; i < n; i++ {
+			if c.Get(i) != Full {
+				t.Fatalf("n=%d: Get(%d) = %v, want Full", n, i, c.Get(i))
+			}
+		}
+		if c.IsEmpty() {
+			t.Errorf("n=%d: full cube reported empty", n)
+		}
+		if !c.IsFull() {
+			t.Errorf("n=%d: full cube not reported full", n)
+		}
+	}
+}
+
+func TestSetGetRoundTrip(t *testing.T) {
+	c := NewFull(67)
+	vals := []Lit{Zero, One, Full, Empty}
+	for i := 0; i < 67; i++ {
+		v := vals[i%4]
+		c.Set(i, v)
+		if got := c.Get(i); got != v {
+			t.Fatalf("Get(%d) = %v after Set %v", i, got, v)
+		}
+	}
+	// Re-set in reverse order with rotated values and re-check all.
+	for i := 66; i >= 0; i-- {
+		c.Set(i, vals[(i+1)%4])
+	}
+	for i := 0; i < 67; i++ {
+		if got := c.Get(i); got != vals[(i+1)%4] {
+			t.Fatalf("second pass Get(%d) = %v, want %v", i, got, vals[(i+1)%4])
+		}
+	}
+}
+
+func TestIsEmpty(t *testing.T) {
+	c := NewFull(40)
+	if c.IsEmpty() {
+		t.Fatal("full cube is empty")
+	}
+	c.Set(35, Empty)
+	if !c.IsEmpty() {
+		t.Fatal("cube with Empty position not reported empty")
+	}
+	c.Set(35, One)
+	if c.IsEmpty() {
+		t.Fatal("repaired cube still empty")
+	}
+}
+
+func TestParseString(t *testing.T) {
+	c := MustParse("1-0")
+	if c.Get(0) != One || c.Get(1) != Full || c.Get(2) != Zero {
+		t.Fatalf("parse mismatch: %v", c)
+	}
+	if c.String() != "1-0" {
+		t.Fatalf("String() = %q", c.String())
+	}
+	if _, err := Parse("1x0"); err == nil {
+		t.Fatal("Parse accepted invalid character")
+	}
+}
+
+func TestIntersectContains(t *testing.T) {
+	a := MustParse("1--")
+	b := MustParse("-0-")
+	x := a.Intersect(b)
+	if x.String() != "10-" {
+		t.Fatalf("intersect = %q", x.String())
+	}
+	if !a.Contains(x) || !b.Contains(x) {
+		t.Fatal("intersection not contained in operands")
+	}
+	if a.Contains(b) || b.Contains(a) {
+		t.Fatal("unrelated cubes reported containing each other")
+	}
+	disjoint := MustParse("0--")
+	if a.Intersects(disjoint) {
+		t.Fatal("disjoint cubes reported intersecting")
+	}
+	if !a.Intersect(disjoint).IsEmpty() {
+		t.Fatal("intersection of disjoint cubes not empty")
+	}
+}
+
+func TestDistanceConsensus(t *testing.T) {
+	a := MustParse("10-")
+	b := MustParse("11-")
+	if d := a.Distance(b); d != 1 {
+		t.Fatalf("distance = %d, want 1", d)
+	}
+	cons, ok := a.Consensus(b)
+	if !ok || cons.String() != "1--" {
+		t.Fatalf("consensus = %v, %v", cons, ok)
+	}
+	c := MustParse("01-")
+	if d := a.Distance(c); d != 2 {
+		t.Fatalf("distance = %d, want 2", d)
+	}
+	if _, ok := a.Consensus(c); ok {
+		t.Fatal("consensus exists at distance 2")
+	}
+	if d := a.Distance(a); d != 0 {
+		t.Fatalf("self distance = %d", d)
+	}
+}
+
+func TestSupercube(t *testing.T) {
+	a := MustParse("101")
+	b := MustParse("001")
+	s := a.Supercube(b)
+	if s.String() != "-01" {
+		t.Fatalf("supercube = %q", s.String())
+	}
+	if !s.Contains(a) || !s.Contains(b) {
+		t.Fatal("supercube does not contain operands")
+	}
+}
+
+func TestCofactor(t *testing.T) {
+	f := MustParse("1-0")
+	p := MustParse("1--")
+	cf, ok := f.Cofactor(p)
+	if !ok || cf.String() != "--0" {
+		t.Fatalf("cofactor = %v, %v", cf, ok)
+	}
+	q := MustParse("0--")
+	if _, ok := f.Cofactor(q); ok {
+		t.Fatal("cofactor of non-intersecting cube should fail")
+	}
+}
+
+func TestMintermMembership(t *testing.T) {
+	c := MustParse("1-0")
+	if !c.ContainsMinterm([]bool{true, true, false}) {
+		t.Fatal("member rejected")
+	}
+	if !c.ContainsMinterm([]bool{true, false, false}) {
+		t.Fatal("member rejected")
+	}
+	if c.ContainsMinterm([]bool{false, true, false}) {
+		t.Fatal("non-member accepted")
+	}
+	if c.ContainsMinterm([]bool{true, true, true}) {
+		t.Fatal("non-member accepted")
+	}
+}
+
+func TestLiteralCounts(t *testing.T) {
+	c := MustParse("1-0-1")
+	if c.LiteralCount() != 3 {
+		t.Fatalf("LiteralCount = %d", c.LiteralCount())
+	}
+	if c.FreeCount() != 2 {
+		t.Fatalf("FreeCount = %d", c.FreeCount())
+	}
+	lits := c.Literals()
+	if len(lits) != 3 || lits[0] != 0 || lits[1] != 2 || lits[2] != 4 {
+		t.Fatalf("Literals = %v", lits)
+	}
+}
+
+func TestStringNamed(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	if s := MustParse("1-0").StringNamed(names); s != "a c'" {
+		t.Fatalf("StringNamed = %q", s)
+	}
+	if s := MustParse("---").StringNamed(names); s != "1" {
+		t.Fatalf("full StringNamed = %q", s)
+	}
+	e := NewFull(3)
+	e.Set(1, Empty)
+	if s := e.StringNamed(names); s != "0" {
+		t.Fatalf("empty StringNamed = %q", s)
+	}
+}
+
+// randomCube builds a reproducible pseudo-random non-empty cube over n
+// variables.
+func randomCube(r *rand.Rand, n int) Cube {
+	c := NewFull(n)
+	for i := 0; i < n; i++ {
+		switch r.Intn(3) {
+		case 0:
+			c.Set(i, Zero)
+		case 1:
+			c.Set(i, One)
+		}
+	}
+	return c
+}
+
+func randomMinterm(r *rand.Rand, n int) []bool {
+	m := make([]bool, n)
+	for i := range m {
+		m[i] = r.Intn(2) == 1
+	}
+	return m
+}
+
+func TestQuickIntersectSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(12)
+		a, b := randomCube(r, n), randomCube(r, n)
+		x := a.Intersect(b)
+		for k := 0; k < 20; k++ {
+			m := randomMinterm(rr, n)
+			inX := !x.IsEmpty() && x.ContainsMinterm(m)
+			if inX != (a.ContainsMinterm(m) && b.ContainsMinterm(m)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickContainsIsSemantic(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(10)
+		a, b := randomCube(rr, n), randomCube(rr, n)
+		if a.Contains(b) {
+			// Every sampled member of b must lie in a.
+			for k := 0; k < 30; k++ {
+				m := randomMinterm(rr, n)
+				if b.ContainsMinterm(m) && !a.ContainsMinterm(m) {
+					return false
+				}
+			}
+		}
+		// Supercube always contains both.
+		s := a.Supercube(b)
+		return s.Contains(a) && s.Contains(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDistanceZeroIffIntersects(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(14)
+		a, b := randomCube(rr, n), randomCube(rr, n)
+		return (a.Distance(b) == 0) == a.Intersects(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,230 @@
+package cube
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sat"
+)
+
+// Primes computes all prime implicants of the function with ON-set on
+// and don't-care set dc by iterated consensus (Quine's method) over
+// on ∪ dc, keeping only primes that intersect the ON-set.
+func Primes(on, dc Cover) []Cube {
+	work := on.Union(dc).SCC()
+	cubes := make([]Cube, work.Len())
+	for i, c := range work.Cubes() {
+		cubes[i] = c.Clone()
+	}
+	seen := map[string]bool{}
+	for _, c := range cubes {
+		seen[c.String()] = true
+	}
+	// Closure under consensus, with single-cube containment pruning.
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cubes); i++ {
+			for j := i + 1; j < len(cubes); j++ {
+				cons, ok := cubes[i].Consensus(cubes[j])
+				if !ok || seen[cons.String()] {
+					continue
+				}
+				contained := false
+				for _, c := range cubes {
+					if c.Contains(cons) {
+						contained = true
+						break
+					}
+				}
+				if contained {
+					continue
+				}
+				seen[cons.String()] = true
+				cubes = append(cubes, cons)
+				changed = true
+			}
+		}
+	}
+	// Keep maximal cubes only (the primes).
+	var primes []Cube
+	for i, c := range cubes {
+		maximal := true
+		for j, d := range cubes {
+			if i != j && d.Contains(c) && !(c.Contains(d) && j > i) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			primes = append(primes, c)
+		}
+	}
+	// Restrict to primes useful for the ON-set.
+	var out []Cube
+	for _, p := range primes {
+		for _, c := range on.Cubes() {
+			if p.Intersects(c) {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// MaxExactMinterms bounds the ON-minterm enumeration of MinimizeExact.
+const MaxExactMinterms = 1 << 14
+
+// MinimizeExact returns a minimum-cardinality prime cover of the ON-set
+// (with dc free), solved as a covering problem by the CDCL solver with a
+// sequential-counter cardinality bound tightened until unsatisfiable.
+// It fails when the ON-set has more than MaxExactMinterms minterms.
+func MinimizeExact(on, dc Cover) (Cover, error) {
+	if on.IsEmpty() {
+		return Cover{n: on.n}, nil
+	}
+	primes := Primes(on, dc)
+	minterms, err := enumerateMinterms(on)
+	if err != nil {
+		return Cover{}, err
+	}
+
+	// Upper bound from the heuristic minimizer.
+	upper := Minimize(on, dc).Len()
+	if upper == 0 {
+		upper = len(primes)
+	}
+
+	best := solveCover(primes, minterms, upper)
+	if best == nil {
+		return Cover{}, fmt.Errorf("cube: covering problem unsolvable (internal error)")
+	}
+	out := Cover{n: on.n}
+	out.cubes = best
+	return out, nil
+}
+
+// enumerateMinterms expands the cover into its minterm list.
+func enumerateMinterms(c Cover) ([][]bool, error) {
+	seen := map[string]bool{}
+	var out [][]bool
+	var rec func(m []bool, q Cube, i int) error
+	rec = func(m []bool, q Cube, i int) error {
+		if i == q.N() {
+			key := fmt.Sprint(m)
+			if !seen[key] {
+				seen[key] = true
+				cp := append([]bool(nil), m...)
+				out = append(out, cp)
+				if len(out) > MaxExactMinterms {
+					return fmt.Errorf("cube: ON-set exceeds %d minterms", MaxExactMinterms)
+				}
+			}
+			return nil
+		}
+		switch q.Get(i) {
+		case Zero:
+			m[i] = false
+			return rec(m, q, i+1)
+		case One:
+			m[i] = true
+			return rec(m, q, i+1)
+		default:
+			m[i] = false
+			if err := rec(m, q, i+1); err != nil {
+				return err
+			}
+			m[i] = true
+			return rec(m, q, i+1)
+		}
+	}
+	for _, q := range c.Cubes() {
+		m := make([]bool, c.N())
+		if err := rec(m, q, 0); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// solveCover finds a minimum subset of primes covering all minterms,
+// starting from the given upper bound.
+func solveCover(primes []Cube, minterms [][]bool, upper int) []Cube {
+	var best []Cube
+	for k := upper; k >= 0; k-- {
+		s := sat.New()
+		vars := make([]int, len(primes))
+		for i := range primes {
+			vars[i] = s.NewVar()
+		}
+		for _, m := range minterms {
+			var clause []sat.Lit
+			for i, p := range primes {
+				if p.ContainsMinterm(m) {
+					clause = append(clause, sat.Lit(vars[i]))
+				}
+			}
+			if len(clause) == 0 {
+				return best // uncoverable minterm: shouldn't happen
+			}
+			s.AddClause(clause...)
+		}
+		addAtMost(s, vars, k)
+		if !s.Solve() {
+			return best
+		}
+		var pick []Cube
+		for i, v := range vars {
+			if s.Value(v) {
+				pick = append(pick, primes[i])
+			}
+		}
+		best = pick
+		// Tighten: next iteration demands strictly fewer cubes.
+		k = len(pick)
+	}
+	return best
+}
+
+// addAtMost encodes Σ vars ≤ k with a sequential counter.
+func addAtMost(s *sat.Solver, vars []int, k int) {
+	n := len(vars)
+	if k >= n {
+		return
+	}
+	if k == 0 {
+		for _, v := range vars {
+			s.AddClause(sat.Lit(-v))
+		}
+		return
+	}
+	// reg[i][j] ⇔ at least j+1 of vars[0..i] are true.
+	reg := make([][]int, n)
+	for i := range reg {
+		reg[i] = make([]int, k)
+		for j := range reg[i] {
+			reg[i][j] = s.NewVar()
+		}
+	}
+	for i := 0; i < n; i++ {
+		v := sat.Lit(vars[i])
+		if i == 0 {
+			s.AddClause(v.Neg(), sat.Lit(reg[0][0]))
+			for j := 1; j < k; j++ {
+				s.AddClause(sat.Lit(-reg[0][j]))
+			}
+			continue
+		}
+		for j := 0; j < k; j++ {
+			// Carry the count forward.
+			s.AddClause(sat.Lit(-reg[i-1][j]), sat.Lit(reg[i][j]))
+		}
+		s.AddClause(v.Neg(), sat.Lit(reg[i][0]))
+		for j := 1; j < k; j++ {
+			s.AddClause(v.Neg(), sat.Lit(-reg[i-1][j-1]), sat.Lit(reg[i][j]))
+		}
+		// Overflow: vars[i] with k already reached is forbidden.
+		s.AddClause(v.Neg(), sat.Lit(-reg[i-1][k-1]))
+	}
+}

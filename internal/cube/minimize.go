@@ -1,0 +1,176 @@
+package cube
+
+import "sort"
+
+// Minimize returns a near-minimal SOP cover of the incompletely specified
+// function with ON-set cover on and don't-care cover dc, using an
+// espresso-style EXPAND / IRREDUNDANT / REDUCE loop. The result covers
+// every minterm of on, lies inside on ∪ dc, and contains no single
+// redundant cube.
+func Minimize(on, dc Cover) Cover {
+	if on.IsEmpty() {
+		return Cover{n: on.n}
+	}
+	off := on.Union(dc).Complement().SCC()
+	// The ON-set is authoritative: minterms in both on and dc must still
+	// be covered, so only the dc part outside on is truly optional.
+	dc = dc.IntersectCover(on.Complement()).SCC()
+	f := on.Clone().SCC()
+
+	f = Expand(f, off)
+	f = Irredundant(f, dc)
+	bestCubes, bestLits := f.Len(), f.LiteralCount()
+	best := f.Clone()
+
+	for iter := 0; iter < 8; iter++ {
+		f = Reduce(f, dc)
+		f = Expand(f, off)
+		f = Irredundant(f, dc)
+		c, l := f.Len(), f.LiteralCount()
+		if c < bestCubes || (c == bestCubes && l < bestLits) {
+			bestCubes, bestLits = c, l
+			best = f.Clone()
+			continue
+		}
+		break
+	}
+	return best
+}
+
+// Expand enlarges each cube of f into a prime implicant by removing
+// literals while the cube stays disjoint from the OFF-set cover off.
+// Cubes that become contained in an earlier expanded cube are dropped.
+func Expand(f Cover, off Cover) Cover {
+	cubes := make([]Cube, f.Len())
+	for i, q := range f.cubes {
+		cubes[i] = q.Clone()
+	}
+	// Expand the largest cubes first so smaller ones get absorbed.
+	sort.SliceStable(cubes, func(i, j int) bool {
+		return cubes[i].LiteralCount() < cubes[j].LiteralCount()
+	})
+	r := Cover{n: f.n}
+	for _, q := range cubes {
+		covered := false
+		for _, p := range r.cubes {
+			if p.Contains(q) {
+				covered = true
+				break
+			}
+		}
+		if covered {
+			continue
+		}
+		r.cubes = append(r.cubes, expandCube(q, off))
+	}
+	return r.SCC()
+}
+
+// expandCube removes literals from q one at a time — a removal is kept
+// when the enlarged cube stays disjoint from the OFF-set — until the cube
+// is prime.
+func expandCube(q Cube, off Cover) Cube {
+	q = q.Clone()
+	for {
+		removed := false
+		for _, i := range q.Literals() {
+			trial := q.Clone()
+			trial.Set(i, Full)
+			blocked := false
+			for _, o := range off.cubes {
+				if trial.Intersects(o) {
+					blocked = true
+					break
+				}
+			}
+			if !blocked {
+				q = trial
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return q
+		}
+	}
+}
+
+// Irredundant removes cubes that are covered by the rest of the cover
+// together with the don't-care set, processing the largest cubes last so
+// they are kept.
+func Irredundant(f Cover, dc Cover) Cover {
+	order := make([]int, f.Len())
+	for i := range order {
+		order[i] = i
+	}
+	// Try to drop the most specific (most literals) cubes first.
+	sort.SliceStable(order, func(a, b int) bool {
+		return f.cubes[order[a]].LiteralCount() > f.cubes[order[b]].LiteralCount()
+	})
+	dropped := make([]bool, f.Len())
+	for _, i := range order {
+		rest := Cover{n: f.n}
+		for j, q := range f.cubes {
+			if j != i && !dropped[j] {
+				rest.cubes = append(rest.cubes, q)
+			}
+		}
+		rest.cubes = append(rest.cubes, dc.cubes...)
+		if rest.ContainsCube(f.cubes[i]) {
+			dropped[i] = true
+		}
+	}
+	r := Cover{n: f.n}
+	for i, q := range f.cubes {
+		if !dropped[i] {
+			r.cubes = append(r.cubes, q)
+		}
+	}
+	return r
+}
+
+// Reduce shrinks each cube to the smallest cube still covering the part of
+// the function not covered by the other cubes, enabling a different
+// expansion in the next pass.
+func Reduce(f Cover, dc Cover) Cover {
+	cur := f.Clone()
+	// Reduce the largest cubes first.
+	sort.SliceStable(cur.cubes, func(a, b int) bool {
+		return cur.cubes[a].LiteralCount() < cur.cubes[b].LiteralCount()
+	})
+	for i := range cur.cubes {
+		q := cur.cubes[i]
+		rest := Cover{n: f.n}
+		for j, p := range cur.cubes {
+			if j != i {
+				rest.cubes = append(rest.cubes, p)
+			}
+		}
+		rest.cubes = append(rest.cubes, dc.cubes...)
+		reduced := reduceCube(q, rest)
+		if !reduced.IsEmpty() {
+			cur.cubes[i] = reduced
+		}
+	}
+	return cur
+}
+
+// reduceCube returns the smallest cube containing q ∧ ¬rest: the supercube
+// of the complement of rest cofactored by q, intersected with q. When q is
+// entirely covered by rest the result is empty.
+func reduceCube(q Cube, rest Cover) Cube {
+	g := rest.CofactorCube(q)
+	if g.Tautology() {
+		// q fully covered by the rest: reduces to the empty cube.
+		return Cube{n: q.n, w: make([]uint64, len(q.w))}
+	}
+	comp := g.Complement()
+	if comp.IsEmpty() {
+		return q.Clone()
+	}
+	sup := comp.cubes[0].Clone()
+	for _, c := range comp.cubes[1:] {
+		sup = sup.Supercube(c)
+	}
+	return q.Intersect(sup)
+}

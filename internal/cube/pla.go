@@ -1,0 +1,101 @@
+package cube
+
+import (
+	"bufio"
+	"fmt"
+	"strings"
+)
+
+// WritePLA renders a single-output incompletely-specified function in
+// the Berkeley espresso PLA format: ON-set rows with output 1,
+// don't-care rows with output -. names, when non-nil, emits .ilb/.ob
+// labels.
+func WritePLA(on, dc Cover, names []string, outName string) string {
+	n := on.N()
+	if n == 0 {
+		n = dc.N()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, ".i %d\n.o 1\n", n)
+	if names != nil {
+		fmt.Fprintf(&b, ".ilb %s\n", strings.Join(names, " "))
+	}
+	if outName != "" {
+		fmt.Fprintf(&b, ".ob %s\n", outName)
+	}
+	fmt.Fprintf(&b, ".p %d\n", on.Len()+dc.Len())
+	for _, c := range on.Cubes() {
+		fmt.Fprintf(&b, "%s 1\n", c.String())
+	}
+	for _, c := range dc.Cubes() {
+		fmt.Fprintf(&b, "%s -\n", c.String())
+	}
+	b.WriteString(".e\n")
+	return b.String()
+}
+
+// ReadPLA parses a single-output PLA: rows with output 1 go to the
+// ON-set, rows with - to the don't-care set, rows with 0 to the OFF-set
+// (returned for completeness; espresso type-fr input usually implies it).
+func ReadPLA(src string) (on, dc, off Cover, names []string, err error) {
+	sc := bufio.NewScanner(strings.NewReader(src))
+	n := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch {
+		case strings.HasPrefix(line, ".i "):
+			if _, e := fmt.Sscanf(fields[1], "%d", &n); e != nil {
+				return on, dc, off, names, fmt.Errorf("pla: line %d: bad .i", lineNo)
+			}
+			on, dc, off = NewCover(n), NewCover(n), NewCover(n)
+		case strings.HasPrefix(line, ".o "):
+			var outs int
+			fmt.Sscanf(fields[1], "%d", &outs)
+			if outs != 1 {
+				return on, dc, off, names, fmt.Errorf("pla: only single-output PLAs supported, got %d", outs)
+			}
+		case fields[0] == ".ilb":
+			names = append([]string(nil), fields[1:]...)
+		case fields[0] == ".ob", fields[0] == ".p", fields[0] == ".type":
+			// informational
+		case line == ".e" || line == ".end":
+			return on, dc, off, names, nil
+		case strings.HasPrefix(line, "."):
+			return on, dc, off, names, fmt.Errorf("pla: line %d: unsupported directive %q", lineNo, fields[0])
+		default:
+			if n < 0 {
+				return on, dc, off, names, fmt.Errorf("pla: line %d: cube before .i", lineNo)
+			}
+			if len(fields) != 2 || len(fields[0]) != n {
+				return on, dc, off, names, fmt.Errorf("pla: line %d: malformed row %q", lineNo, line)
+			}
+			c, e := Parse(fields[0])
+			if e != nil {
+				return on, dc, off, names, fmt.Errorf("pla: line %d: %v", lineNo, e)
+			}
+			switch fields[1] {
+			case "1":
+				on.Add(c)
+			case "-", "2", "~":
+				dc.Add(c)
+			case "0":
+				off.Add(c)
+			default:
+				return on, dc, off, names, fmt.Errorf("pla: line %d: bad output %q", lineNo, fields[1])
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return on, dc, off, names, err
+	}
+	if n < 0 {
+		return on, dc, off, names, fmt.Errorf("pla: missing .i header")
+	}
+	return on, dc, off, names, nil
+}

@@ -1,0 +1,78 @@
+package cube
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPLARoundTrip(t *testing.T) {
+	on := coverFrom("11-", "0-1")
+	dc := coverFrom("10-")
+	text := WritePLA(on, dc, []string{"a", "b", "c"}, "f")
+	for _, want := range []string{".i 3", ".o 1", ".ilb a b c", ".ob f", "11- 1", "10- -", ".e"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("PLA missing %q:\n%s", want, text)
+		}
+	}
+	on2, dc2, _, names, err := ReadPLA(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !on2.Equivalent(on) {
+		t.Error("ON-set changed in round trip")
+	}
+	if !dc2.Equivalent(dc) {
+		t.Error("DC-set changed in round trip")
+	}
+	if len(names) != 3 || names[0] != "a" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestPLAOffRows(t *testing.T) {
+	src := ".i 2\n.o 1\n10 1\n01 0\n11 -\n.e\n"
+	on, dc, off, _, err := ReadPLA(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Len() != 1 || dc.Len() != 1 || off.Len() != 1 {
+		t.Fatalf("sets = %d/%d/%d", on.Len(), dc.Len(), off.Len())
+	}
+}
+
+func TestPLAErrors(t *testing.T) {
+	cases := []string{
+		"10 1\n.e\n",                 // cube before .i
+		".i 2\n.o 2\n.e\n",           // multi-output
+		".i 2\n.o 1\n1 1\n.e\n",      // wrong width
+		".i 2\n.o 1\n1x 1\n.e\n",     // bad character
+		".i 2\n.o 1\n10 3\n.e\n",     // bad output
+		".i 2\n.o 1\n.phase 1\n.e\n", // unsupported directive
+		"",                           // missing header
+	}
+	for _, src := range cases {
+		if _, _, _, _, err := ReadPLA(src); err == nil {
+			t.Errorf("accepted malformed PLA %q", src)
+		}
+	}
+}
+
+func TestQuickPLARoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(8)
+		on := randomCover(rr, n, 1+rr.Intn(5))
+		dc := randomCover(rr, n, rr.Intn(3))
+		text := WritePLA(on, dc, nil, "")
+		on2, dc2, _, _, err := ReadPLA(text)
+		if err != nil {
+			return false
+		}
+		return on2.Equivalent(on) && dc2.Equivalent(dc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

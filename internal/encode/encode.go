@@ -1,0 +1,637 @@
+// Package encode implements the synthesis procedure of Section V: state
+// signals are inserted into an output semi-modular state graph until the
+// Monotonous Cover requirement holds, using the generalized state
+// assignment framework of Vanbekbergen et al. [11].
+//
+// Each state of the graph is labelled with one of four values
+// {0, up, 1, down} describing the inserted signal x: "up" states form
+// ER(+x), "down" states ER(−x), "1"/"0" the quiescent phases. A
+// labelling is valid when every edge respects the monotone cycle
+//
+//	0 → up → 1 → down → 0
+//
+// (with self-loops allowed within each phase) and when every phase-exit
+// edge that must wait for x's own transition (up→1 and down→0) is a
+// non-input transition — inputs cannot be delayed by an inserted signal
+// (input properness). The constraints are encoded in CNF over two
+// Boolean variables per state and solved with the CDCL solver in
+// internal/sat; seeding constraints derived from the concrete MC
+// violation steer the search (Section VII: "constraints … solved using
+// Boolean satisfiability solvers").
+//
+// A valid labelling is then expanded into a new state graph G′ with the
+// extra signal: "up"/"down" states split into a before/after layer, the
+// delayed boundary transitions fire only from the after layer, and x's
+// own transitions connect the layers. The expansion preserves output
+// semi-modularity and delays only non-input transitions.
+package encode
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sat"
+	"repro/internal/sg"
+)
+
+// Label is the 4-valued state assignment of the inserted signal.
+type Label int8
+
+// Labels of the {0, up, 1, down} assignment.
+const (
+	L0 Label = iota // x stable at 0
+	LR              // x excited to rise: ER(+x)
+	L1              // x stable at 1
+	LF              // x excited to fall: ER(−x)
+)
+
+// String renders the label.
+func (l Label) String() string {
+	switch l {
+	case L0:
+		return "0"
+	case LR:
+		return "up"
+	case L1:
+		return "1"
+	case LF:
+		return "down"
+	default:
+		return fmt.Sprintf("Label(%d)", int(l))
+	}
+}
+
+// xValue returns the binary value of x in states of this label before
+// x's own transition fires.
+func (l Label) xValue() bool { return l == L1 || l == LF }
+
+// allowedEdge reports whether an edge from a label-f state to a label-t
+// state is permitted; delayed reports whether the transition must wait
+// for x's own firing (and therefore must be non-input).
+func allowedEdge(f, t Label) (ok, delayed bool) {
+	switch {
+	case f == t:
+		return true, false
+	case f == L0 && t == LR, f == L1 && t == LF:
+		return true, false
+	case f == LR && t == L1, f == LF && t == L0:
+		return true, true
+	default:
+		return false, false
+	}
+}
+
+// Expand builds G′ from a labelling, inserting a new non-input signal
+// with the given name. It fails when the labelling violates the edge
+// rules or input properness, or when the new graph is inconsistent.
+func Expand(g *sg.Graph, labels []Label, name string) (*sg.Graph, error) {
+	if len(labels) != g.NumStates() {
+		return nil, fmt.Errorf("encode: %d labels for %d states", len(labels), g.NumStates())
+	}
+	if g.NumSignals() >= 64 {
+		return nil, fmt.Errorf("encode: signal limit reached")
+	}
+	if g.SignalIndex(name) >= 0 {
+		return nil, fmt.Errorf("encode: signal name %q already exists", name)
+	}
+	for s, st := range g.States {
+		for _, e := range st.Succ {
+			ok, delayed := allowedEdge(labels[s], labels[e.To])
+			if !ok {
+				return nil, fmt.Errorf("encode: edge s%d(%s)→s%d(%s) violates the label cycle",
+					s, labels[s], e.To, labels[e.To])
+			}
+			if delayed && g.Input[e.Signal] {
+				return nil, fmt.Errorf("encode: input transition %s%s on delayed edge s%d→s%d",
+					g.Signals[e.Signal], e.Dir, s, e.To)
+			}
+		}
+	}
+
+	xSig := g.NumSignals()
+	ng := &sg.Graph{
+		Name:    g.Name + "+" + name,
+		Signals: append(append([]string(nil), g.Signals...), name),
+		Input:   append(append([]bool(nil), g.Input...), false),
+	}
+
+	// States are (original state, x value) pairs, created on demand
+	// during forward reachability.
+	type key struct {
+		s int
+		x bool
+	}
+	idx := map[key]int{}
+	var order []key
+	intern := func(k key) int {
+		if i, ok := idx[k]; ok {
+			return i
+		}
+		code := g.States[k.s].Code
+		if k.x {
+			code |= 1 << uint(xSig)
+		}
+		i := ng.AddState(code)
+		idx[k] = i
+		order = append(order, k)
+		return i
+	}
+
+	start := key{s: g.Initial, x: labels[g.Initial].xValue()}
+	ng.Initial = intern(start)
+
+	for head := 0; head < len(order); head++ {
+		k := order[head]
+		from := idx[k]
+		lab := labels[k.s]
+		// x's own transitions.
+		if lab == LR && !k.x {
+			to := intern(key{s: k.s, x: true})
+			if err := ng.AddEdge(from, to, xSig, sg.Plus); err != nil {
+				return nil, err
+			}
+		}
+		if lab == LF && k.x {
+			to := intern(key{s: k.s, x: false})
+			if err := ng.AddEdge(from, to, xSig, sg.Minus); err != nil {
+				return nil, err
+			}
+		}
+		// Original transitions.
+		for _, e := range g.States[k.s].Succ {
+			_, delayed := allowedEdge(lab, labels[e.To])
+			if delayed {
+				// up→1 fires only from the x=1 layer; down→0 only from
+				// the x=0 layer.
+				want := labels[e.To].xValue()
+				if k.x != want {
+					continue
+				}
+			}
+			to := intern(key{s: e.To, x: k.x})
+			if err := ng.AddEdge(from, to, e.Signal, e.Dir); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := ng.CheckConsistency(); err != nil {
+		return nil, err
+	}
+	return ng, nil
+}
+
+// Strategy selects how the MC violation seeds the SAT instance.
+type Strategy int
+
+// Insertion strategies, tried in order.
+const (
+	// PackLow seeds the target violation like SeparateLow and then
+	// greedily adds the separation constraints of every other violation
+	// (in either polarity) while the formula stays satisfiable — one
+	// inserted signal then repairs as many violations as possible.
+	PackLow Strategy = iota
+	// PackHigh is PackLow with the target's polarity inverted.
+	PackHigh
+	// TriggerStrategy labels the violating excitation region "up": the
+	// inserted signal becomes a fresh, persistent trigger of the
+	// region's transition, which is delayed until x fires.
+	TriggerStrategy
+	// SeparateHigh labels the violating region 1 and the witness states
+	// 0: the literal x separates the region's CFR from the states its
+	// cover cube wrongly reaches.
+	SeparateHigh
+	// SeparateLow is SeparateHigh with inverted polarity.
+	SeparateLow
+	// Free leaves the labelling unseeded (pure enumeration).
+	Free
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case PackLow:
+		return "pack-low"
+	case PackHigh:
+		return "pack-high"
+	case TriggerStrategy:
+		return "trigger"
+	case SeparateHigh:
+		return "separate-high"
+	case SeparateLow:
+		return "separate-low"
+	case Free:
+		return "free"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Target selects the property the repair loop establishes.
+type Target int8
+
+// Repair targets.
+const (
+	// TargetMC (the default) inserts signals until the Monotonous Cover
+	// requirement holds — the paper's synthesis procedure.
+	TargetMC Target = iota
+	// TargetCSC inserts signals only until Complete State Coding holds
+	// (the weaker classical goal, sufficient for complex-gate
+	// implementations but NOT for basic gates — see Example 2).
+	TargetCSC
+)
+
+// Options configures the repair loop.
+type Options struct {
+	// MaxSignals bounds the number of inserted state signals (default 8).
+	MaxSignals int
+	// MaxModels bounds SAT model enumeration per strategy (default 128).
+	MaxModels int
+	// Strategies overrides the default strategy order.
+	Strategies []Strategy
+	// Target selects the property to establish (default TargetMC).
+	Target Target
+	// Trace receives progress lines when non-nil.
+	Trace func(string)
+}
+
+func (o *Options) fill() {
+	if o.MaxSignals == 0 {
+		o.MaxSignals = 8
+	}
+	if o.MaxModels == 0 {
+		o.MaxModels = 128
+	}
+	if o.Strategies == nil {
+		o.Strategies = []Strategy{PackLow, PackHigh, TriggerStrategy, SeparateLow, SeparateHigh, Free}
+	}
+}
+
+// Result reports the outcome of the repair loop.
+type Result struct {
+	G        *sg.Graph // the transformed graph satisfying MC
+	Added    []string  // names of the inserted state signals
+	Models   int       // SAT models examined over the whole run
+	Report   *core.Report
+	Strategy []Strategy // strategy that succeeded for each added signal
+}
+
+// labelVars holds the CNF variables of one state's label: (v1, v0) with
+// 0=(0,0), up=(0,1), 1=(1,1), down=(1,0).
+type labelVars struct{ v1, v0 int }
+
+func labelOf(m []bool, lv labelVars) Label {
+	v1, v0 := m[lv.v1-1], m[lv.v0-1]
+	switch {
+	case !v1 && !v0:
+		return L0
+	case !v1 && v0:
+		return LR
+	case v1 && v0:
+		return L1
+	default:
+		return LF
+	}
+}
+
+// lits returns the literal pair asserting that state s has label l.
+func (lv labelVars) lits(l Label) (sat.Lit, sat.Lit) {
+	switch l {
+	case L0:
+		return sat.Lit(-lv.v1), sat.Lit(-lv.v0)
+	case LR:
+		return sat.Lit(-lv.v1), sat.Lit(lv.v0)
+	case L1:
+		return sat.Lit(lv.v1), sat.Lit(lv.v0)
+	default:
+		return sat.Lit(lv.v1), sat.Lit(-lv.v0)
+	}
+}
+
+// buildCNF encodes the labelling constraints; seeds force labels of
+// specific states (state → allowed labels).
+func buildCNF(g *sg.Graph, seeds map[int][]Label) (*sat.Solver, []labelVars) {
+	s := sat.New()
+	vars := make([]labelVars, g.NumStates())
+	for i := range vars {
+		vars[i] = labelVars{v1: s.NewVar(), v0: s.NewVar()}
+	}
+	// Edge constraints: forbid every disallowed (from,to) label pair;
+	// forbid delayed pairs on input edges.
+	for st := range g.States {
+		for _, e := range g.States[st].Succ {
+			for _, lf := range []Label{L0, LR, L1, LF} {
+				for _, lt := range []Label{L0, LR, L1, LF} {
+					ok, delayed := allowedEdge(lf, lt)
+					if ok && (!delayed || !g.Input[e.Signal]) {
+						continue
+					}
+					a1, a0 := vars[st].lits(lf)
+					b1, b0 := vars[e.To].lits(lt)
+					s.AddClause(a1.Neg(), a0.Neg(), b1.Neg(), b0.Neg())
+				}
+			}
+		}
+	}
+	// Non-triviality: at least one "up" state and one "down" state.
+	// up(s) ↔ ¬v1 ∧ v0; introduce an aux var per state for each phase.
+	var ups, downs []sat.Lit
+	for i := range vars {
+		u := s.NewVar()
+		s.AddClause(sat.Lit(-u), sat.Lit(-vars[i].v1))
+		s.AddClause(sat.Lit(-u), sat.Lit(vars[i].v0))
+		ups = append(ups, sat.Lit(u))
+		d := s.NewVar()
+		s.AddClause(sat.Lit(-d), sat.Lit(vars[i].v1))
+		s.AddClause(sat.Lit(-d), sat.Lit(-vars[i].v0))
+		downs = append(downs, sat.Lit(d))
+		// Tie the aux var upward so blocked models differ meaningfully.
+		s.AddClause(sat.Lit(u), sat.Lit(vars[i].v1), sat.Lit(-vars[i].v0))
+		s.AddClause(sat.Lit(d), sat.Lit(-vars[i].v1), sat.Lit(vars[i].v0))
+	}
+	s.AddClause(ups...)
+	s.AddClause(downs...)
+	// Seeds.
+	for st, allowed := range seeds {
+		if len(allowed) == 1 {
+			l1, l0 := vars[st].lits(allowed[0])
+			s.AddClause(l1)
+			s.AddClause(l0)
+			continue
+		}
+		// General case: forbid all labels outside the allowed set.
+		for _, l := range []Label{L0, LR, L1, LF} {
+			ok := false
+			for _, al := range allowed {
+				if l == al {
+					ok = true
+				}
+			}
+			if !ok {
+				l1, l0 := vars[st].lits(l)
+				s.AddClause(l1.Neg(), l0.Neg())
+			}
+		}
+	}
+	return s, vars
+}
+
+// conflict is one separation problem for the inserted signal: the states
+// of a violating excitation region (or one half of a CSC clash) versus
+// the witness states the region's cube must be kept away from.
+type conflict struct {
+	er    []int
+	wit   []int
+	label string
+}
+
+// mcConflicts derives conflicts from the MC violations of a report.
+func mcConflicts(g *sg.Graph, rep *core.Report) []conflict {
+	var out []conflict
+	for _, v := range rep.Violations() {
+		out = append(out, conflict{er: v.ER.States, wit: v.States, label: g.ERLabel(v.ER)})
+	}
+	return out
+}
+
+// cscConflicts derives conflicts from CSC violations: each clashing
+// state pair must end up with different codes.
+func cscConflicts(g *sg.Graph) []conflict {
+	var out []conflict
+	for _, v := range g.CSCViolations() {
+		out = append(out, conflict{
+			er:    []int{v.A},
+			wit:   []int{v.B},
+			label: fmt.Sprintf("CSC(s%d,s%d)", v.A, v.B),
+		})
+	}
+	return out
+}
+
+// seedsFor derives the seeding constraints of one strategy from a
+// conflict.
+func seedsFor(strat Strategy, c conflict) map[int][]Label {
+	seeds := map[int][]Label{}
+	switch strat {
+	case TriggerStrategy:
+		for _, s := range c.er {
+			seeds[s] = []Label{LR}
+		}
+	case SeparateHigh, PackHigh:
+		for _, s := range c.er {
+			seeds[s] = []Label{L1}
+		}
+		for _, s := range c.wit {
+			seeds[s] = []Label{L0, LF}
+		}
+	case SeparateLow, PackLow:
+		for _, s := range c.er {
+			seeds[s] = []Label{L0}
+		}
+		for _, s := range c.wit {
+			seeds[s] = []Label{L1, LF}
+		}
+	case Free:
+	}
+	return seeds
+}
+
+// separationAssumptions renders one conflict's separate-low (or
+// separate-high) seeds as assumption literals: region states pinned to
+// the base label, witnesses pinned to the opposite half of the label
+// cycle. Low polarity: region = 0 (¬v1 ∧ ¬v0), witnesses ∈ {1, down}
+// (v1). High polarity: region = 1 (v1 ∧ v0), witnesses ∈ {0, down}
+// (¬v0).
+func separationAssumptions(vars []labelVars, c conflict, low bool) []sat.Lit {
+	var out []sat.Lit
+	for _, s := range c.er {
+		if low {
+			out = append(out, sat.Lit(-vars[s].v1), sat.Lit(-vars[s].v0))
+		} else {
+			out = append(out, sat.Lit(vars[s].v1), sat.Lit(vars[s].v0))
+		}
+	}
+	for _, s := range c.wit {
+		if low {
+			out = append(out, sat.Lit(vars[s].v1))
+		} else {
+			out = append(out, sat.Lit(-vars[s].v0))
+		}
+	}
+	return out
+}
+
+// Repair inserts state signals until the graph satisfies the target
+// property (Monotonous Cover by default, Complete State Coding with
+// TargetCSC). The input graph must be output semi-modular.
+func Repair(g *sg.Graph, opts Options) (*Result, error) {
+	opts.fill()
+	trace := opts.Trace
+	if trace == nil {
+		trace = func(string) {}
+	}
+	if !g.OutputSemiModular() {
+		return nil, fmt.Errorf("encode: graph is not output semi-modular; no SI implementation exists")
+	}
+	targetName := "MC"
+	score := func(g2 *sg.Graph, rep *core.Report) int { return len(rep.Violations()) }
+	conflictsOf := mcConflicts
+	if opts.Target == TargetCSC {
+		targetName = "CSC"
+		score = func(g2 *sg.Graph, rep *core.Report) int { return len(g2.CSCViolations()) }
+		conflictsOf = func(g2 *sg.Graph, rep *core.Report) []conflict { return cscConflicts(g2) }
+	}
+
+	res := &Result{G: g}
+	for round := 0; ; round++ {
+		rep := core.NewAnalyzer(res.G).CheckGraph()
+		res.Report = rep
+		if score(res.G, rep) == 0 {
+			trace(fmt.Sprintf("round %d: %s satisfied", round, targetName))
+			return res, nil
+		}
+		if round >= opts.MaxSignals {
+			return nil, fmt.Errorf("encode: %s still violated after inserting %d signals:\n%s",
+				targetName, len(res.Added), rep)
+		}
+		confl := conflictsOf(res.G, rep)
+		trace(fmt.Sprintf("round %d: %d conflicts", round, len(confl)))
+		for _, c := range confl {
+			trace("  " + c.label)
+		}
+		name := freshSignalName(res.G, len(res.Added))
+
+		cur := score(res.G, rep)
+		best, bestScore, bestStrat := (*sg.Graph)(nil), cur, Free
+		for _, c := range confl {
+			for _, strat := range opts.Strategies {
+				g2, models, count := tryInsert(res.G, c, confl, strat, name, opts.MaxModels, cur, score)
+				res.Models += models
+				better := g2 != nil && (count < bestScore || best == nil ||
+					(count == bestScore && g2.NumStates() < best.NumStates()))
+				if g2 != nil && better {
+					best, bestScore, bestStrat = g2, count, strat
+					trace(fmt.Sprintf("  %s via %s: %d conflicts left (%d states)",
+						c.label, strat, count, g2.NumStates()))
+					if count == 0 {
+						break
+					}
+				}
+			}
+			if bestScore == 0 {
+				break
+			}
+		}
+		if best == nil {
+			return nil, fmt.Errorf("encode: no insertion reduces the %d %s conflicts of %s",
+				len(confl), targetName, res.G.Name)
+		}
+		res.G = best
+		res.Added = append(res.Added, name)
+		res.Strategy = append(res.Strategy, bestStrat)
+	}
+}
+
+// freshSignalName picks a state-signal name not colliding with any
+// existing signal of the graph (the specification may itself use names
+// like x1).
+func freshSignalName(g *sg.Graph, k int) string {
+	for i := k; ; i++ {
+		name := fmt.Sprintf("x%d", i)
+		if g.SignalIndex(name) < 0 {
+			return name
+		}
+		// Fall back to a distinct prefix when the x-namespace is taken.
+		name = fmt.Sprintf("csc%d", i)
+		if g.SignalIndex(name) < 0 {
+			return name
+		}
+	}
+}
+
+// tryInsert enumerates labellings for one conflict and strategy,
+// returning the expanded graph with the lowest remaining score (only
+// when strictly below the current score; ties broken towards smaller
+// expansions), the number of models examined, and that score.
+func tryInsert(g *sg.Graph, c conflict, all []conflict, strat Strategy, name string, maxModels, target int, score func(*sg.Graph, *core.Report) int) (*sg.Graph, int, int) {
+	solver, vars := buildCNF(g, seedsFor(strat, c))
+
+	// Packing strategies: greedily commit the separation constraints of
+	// the other conflicts while the formula stays satisfiable, so one
+	// signal repairs as many conflicts as possible.
+	var assume []sat.Lit
+	if strat == PackLow || strat == PackHigh {
+		if !solver.Solve(assume...) {
+			return nil, 0, target
+		}
+		for i := range all {
+			c2 := all[i]
+			if c2.label == c.label {
+				continue
+			}
+			for _, low := range []bool{strat == PackLow, strat != PackLow} {
+				cand := append(append([]sat.Lit(nil), assume...), separationAssumptions(vars, c2, low)...)
+				if solver.Solve(cand...) {
+					assume = cand
+					break
+				}
+			}
+		}
+	}
+
+	models := 0
+	var best *sg.Graph
+	bestCount := target
+	blockVars := make([]int, 0, 2*len(vars))
+	for _, lv := range vars {
+		blockVars = append(blockVars, lv.v1, lv.v0)
+	}
+	for models < maxModels && solver.Solve(assume...) {
+		models++
+		m := solver.Model()
+		labels := make([]Label, len(vars))
+		for i, lv := range vars {
+			labels[i] = labelOf(m, lv)
+		}
+		if !solver.BlockModel(blockVars...) {
+			// Formula exhausted after this model.
+			maxModels = models
+		}
+		g2, err := Expand(g, labels, name)
+		if err != nil {
+			continue
+		}
+		if !g2.OutputSemiModular() {
+			continue
+		}
+		rep2 := core.NewAnalyzer(g2).CheckGraph()
+		count := score(g2, rep2)
+		if count < bestCount || (best != nil && count == bestCount && g2.NumStates() < best.NumStates()) {
+			best, bestCount = g2, count
+			if count == 0 && g2.NumStates() <= g.NumStates()+2 {
+				break // minimal possible insertion footprint
+			}
+		}
+	}
+	return best, models, bestCount
+}
+
+// DescribeLabels renders a labelling for diagnostics.
+func DescribeLabels(g *sg.Graph, labels []Label) string {
+	var b strings.Builder
+	byLabel := map[Label][]int{}
+	for s, l := range labels {
+		byLabel[l] = append(byLabel[l], s)
+	}
+	for _, l := range []Label{LR, L1, LF, L0} {
+		states := byLabel[l]
+		sort.Ints(states)
+		fmt.Fprintf(&b, "%-4s:", l)
+		for _, s := range states {
+			fmt.Fprintf(&b, " s%d", s)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

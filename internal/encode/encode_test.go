@@ -1,0 +1,322 @@
+package encode_test
+
+import (
+	"testing"
+
+	"repro/internal/benchdata"
+	"repro/internal/core"
+	"repro/internal/encode"
+	"repro/internal/netlist"
+	"repro/internal/sg"
+	"repro/internal/stg"
+	"repro/internal/verify"
+)
+
+// stgBuild parses .g source and builds the state graph.
+func stgBuild(src string) (*sg.Graph, error) {
+	net, err := stg.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return stg.BuildSG(net)
+}
+
+func TestExpandSimpleBuffer(t *testing.T) {
+	// Handshake req/ack; insert x triggered with ack's rise: label
+	// ER(+ack) up, QR(+ack) 1, ER(-ack) down, QR(-ack) 0.
+	g := buildHandshake(t)
+	labels := make([]encode.Label, g.NumStates())
+	ack := g.SignalIndex("ack")
+	for s := 0; s < g.NumStates(); s++ {
+		switch {
+		case g.Excited(s, ack) && !g.Value(s, ack):
+			labels[s] = encode.LR
+		case g.Excited(s, ack) && g.Value(s, ack):
+			labels[s] = encode.LF
+		case g.Value(s, ack):
+			labels[s] = encode.L1
+		default:
+			labels[s] = encode.L0
+		}
+	}
+	g2, err := encode.Expand(g, labels, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumSignals() != 3 {
+		t.Fatalf("signals = %d", g2.NumSignals())
+	}
+	if err := g2.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if !g2.OutputSemiModular() {
+		t.Fatal("expansion must preserve output semi-modularity")
+	}
+	// The up and down regions each split one state into two layers.
+	if g2.NumStates() != g.NumStates()+2 {
+		t.Fatalf("states = %d, want %d", g2.NumStates(), g.NumStates()+2)
+	}
+	x := g2.SignalIndex("x")
+	if x < 0 || g2.Input[x] {
+		t.Fatal("x must be a non-input signal")
+	}
+}
+
+func buildHandshake(t *testing.T) *sg.Graph {
+	t.Helper()
+	g := &sg.Graph{Signals: []string{"req", "ack"}, Input: []bool{true, false}, Name: "hs"}
+	s0 := g.AddState(0b00)
+	s1 := g.AddState(0b01)
+	s2 := g.AddState(0b11)
+	s3 := g.AddState(0b10)
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.AddEdge(s0, s1, 0, sg.Plus))
+	must(g.AddEdge(s1, s2, 1, sg.Plus))
+	must(g.AddEdge(s2, s3, 0, sg.Minus))
+	must(g.AddEdge(s3, s0, 1, sg.Minus))
+	return g
+}
+
+func TestExpandRejectsBadCycle(t *testing.T) {
+	g := buildHandshake(t)
+	labels := []encode.Label{encode.L0, encode.L1, encode.L0, encode.L0} // 0→1 jump
+	if _, err := encode.Expand(g, labels, "x"); err == nil {
+		t.Fatal("0→1 label jump must be rejected")
+	}
+}
+
+func TestExpandRejectsDelayedInput(t *testing.T) {
+	// req+ (an input) on the up→1 boundary must be rejected.
+	g := buildHandshake(t)
+	labels := []encode.Label{encode.LR, encode.L1, encode.LF, encode.L0}
+	// s0 --req+(input)--> s1 crosses up→1: input properness violation.
+	if _, err := encode.Expand(g, labels, "x"); err == nil {
+		t.Fatal("delayed input transition must be rejected")
+	}
+}
+
+func TestExpandDelaysOutputBoundary(t *testing.T) {
+	// Label so the delayed boundary lies on ack (an output): up on s0
+	// is wrong (req+ crosses); instead put up on s1 (ack+ delayed).
+	g := buildHandshake(t)
+	labels := []encode.Label{encode.L0, encode.LR, encode.L1, encode.LF}
+	// Check boundary edges: s1 --ack+--> s2 is up→1 (ack is output, OK);
+	// s3 --ack---> s0 is down→0 (OK).
+	g2, err := encode.Expand(g, labels, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In G′, ack+ fires only after x+: x+ must be a trigger of ack+.
+	a := core.NewAnalyzer(g2)
+	ack := g2.SignalIndex("ack")
+	x := g2.SignalIndex("x")
+	for _, er := range a.Regs[ack].ER {
+		if er.Dir != sg.Plus {
+			continue
+		}
+		trigs := g2.Triggers(er)
+		foundX := false
+		for _, tr := range trigs {
+			if tr.Signal == x {
+				foundX = true
+			}
+		}
+		if !foundX {
+			t.Fatal("x+ must trigger ack+ in the expanded graph")
+		}
+	}
+}
+
+func repairAndVerify(t *testing.T, g *sg.Graph, maxAdded int) *encode.Result {
+	t.Helper()
+	res, err := encode.Repair(g, encode.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Added) > maxAdded {
+		t.Fatalf("inserted %d signals, expected at most %d", len(res.Added), maxAdded)
+	}
+	if !res.Report.Satisfied() {
+		t.Fatalf("MC not satisfied after repair:\n%s", res.Report)
+	}
+	// Theorem 4 / Corollary 1 on the transformed graph.
+	if !res.G.CSC() {
+		t.Error("repaired graph must satisfy CSC (Theorem 4)")
+	}
+	// End-to-end Theorem 3: build both standard implementations and
+	// verify speed-independence against the transformed specification.
+	fns := map[int]netlist.SR{}
+	for sig := range res.G.Signals {
+		if res.G.Input[sig] {
+			continue
+		}
+		set, reset, err := res.Report.ExcitationFunctions(sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fns[sig] = netlist.SR{Set: set, Reset: reset}
+	}
+	for _, rs := range []bool{false, true} {
+		nl, err := netlist.Build(res.G, fns, netlist.Options{RS: rs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vres := verify.Check(nl, res.G)
+		if !vres.OK() {
+			t.Fatalf("rs=%v: Theorem 3 violated — implementation not SI:\n%s\n%s", rs, vres, nl)
+		}
+	}
+	return res
+}
+
+func TestRepairFig4OneSignal(t *testing.T) {
+	// Example 2: "MC requirement easily recognizes this situation and
+	// can remove the hazard by adding one signal."
+	g := benchdata.Fig4SG()
+	res := repairAndVerify(t, g, 1)
+	if len(res.Added) != 1 {
+		t.Fatalf("Fig4 repair should add exactly 1 signal, added %v", res.Added)
+	}
+}
+
+func TestRepairFig1(t *testing.T) {
+	// Example 1: one added signal suffices ("it is sufficient to add
+	// only one signal x"). Allow up to 2 in case the search picks a
+	// less economical but still valid decomposition.
+	g := benchdata.Fig1SG()
+	res := repairAndVerify(t, g, 2)
+	t.Logf("Fig1 repair: added %v via %v, %d models examined",
+		res.Added, res.Strategy, res.Models)
+}
+
+func TestRepairNoOpOnSatisfiedGraph(t *testing.T) {
+	g := buildHandshake(t)
+	res, err := encode.Repair(g, encode.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Added) != 0 {
+		t.Fatalf("no signal needed, added %v", res.Added)
+	}
+	if res.G != g {
+		t.Fatal("graph must be unchanged")
+	}
+}
+
+func TestRepairTargetCSCIsWeaker(t *testing.T) {
+	// Figure 1 already satisfies CSC (its codes are even unique), so
+	// CSC-targeted repair inserts nothing — yet the paper's equations
+	// (1) show the basic-gate implementation is hazardous, and MC repair
+	// needs a signal. This is the gap between CSC (enough for complex
+	// gates, Chu) and MC (needed for basic gates, this paper).
+	g := benchdata.Fig1SG()
+	resCSC, err := encode.Repair(g, encode.Options{Target: encode.TargetCSC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resCSC.Added) != 0 {
+		t.Fatalf("Fig1 satisfies CSC; CSC repair added %v", resCSC.Added)
+	}
+	resMC, err := encode.Repair(g, encode.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resMC.Added) == 0 {
+		t.Fatal("MC repair must insert at least one signal")
+	}
+}
+
+func TestRepairTargetCSCFixesDelement(t *testing.T) {
+	// The D-element's conflict is a genuine CSC violation: CSC repair
+	// needs one signal, like MC repair.
+	e, _ := benchdata.Table1ByName("Delement")
+	g, err := stgBuild(e.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := encode.Repair(g, encode.Options{Target: encode.TargetCSC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Added) != 1 {
+		t.Fatalf("CSC repair added %v, want 1 signal", res.Added)
+	}
+	if !res.G.CSC() {
+		t.Fatal("result must satisfy CSC")
+	}
+}
+
+func TestRepairAvoidsSignalNameCollisions(t *testing.T) {
+	// Regression: the 3-way selector's outputs are named x1..x3; the
+	// inserted state signals used to be named x0, x1, ... and the second
+	// one collided with output x1, silently corrupting the by-name
+	// signal correspondence (caught by the bisimulation check).
+	g, err := stgBuild(benchdata.GenSelectorRing(3).Format())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := encode.Repair(g, encode.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, name := range res.G.Signals {
+		if seen[name] {
+			t.Fatalf("duplicate signal name %q after repair", name)
+		}
+		seen[name] = true
+	}
+	if err := sg.WeaklyBisimilar(g, res.G); err != nil {
+		t.Fatalf("repair changed visible behaviour: %v", err)
+	}
+}
+
+func TestExpandRejectsDuplicateName(t *testing.T) {
+	g := buildHandshake(t)
+	labels := []encode.Label{encode.L0, encode.LR, encode.L1, encode.LF}
+	if _, err := encode.Expand(g, labels, "ack"); err == nil {
+		t.Fatal("existing signal name must be rejected")
+	}
+}
+
+func TestRepairRejectsNonOutputSemiModular(t *testing.T) {
+	// Output c disabled by input a: no SI implementation exists.
+	g := &sg.Graph{Signals: []string{"a", "c"}, Input: []bool{true, false}}
+	w := g.AddState(0b00)
+	u := g.AddState(0b01)
+	x := g.AddState(0b10)
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.AddEdge(w, u, 0, sg.Plus))
+	must(g.AddEdge(w, x, 1, sg.Plus))
+	if _, err := encode.Repair(g, encode.Options{}); err == nil {
+		t.Fatal("non-output-semi-modular graph must be rejected")
+	}
+}
+
+func TestDescribeLabels(t *testing.T) {
+	g := buildHandshake(t)
+	labels := []encode.Label{encode.L0, encode.LR, encode.L1, encode.LF}
+	s := encode.DescribeLabels(g, labels)
+	if s == "" {
+		t.Fatal("empty description")
+	}
+}
+
+func TestLabelStrings(t *testing.T) {
+	want := map[encode.Label]string{
+		encode.L0: "0", encode.LR: "up", encode.L1: "1", encode.LF: "down",
+	}
+	for l, w := range want {
+		if l.String() != w {
+			t.Errorf("%d.String() = %q, want %q", l, l.String(), w)
+		}
+	}
+}

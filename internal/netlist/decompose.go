@@ -1,0 +1,86 @@
+package netlist
+
+import "fmt"
+
+// Decompose returns a copy of the netlist in which every AND and OR gate
+// with more than maxFanin inputs is replaced by a balanced tree of gates
+// of the same kind with at most maxFanin inputs each — the technology-
+// mapping step towards a limited basis (the paper's Section I cites
+// Varshavsky et al.'s minimum-fanin NAND basis).
+//
+// Decomposition is NOT speed-independence preserving in general: an
+// internal tree node computes a sub-cube (a wider cube than the
+// monotonous cover), which may be excited and then disabled by an input
+// change that the full cube never lets through. Callers must re-verify
+// the decomposed circuit; the package tests demonstrate both a safe and
+// a hazardous decomposition.
+func Decompose(nl *Netlist, maxFanin int) (*Netlist, error) {
+	if maxFanin < 2 {
+		return nil, fmt.Errorf("netlist: fan-in bound must be ≥ 2, got %d", maxFanin)
+	}
+	out := &Netlist{
+		G:         nl.G,
+		Nets:      append([]Net(nil), nl.Nets...),
+		SignalNet: append([]int(nil), nl.SignalNet...),
+	}
+	// Driver indices change; recompute at the end.
+	for gi := range out.Nets {
+		out.Nets[gi].Driver = -1
+	}
+	for _, g := range nl.Gates {
+		if (g.Kind != And && g.Kind != Or) || len(g.Pins) <= maxFanin {
+			ng := g
+			ng.Pins = append([]Pin(nil), g.Pins...)
+			out.Gates = append(out.Gates, ng)
+			continue
+		}
+		// Reduce the pin list level by level until it fits one gate.
+		pins := append([]Pin(nil), g.Pins...)
+		level := 0
+		for len(pins) > maxFanin {
+			var next []Pin
+			for lo := 0; lo < len(pins); lo += maxFanin {
+				hi := lo + maxFanin
+				if hi > len(pins) {
+					hi = len(pins)
+				}
+				if hi-lo == 1 {
+					next = append(next, pins[lo])
+					continue
+				}
+				gi := len(out.Gates)
+				net := out.addNet(fmt.Sprintf("%s_t%d_%d", out.Nets[g.Out].Name, level, lo), gi, -1)
+				out.Gates = append(out.Gates, Gate{
+					Kind: g.Kind,
+					Name: fmt.Sprintf("%s[%d.%d]", g.Name, level, lo/maxFanin),
+					Pins: append([]Pin(nil), pins[lo:hi]...),
+					Out:  net,
+				})
+				next = append(next, Pin{Net: net})
+			}
+			pins = next
+			level++
+		}
+		out.Gates = append(out.Gates, Gate{Kind: g.Kind, Name: g.Name, Pins: pins, Out: g.Out})
+	}
+	for gi, g := range out.Gates {
+		out.Nets[g.Out].Driver = gi
+	}
+	return out, nil
+}
+
+// MaxFanin returns the largest gate input count in the netlist
+// (complex gates count their SOP literal width).
+func (nl *Netlist) MaxFanin() int {
+	m := 0
+	for _, g := range nl.Gates {
+		n := len(g.Pins)
+		if g.Kind == Complex {
+			n = g.Fn.LiteralCount()
+		}
+		if n > m {
+			m = n
+		}
+	}
+	return m
+}

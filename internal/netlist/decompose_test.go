@@ -1,0 +1,160 @@
+package netlist_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/benchdata"
+	"repro/internal/netlist"
+	"repro/internal/stg"
+	"repro/internal/synth"
+	"repro/internal/verify"
+)
+
+// settle iterates the combinational gates to a fixpoint and returns the
+// settled values (latch outputs and primaries held fixed).
+func settle(nl *netlist.Netlist, values []bool) []bool {
+	v := append([]bool(nil), values...)
+	for iter := 0; iter < len(v)+4; iter++ {
+		changed := false
+		for gi, g := range nl.Gates {
+			if !g.Kind.Combinational() {
+				continue
+			}
+			if next := nl.Eval(v, gi); v[g.Out] != next {
+				v[g.Out] = next
+				changed = true
+			}
+		}
+		if !changed {
+			return v
+		}
+	}
+	return v
+}
+
+func synthNetlist(t *testing.T, name string) (*netlist.Netlist, *synth.Report) {
+	t.Helper()
+	e, ok := benchdata.Table1ByName(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %s", name)
+	}
+	g, err := stg.BuildSG(e.STG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := synth.FromGraph(g, synth.Options{SkipVerify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.Netlist, rep
+}
+
+func TestDecomposeRespectsFanin(t *testing.T) {
+	nl, _ := synthNetlist(t, "duplicator")
+	if nl.MaxFanin() < 3 {
+		t.Fatalf("expected wide gates, max fan-in %d", nl.MaxFanin())
+	}
+	for _, k := range []int{2, 3, 4} {
+		d, err := netlist.Decompose(nl, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, g := range d.Gates {
+			if (g.Kind == netlist.And || g.Kind == netlist.Or) && len(g.Pins) > k {
+				t.Fatalf("fan-in %d gate survived decomposition to %d", len(g.Pins), k)
+			}
+		}
+	}
+}
+
+func TestDecomposeRejectsBadBound(t *testing.T) {
+	nl, _ := synthNetlist(t, "luciano")
+	if _, err := netlist.Decompose(nl, 1); err == nil {
+		t.Fatal("fan-in bound 1 must be rejected")
+	}
+}
+
+func TestDecomposePreservesFunctions(t *testing.T) {
+	// Property: for any assignment of primaries and latch outputs, the
+	// settled values of all original nets agree between the original
+	// and the decomposed netlist.
+	nl, _ := synthNetlist(t, "duplicator")
+	d, err := netlist.Decompose(nl, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := nl.NumNets()
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		v1 := make([]bool, nl.NumNets())
+		v2 := make([]bool, d.NumNets())
+		for i := 0; i < orig; i++ {
+			b := rr.Intn(2) == 1
+			v1[i] = b
+			v2[i] = b
+		}
+		s1 := settle(nl, v1)
+		s2 := settle(d, v2)
+		for i := 0; i < orig; i++ {
+			if s1[i] != s2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecomposeNoOpStaysSI(t *testing.T) {
+	// Benchmarks whose gates already fit the bound are untouched and
+	// stay speed-independent.
+	for _, name := range []string{"luciano", "Delement", "mp-forward-pkt"} {
+		nl, rep := synthNetlist(t, name)
+		d, err := netlist.Decompose(nl, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(d.Gates) != len(nl.Gates) {
+			t.Fatalf("%s: no-op decomposition changed the gate count", name)
+		}
+		if !verify.Check(d, rep.Final).OK() {
+			t.Fatalf("%s: no-op decomposition broke SI", name)
+		}
+	}
+}
+
+func TestDecomposeBreaksSpeedIndependence(t *testing.T) {
+	// The negative result the paper's architecture is built around:
+	// splitting a monotonous-cover AND gate into a tree introduces
+	// internal nodes computing wider cubes, which get excited and then
+	// disabled — the verifier shows the hazards on every Table-1
+	// benchmark whose gates actually split. This is why one excitation
+	// region must be ONE AND gate (and why SI-preserving decomposition
+	// became its own research line).
+	nl, rep := synthNetlist(t, "berkel2")
+	if !verify.Check(nl, rep.Final).OK() {
+		t.Fatal("undecomposed circuit must be SI")
+	}
+	d, err := netlist.Decompose(nl, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := verify.Check(d, rep.Final)
+	if res.OK() {
+		t.Fatal("expected the fan-in-2 decomposition to hazard")
+	}
+	if len(res.Hazards) == 0 {
+		t.Fatalf("expected gate disablements, got %s", res)
+	}
+}
+
+func TestMaxFanin(t *testing.T) {
+	nl, _ := synthNetlist(t, "luciano")
+	if nl.MaxFanin() < 1 {
+		t.Fatal("fan-in must be positive")
+	}
+}

@@ -1,0 +1,77 @@
+package netlist
+
+import "fmt"
+
+// ExplicitInverters returns a copy of the netlist where every inverted
+// pin is rerouted through an explicit inverter gate (one shared inverter
+// per inverted net) — the post-technology-mapping form the paper
+// discusses under "Justification of input inversions".
+//
+// The result is generally NOT speed-independent under the pure unbounded
+// delay model: the inverter is one more unacknowledged gate. The paper's
+// claim — reproduced by the simulator tests — is that the circuit is
+// still hazard-free under the relative timing constraint
+//
+//	d_inv^max < D_sn^min
+//
+// (every inverter faster than the fastest signal network). Use
+// InverterGates to locate the inverters for delay injection.
+func ExplicitInverters(nl *Netlist) *Netlist {
+	out := &Netlist{
+		G:         nl.G,
+		Nets:      append([]Net(nil), nl.Nets...),
+		SignalNet: append([]int(nil), nl.SignalNet...),
+	}
+	invNet := map[int]int{} // source net → inverter output net
+
+	for _, g := range nl.Gates {
+		ng := g
+		ng.Pins = make([]Pin, len(g.Pins))
+		for i, p := range g.Pins {
+			if !p.Invert || g.Kind == CElem || g.Kind == RSLatch {
+				// Latch-input bubbles stay internal to the latch
+				// primitive (the C-element's R input inversion is part
+				// of its definition).
+				ng.Pins[i] = p
+				continue
+			}
+			n, ok := invNet[p.Net]
+			if !ok {
+				n = len(out.Nets)
+				out.Nets = append(out.Nets, Net{
+					Name:         out.Nets[p.Net].Name + "_n",
+					Driver:       -1, // fixed below
+					Signal:       -1,
+					ComplementOf: out.Nets[p.Net].Signal,
+				})
+				out.Gates = append(out.Gates, Gate{
+					Kind: Wire,
+					Name: fmt.Sprintf("INV(%s)", out.Nets[p.Net].Name),
+					Pins: []Pin{{Net: p.Net, Invert: true}},
+					Out:  n,
+				})
+				invNet[p.Net] = n
+			}
+			ng.Pins[i] = Pin{Net: n}
+		}
+		out.Gates = append(out.Gates, ng)
+	}
+	for gi, g := range out.Gates {
+		out.Nets[g.Out].Driver = gi
+	}
+	return out
+}
+
+// InverterGates returns the indices of the explicit inverter gates
+// introduced by ExplicitInverters (Wire gates with an inverted pin whose
+// output is a complement net).
+func (nl *Netlist) InverterGates() []int {
+	var out []int
+	for gi, g := range nl.Gates {
+		if g.Kind == Wire && len(g.Pins) == 1 && g.Pins[0].Invert &&
+			nl.Nets[g.Out].Signal < 0 {
+			out = append(out, gi)
+		}
+	}
+	return out
+}

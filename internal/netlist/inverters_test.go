@@ -1,0 +1,154 @@
+package netlist_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netlist"
+	"repro/internal/sim"
+	"repro/internal/verify"
+)
+
+func TestExplicitInvertersStructure(t *testing.T) {
+	nl, _ := synthNetlist(t, "berkel2")
+	inv := netlist.ExplicitInverters(nl)
+	// No AND/OR pin inversion survives (latch-internal bubbles may).
+	for _, g := range inv.Gates {
+		if g.Kind != netlist.And && g.Kind != netlist.Or {
+			continue
+		}
+		for _, p := range g.Pins {
+			if p.Invert {
+				t.Fatalf("gate %s still has an inverted pin", g.Name)
+			}
+		}
+	}
+	if len(inv.InverterGates()) == 0 {
+		t.Fatal("expected explicit inverters")
+	}
+	// One inverter per inverted net, shared.
+	seen := map[int]bool{}
+	for _, gi := range inv.InverterGates() {
+		src := inv.Gates[gi].Pins[0].Net
+		if seen[src] {
+			t.Fatalf("net %d inverted twice", src)
+		}
+		seen[src] = true
+	}
+}
+
+func TestExplicitInvertersPreserveFunctions(t *testing.T) {
+	nl, _ := synthNetlist(t, "berkel2")
+	inv := netlist.ExplicitInverters(nl)
+	orig := nl.NumNets()
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		v1 := make([]bool, nl.NumNets())
+		v2 := make([]bool, inv.NumNets())
+		for i := 0; i < orig; i++ {
+			b := rr.Intn(2) == 1
+			v1[i] = b
+			v2[i] = b
+		}
+		// Inverter outputs must start consistent.
+		for _, gi := range inv.InverterGates() {
+			g := inv.Gates[gi]
+			v2[g.Out] = !v2[g.Pins[0].Net]
+		}
+		s1 := settleAll(nl, v1)
+		s2 := settleAll(inv, v2)
+		for i := 0; i < orig; i++ {
+			if s1[i] != s2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// settleAll settles every init-settleable gate (AND/OR and internal
+// wires) to a fixpoint.
+func settleAll(nl *netlist.Netlist, values []bool) []bool {
+	v := append([]bool(nil), values...)
+	for iter := 0; iter < len(v)+4; iter++ {
+		changed := false
+		for gi := range nl.Gates {
+			if !nl.SettleAtInit(gi) {
+				continue
+			}
+			if next := nl.Eval(v, gi); v[nl.Gates[gi].Out] != next {
+				v[nl.Gates[gi].Out] = next
+				changed = true
+			}
+		}
+		if !changed {
+			return v
+		}
+	}
+	return v
+}
+
+func TestExplicitInvertersBreakUntimedSI(t *testing.T) {
+	// The paper: "If we consider all these inverters as independent
+	// gates the standard C-implementation will not be speed-independent
+	// anymore." The untimed verifier confirms it on every benchmark that
+	// actually has inverted literals.
+	for _, name := range []string{"berkel2", "luciano", "Delement"} {
+		nl, rep := synthNetlist(t, name)
+		if !verify.Check(nl, rep.Final).OK() {
+			t.Fatalf("%s: base implementation must be SI", name)
+		}
+		inv := netlist.ExplicitInverters(nl)
+		res := verify.Check(inv, rep.Final)
+		if res.OK() {
+			t.Fatalf("%s: explicit inverters should break untimed SI", name)
+		}
+		if len(res.Hazards) == 0 {
+			t.Fatalf("%s: expected inverter-related hazards:\n%s", name, res)
+		}
+	}
+}
+
+func TestExplicitInvertersNoOpWithoutInvertedLiterals(t *testing.T) {
+	nl, rep := synthNetlist(t, "mp-forward-pkt")
+	inv := netlist.ExplicitInverters(nl)
+	if len(inv.InverterGates()) != 0 {
+		t.Fatal("mp-forward-pkt has no inverted literals")
+	}
+	if !verify.Check(inv, rep.Final).OK() {
+		t.Fatal("untouched circuit must stay SI")
+	}
+}
+
+func TestInverterTimingConstraint(t *testing.T) {
+	// The paper's relational constraint: C2 (explicit inverters) is
+	// hazard-free when d_inv^max < D_sn^min. Simulate both regimes.
+	nl, rep := synthNetlist(t, "berkel2")
+	inv := netlist.ExplicitInverters(nl)
+	fast := map[int]float64{}
+	slow := map[int]float64{}
+	for _, gi := range inv.InverterGates() {
+		fast[gi] = 0.01 // far below any gate delay (min 1)
+		slow[gi] = 400  // far above any signal-network delay
+	}
+	for seed := int64(0); seed < 25; seed++ {
+		res := sim.Run(inv, rep.Final, sim.Config{Seed: seed, MaxEvents: 2000, InjectDelay: fast})
+		if !res.OK() {
+			t.Fatalf("fast inverters must be hazard-free (seed %d): %s", seed, res)
+		}
+	}
+	slowHaz := 0
+	for seed := int64(0); seed < 25; seed++ {
+		res := sim.Run(inv, rep.Final, sim.Config{Seed: seed, MaxEvents: 2000, InjectDelay: slow})
+		if len(res.Hazards) > 0 {
+			slowHaz++
+		}
+	}
+	if slowHaz == 0 {
+		t.Fatal("slow inverters should produce witnessed hazards")
+	}
+}

@@ -1,0 +1,475 @@
+// Package netlist models gate-level circuits made of the paper's basic
+// gates — AND gates (with input inversions), OR gates, inverters/wires,
+// Muller C-elements and RS latches — and builds the two standard
+// implementation structures of Section III (Figure 2):
+//
+//   - the standard C-implementation: per excitation region one AND gate,
+//     per excitation function one OR gate, per non-input signal one
+//     C-element fed by the up- (S) and down- (R) excitation functions;
+//   - the standard RS-implementation: the same SOP structure feeding an
+//     RS latch, with inverse literals taken from the latches'
+//     complementary outputs (dual rail), modelled here as free pin
+//     inversions.
+//
+// Degenerate cases from Section IV are applied: a single-literal cube
+// needs no AND gate, a single-cube function needs no OR gate, and a
+// signal whose S/R functions are one complementary literal collapses to
+// a wire.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cube"
+	"repro/internal/sg"
+)
+
+// Kind enumerates gate types.
+type Kind int8
+
+// Gate kinds.
+const (
+	And Kind = iota
+	Or
+	Nor // used for the cross-coupled RS latch pair
+	Wire
+	CElem
+	RSLatch // primitive RS flip-flop: set on S, reset on R, hold otherwise
+	// Complex is an atomic complex gate evaluating an arbitrary
+	// next-state SOP (Fn) over the specification signals — the Chu-style
+	// baseline implementation, hazard-free by assumption.
+	Complex
+)
+
+// String names the gate kind.
+func (k Kind) String() string {
+	switch k {
+	case And:
+		return "AND"
+	case Or:
+		return "OR"
+	case Nor:
+		return "NOR"
+	case Wire:
+		return "WIRE"
+	case CElem:
+		return "C"
+	case RSLatch:
+		return "RS"
+	case Complex:
+		return "COMPLEX"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Combinational reports whether the gate is a plain combinational gate of
+// the SOP network (settled to its stable value at power-up); latch gates
+// and wires carry state-graph signal values instead.
+func (k Kind) Combinational() bool { return k == And || k == Or }
+
+// SettleAtInit reports whether gate gi should be settled to its stable
+// value at power-up: AND/OR gates of the SOP network and buffer/inverter
+// wires driving internal nets. Wires that realize a specification signal
+// keep the signal's initial code value instead.
+func (nl *Netlist) SettleAtInit(gi int) bool {
+	g := &nl.Gates[gi]
+	if g.Kind.Combinational() {
+		return true
+	}
+	return g.Kind == Wire && nl.Nets[g.Out].Signal < 0
+}
+
+// Pin is one gate input: the value of net Net, inverted when Invert is
+// set. Pin inversions on AND gates stand for the input bubbles of the
+// standard C-implementation (justified in the paper under the
+// d_inv < D_sn delay constraint) or for dual-rail outputs in the
+// RS-implementation.
+type Pin struct {
+	Net    int
+	Invert bool
+}
+
+// Gate is one logic element driving net Out.
+type Gate struct {
+	Kind Kind
+	Name string
+	// Pins are the gate inputs. For CElem and RSLatch, Pins[0] is the
+	// set input S and Pins[1] the reset input R.
+	Pins []Pin
+	Out  int
+	// Fn is the next-state SOP of a Complex gate, over the
+	// specification's signal space (evaluated through SignalNet).
+	Fn cube.Cover
+}
+
+// Net is a single wire of the circuit.
+type Net struct {
+	Name   string
+	Driver int // index into Gates, or -1 for a primary input
+	// Signal is the specification signal this net realizes, or -1 for
+	// internal gate outputs (AND/OR terms).
+	Signal int
+	// ComplementOf names the specification signal whose inverse this net
+	// carries (a dual-rail latch's Q̄ output), or -1. The verifier
+	// initializes such nets to the complement of the signal's value.
+	ComplementOf int
+}
+
+// Netlist is a gate-level circuit tied to the signal set of a state
+// graph specification.
+type Netlist struct {
+	G     *sg.Graph
+	Nets  []Net
+	Gates []Gate
+	// SignalNet maps specification signals to their nets.
+	SignalNet []int
+}
+
+// NumNets returns the number of nets.
+func (nl *Netlist) NumNets() int { return len(nl.Nets) }
+
+// addNet appends a net and returns its index.
+func (nl *Netlist) addNet(name string, driver, signal int) int {
+	nl.Nets = append(nl.Nets, Net{Name: name, Driver: driver, Signal: signal, ComplementOf: -1})
+	return len(nl.Nets) - 1
+}
+
+// Eval computes the next output value of gate g under the given net
+// values (one bool per net).
+func (nl *Netlist) Eval(values []bool, g int) bool {
+	gate := &nl.Gates[g]
+	pin := func(i int) bool {
+		v := values[gate.Pins[i].Net]
+		if gate.Pins[i].Invert {
+			return !v
+		}
+		return v
+	}
+	switch gate.Kind {
+	case And:
+		for i := range gate.Pins {
+			if !pin(i) {
+				return false
+			}
+		}
+		return true
+	case Or:
+		for i := range gate.Pins {
+			if pin(i) {
+				return true
+			}
+		}
+		return false
+	case Nor:
+		for i := range gate.Pins {
+			if pin(i) {
+				return false
+			}
+		}
+		return true
+	case Wire:
+		return pin(0)
+	case CElem:
+		// C(A,B) = AB + (A+B)C with A = S and B = ¬R.
+		a, b := pin(0), !pin(1)
+		cur := values[gate.Out]
+		return a && b || (a || b) && cur
+	case RSLatch:
+		s, r := pin(0), pin(1)
+		switch {
+		case s && !r:
+			return true
+		case r && !s:
+			return false
+		default:
+			return values[gate.Out] // hold (S=R=1 also holds, flagged by the verifier)
+		}
+	case Complex:
+		m := make([]bool, nl.G.NumSignals())
+		for sig := range m {
+			m[sig] = values[nl.SignalNet[sig]]
+		}
+		return gate.Fn.EvalMinterm(m)
+	default:
+		panic("netlist: unknown gate kind")
+	}
+}
+
+// Stats summarizes implementation cost.
+type Stats struct {
+	Ands      int
+	Ors       int
+	Latches   int
+	Wires     int
+	Complexes int
+	Inverters int // separate inverters needed after technology mapping
+	Literals  int // total AND/OR input count (complex gates: SOP literals)
+}
+
+// String renders the statistics on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("AND=%d OR=%d latch=%d wire=%d complex=%d inv=%d literals=%d",
+		s.Ands, s.Ors, s.Latches, s.Wires, s.Complexes, s.Inverters, s.Literals)
+}
+
+// Stats computes cost statistics. Inverter count follows the paper: every
+// distinct net used in inverted form needs an inverter after technology
+// mapping. In the RS-implementation inverted literals of latched signals
+// tap the free q̄ outputs, so they contribute no inverters; inverted
+// input literals always do.
+func (nl *Netlist) Stats() Stats {
+	var st Stats
+	nors := 0
+	inverted := map[int]bool{}
+	for _, g := range nl.Gates {
+		switch g.Kind {
+		case And:
+			st.Ands++
+			st.Literals += len(g.Pins)
+		case Or:
+			st.Ors++
+			st.Literals += len(g.Pins)
+		case Nor:
+			nors++
+		case Wire:
+			st.Wires++
+		case CElem, RSLatch:
+			st.Latches++
+		case Complex:
+			st.Complexes++
+			st.Literals += g.Fn.LiteralCount()
+		}
+		for _, p := range g.Pins {
+			if p.Invert {
+				inverted[p.Net] = true
+			}
+		}
+	}
+	st.Latches += nors / 2
+	// Dual-rail accounting: in an RS-implementation, inverted literals of
+	// latched signals tap the free complementary latch outputs.
+	rs := false
+	latched := map[int]bool{}
+	for _, g := range nl.Gates {
+		if g.Kind == RSLatch {
+			rs = true
+			if sig := nl.Nets[g.Out].Signal; sig >= 0 {
+				latched[sig] = true
+			}
+		}
+	}
+	for net := range inverted {
+		sig := nl.Nets[net].Signal
+		if rs && sig >= 0 && latched[sig] {
+			continue
+		}
+		st.Inverters++
+	}
+	return st
+}
+
+// SR holds the up- (Set) and down- (Reset) excitation covers of one
+// non-input signal.
+type SR struct {
+	Set, Reset cube.Cover
+}
+
+// Options steer construction of an implementation.
+type Options struct {
+	// RS selects the standard RS-implementation; the default is the
+	// standard C-implementation.
+	RS bool
+	// Share reuses one AND gate for identical cubes appearing in several
+	// excitation functions (Section VI). The caller is responsible for
+	// having checked the generalized MC conditions.
+	Share bool
+}
+
+// Build assembles the standard implementation of the given excitation
+// functions. fns must contain an SR entry for every non-input signal of
+// g. Cubes are over g's signal space.
+//
+// Latches are primitive basic elements, exactly as in the paper: the
+// C-element computes C = AB + (A+B)C over (S, ¬R), the RS flip-flop sets
+// on S, resets on R and holds otherwise (a transient S=R=1 with a stale
+// falling side is benign for the primitive; a *stable* S=R=1 is flagged
+// by the verifier). A bare cross-coupled NOR pair is deliberately NOT
+// used: it races when an excitation function deasserts before the
+// internal q̄ acknowledges (see the Nor kind and the verifier tests for
+// a demonstration).
+func Build(g *sg.Graph, fns map[int]SR, opts Options) (*Netlist, error) {
+	nl := &Netlist{G: g, SignalNet: make([]int, g.NumSignals())}
+	for sig, name := range g.Signals {
+		nl.SignalNet[sig] = nl.addNet(name, -1, sig)
+	}
+	sigs := make([]int, 0, len(fns))
+	for sig := range fns {
+		if g.Input[sig] {
+			return nil, fmt.Errorf("netlist: signal %s is an input", g.Signals[sig])
+		}
+		sigs = append(sigs, sig)
+	}
+	sort.Ints(sigs)
+
+	// litPin builds the pin for one literal of a cube. Pin inversions
+	// stand for AND-gate input bubbles (C-implementation, valid under the
+	// paper's d_inv < D_sn constraint) or for taps of the latches'
+	// complementary outputs (RS-implementation dual rail — zero skew, so
+	// semantically identical to an inversion).
+	litPin := func(l int, neg bool) Pin {
+		return Pin{Net: nl.SignalNet[l], Invert: neg}
+	}
+
+	sharedAnd := map[string]int{} // cube string → net
+
+	// termPin produces the pin carrying the value of one cube.
+	termPin := func(c cube.Cube, owner string) (Pin, error) {
+		lits := c.Literals()
+		if len(lits) == 0 {
+			return Pin{}, fmt.Errorf("netlist: constant-true cube in %s", owner)
+		}
+		if len(lits) == 1 {
+			// Degenerate: a single literal needs no AND gate.
+			return litPin(lits[0], c.Get(lits[0]) == cube.Zero), nil
+		}
+		key := c.String()
+		if opts.Share {
+			if n, ok := sharedAnd[key]; ok {
+				return Pin{Net: n}, nil
+			}
+		}
+		gi := len(nl.Gates)
+		out := nl.addNet(fmt.Sprintf("and%d_%s", gi, owner), gi, -1)
+		gate := Gate{Kind: And, Name: fmt.Sprintf("AND(%s)", c.StringNamed(g.Signals)), Out: out}
+		for _, l := range lits {
+			gate.Pins = append(gate.Pins, litPin(l, c.Get(l) == cube.Zero))
+		}
+		nl.Gates = append(nl.Gates, gate)
+		if opts.Share {
+			sharedAnd[key] = out
+		}
+		return Pin{Net: out}, nil
+	}
+
+	// funcPin produces the pin carrying a whole excitation function; a
+	// single-cube function needs no OR gate.
+	funcPin := func(f cube.Cover, owner string) (Pin, error) {
+		if f.IsEmpty() {
+			return Pin{}, fmt.Errorf("netlist: empty excitation function for %s", owner)
+		}
+		if f.Len() == 1 {
+			return termPin(f.Cube(0), owner)
+		}
+		out := nl.addNet("or_"+owner, -1, -1)
+		gate := Gate{Kind: Or, Name: "OR(" + owner + ")", Out: out}
+		for _, c := range f.Cubes() {
+			p, err := termPin(c, owner)
+			if err != nil {
+				return Pin{}, err
+			}
+			gate.Pins = append(gate.Pins, p)
+		}
+		nl.Gates = append(nl.Gates, gate)
+		nl.Nets[out].Driver = len(nl.Gates) - 1
+		return Pin{Net: out}, nil
+	}
+
+	for _, sig := range sigs {
+		f := fns[sig]
+		name := g.Signals[sig]
+		out := nl.SignalNet[sig]
+
+		if b, inv, ok := wireOf(f); ok {
+			gi := len(nl.Gates)
+			nl.Gates = append(nl.Gates, Gate{
+				Kind: Wire,
+				Name: "WIRE(" + name + ")",
+				Pins: []Pin{litPin(b, inv)},
+				Out:  out,
+			})
+			nl.Nets[out].Driver = gi
+			continue
+		}
+
+		sp, err := funcPin(f.Set, "S"+name)
+		if err != nil {
+			return nil, err
+		}
+		rp, err := funcPin(f.Reset, "R"+name)
+		if err != nil {
+			return nil, err
+		}
+		kind := CElem
+		if opts.RS {
+			kind = RSLatch
+		}
+		gi := len(nl.Gates)
+		nl.Gates = append(nl.Gates, Gate{
+			Kind: kind,
+			Name: kind.String() + "(" + name + ")",
+			Pins: []Pin{sp, rp},
+			Out:  out,
+		})
+		nl.Nets[out].Driver = gi
+	}
+
+	// Every non-input signal must be driven.
+	for sig := range g.Signals {
+		if !g.Input[sig] && nl.Nets[nl.SignalNet[sig]].Driver < 0 {
+			return nil, fmt.Errorf("netlist: non-input signal %s has no implementation", g.Signals[sig])
+		}
+	}
+	return nl, nil
+}
+
+// wireOf recognizes the full wire degeneration: Set = single literal l,
+// Reset = single literal ¬l.
+func wireOf(f SR) (signal int, inverted bool, ok bool) {
+	if f.Set.Len() != 1 || f.Reset.Len() != 1 {
+		return 0, false, false
+	}
+	s, r := f.Set.Cube(0), f.Reset.Cube(0)
+	sl, rl := s.Literals(), r.Literals()
+	if len(sl) != 1 || len(rl) != 1 || sl[0] != rl[0] {
+		return 0, false, false
+	}
+	if s.Get(sl[0]) == r.Get(rl[0]) {
+		return 0, false, false
+	}
+	return sl[0], s.Get(sl[0]) == cube.Zero, true
+}
+
+// String renders the netlist as readable equations.
+func (nl *Netlist) String() string {
+	var b strings.Builder
+	for _, g := range nl.Gates {
+		if g.Kind == Complex {
+			fmt.Fprintf(&b, "%-8s %s = %s\n", g.Kind, nl.Nets[g.Out].Name, g.Fn.StringNamed(nl.G.Signals))
+			continue
+		}
+		fmt.Fprintf(&b, "%-8s %s =", g.Kind, nl.Nets[g.Out].Name)
+		for i, p := range g.Pins {
+			sep := " "
+			if i > 0 {
+				switch g.Kind {
+				case And:
+					sep = " & "
+				case Or:
+					sep = " | "
+				default:
+					sep = ", "
+				}
+			}
+			inv := ""
+			if p.Invert {
+				inv = "!"
+			}
+			fmt.Fprintf(&b, "%s%s%s", sep, inv, nl.Nets[p.Net].Name)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,147 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cube"
+)
+
+// Verilog renders the netlist as a structural Verilog module, with
+// behavioural primitive modules for the Muller C-element and the RS
+// flip-flop appended. Combinational gates become continuous assigns;
+// latches become instances. The output is meant for inspection and for
+// downstream tools, mirroring what an asynchronous synthesis tool would
+// hand to a standard flow.
+func (nl *Netlist) Verilog(moduleName string) string {
+	var b strings.Builder
+	ident := func(s string) string {
+		out := strings.Map(func(r rune) rune {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+				return r
+			default:
+				return '_'
+			}
+		}, s)
+		if out == "" || out[0] >= '0' && out[0] <= '9' {
+			out = "n" + out
+		}
+		return out
+	}
+	netName := func(i int) string { return ident(nl.Nets[i].Name) }
+	pin := func(p Pin) string {
+		if p.Invert {
+			return "~" + netName(p.Net)
+		}
+		return netName(p.Net)
+	}
+
+	var inputs, outputs, wires []string
+	for i, n := range nl.Nets {
+		switch {
+		case n.Signal >= 0 && nl.G.Input[n.Signal]:
+			inputs = append(inputs, netName(i))
+		case n.Signal >= 0:
+			outputs = append(outputs, netName(i))
+		default:
+			wires = append(wires, netName(i))
+		}
+	}
+	sort.Strings(inputs)
+	sort.Strings(outputs)
+	sort.Strings(wires)
+
+	fmt.Fprintf(&b, "module %s (\n", ident(moduleName))
+	var ports []string
+	for _, p := range inputs {
+		ports = append(ports, "  input  wire "+p)
+	}
+	for _, p := range outputs {
+		ports = append(ports, "  output wire "+p)
+	}
+	b.WriteString(strings.Join(ports, ",\n"))
+	b.WriteString("\n);\n")
+	for _, w := range wires {
+		fmt.Fprintf(&b, "  wire %s;\n", w)
+	}
+	b.WriteString("\n")
+
+	usesC, usesRS := false, false
+	for gi, g := range nl.Gates {
+		out := netName(g.Out)
+		switch g.Kind {
+		case And:
+			var terms []string
+			for _, p := range g.Pins {
+				terms = append(terms, pin(p))
+			}
+			fmt.Fprintf(&b, "  assign %s = %s;\n", out, strings.Join(terms, " & "))
+		case Or:
+			var terms []string
+			for _, p := range g.Pins {
+				terms = append(terms, pin(p))
+			}
+			fmt.Fprintf(&b, "  assign %s = %s;\n", out, strings.Join(terms, " | "))
+		case Nor:
+			var terms []string
+			for _, p := range g.Pins {
+				terms = append(terms, pin(p))
+			}
+			fmt.Fprintf(&b, "  assign %s = ~(%s);\n", out, strings.Join(terms, " | "))
+		case Wire:
+			fmt.Fprintf(&b, "  assign %s = %s;\n", out, pin(g.Pins[0]))
+		case CElem:
+			usesC = true
+			fmt.Fprintf(&b, "  celem u_c%d (.s(%s), .r(%s), .q(%s));\n",
+				gi, pin(g.Pins[0]), pin(g.Pins[1]), out)
+		case RSLatch:
+			usesRS = true
+			fmt.Fprintf(&b, "  rslatch u_rs%d (.s(%s), .r(%s), .q(%s));\n",
+				gi, pin(g.Pins[0]), pin(g.Pins[1]), out)
+		case Complex:
+			var terms []string
+			for _, c := range g.Fn.Cubes() {
+				var lits []string
+				for _, l := range c.Literals() {
+					name := ident(nl.Nets[nl.SignalNet[l]].Name)
+					if c.Get(l) == cube.Zero {
+						name = "~" + name
+					}
+					lits = append(lits, name)
+				}
+				terms = append(terms, strings.Join(lits, " & "))
+			}
+			fmt.Fprintf(&b, "  // atomic complex gate (next-state function)\n")
+			fmt.Fprintf(&b, "  assign %s = %s;\n", out, strings.Join(terms, " | "))
+		}
+	}
+	b.WriteString("endmodule\n")
+
+	if usesC {
+		b.WriteString(`
+// Muller C-element: q = s·~r + (s + ~r)·q  (set on s, clear on r, hold).
+module celem (input wire s, input wire r, output reg q);
+  initial q = 1'b0;
+  always @(*) begin
+    if (s & ~r) q = 1'b1;
+    else if (~s & r) q = 1'b0;
+  end
+endmodule
+`)
+	}
+	if usesRS {
+		b.WriteString(`
+// RS flip-flop primitive: set on s, reset on r, hold otherwise.
+module rslatch (input wire s, input wire r, output reg q);
+  initial q = 1'b0;
+  always @(*) begin
+    if (s & ~r) q = 1'b1;
+    else if (r & ~s) q = 1'b0;
+  end
+endmodule
+`)
+	}
+	return b.String()
+}

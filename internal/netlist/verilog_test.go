@@ -1,0 +1,63 @@
+package netlist_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/benchdata"
+)
+
+func TestVerilogStructure(t *testing.T) {
+	nl, _ := synthNetlist(t, "Delement")
+	v := nl.Verilog("delement")
+	for _, want := range []string{
+		"module delement (", "endmodule",
+		"input  wire r1", "input  wire a2",
+		"output wire a1", "output wire r2",
+		"module celem",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("Verilog missing %q:\n%s", want, v)
+		}
+	}
+	// Balanced module/endmodule.
+	if strings.Count(v, "module ") != strings.Count(v, "endmodule") {
+		t.Error("unbalanced module/endmodule")
+	}
+	// One celem instance per C gate.
+	if strings.Count(v, "celem u_c") == 0 {
+		t.Error("no C-element instances")
+	}
+}
+
+func TestVerilogHeader(t *testing.T) {
+	_, rep := synthNetlist(t, "luciano")
+	v := rep.Netlist.Verilog("luciano")
+	if !strings.Contains(v, "module luciano (") {
+		t.Fatalf("bad module header:\n%s", v)
+	}
+}
+
+func TestVerilogComplexGate(t *testing.T) {
+	g := benchdata.Fig4SG()
+	nl, err := baseline.ComplexGate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := nl.Verilog("fig4_complex")
+	if !strings.Contains(v, "atomic complex gate") {
+		t.Fatalf("complex gate not rendered:\n%s", v)
+	}
+	if !strings.Contains(v, "assign b = ") {
+		t.Fatalf("missing next-state assign:\n%s", v)
+	}
+}
+
+func TestVerilogIdentifierSanitization(t *testing.T) {
+	nl, _ := synthNetlist(t, "berkel2")
+	v := nl.Verilog("has space-and.dots")
+	if !strings.Contains(v, "module has_space_and_dots (") {
+		t.Fatalf("module name not sanitized:\n%s", v[:120])
+	}
+}

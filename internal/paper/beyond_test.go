@@ -1,0 +1,37 @@
+package paper_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/paper"
+)
+
+func TestBeyond(t *testing.T) {
+	r, err := paper.RunBeyond()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CSCSignals >= r.MCSignals {
+		t.Errorf("CSC repair (%d signals) must need fewer than MC (%d): Figure 1 separates them",
+			r.CSCSignals, r.MCSignals)
+	}
+	if r.SharedAnds >= r.PrivateAnds {
+		t.Errorf("sharing must save AND gates: %d vs %d", r.SharedAnds, r.PrivateAnds)
+	}
+	if r.DecomposeHazards == 0 {
+		t.Error("fan-in-2 decomposition must hazard")
+	}
+	if r.InvertersUntimedSI {
+		t.Error("explicit inverters must break untimed SI")
+	}
+	if !r.InvertersValidated {
+		t.Error("the d_inv < D_sn constraint must validate in simulation")
+	}
+	if r.BisimChecked != 3 {
+		t.Errorf("bisim checked on %d/3 repairs", r.BisimChecked)
+	}
+	if s := r.String(); !strings.Contains(s, "CSC vs MC") {
+		t.Errorf("rendering: %s", s)
+	}
+}

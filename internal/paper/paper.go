@@ -1,0 +1,264 @@
+// Package paper regenerates every figure and table of the paper's
+// evaluation: the Figure-1 state-graph analysis, the equation-(1)
+// Beerel–Meng-style baseline and its failure, the Figure-3 MC repair
+// with the equations (2) implementation, the Figure-4 persistent-but-
+// hazardous example, and Table 1 (MC-reduction results on the nine
+// benchmarks). Each Run* function returns structured results consumed by
+// the test suite, the experiment CLI and the benchmark harness;
+// EXPERIMENTS.md records the paper-vs-measured comparison.
+package paper
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/benchdata"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/sg"
+	"repro/internal/synth"
+	"repro/internal/verify"
+)
+
+// Fig1Result captures the Section-II analysis of the Figure-1 state
+// graph.
+type Fig1Result struct {
+	G                 *sg.Graph
+	States            int
+	InputConflicts    int
+	InternalConflicts int
+	OutputDistrib     bool
+	Persistent        bool
+	ERdPlusSizes      []int  // sizes of the ER(+d) regions
+	UMinPlusD         string // code string of u_min(+d1)
+	TriggerOfPlusD    string // the only trigger signal of ER(+d,1)
+	MCViolations      int
+}
+
+// RunFig1 reproduces the Figure-1 analysis.
+func RunFig1() Fig1Result {
+	g := benchdata.Fig1SG()
+	res := Fig1Result{G: g, States: g.NumStates()}
+	for _, c := range g.Conflicts() {
+		if c.Internal {
+			res.InternalConflicts++
+		} else {
+			res.InputConflicts++
+		}
+	}
+	res.OutputDistrib = g.OutputDistributive()
+	res.Persistent = g.Persistent()
+	a := core.NewAnalyzer(g)
+	d := g.SignalIndex("d")
+	for _, er := range a.Regs[d].ER {
+		if er.Dir == sg.Plus {
+			res.ERdPlusSizes = append(res.ERdPlusSizes, len(er.States))
+			if len(er.States) == 3 {
+				res.UMinPlusD = g.CodeString(er.MinState())
+				trigs := g.Triggers(er)
+				if len(trigs) > 0 {
+					res.TriggerOfPlusD = g.Signals[trigs[0].Signal] + trigs[0].Dir.String()
+				}
+			}
+		}
+	}
+	res.MCViolations = len(a.CheckGraph().Violations())
+	return res
+}
+
+// Eq1Result captures the equation-(1) style baseline on Figure 1 and its
+// verification outcome.
+type Eq1Result struct {
+	Sd, Rd, Sc, Rc string // rendered covers
+	SdCubes        int
+	Hazardous      bool
+	HazardGates    []string
+}
+
+// RunEq1Baseline synthesizes Figure 1 with the correct-cover baseline
+// (the method of [2]) and verifies the circuit.
+func RunEq1Baseline() (Eq1Result, error) {
+	g := benchdata.Fig1SG()
+	fns, err := baseline.SOP(g)
+	if err != nil {
+		return Eq1Result{}, err
+	}
+	d, c := g.SignalIndex("d"), g.SignalIndex("c")
+	res := Eq1Result{
+		Sd:      fns[d].Set.StringNamed(g.Signals),
+		Rd:      fns[d].Reset.StringNamed(g.Signals),
+		Sc:      fns[c].Set.StringNamed(g.Signals),
+		Rc:      fns[c].Reset.StringNamed(g.Signals),
+		SdCubes: fns[d].Set.Len(),
+	}
+	nl, err := netlist.Build(g, fns, netlist.Options{})
+	if err != nil {
+		return res, err
+	}
+	v := verify.Check(nl, g)
+	res.Hazardous = !v.OK()
+	for _, h := range v.Hazards {
+		res.HazardGates = append(res.HazardGates, h.GateName)
+	}
+	return res, nil
+}
+
+// Fig3Result captures the Example-1 repair: the Figure-3 transformed
+// graph and its equations-(2) style implementation.
+type Fig3Result struct {
+	Added       []string
+	FinalStates int
+	DWire       bool // d degenerates to a wire of the inserted signal
+	SxCubes     int  // cubes of the inserted signal's up function
+	Netlist     string
+	Stats       netlist.Stats
+	Verified    bool
+}
+
+// RunFig3 repairs Figure 1 and inspects the result.
+func RunFig3() (Fig3Result, error) {
+	rep, err := synth.FromGraph(benchdata.Fig1SG(), synth.Options{})
+	if err != nil {
+		return Fig3Result{}, err
+	}
+	res := Fig3Result{
+		Added:       rep.AddedSignals,
+		FinalStates: rep.Final.NumStates(),
+		Netlist:     rep.Netlist.String(),
+		Stats:       rep.Stats,
+		Verified:    rep.Verify.OK(),
+	}
+	// d = x detection: d driven by a wire gate.
+	d := rep.Final.SignalIndex("d")
+	for _, gate := range rep.Netlist.Gates {
+		if gate.Kind == netlist.Wire && rep.Netlist.Nets[gate.Out].Signal == d {
+			res.DWire = true
+		}
+	}
+	if len(rep.AddedSignals) > 0 {
+		x := rep.Final.SignalIndex(rep.AddedSignals[0])
+		set, _, err := rep.MC.ExcitationFunctions(x)
+		if err == nil {
+			res.SxCubes = set.Len()
+		}
+	}
+	return res, nil
+}
+
+// Fig4Result captures Example 2: the persistent SG whose correct covers
+// violate MC, the hazard of the naive implementation, and the repair.
+type Fig4Result struct {
+	Persistent      bool
+	CorrectCovers   bool // all cover cubes of b cover correctly
+	ViolationKind   core.ViolationKind
+	WitnessHit      bool // the paper's state 10*01 witnesses the violation
+	BaselineHazard  bool
+	HazardGate      string
+	RepairAdded     int
+	RepairVerified  bool
+	ComplexVerified bool // the complex-gate reference implementation is SI
+}
+
+// RunFig4 reproduces Example 2 end to end.
+func RunFig4() (Fig4Result, error) {
+	g := benchdata.Fig4SG()
+	res := Fig4Result{Persistent: g.Persistent()}
+	a := core.NewAnalyzer(g)
+	b := g.SignalIndex("b")
+	res.CorrectCovers = true
+	for _, er := range a.Regs[b].ER {
+		if a.CheckCorrectCover(er, a.CoverCube(er)) != nil {
+			res.CorrectCovers = false
+		}
+	}
+	viols := a.CheckGraph().Violations()
+	if len(viols) > 0 {
+		res.ViolationKind = viols[0].Kind
+		wit := g.StateByCodeString("10*01")
+		for _, s := range viols[0].States {
+			if s == wit {
+				res.WitnessHit = true
+			}
+		}
+	}
+	nl, err := baseline.Synthesize(g, netlist.Options{})
+	if err != nil {
+		return res, err
+	}
+	v := verify.Check(nl, g)
+	res.BaselineHazard = !v.OK()
+	if len(v.Hazards) > 0 {
+		res.HazardGate = v.Hazards[0].GateName
+	}
+	rep, err := synth.FromGraph(g, synth.Options{})
+	if err != nil {
+		return res, err
+	}
+	res.RepairAdded = len(rep.AddedSignals)
+	res.RepairVerified = rep.Verify.OK()
+	cg, err := baseline.ComplexGate(g)
+	if err != nil {
+		return res, err
+	}
+	res.ComplexVerified = verify.Check(cg, g).OK()
+	return res, nil
+}
+
+// Table1Row is one measured row of Table 1.
+type Table1Row struct {
+	Name        string
+	Inputs      int
+	Outputs     int
+	PaperAdded  int
+	Added       int
+	SpecStates  int
+	FinalStates int
+	Verified    bool
+	Elapsed     time.Duration
+}
+
+// RunTable1 synthesizes every Table-1 benchmark and returns the measured
+// rows in the paper's order.
+func RunTable1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, e := range benchdata.Table1 {
+		t0 := time.Now()
+		rep, err := synth.FromSTG(e.STG(), synth.Options{})
+		if err != nil {
+			return rows, fmt.Errorf("%s: %w", e.Name, err)
+		}
+		rows = append(rows, Table1Row{
+			Name:        e.Name,
+			Inputs:      e.Inputs,
+			Outputs:     e.Outputs,
+			PaperAdded:  e.PaperAdded,
+			Added:       len(rep.AddedSignals),
+			SpecStates:  rep.Spec.NumStates(),
+			FinalStates: rep.Final.NumStates(),
+			Verified:    rep.Verify.OK(),
+			Elapsed:     time.Since(t0),
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders measured rows next to the paper's column, in the
+// paper's layout ("RESULTS OF MC-REDUCTION").
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("RESULTS OF MC-REDUCTION\n")
+	fmt.Fprintf(&b, "%-16s %3s %4s %6s %6s %7s %4s %10s\n",
+		"Example", "in", "out", "added", "paper", "states", "SI", "time")
+	for _, r := range rows {
+		si := "yes"
+		if !r.Verified {
+			si = "NO"
+		}
+		fmt.Fprintf(&b, "%-16s %3d %4d %6d %6d %3d→%-3d %4s %10v\n",
+			r.Name+".tim", r.Inputs, r.Outputs, r.Added, r.PaperAdded,
+			r.SpecStates, r.FinalStates, si, r.Elapsed.Round(time.Millisecond))
+	}
+	return b.String()
+}

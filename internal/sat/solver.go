@@ -1,0 +1,499 @@
+// Package sat implements a CDCL (conflict-driven clause learning) Boolean
+// satisfiability solver with two-literal watching, first-UIP learning,
+// VSIDS-style branching activities, phase saving and geometric restarts.
+//
+// It is the substrate for the generalized state-assignment step of the
+// synthesis flow: the Monotonous Cover requirement is translated into 0-1
+// Boolean constraints over per-state labelling variables (Section V/VII of
+// the paper, following Vanbekbergen et al.), and those constraints are
+// solved here. The solver also supports incremental solving under
+// assumptions and model enumeration through blocking clauses.
+package sat
+
+import "sort"
+
+// Lit is a literal: +v for variable v, -v for its negation. Variables are
+// numbered from 1.
+type Lit int32
+
+// Neg returns the complement literal.
+func (l Lit) Neg() Lit { return -l }
+
+// Var returns the literal's variable.
+func (l Lit) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Sign reports whether the literal is positive.
+func (l Lit) Sign() bool { return l > 0 }
+
+// index maps a literal to a dense index: var v → 2(v-1) (positive) or
+// 2(v-1)+1 (negative).
+func (l Lit) index() int {
+	v := l.Var() - 1
+	if l > 0 {
+		return 2 * v
+	}
+	return 2*v + 1
+}
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+type clause struct {
+	lits    []Lit
+	learnt  bool
+	act     float64
+	deleted bool
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; create
+// instances with New.
+type Solver struct {
+	nVars   int
+	clauses []*clause
+	learnts []*clause
+	watches [][]*clause // literal index → clauses watching that literal
+
+	assign  []lbool // variable (1-based) → value
+	level   []int   // variable → decision level of assignment
+	reason  []*clause
+	trail   []Lit
+	trailLo int // propagation queue head
+	limits  []int
+
+	activity []float64
+	varInc   float64
+	order    []int // lazily sorted decision order
+	phase    []bool
+
+	claInc float64
+
+	// Statistics, exported for benchmarking and diagnostics.
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+
+	model []bool
+	ok    bool
+}
+
+// New returns an empty, satisfiable solver.
+func New() *Solver {
+	return &Solver{varInc: 1, claInc: 1, ok: true}
+}
+
+// NewVar allocates a fresh variable and returns its (1-based) number.
+func (s *Solver) NewVar() int {
+	s.nVars++
+	s.assign = append(s.assign, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.phase = append(s.phase, false)
+	s.watches = append(s.watches, nil, nil)
+	return s.nVars
+}
+
+// NVars returns the number of allocated variables.
+func (s *Solver) NVars() int { return s.nVars }
+
+func (s *Solver) value(l Lit) lbool {
+	v := s.assign[l.Var()-1]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.Sign() == (v == lTrue) {
+		return lTrue
+	}
+	return lFalse
+}
+
+// AddClause adds a clause to the solver. It returns false when the clause
+// makes the formula trivially unsatisfiable (empty clause, or a conflicting
+// unit at level 0). Adding clauses is only supported at decision level 0
+// (i.e. before or between Solve calls).
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	if len(s.limits) != 0 {
+		panic("sat: AddClause during search")
+	}
+	// Normalize: sort, drop duplicates and false literals, detect
+	// tautologies and satisfied clauses.
+	ls := append([]Lit(nil), lits...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	out := ls[:0]
+	var prev Lit
+	for _, l := range ls {
+		if l == 0 || l.Var() > s.nVars {
+			panic("sat: literal out of range")
+		}
+		if l == prev {
+			continue
+		}
+		if l == -prev && prev != 0 {
+			return true // tautology: x ∨ ¬x
+		}
+		switch s.value(l) {
+		case lTrue:
+			return true // already satisfied at level 0
+		case lFalse:
+			continue // drop false literal
+		}
+		out = append(out, l)
+		prev = l
+	}
+	// A sorted clause can still hide a tautology pair (-x, x are not
+	// adjacent after sorting since -x < x only for same var when... they
+	// are adjacent: -v sorts right before smaller positives). Handle the
+	// general case explicitly.
+	for i := 0; i+1 < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[i] == -out[j] {
+				return true
+			}
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		if !s.enqueue(out[0], nil) {
+			s.ok = false
+			return false
+		}
+		if s.propagate() != nil {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.watch(c)
+	return true
+}
+
+func (s *Solver) watch(c *clause) {
+	// Watch the negations of the first two literals: when one becomes
+	// true (literal false), the clause is inspected.
+	s.watches[c.lits[0].Neg().index()] = append(s.watches[c.lits[0].Neg().index()], c)
+	s.watches[c.lits[1].Neg().index()] = append(s.watches[c.lits[1].Neg().index()], c)
+}
+
+func (s *Solver) enqueue(l Lit, from *clause) bool {
+	switch s.value(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.Var() - 1
+	if l.Sign() {
+		s.assign[v] = lTrue
+	} else {
+		s.assign[v] = lFalse
+	}
+	s.level[v] = len(s.limits)
+	s.reason[v] = from
+	s.phase[v] = l.Sign()
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// propagate performs unit propagation; it returns a conflicting clause or
+// nil.
+func (s *Solver) propagate() *clause {
+	for s.trailLo < len(s.trail) {
+		l := s.trail[s.trailLo]
+		s.trailLo++
+		s.Propagations++
+		// Clauses watching l (i.e. containing ¬l as a watched literal...
+		// we stored watchers under the negation of the watched literal,
+		// so watchers of index(l) are clauses whose watched literal is
+		// ¬l, which has just become false).
+		ws := s.watches[l.index()]
+		s.watches[l.index()] = nil
+		for wi := 0; wi < len(ws); wi++ {
+			c := ws[wi]
+			if c.deleted {
+				continue
+			}
+			// Ensure the false literal is lits[1].
+			if c.lits[0] == l.Neg() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			// If the other watched literal is true, keep watching.
+			if s.value(c.lits[0]) == lTrue {
+				s.watches[l.index()] = append(s.watches[l.index()], c)
+				continue
+			}
+			// Look for a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Neg().index()] = append(s.watches[c.lits[1].Neg().index()], c)
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			s.watches[l.index()] = append(s.watches[l.index()], c)
+			if !s.enqueue(c.lits[0], c) {
+				// Conflict: restore remaining watchers and report.
+				s.watches[l.index()] = append(s.watches[l.index()], ws[wi+1:]...)
+				s.trailLo = len(s.trail)
+				return c
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v-1] += s.varInc
+	if s.activity[v-1] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+}
+
+func (s *Solver) decayVar() { s.varInc /= 0.95 }
+
+// analyze performs first-UIP conflict analysis and returns the learnt
+// clause (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learnt := []Lit{0} // slot 0 reserved for the asserting literal
+	seen := make(map[int]bool)
+	counter := 0
+	var p Lit
+	idx := len(s.trail) - 1
+
+	c := confl
+	for {
+		for _, q := range c.lits {
+			if p != 0 && q == p {
+				continue
+			}
+			v := q.Var()
+			if seen[v] || s.value(q) != lFalse {
+				continue
+			}
+			seen[v] = true
+			s.bumpVar(v)
+			if s.level[v-1] == len(s.limits) {
+				counter++
+			} else if s.level[v-1] > 0 {
+				learnt = append(learnt, q)
+			}
+		}
+		// Find the next trail literal to resolve on.
+		for idx >= 0 && !seen[s.trail[idx].Var()] {
+			idx--
+		}
+		if idx < 0 {
+			break
+		}
+		p = s.trail[idx]
+		c = s.reason[p.Var()-1]
+		seen[p.Var()] = false
+		counter--
+		idx--
+		if counter == 0 {
+			break
+		}
+		if c == nil {
+			// Decision literal reached with pending counts; should not
+			// happen in well-formed analysis, but guard anyway.
+			break
+		}
+	}
+	learnt[0] = p.Neg()
+
+	// Backtrack level: second-highest level in the learnt clause. Move a
+	// literal of that level into slot 1 so the two watched literals keep
+	// the watching invariant after backtracking.
+	back, backIdx := 0, -1
+	for i, q := range learnt[1:] {
+		if lv := s.level[q.Var()-1]; lv > back {
+			back, backIdx = lv, i+1
+		}
+	}
+	if backIdx > 1 {
+		learnt[1], learnt[backIdx] = learnt[backIdx], learnt[1]
+	}
+	return learnt, back
+}
+
+func (s *Solver) backtrackTo(level int) {
+	if len(s.limits) <= level {
+		return
+	}
+	lo := s.limits[level]
+	for i := len(s.trail) - 1; i >= lo; i-- {
+		v := s.trail[i].Var() - 1
+		s.assign[v] = lUndef
+		s.reason[v] = nil
+	}
+	s.trail = s.trail[:lo]
+	s.trailLo = lo
+	s.limits = s.limits[:level]
+}
+
+// pickBranch returns the unassigned variable with the highest activity,
+// or 0 when everything is assigned.
+func (s *Solver) pickBranch() Lit {
+	best, bestAct := 0, -1.0
+	for v := 1; v <= s.nVars; v++ {
+		if s.assign[v-1] == lUndef && s.activity[v-1] > bestAct {
+			best, bestAct = v, s.activity[v-1]
+		}
+	}
+	if best == 0 {
+		return 0
+	}
+	if s.phase[best-1] {
+		return Lit(best)
+	}
+	return Lit(-best)
+}
+
+// Solve decides satisfiability under the given assumption literals. On a
+// SAT answer the model is available through Value/Model. The solver can be
+// re-solved with different assumptions and extended with further clauses
+// between calls.
+func (s *Solver) Solve(assumptions ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	s.backtrackTo(0)
+	if s.propagate() != nil {
+		s.ok = false
+		return false
+	}
+
+	// Apply assumptions, each at its own decision level.
+	for _, a := range assumptions {
+		switch s.value(a) {
+		case lTrue:
+			continue
+		case lFalse:
+			s.backtrackTo(0)
+			return false
+		}
+		s.limits = append(s.limits, len(s.trail))
+		s.enqueue(a, nil)
+		if s.propagate() != nil {
+			s.backtrackTo(0)
+			return false
+		}
+	}
+	assumpLevel := len(s.limits)
+
+	conflictBudget := 256
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.Conflicts++
+			if len(s.limits) <= assumpLevel {
+				s.backtrackTo(0)
+				return false
+			}
+			learnt, back := s.analyze(confl)
+			if back < assumpLevel {
+				back = assumpLevel
+			}
+			s.backtrackTo(back)
+			if len(learnt) == 1 {
+				if !s.enqueue(learnt[0], nil) {
+					s.backtrackTo(0)
+					return false
+				}
+			} else {
+				c := &clause{lits: learnt, learnt: true, act: s.claInc}
+				s.learnts = append(s.learnts, c)
+				s.watch(c)
+				s.enqueue(learnt[0], c)
+			}
+			s.decayVar()
+			conflictBudget--
+			if conflictBudget <= 0 {
+				// Restart: keep learnt clauses, drop the search tree.
+				s.backtrackTo(assumpLevel)
+				conflictBudget = 256 + len(s.learnts)/2
+			}
+			continue
+		}
+		l := s.pickBranch()
+		if l == 0 {
+			// Complete assignment: record the model.
+			s.model = make([]bool, s.nVars)
+			for v := 1; v <= s.nVars; v++ {
+				s.model[v-1] = s.assign[v-1] == lTrue
+			}
+			s.backtrackTo(0)
+			return true
+		}
+		s.Decisions++
+		s.limits = append(s.limits, len(s.trail))
+		s.enqueue(l, nil)
+	}
+}
+
+// Value returns the value of variable v in the last model. It panics when
+// no model is available.
+func (s *Solver) Value(v int) bool {
+	if s.model == nil {
+		panic("sat: no model available")
+	}
+	return s.model[v-1]
+}
+
+// Model returns a copy of the last satisfying assignment (index 0 is
+// variable 1).
+func (s *Solver) Model() []bool {
+	out := make([]bool, len(s.model))
+	copy(out, s.model)
+	return out
+}
+
+// BlockModel adds a clause forbidding the last model restricted to the
+// given variables (all variables when vars is empty), enabling model
+// enumeration. It returns false when the formula becomes unsatisfiable.
+func (s *Solver) BlockModel(vars ...int) bool {
+	if s.model == nil {
+		panic("sat: no model to block")
+	}
+	if len(vars) == 0 {
+		vars = make([]int, s.nVars)
+		for i := range vars {
+			vars[i] = i + 1
+		}
+	}
+	lits := make([]Lit, len(vars))
+	for i, v := range vars {
+		if s.model[v-1] {
+			lits[i] = Lit(-v)
+		} else {
+			lits[i] = Lit(v)
+		}
+	}
+	return s.AddClause(lits...)
+}

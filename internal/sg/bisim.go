@@ -1,0 +1,198 @@
+package sg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements weak-bisimulation checking between a
+// specification state graph and a transformed one whose extra (inserted
+// state) signals are hidden as internal τ moves. The synthesis procedure
+// of Section V must preserve the specification's visible behaviour: the
+// expanded graph G′, observed only on the original signals, must be
+// weakly bisimilar to G. The checker exploits that state graphs are
+// deterministic per label and that hidden-signal moves in a
+// semi-modular graph are confluent, so a subset construction over
+// τ-closures decides equivalence and yields counterexample traces.
+
+// visibleLabel is a signal transition of the specification alphabet.
+type visibleLabel struct {
+	Signal int // index into the SPEC's signal list
+	Dir    Dir
+}
+
+func (l visibleLabel) render(g *Graph) string { return g.Signals[l.Signal] + l.Dir.String() }
+
+// WeaklyBisimilar checks that impl, with every signal not present in
+// spec hidden, is weakly bisimilar to spec from the initial states. The
+// signal correspondence is by name. It returns nil on success or an
+// error with a distinguishing trace.
+func WeaklyBisimilar(spec, impl *Graph) error {
+	// Signal correspondence is by name: duplicates would make it
+	// ambiguous (and indicate a broken transformation).
+	for _, g := range []*Graph{spec, impl} {
+		seen := map[string]bool{}
+		for _, name := range g.Signals {
+			if seen[name] {
+				return fmt.Errorf("sg: duplicate signal name %q in %s", name, g.Name)
+			}
+			seen[name] = true
+		}
+	}
+	// Map impl signals to spec signals; unmapped ones are hidden.
+	hidden := make([]bool, impl.NumSignals())
+	toSpec := make([]int, impl.NumSignals())
+	for i, name := range impl.Signals {
+		s := spec.SignalIndex(name)
+		toSpec[i] = s
+		hidden[i] = s < 0
+	}
+	for _, name := range spec.Signals {
+		if impl.SignalIndex(name) < 0 {
+			return fmt.Errorf("sg: implementation lacks signal %s", name)
+		}
+	}
+
+	// τ-closure of an impl state set. Hidden moves in an output
+	// semi-modular graph cannot be disabled, so the closure is finite
+	// and confluent. A cycle of hidden moves inside the closure would be
+	// divergence (the circuit chattering internally forever).
+	closure := func(set map[int]bool) (map[int]bool, error) {
+		out := map[int]bool{}
+		var stack []int
+		for s := range set {
+			out[s] = true
+			stack = append(stack, s)
+		}
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, e := range impl.States[s].Succ {
+				if !hidden[e.Signal] || out[e.To] {
+					continue
+				}
+				out[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+		// Divergence: cycle in the hidden-edge subgraph of the closure.
+		const (
+			white = iota
+			gray
+			black
+		)
+		color := map[int]int8{}
+		var dfs func(s int) bool
+		dfs = func(s int) bool {
+			color[s] = gray
+			for _, e := range impl.States[s].Succ {
+				if !hidden[e.Signal] || !out[e.To] {
+					continue
+				}
+				switch color[e.To] {
+				case gray:
+					return true
+				case white:
+					if dfs(e.To) {
+						return true
+					}
+				}
+			}
+			color[s] = black
+			return false
+		}
+		for s := range out {
+			if color[s] == white && dfs(s) {
+				return nil, fmt.Errorf("sg: divergence: cycle of hidden moves at state %d", s)
+			}
+		}
+		return out, nil
+	}
+
+	key := func(set map[int]bool) string {
+		ids := make([]int, 0, len(set))
+		for s := range set {
+			ids = append(ids, s)
+		}
+		sort.Ints(ids)
+		var b strings.Builder
+		for _, s := range ids {
+			fmt.Fprintf(&b, "%d,", s)
+		}
+		return b.String()
+	}
+
+	type node struct {
+		spec  int
+		impl  map[int]bool
+		trace []visibleLabel
+	}
+	start, err := closure(map[int]bool{impl.Initial: true})
+	if err != nil {
+		return err
+	}
+	seen := map[string]bool{}
+	queue := []node{{spec: spec.Initial, impl: start}}
+	seen[fmt.Sprintf("%d|%s", spec.Initial, key(start))] = true
+
+	renderTrace := func(trace []visibleLabel, last string) string {
+		var parts []string
+		for _, l := range trace {
+			parts = append(parts, l.render(spec))
+		}
+		parts = append(parts, last)
+		return strings.Join(parts, " ")
+	}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+
+		// Visible moves of the spec state.
+		specEnabled := map[visibleLabel]int{}
+		for _, e := range spec.States[cur.spec].Succ {
+			specEnabled[visibleLabel{Signal: e.Signal, Dir: e.Dir}] = e.To
+		}
+		// Visible moves of the impl state set (after closure).
+		implEnabled := map[visibleLabel]map[int]bool{}
+		for s := range cur.impl {
+			for _, e := range impl.States[s].Succ {
+				if hidden[e.Signal] {
+					continue
+				}
+				l := visibleLabel{Signal: toSpec[e.Signal], Dir: e.Dir}
+				if implEnabled[l] == nil {
+					implEnabled[l] = map[int]bool{}
+				}
+				implEnabled[l][e.To] = true
+			}
+		}
+		for l := range specEnabled {
+			if implEnabled[l] == nil {
+				return fmt.Errorf("sg: implementation refuses %s after trace: %s",
+					l.render(spec), renderTrace(cur.trace, l.render(spec)))
+			}
+		}
+		for l := range implEnabled {
+			if _, ok := specEnabled[l]; !ok {
+				return fmt.Errorf("sg: implementation offers unspecified %s after trace: %s",
+					l.render(spec), renderTrace(cur.trace, l.render(spec)))
+			}
+		}
+		for l, to := range specEnabled {
+			next, err := closure(implEnabled[l])
+			if err != nil {
+				return err
+			}
+			k := fmt.Sprintf("%d|%s", to, key(next))
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			trace := append(append([]visibleLabel(nil), cur.trace...), l)
+			queue = append(queue, node{spec: to, impl: next, trace: trace})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package sg_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/benchdata"
+	"repro/internal/encode"
+	"repro/internal/sg"
+	"repro/internal/stg"
+)
+
+func buildSGFromSource(src string) (*sg.Graph, error) {
+	net, err := stg.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return stg.BuildSG(net)
+}
+
+func TestBisimIdentity(t *testing.T) {
+	g := benchdata.Fig1SG()
+	if err := sg.WeaklyBisimilar(g, g); err != nil {
+		t.Fatalf("a graph must be bisimilar to itself: %v", err)
+	}
+}
+
+func TestBisimRepairPreservesBehaviour(t *testing.T) {
+	// The Section-V transformation must not change the visible
+	// behaviour: the expanded graph with the inserted state signals
+	// hidden is weakly bisimilar to the specification.
+	for _, mk := range []func() *sg.Graph{benchdata.Fig1SG, benchdata.Fig4SG} {
+		g := mk()
+		res, err := encode.Repair(g, encode.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sg.WeaklyBisimilar(g, res.G); err != nil {
+			t.Fatalf("%s: insertion changed the visible behaviour: %v", g.Name, err)
+		}
+	}
+}
+
+func TestBisimRepairPreservesTable1(t *testing.T) {
+	for _, name := range []string{"luciano", "Delement", "berkel2", "nowick"} {
+		e, _ := benchdata.Table1ByName(name)
+		g, err := buildSGFromSource(e.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := encode.Repair(g, encode.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sg.WeaklyBisimilar(g, res.G); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestBisimDetectsMissingBehaviour(t *testing.T) {
+	// Remove one edge's worth of behaviour: a spec cycle vs an impl
+	// that stops short is not bisimilar.
+	spec := toggleGraph(t, true)
+	impl := toggleGraph(t, false)
+	err := sg.WeaklyBisimilar(spec, impl)
+	if err == nil {
+		t.Fatal("differing graphs reported bisimilar")
+	}
+	if !strings.Contains(err.Error(), "refuses") {
+		t.Fatalf("unexpected diagnosis: %v", err)
+	}
+}
+
+// toggleGraph builds a+;x+;a-;x-;a+;y+;a-;y- (full) or the same graph
+// with y replaced by a second x-handshake (differing visible behaviour:
+// the full one offers y+, the other offers x+).
+func toggleGraph(t *testing.T, withY bool) *sg.Graph {
+	t.Helper()
+	g := &sg.Graph{Signals: []string{"a", "x", "y"}, Input: []bool{true, false, false}, Name: "toggle"}
+	// Codes over (a,x,y).
+	s0 := g.AddState(0b000)
+	s1 := g.AddState(0b001)
+	s2 := g.AddState(0b011)
+	s3 := g.AddState(0b010)
+	s4 := g.AddState(0b000)
+	s5 := g.AddState(0b001)
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.AddEdge(s0, s1, 0, sg.Plus))
+	must(g.AddEdge(s1, s2, 1, sg.Plus))
+	must(g.AddEdge(s2, s3, 0, sg.Minus))
+	must(g.AddEdge(s3, s4, 1, sg.Minus))
+	must(g.AddEdge(s4, s5, 0, sg.Plus))
+	if withY {
+		s6 := g.AddState(0b101)
+		s7 := g.AddState(0b100)
+		must(g.AddEdge(s5, s6, 2, sg.Plus))
+		must(g.AddEdge(s6, s7, 0, sg.Minus))
+		must(g.AddEdge(s7, s0, 2, sg.Minus))
+	} else {
+		s6 := g.AddState(0b011)
+		s7 := g.AddState(0b010)
+		must(g.AddEdge(s5, s6, 1, sg.Plus))
+		must(g.AddEdge(s6, s7, 0, sg.Minus))
+		must(g.AddEdge(s7, s0, 1, sg.Minus))
+	}
+	return g
+}
+
+func TestBisimDetectsExtraBehaviour(t *testing.T) {
+	// Swap roles: the implementation offers x+ where the spec wants y+.
+	spec := toggleGraph(t, false)
+	impl := toggleGraph(t, true)
+	err := sg.WeaklyBisimilar(spec, impl)
+	if err == nil {
+		t.Fatal("differing graphs reported bisimilar")
+	}
+}
+
+func TestBisimMissingSignal(t *testing.T) {
+	spec := benchdata.Fig1SG()
+	impl := toggleGraph(t, true)
+	if err := sg.WeaklyBisimilar(spec, impl); err == nil {
+		t.Fatal("signal-set mismatch must be reported")
+	}
+}
+
+func TestBisimHidesInsertedSignalsOnly(t *testing.T) {
+	// The expanded handshake (buffer insertion) is bisimilar to the
+	// original even though it has twice the hidden moves.
+	g := &sg.Graph{Signals: []string{"req", "ack"}, Input: []bool{true, false}, Name: "hs"}
+	s0 := g.AddState(0b00)
+	s1 := g.AddState(0b01)
+	s2 := g.AddState(0b11)
+	s3 := g.AddState(0b10)
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.AddEdge(s0, s1, 0, sg.Plus))
+	must(g.AddEdge(s1, s2, 1, sg.Plus))
+	must(g.AddEdge(s2, s3, 0, sg.Minus))
+	must(g.AddEdge(s3, s0, 1, sg.Minus))
+	labels := []encode.Label{encode.L0, encode.LR, encode.L1, encode.LF}
+	g2, err := encode.Expand(g, labels, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sg.WeaklyBisimilar(g, g2); err != nil {
+		t.Fatalf("buffer insertion must preserve behaviour: %v", err)
+	}
+}

@@ -1,0 +1,264 @@
+package sg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Conflict records a conflict state (Definition 1): signal A is excited in
+// state W, and firing signal B from W makes A stable.
+type Conflict struct {
+	State    int // the conflict state w
+	Signal   int // the signal a that gets disabled
+	By       int // the signal b whose firing disables a
+	ByDir    Dir
+	After    int  // the state u = δ(w, *b) where a is stable
+	Internal bool // true when Signal is a non-input signal
+}
+
+// String renders the conflict in a readable diagnostic form.
+func (c Conflict) Describe(g *Graph) string {
+	kind := "input"
+	if c.Internal {
+		kind = "internal"
+	}
+	return fmt.Sprintf("%s conflict at s%d (%s): %s disabled by %s%s → s%d",
+		kind, c.State, g.CodeString(c.State), g.Signals[c.Signal],
+		g.Signals[c.By], c.ByDir, c.After)
+}
+
+// Conflicts returns all conflict states of the graph (Definition 1).
+func (g *Graph) Conflicts() []Conflict {
+	var out []Conflict
+	for w := range g.States {
+		for _, eb := range g.States[w].Succ {
+			u := eb.To
+			for _, ea := range g.States[w].Succ {
+				a := ea.Signal
+				if a == eb.Signal {
+					continue
+				}
+				if !g.Excited(u, a) {
+					out = append(out, Conflict{
+						State: w, Signal: a, By: eb.Signal, ByDir: eb.Dir,
+						After: u, Internal: !g.Input[a],
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SemiModular reports whether the graph has no conflict state at all
+// (Definition 2 with respect to every reachable state).
+func (g *Graph) SemiModular() bool { return len(g.Conflicts()) == 0 }
+
+// OutputSemiModular reports whether no non-input signal is ever disabled
+// (no internally conflict state). Only output semi-modular graphs can be
+// implemented by speed-independent circuits.
+func (g *Graph) OutputSemiModular() bool {
+	for _, c := range g.Conflicts() {
+		if c.Internal {
+			return false
+		}
+	}
+	return true
+}
+
+// InternalConflicts returns only the internally conflict states.
+func (g *Graph) InternalConflicts() []Conflict {
+	var out []Conflict
+	for _, c := range g.Conflicts() {
+		if c.Internal {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Detonant records a detonant state (Definition 3): signal Signal is
+// stable in State but excited in two distinct direct successors.
+type Detonant struct {
+	State  int
+	Signal int
+	U, V   int // the two successors in which Signal is excited
+}
+
+// Detonants returns all detonant states of the graph with respect to
+// non-input signals when outputsOnly is true, or all signals otherwise.
+//
+// Following Varshavsky et al., detonance captures OR-causality among
+// concurrently diverging branches: the two successors u and v must be
+// reached by transitions that are concurrent at w (neither disables the
+// other). Alternative branches of a choice (conflict) state are mutually
+// exclusive worlds and do not make the state detonant — the paper's
+// Figure 1 has an input choice at its initial state and is explicitly
+// stated to be detonant-free.
+func (g *Graph) Detonants(outputsOnly bool) []Detonant {
+	var out []Detonant
+	for w := range g.States {
+		succ := g.States[w].Succ
+		for sig := range g.Signals {
+			if outputsOnly && g.Input[sig] {
+				continue
+			}
+			if g.Excited(w, sig) {
+				continue
+			}
+			var hits []Edge
+			for _, e := range succ {
+				if e.Signal != sig && g.Excited(e.To, sig) {
+					hits = append(hits, e)
+				}
+			}
+			for i := 0; i < len(hits); i++ {
+				for j := i + 1; j < len(hits); j++ {
+					// Concurrent divergence: each branch keeps the other
+					// transition enabled.
+					if g.Excited(hits[i].To, hits[j].Signal) && g.Excited(hits[j].To, hits[i].Signal) {
+						out = append(out, Detonant{State: w, Signal: sig, U: hits[i].To, V: hits[j].To})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Distributive reports whether the graph is semi-modular and free of
+// detonant states (Definition 4).
+func (g *Graph) Distributive() bool {
+	return g.SemiModular() && len(g.Detonants(false)) == 0
+}
+
+// OutputDistributive reports whether the graph is output semi-modular and
+// has no detonant states with respect to non-input signals.
+func (g *Graph) OutputDistributive() bool {
+	return g.OutputSemiModular() && len(g.Detonants(true)) == 0
+}
+
+// CSCViolation is a pair of states with identical binary codes but
+// different excited non-input signal sets (Definition 14).
+type CSCViolation struct {
+	A, B int
+}
+
+// CSCViolations returns all state pairs breaking the Complete State
+// Coding requirement.
+func (g *Graph) CSCViolations() []CSCViolation {
+	byCode := make(map[uint64][]int)
+	for s := range g.States {
+		byCode[g.States[s].Code] = append(byCode[g.States[s].Code], s)
+	}
+	var out []CSCViolation
+	codes := make([]uint64, 0, len(byCode))
+	for c := range byCode {
+		codes = append(codes, c)
+	}
+	sort.Slice(codes, func(i, j int) bool { return codes[i] < codes[j] })
+	for _, c := range codes {
+		states := byCode[c]
+		for i := 0; i < len(states); i++ {
+			for j := i + 1; j < len(states); j++ {
+				if g.ExcitedOutputs(states[i]) != g.ExcitedOutputs(states[j]) {
+					out = append(out, CSCViolation{A: states[i], B: states[j]})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CSC reports whether the graph satisfies Complete State Coding.
+func (g *Graph) CSC() bool { return len(g.CSCViolations()) == 0 }
+
+// USC reports whether all state codes are unique (Unique State Coding,
+// strictly stronger than CSC).
+func (g *Graph) USC() bool {
+	seen := make(map[uint64]bool, len(g.States))
+	for s := range g.States {
+		if seen[g.States[s].Code] {
+			return false
+		}
+		seen[g.States[s].Code] = true
+	}
+	return true
+}
+
+// PropertyReport summarizes all specification-level checks for one graph.
+type PropertyReport struct {
+	Consistent        bool
+	SemiModular       bool
+	OutputSemiModular bool
+	Distributive      bool
+	OutputDistrib     bool
+	Persistent        bool
+	CSC               bool
+	USC               bool
+	UniqueEntryOK     bool
+	InputConflicts    int
+	InternalConflicts int
+	Detonants         int
+	States            int
+}
+
+// Check computes the full property report.
+func (g *Graph) Check() PropertyReport {
+	conf := g.Conflicts()
+	rep := PropertyReport{
+		Consistent:    g.CheckConsistency() == nil,
+		Persistent:    g.Persistent(),
+		CSC:           g.CSC(),
+		USC:           g.USC(),
+		Detonants:     len(g.Detonants(false)),
+		States:        len(g.States),
+		UniqueEntryOK: true,
+	}
+	rep.SemiModular = len(conf) == 0
+	internal := 0
+	for _, c := range conf {
+		if c.Internal {
+			internal++
+		}
+	}
+	rep.InternalConflicts = internal
+	rep.InputConflicts = len(conf) - internal
+	rep.OutputSemiModular = internal == 0
+	rep.Distributive = rep.SemiModular && rep.Detonants == 0
+	rep.OutputDistrib = rep.OutputSemiModular && len(g.Detonants(true)) == 0
+	for sig := range g.Signals {
+		if g.Input[sig] {
+			continue
+		}
+		for _, er := range g.RegionsOf(sig).ER {
+			if !er.UniqueEntry() {
+				rep.UniqueEntryOK = false
+			}
+		}
+	}
+	return rep
+}
+
+// String renders the report as a compact multi-line summary.
+func (r PropertyReport) String() string {
+	flag := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "no"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "states: %d\n", r.States)
+	fmt.Fprintf(&b, "consistent: %s\n", flag(r.Consistent))
+	fmt.Fprintf(&b, "semi-modular: %s (input conflicts: %d, internal: %d)\n",
+		flag(r.SemiModular), r.InputConflicts, r.InternalConflicts)
+	fmt.Fprintf(&b, "output semi-modular: %s\n", flag(r.OutputSemiModular))
+	fmt.Fprintf(&b, "distributive: %s (detonants: %d)\n", flag(r.Distributive), r.Detonants)
+	fmt.Fprintf(&b, "output distributive: %s\n", flag(r.OutputDistrib))
+	fmt.Fprintf(&b, "persistent: %s\n", flag(r.Persistent))
+	fmt.Fprintf(&b, "unique entry: %s\n", flag(r.UniqueEntryOK))
+	fmt.Fprintf(&b, "CSC: %s, USC: %s", flag(r.CSC), flag(r.USC))
+	return b.String()
+}

@@ -1,0 +1,289 @@
+package sg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Region is a maximal connected set of states associated with one
+// transition occurrence of a signal: an excitation region ER(*a_i)
+// (Definition 5) or a quiescent region QR(*a_i) (Definition 6).
+type Region struct {
+	Signal int
+	Dir    Dir // direction of the underlying transition *a_i
+	Index  int // occurrence index i (1-based, in discovery order)
+	States []int
+
+	// Min lists the minimal states (no predecessor inside the region,
+	// Definition 8); a region obeys the unique entry condition
+	// (Definition 9) when len(Min) == 1.
+	Min []int
+
+	set map[int]bool
+}
+
+// Contains reports whether state s belongs to the region.
+func (r *Region) Contains(s int) bool { return r.set[s] }
+
+// UniqueEntry reports whether the region satisfies the unique entry
+// condition (Definition 9).
+func (r *Region) UniqueEntry() bool { return len(r.Min) == 1 }
+
+// MinState returns the unique minimal state u_min(*a_i); it panics when
+// the unique entry condition fails.
+func (r *Region) MinState() int {
+	if len(r.Min) != 1 {
+		panic("sg: region without unique entry")
+	}
+	return r.Min[0]
+}
+
+// Label renders the region as e.g. "ER(+d,1)" or "QR(-x,2)".
+func (r *Region) label(g *Graph, kind string) string {
+	return fmt.Sprintf("%s(%s%s,%d)", kind, r.Dir, g.Signals[r.Signal], r.Index)
+}
+
+// Regions holds the complete region decomposition of a state graph for
+// one signal: alternating excitation and quiescent regions.
+type Regions struct {
+	Signal int
+	ER     []*Region
+	QR     []*Region
+
+	// QRAfter[i] is the index into QR of the quiescent region entered
+	// when the transition of ER[i] fires, or -1 when the transition leads
+	// straight into another excitation region context (which cannot
+	// happen in a consistent SG, but is kept defensive).
+	QRAfter []int
+}
+
+// connectedComponents splits the state set into maximal weakly connected
+// components using only edges whose both endpoints lie in the set.
+func (g *Graph) connectedComponents(states []int) [][]int {
+	in := make(map[int]bool, len(states))
+	for _, s := range states {
+		in[s] = true
+	}
+	seen := make(map[int]bool, len(states))
+	var comps [][]int
+	for _, s := range states {
+		if seen[s] {
+			continue
+		}
+		comp := []int{s}
+		seen[s] = true
+		for q := []int{s}; len(q) > 0; {
+			u := q[len(q)-1]
+			q = q[:len(q)-1]
+			for _, e := range g.States[u].Succ {
+				if in[e.To] && !seen[e.To] {
+					seen[e.To] = true
+					comp = append(comp, e.To)
+					q = append(q, e.To)
+				}
+			}
+			for _, e := range g.States[u].Pred {
+				if in[e.To] && !seen[e.To] {
+					seen[e.To] = true
+					comp = append(comp, e.To)
+					q = append(q, e.To)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+func newRegion(g *Graph, sig int, d Dir, idx int, states []int) *Region {
+	r := &Region{Signal: sig, Dir: d, Index: idx, States: states, set: make(map[int]bool, len(states))}
+	for _, s := range states {
+		r.set[s] = true
+	}
+	for _, s := range states {
+		minimal := true
+		for _, e := range g.States[s].Pred {
+			if r.set[e.To] {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			r.Min = append(r.Min, s)
+		}
+	}
+	return r
+}
+
+// RegionsOf computes the excitation and quiescent regions of signal sig
+// (Definitions 5 and 6) and the ER → following-QR association.
+func (g *Graph) RegionsOf(sig int) *Regions {
+	var erPlus, erMinus, qr0, qr1 []int
+	for s := range g.States {
+		v := g.Value(s, sig)
+		if g.Excited(s, sig) {
+			if v {
+				erMinus = append(erMinus, s)
+			} else {
+				erPlus = append(erPlus, s)
+			}
+		} else {
+			if v {
+				qr1 = append(qr1, s)
+			} else {
+				qr0 = append(qr0, s)
+			}
+		}
+	}
+	res := &Regions{Signal: sig}
+	idx := 0
+	for _, comp := range g.connectedComponents(erPlus) {
+		idx++
+		res.ER = append(res.ER, newRegion(g, sig, Plus, idx, comp))
+	}
+	idx = 0
+	for _, comp := range g.connectedComponents(erMinus) {
+		idx++
+		res.ER = append(res.ER, newRegion(g, sig, Minus, idx, comp))
+	}
+	idx = 0
+	for _, comp := range g.connectedComponents(qr1) {
+		idx++
+		// QR(+a_i): a stable at 1, follows an up transition.
+		res.QR = append(res.QR, newRegion(g, sig, Plus, idx, comp))
+	}
+	idx = 0
+	for _, comp := range g.connectedComponents(qr0) {
+		idx++
+		res.QR = append(res.QR, newRegion(g, sig, Minus, idx, comp))
+	}
+	// Associate each ER with the QR entered when its transition fires.
+	res.QRAfter = make([]int, len(res.ER))
+	for i, er := range res.ER {
+		res.QRAfter[i] = -1
+		for _, s := range er.States {
+			to, ok := g.Successor(s, sig)
+			if !ok {
+				continue
+			}
+			for j, qr := range res.QR {
+				if qr.Dir == er.Dir && qr.Contains(to) {
+					res.QRAfter[i] = j
+					break
+				}
+			}
+			if res.QRAfter[i] >= 0 {
+				break
+			}
+		}
+	}
+	return res
+}
+
+// ERLabel renders an excitation region name such as "ER(+d,1)".
+func (g *Graph) ERLabel(r *Region) string { return r.label(g, "ER") }
+
+// QRLabel renders a quiescent region name such as "QR(+d,1)".
+func (g *Graph) QRLabel(r *Region) string { return r.label(g, "QR") }
+
+// CFR returns the constant function region of the i-th excitation region
+// of res (Definition 7): ER(*a_i) ∪ QR(*a_i), as a state set.
+func (res *Regions) CFR(i int) map[int]bool {
+	out := make(map[int]bool)
+	for _, s := range res.ER[i].States {
+		out[s] = true
+	}
+	if j := res.QRAfter[i]; j >= 0 {
+		for _, s := range res.QR[j].States {
+			out[s] = true
+		}
+	}
+	return out
+}
+
+// Trigger is a transition that can enter an excitation region from
+// outside (Definition 10).
+type Trigger struct {
+	Signal int
+	Dir    Dir
+	From   int // state outside the region
+	To     int // state inside the region
+}
+
+// Triggers returns the trigger transitions of region er: edges from a
+// state outside the region to a state inside it, excluding the region's
+// own signal.
+func (g *Graph) Triggers(er *Region) []Trigger {
+	var out []Trigger
+	for _, s := range er.States {
+		for _, e := range g.States[s].Pred {
+			if er.Contains(e.To) || e.Signal == er.Signal {
+				continue
+			}
+			out = append(out, Trigger{Signal: e.Signal, Dir: e.Dir, From: e.To, To: s})
+		}
+	}
+	return out
+}
+
+// Ordered reports whether signal b is ordered with respect to the
+// excitation region er (Definition 11): no transition of b is excited
+// within er. The region's own signal is not ordered with itself.
+func (g *Graph) Ordered(er *Region, b int) bool {
+	if b == er.Signal {
+		return false
+	}
+	for _, s := range er.States {
+		if g.Excited(s, b) {
+			return false
+		}
+	}
+	return true
+}
+
+// Concurrent reports whether signal b is concurrent with er's transition
+// (the negation of Ordered for signals other than er's own).
+func (g *Graph) Concurrent(er *Region, b int) bool {
+	if b == er.Signal {
+		return false
+	}
+	return !g.Ordered(er, b)
+}
+
+// PersistencyViolation describes a trigger signal that is concurrent with
+// the excitation region it triggers (Definition 12).
+type PersistencyViolation struct {
+	Region  *Region
+	Trigger int // trigger signal that is non-persistent
+}
+
+// PersistencyViolations returns every (excitation region, trigger signal)
+// pair of non-input signals violating persistency. A state graph is
+// persistent when the result is empty.
+func (g *Graph) PersistencyViolations() []PersistencyViolation {
+	var out []PersistencyViolation
+	for sig := range g.Signals {
+		if g.Input[sig] {
+			continue
+		}
+		regs := g.RegionsOf(sig)
+		for _, er := range regs.ER {
+			seen := map[int]bool{}
+			for _, tr := range g.Triggers(er) {
+				if seen[tr.Signal] {
+					continue
+				}
+				seen[tr.Signal] = true
+				if g.Concurrent(er, tr.Signal) {
+					out = append(out, PersistencyViolation{Region: er, Trigger: tr.Signal})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Persistent reports whether every non-input excitation region is
+// persistent with respect to its trigger signals (Definition 12).
+func (g *Graph) Persistent() bool { return len(g.PersistencyViolations()) == 0 }

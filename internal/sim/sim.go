@@ -1,0 +1,337 @@
+// Package sim is an event-driven gate-level simulator for the
+// speed-independent firing model: every gate, once excited, fires after
+// its own (randomly drawn or injected) delay; if an input change removes
+// the excitation before the gate fires, the gate has been *disabled* —
+// exactly the semi-modularity hazard of the unbounded delay model.
+//
+// The simulator complements the exhaustive verifier in internal/verify:
+// the verifier enumerates the complete composed state space, while the
+// simulator executes long random runs under concrete delay assignments,
+// supports targeted failure injection (pin a particular gate slow or
+// fast), and reports the hazards it actually witnesses with timestamps.
+// The environment is the specification's mirror: enabled input
+// transitions fire after random environment delays, with input choices
+// resolved by the random source.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/netlist"
+	"repro/internal/sg"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Seed drives all randomness (delays and choice resolution).
+	Seed int64
+	// MaxEvents bounds the run (default 10000).
+	MaxEvents int
+	// GateDelay is the half-open delay range [Min, Max) for gates;
+	// defaults to [1, 10).
+	GateDelayMin, GateDelayMax float64
+	// InputDelayMin/Max is the environment's reaction delay range;
+	// defaults to [1, 20).
+	InputDelayMin, InputDelayMax float64
+	// InjectDelay pins the delay of specific gates (by gate index),
+	// overriding the random draw — targeted failure injection.
+	InjectDelay map[int]float64
+	// Trace receives a line per executed event when non-nil.
+	Trace func(string)
+	// Waveform records every net's value changes when non-nil, for VCD
+	// export.
+	Waveform *Waveform
+}
+
+func (c *Config) fill() {
+	if c.MaxEvents == 0 {
+		c.MaxEvents = 10000
+	}
+	if c.GateDelayMax == 0 {
+		c.GateDelayMin, c.GateDelayMax = 1, 10
+	}
+	if c.InputDelayMax == 0 {
+		c.InputDelayMin, c.InputDelayMax = 1, 20
+	}
+}
+
+// Hazard is a witnessed semi-modularity violation: the gate was excited
+// at Since and disabled at Time by the named disturbance.
+type Hazard struct {
+	Time     float64
+	Since    float64
+	Gate     string
+	Disabler string
+}
+
+// Result summarizes a simulation run.
+type Result struct {
+	Events      int
+	Fires       int // gate and input transitions executed
+	Cycles      int // returns to the initial specification state
+	Hazards     []Hazard
+	Unexpected  []string // conformance violations
+	RSConflicts []string
+	Deadlocked  bool    // nothing left to fire before MaxEvents
+	EndTime     float64 // simulated time at the end of the run
+}
+
+// OK reports whether the run completed without hazards or conformance
+// violations.
+func (r *Result) OK() bool {
+	return len(r.Hazards) == 0 && len(r.Unexpected) == 0 && len(r.RSConflicts) == 0
+}
+
+// String renders a short summary.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "simulated %d events, %d fires, %d cycles, t=%.1f",
+		r.Events, r.Fires, r.Cycles, r.EndTime)
+	if r.Deadlocked {
+		b.WriteString(", deadlocked")
+	}
+	for _, h := range r.Hazards {
+		fmt.Fprintf(&b, "\n  hazard at t=%.2f: %s disabled by %s (excited since t=%.2f)",
+			h.Time, h.Gate, h.Disabler, h.Since)
+	}
+	for _, u := range r.Unexpected {
+		fmt.Fprintf(&b, "\n  unexpected output: %s", u)
+	}
+	for _, c := range r.RSConflicts {
+		fmt.Fprintf(&b, "\n  RS conflict: %s", c)
+	}
+	return b.String()
+}
+
+// event is a scheduled firing.
+type event struct {
+	time    float64
+	seq     int  // tie-break for determinism
+	isInput bool // environment transition vs gate firing
+	gate    int  // gate index (gates)
+	signal  int  // specification signal (inputs)
+	epoch   int  // cancellation token
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Run simulates the netlist against its specification environment.
+func Run(nl *netlist.Netlist, spec *sg.Graph, cfg Config) *Result {
+	cfg.fill()
+	rr := rand.New(rand.NewSource(cfg.Seed))
+	res := &Result{}
+
+	// Fixed per-gate delays: the SI model's "unknown but fixed" delays.
+	gateDelay := make([]float64, len(nl.Gates))
+	for i := range gateDelay {
+		if d, ok := cfg.InjectDelay[i]; ok {
+			gateDelay[i] = d
+		} else {
+			gateDelay[i] = cfg.GateDelayMin + rr.Float64()*(cfg.GateDelayMax-cfg.GateDelayMin)
+		}
+	}
+
+	// Initial values (same settling as the verifier).
+	values := make([]bool, nl.NumNets())
+	for sig := range spec.Signals {
+		values[nl.SignalNet[sig]] = spec.Value(spec.Initial, sig)
+	}
+	for ni, n := range nl.Nets {
+		if n.ComplementOf >= 0 {
+			values[ni] = !spec.Value(spec.Initial, n.ComplementOf)
+		}
+	}
+	for iter := 0; ; iter++ {
+		changed := false
+		for gi, g := range nl.Gates {
+			if !nl.SettleAtInit(gi) {
+				continue
+			}
+			if next := nl.Eval(values, gi); values[g.Out] != next {
+				values[g.Out] = next
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		if iter > nl.NumNets()+4 {
+			res.Unexpected = append(res.Unexpected, "combinational cycle at initialization")
+			return res
+		}
+	}
+
+	if cfg.Waveform != nil {
+		for ni, v := range values {
+			cfg.Waveform.Record(0, ni, v)
+		}
+	}
+
+	specState := spec.Initial
+	now := 0.0
+	seq := 0
+
+	var queue eventQueue
+	// pending firing per gate / per input signal, for cancellation.
+	gatePending := make([]*event, len(nl.Gates))
+	gateSince := make([]float64, len(nl.Gates))
+	inputPending := map[int]*event{}
+
+	scheduleGate := func(gi int) {
+		if gatePending[gi] != nil {
+			return
+		}
+		seq++
+		e := &event{time: now + gateDelay[gi], seq: seq, gate: gi}
+		gatePending[gi] = e
+		gateSince[gi] = now
+		heap.Push(&queue, e)
+	}
+	scheduleInput := func(sig int) {
+		if inputPending[sig] != nil {
+			return
+		}
+		seq++
+		d := cfg.InputDelayMin + rr.Float64()*(cfg.InputDelayMax-cfg.InputDelayMin)
+		e := &event{time: now + d, seq: seq, isInput: true, signal: sig}
+		inputPending[sig] = e
+		heap.Push(&queue, e)
+	}
+
+	// refresh reconciles pending events with the current excitations
+	// after any net change or spec move; disabler names the transition
+	// responsible for disablements.
+	refresh := func(disabler string) {
+		for gi := range nl.Gates {
+			excited := nl.Eval(values, gi) != values[nl.Gates[gi].Out]
+			switch {
+			case excited && gatePending[gi] == nil:
+				scheduleGate(gi)
+			case !excited && gatePending[gi] != nil:
+				// Disabled before firing: the hazard of the pure
+				// unbounded-delay model.
+				gatePending[gi].epoch = -1 // cancel
+				gatePending[gi] = nil
+				if len(res.Hazards) < 16 {
+					res.Hazards = append(res.Hazards, Hazard{
+						Time: now, Since: gateSince[gi],
+						Gate: nl.Gates[gi].Name, Disabler: disabler,
+					})
+				}
+			}
+		}
+		enabled := map[int]bool{}
+		for _, e := range spec.States[specState].Succ {
+			if spec.Input[e.Signal] {
+				enabled[e.Signal] = true
+				scheduleInput(e.Signal)
+			}
+		}
+		for sig, e := range inputPending {
+			if !enabled[sig] {
+				// Input withdrawn by the environment's own choice
+				// resolution — benign.
+				e.epoch = -1
+				delete(inputPending, sig)
+			}
+		}
+	}
+	refresh("initialization")
+
+	for res.Events < cfg.MaxEvents && len(queue) > 0 {
+		e := heap.Pop(&queue).(*event)
+		if e.epoch == -1 {
+			continue // cancelled
+		}
+		res.Events++
+		now = e.time
+		res.EndTime = now
+
+		if e.isInput {
+			delete(inputPending, e.signal)
+			to, ok := spec.Successor(specState, e.signal)
+			if !ok {
+				continue // stale
+			}
+			values[nl.SignalNet[e.signal]] = !values[nl.SignalNet[e.signal]]
+			specState = to
+			res.Fires++
+			if cfg.Waveform != nil {
+				cfg.Waveform.Record(now, nl.SignalNet[e.signal], values[nl.SignalNet[e.signal]])
+			}
+			if cfg.Trace != nil {
+				cfg.Trace(fmt.Sprintf("t=%8.2f input %s → spec s%d", now, spec.Signals[e.signal], specState))
+			}
+			refresh("input " + spec.Signals[e.signal])
+			if specState == spec.Initial {
+				res.Cycles++
+			}
+			continue
+		}
+
+		gi := e.gate
+		if gatePending[gi] != e {
+			continue // superseded
+		}
+		gatePending[gi] = nil
+		g := nl.Gates[gi]
+		next := nl.Eval(values, gi)
+		if next == values[g.Out] {
+			continue // excitation vanished exactly now (already reported)
+		}
+		// RS drive check at firing time.
+		if g.Kind == netlist.RSLatch {
+			s := values[g.Pins[0].Net] != g.Pins[0].Invert
+			r := values[g.Pins[1].Net] != g.Pins[1].Invert
+			if s && r && len(res.RSConflicts) < 16 {
+				res.RSConflicts = append(res.RSConflicts,
+					fmt.Sprintf("%s fired with S=R=1 at t=%.2f", g.Name, now))
+			}
+		}
+		values[g.Out] = next
+		res.Fires++
+		if cfg.Waveform != nil {
+			cfg.Waveform.Record(now, g.Out, next)
+		}
+		if cfg.Trace != nil {
+			cfg.Trace(fmt.Sprintf("t=%8.2f gate %s = %v", now, g.Name, next))
+		}
+		if sig := nl.Nets[g.Out].Signal; sig >= 0 {
+			to, ok := spec.Successor(specState, sig)
+			if !ok {
+				if len(res.Unexpected) < 16 {
+					res.Unexpected = append(res.Unexpected,
+						fmt.Sprintf("%s fired at t=%.2f in spec state s%d", g.Name, now, specState))
+				}
+				return res
+			}
+			specState = to
+			if specState == spec.Initial {
+				res.Cycles++
+			}
+		}
+		refresh("gate " + g.Name)
+	}
+	res.Deadlocked = len(queue) == 0
+	return res
+}

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Waveform records value changes per net during a simulation run, for
+// export in the IEEE 1364 VCD (value change dump) format that standard
+// waveform viewers read.
+type Waveform struct {
+	names   []string
+	changes []change
+	last    map[int]bool
+}
+
+type change struct {
+	time float64
+	net  int
+	val  bool
+}
+
+// NewWaveform creates a recorder for the given net names.
+func NewWaveform(netNames []string) *Waveform {
+	return &Waveform{names: append([]string(nil), netNames...), last: map[int]bool{}}
+}
+
+// Record notes the value of a net at a time; consecutive identical
+// values are dropped.
+func (w *Waveform) Record(time float64, net int, val bool) {
+	if v, ok := w.last[net]; ok && v == val {
+		return
+	}
+	w.last[net] = val
+	w.changes = append(w.changes, change{time: time, net: net, val: val})
+}
+
+// vcdID produces the short ASCII identifier of a net.
+func vcdID(i int) string {
+	const alphabet = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	var b strings.Builder
+	for {
+		b.WriteByte(alphabet[i%len(alphabet)])
+		i /= len(alphabet)
+		if i == 0 {
+			return b.String()
+		}
+	}
+}
+
+// sanitize makes a net name VCD-friendly.
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+// WriteVCD emits the recorded waveform. Timestamps are scaled by 100 to
+// preserve two decimal places of the simulator's float time.
+func (w *Waveform) WriteVCD(out io.Writer, module string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "$timescale 10ps $end\n$scope module %s $end\n", sanitize(module))
+	for i, n := range w.names {
+		fmt.Fprintf(&b, "$var wire 1 %s %s $end\n", vcdID(i), sanitize(n))
+	}
+	b.WriteString("$upscope $end\n$enddefinitions $end\n")
+
+	sort.SliceStable(w.changes, func(i, j int) bool { return w.changes[i].time < w.changes[j].time })
+	lastT := -1
+	for _, c := range w.changes {
+		t := int(c.time * 100)
+		if t != lastT {
+			fmt.Fprintf(&b, "#%d\n", t)
+			lastT = t
+		}
+		v := "0"
+		if c.val {
+			v = "1"
+		}
+		fmt.Fprintf(&b, "%s%s\n", v, vcdID(c.net))
+	}
+	_, err := io.WriteString(out, b.String())
+	return err
+}

@@ -1,0 +1,88 @@
+package sim_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/benchdata"
+	"repro/internal/sim"
+	"repro/internal/stg"
+)
+
+func TestVCDExport(t *testing.T) {
+	e, _ := benchdata.Table1ByName("Delement")
+	g, err := stg.BuildSG(e.STG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, final := mcNetlist(t, g)
+	names := make([]string, nl.NumNets())
+	for i, n := range nl.Nets {
+		names[i] = n.Name
+	}
+	wf := sim.NewWaveform(names)
+	res := sim.Run(nl, final, sim.Config{Seed: 7, MaxEvents: 400, Waveform: wf})
+	if !res.OK() {
+		t.Fatalf("simulation failed: %s", res)
+	}
+	var b strings.Builder
+	if err := wf.WriteVCD(&b, "Delement"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"$timescale", "$scope module Delement $end", "$enddefinitions",
+		"$var wire 1 ! ", "#0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out[:min(400, len(out))])
+		}
+	}
+	// Every net must be declared; time stamps monotone.
+	if got := strings.Count(out, "$var wire"); got != nl.NumNets() {
+		t.Errorf("declared %d nets, want %d", got, nl.NumNets())
+	}
+	lastT := -1
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "#") {
+			var ts int
+			if _, err := fmtSscanf(line[1:], &ts); err != nil {
+				t.Fatalf("bad timestamp %q", line)
+			}
+			if ts < lastT {
+				t.Fatalf("timestamps not monotone: %d after %d", ts, lastT)
+			}
+			lastT = ts
+		}
+	}
+	if lastT <= 0 {
+		t.Fatal("no time progression recorded")
+	}
+}
+
+func fmtSscanf(s string, v *int) (int, error) {
+	n := 0
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			break
+		}
+		n = n*10 + int(r-'0')
+	}
+	*v = n
+	return 1, nil
+}
+
+func TestWaveformDedupes(t *testing.T) {
+	wf := sim.NewWaveform([]string{"a"})
+	wf.Record(0, 0, false)
+	wf.Record(1, 0, false) // duplicate value: dropped
+	wf.Record(2, 0, true)
+	var b strings.Builder
+	if err := wf.WriteVCD(&b, "m"); err != nil {
+		t.Fatal(err)
+	}
+	body := b.String()[strings.Index(b.String(), "$enddefinitions"):]
+	if strings.Count(body, "\n0!") != 1 || strings.Count(body, "\n1!") != 1 {
+		t.Fatalf("dedup failed:\n%s", body)
+	}
+}

@@ -1,0 +1,98 @@
+package stg
+
+import (
+	"bufio"
+	"fmt"
+	"strings"
+)
+
+// Parse reads an STG in the astg ".g" dialect. Lines beginning with '#'
+// and empty lines are ignored. Recognized directives: .model/.name,
+// .inputs, .outputs, .internal, .graph, .marking, .end; everything between
+// .graph and .marking is adjacency. Unknown dot-directives are skipped.
+func Parse(src string) (*STG, error) {
+	sc := bufio.NewScanner(strings.NewReader(src))
+	b := NewBuilder("stg")
+	var graphLines [][]string
+	var marking []string
+	inGraph := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch {
+		case strings.HasPrefix(line, ".model") || strings.HasPrefix(line, ".name"):
+			if len(fields) > 1 {
+				b.n.Name = fields[1]
+			}
+		case strings.HasPrefix(line, ".inputs"):
+			for _, s := range fields[1:] {
+				b.Signal(s, Input)
+			}
+		case strings.HasPrefix(line, ".outputs"):
+			for _, s := range fields[1:] {
+				b.Signal(s, Output)
+			}
+		case strings.HasPrefix(line, ".internal"):
+			for _, s := range fields[1:] {
+				b.Signal(s, Internal)
+			}
+		case strings.HasPrefix(line, ".graph"):
+			inGraph = true
+		case strings.HasPrefix(line, ".marking"):
+			inGraph = false
+			m := line[len(".marking"):]
+			m = strings.Trim(strings.TrimSpace(m), "{}")
+			m = strings.ReplaceAll(m, "<", " <")
+			m = strings.ReplaceAll(m, ">", "> ")
+			marking = strings.Fields(m)
+		case strings.HasPrefix(line, ".end"):
+			inGraph = false
+		case strings.HasPrefix(line, "."):
+			// Unknown directive (.dummy, .slowenv, …): ignore.
+		default:
+			if !inGraph {
+				return nil, fmt.Errorf("stg: line %d: adjacency outside .graph section: %q", lineNo, line)
+			}
+			graphLines = append(graphLines, fields)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, fields := range graphLines {
+		from := fields[0]
+		for _, to := range fields[1:] {
+			b.Arc(from, to)
+		}
+	}
+	for _, m := range marking {
+		if strings.HasPrefix(m, "<") && strings.HasSuffix(m, ">") {
+			pair := strings.Split(strings.Trim(m, "<>"), ",")
+			if len(pair) != 2 {
+				return nil, fmt.Errorf("stg: bad marking token %q", m)
+			}
+			b.MarkBetween(strings.TrimSpace(pair[0]), strings.TrimSpace(pair[1]))
+			continue
+		}
+		if _, ok := b.placeByID[m]; !ok {
+			return nil, fmt.Errorf("stg: marking references unknown place %q", m)
+		}
+		b.MarkPlace(m)
+	}
+	return b.Build(), nil
+}
+
+// MustParse parses src and panics on error; for embedded benchmark
+// definitions and tests.
+func MustParse(src string) *STG {
+	n, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}

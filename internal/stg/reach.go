@@ -1,0 +1,235 @@
+package stg
+
+import (
+	"fmt"
+
+	"repro/internal/sg"
+)
+
+// DefaultStateLimit bounds reachability exploration to guard against
+// state explosion in malformed nets.
+const DefaultStateLimit = 1 << 20
+
+// marking is a bitset over places.
+type marking []uint64
+
+func newMarking(places int) marking { return make(marking, (places+63)/64) }
+
+func (m marking) has(p int) bool { return m[p/64]>>uint(p%64)&1 == 1 }
+func (m marking) set(p int)      { m[p/64] |= 1 << uint(p%64) }
+func (m marking) clear(p int)    { m[p/64] &^= 1 << uint(p%64) }
+func (m marking) clone() marking { c := make(marking, len(m)); copy(c, m); return c }
+func (m marking) key() string {
+	b := make([]byte, len(m)*8)
+	for i, w := range m {
+		for j := 0; j < 8; j++ {
+			b[i*8+j] = byte(w >> uint(8*j))
+		}
+	}
+	return string(b)
+}
+
+// Enabled reports whether transition t is enabled under m.
+func (n *STG) Enabled(m marking, t int) bool {
+	if len(n.PreT[t]) == 0 {
+		return false // source transitions unsupported: would be unsafe
+	}
+	for _, p := range n.PreT[t] {
+		if !m.has(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// fire returns the marking after firing t, or an error when the net is
+// not 1-safe at this step.
+func (n *STG) fire(m marking, t int) (marking, error) {
+	out := m.clone()
+	for _, p := range n.PreT[t] {
+		out.clear(p)
+	}
+	for _, p := range n.PostT[t] {
+		if out.has(p) {
+			return nil, fmt.Errorf("stg: net not 1-safe: place %d doubly marked firing %s", p, n.TransLabel(t))
+		}
+		out.set(p)
+	}
+	return out, nil
+}
+
+// BuildSG explores the reachable markings of the net under interleaving
+// semantics, infers a consistent binary encoding of the signals, and
+// returns the state graph. It fails when the net is unsafe, the encoding
+// is inconsistent (the STG violates the consistent state assignment
+// rules), a signal never fires, or exploration exceeds DefaultStateLimit.
+func BuildSG(n *STG) (*sg.Graph, error) {
+	return BuildSGLimit(n, DefaultStateLimit)
+}
+
+// BuildSGLimit is BuildSG with an explicit bound on the number of states.
+func BuildSGLimit(n *STG, limit int) (*sg.Graph, error) {
+	if len(n.Signals) > 64 {
+		return nil, fmt.Errorf("stg: %d signals exceed the 64-signal limit", len(n.Signals))
+	}
+	if len(n.Trans) == 0 {
+		return nil, fmt.Errorf("stg: net has no transitions")
+	}
+	init := newMarking(n.NumPlaces())
+	for p, ok := range n.InitialMarking {
+		if ok {
+			init.set(p)
+		}
+	}
+
+	type edge struct{ from, trans, to int }
+	index := map[string]int{init.key(): 0}
+	marks := []marking{init}
+	var edges []edge
+	for head := 0; head < len(marks); head++ {
+		m := marks[head]
+		for t := range n.Trans {
+			if !n.Enabled(m, t) {
+				continue
+			}
+			next, err := n.fire(m, t)
+			if err != nil {
+				return nil, err
+			}
+			k := next.key()
+			to, ok := index[k]
+			if !ok {
+				to = len(marks)
+				if to >= limit {
+					return nil, fmt.Errorf("stg: state limit %d exceeded", limit)
+				}
+				index[k] = to
+				marks = append(marks, next)
+			}
+			edges = append(edges, edge{from: head, trans: t, to: to})
+		}
+	}
+
+	// Infer signal values. val[s*nsig+sig] ∈ {unknown, zero, one}.
+	const (
+		unknown int8 = iota
+		zero
+		one
+	)
+	nsig := len(n.Signals)
+	val := make([]int8, len(marks)*nsig)
+	at := func(s, sig int) *int8 { return &val[s*nsig+sig] }
+
+	assign := func(s, sig int, v int8) error {
+		cur := at(s, sig)
+		if *cur == unknown {
+			*cur = v
+			return nil
+		}
+		if *cur != v {
+			return fmt.Errorf("stg: inconsistent state assignment for signal %s", n.Signals[sig])
+		}
+		return nil
+	}
+
+	// Adjacency for propagation.
+	succ := make([][]edge, len(marks))
+	for _, e := range edges {
+		succ[e.from] = append(succ[e.from], e)
+	}
+
+	// Seed: an enabled a+ pins a=0, an enabled a- pins a=1.
+	for s := range marks {
+		for _, e := range succ[s] {
+			tr := n.Trans[e.trans]
+			want := zero
+			if tr.Dir == Minus {
+				want = one
+			}
+			if err := assign(s, tr.Signal, want); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Propagate along edges in both directions until fixpoint.
+	changed := true
+	for changed {
+		changed = false
+		for s := range marks {
+			for _, e := range succ[s] {
+				tr := n.Trans[e.trans]
+				for sig := 0; sig < nsig; sig++ {
+					var fwd int8
+					if sig == tr.Signal {
+						fwd = zero
+						if tr.Dir == Plus {
+							fwd = one
+						}
+					} else {
+						fwd = *at(s, sig)
+					}
+					if fwd != unknown && *at(e.to, sig) == unknown {
+						*at(e.to, sig) = fwd
+						changed = true
+					}
+					if fwd != unknown && *at(e.to, sig) != fwd {
+						return nil, fmt.Errorf("stg: inconsistent state assignment for signal %s", n.Signals[sig])
+					}
+					// Backward: value at destination implies value at
+					// source for unrelated signals.
+					if sig != tr.Signal {
+						back := *at(e.to, sig)
+						if back != unknown && *at(s, sig) == unknown {
+							*at(s, sig) = back
+							changed = true
+						}
+					} else {
+						// Before firing a±, a has the complementary value.
+						before := one
+						if tr.Dir == Plus {
+							before = zero
+						}
+						if err := assign(s, sig, before); err != nil {
+							return nil, err
+						}
+					}
+				}
+			}
+		}
+	}
+	for sig := 0; sig < nsig; sig++ {
+		if *at(0, sig) == unknown {
+			return nil, fmt.Errorf("stg: signal %s never fires; cannot infer its value", n.Signals[sig])
+		}
+	}
+
+	g := &sg.Graph{
+		Name:    n.Name,
+		Signals: append([]string(nil), n.Signals...),
+		Input:   make([]bool, nsig),
+		Initial: 0,
+	}
+	for i, k := range n.Kinds {
+		g.Input[i] = k == Input
+	}
+	for s := range marks {
+		var code uint64
+		for sig := 0; sig < nsig; sig++ {
+			if *at(s, sig) == one {
+				code |= 1 << uint(sig)
+			}
+		}
+		g.AddState(code)
+	}
+	for _, e := range edges {
+		tr := n.Trans[e.trans]
+		d := sg.Plus
+		if tr.Dir == Minus {
+			d = sg.Minus
+		}
+		if err := g.AddEdge(e.from, e.to, tr.Signal, d); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,343 @@
+// Package stg implements Signal Transition Graphs — interpreted safe
+// Petri nets whose transitions are labelled with rising (+) and falling
+// (−) signal edges. STGs are the high-level front-end of the synthesis
+// flow: the paper's theory works on state graphs, and this package builds
+// them by playing the token game over the net's reachable markings
+// (interleaving semantics) while inferring a consistent binary encoding.
+//
+// The textual format understood by Parse is the astg ".g" dialect used by
+// SIS and petrify: ".inputs"/".outputs"/".internal" declarations, a
+// ".graph" section of adjacency lines over transitions (a+, b-, c+/2) and
+// explicit places, and a ".marking { ... }" line with <t,t'> denoting
+// tokens on implicit places.
+package stg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SignalKind classifies a signal.
+type SignalKind int8
+
+// Signal kinds.
+const (
+	Input SignalKind = iota
+	Output
+	Internal
+)
+
+// Dir is the direction of a transition label.
+type Dir int8
+
+// Directions.
+const (
+	Plus  Dir = +1
+	Minus Dir = -1
+)
+
+func (d Dir) String() string {
+	if d == Plus {
+		return "+"
+	}
+	return "-"
+}
+
+// Transition is a labelled Petri-net transition: the Occur-th occurrence
+// of signal Signal switching in direction Dir.
+type Transition struct {
+	Signal int
+	Dir    Dir
+	Occur  int // 1-based occurrence index; /1 is printed without suffix
+}
+
+// STG is a labelled safe Petri net.
+type STG struct {
+	Name    string
+	Signals []string
+	Kinds   []SignalKind
+	Trans   []Transition
+
+	// Places: PreT[t] lists places consumed by transition t, PostT[t]
+	// places produced. PlaceNames[p] is "" for implicit places.
+	PlaceNames []string
+	PreT       [][]int
+	PostT      [][]int
+
+	// InitialMarking[p] reports whether place p initially holds a token.
+	InitialMarking []bool
+}
+
+// NumPlaces returns the number of places.
+func (n *STG) NumPlaces() int { return len(n.PlaceNames) }
+
+// SignalIndex returns the id of a named signal or -1.
+func (n *STG) SignalIndex(name string) int {
+	for i, s := range n.Signals {
+		if s == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// TransLabel renders transition t as "a+", "b-", "c+/2".
+func (n *STG) TransLabel(t int) string {
+	tr := n.Trans[t]
+	s := n.Signals[tr.Signal] + tr.Dir.String()
+	if tr.Occur > 1 {
+		s += fmt.Sprintf("/%d", tr.Occur)
+	}
+	return s
+}
+
+// findTrans returns the index of the transition with the given label
+// parts, or -1.
+func (n *STG) findTrans(sig int, d Dir, occur int) int {
+	for i, t := range n.Trans {
+		if t.Signal == sig && t.Dir == d && t.Occur == occur {
+			return i
+		}
+	}
+	return -1
+}
+
+// Builder incrementally constructs an STG. All methods panic on misuse
+// (duplicate signals, unknown names); builders are driven by tests and
+// embedded benchmark definitions where a panic is a programming error.
+type Builder struct {
+	n         *STG
+	placeByID map[string]int
+}
+
+// NewBuilder returns a Builder for a named STG.
+func NewBuilder(name string) *Builder {
+	return &Builder{n: &STG{Name: name}, placeByID: map[string]int{}}
+}
+
+// Signal declares a signal and returns its id.
+func (b *Builder) Signal(name string, kind SignalKind) int {
+	if b.n.SignalIndex(name) >= 0 {
+		panic("stg: duplicate signal " + name)
+	}
+	b.n.Signals = append(b.n.Signals, name)
+	b.n.Kinds = append(b.n.Kinds, kind)
+	return len(b.n.Signals) - 1
+}
+
+// trans interns the transition with the given label parts.
+func (b *Builder) trans(label string) int {
+	sig, d, occur, err := b.n.parseTransLabel(label)
+	if err != nil {
+		panic(err)
+	}
+	if t := b.n.findTrans(sig, d, occur); t >= 0 {
+		return t
+	}
+	b.n.Trans = append(b.n.Trans, Transition{Signal: sig, Dir: d, Occur: occur})
+	b.n.PreT = append(b.n.PreT, nil)
+	b.n.PostT = append(b.n.PostT, nil)
+	return len(b.n.Trans) - 1
+}
+
+// place interns a named (explicit) place.
+func (b *Builder) place(name string) int {
+	if p, ok := b.placeByID[name]; ok {
+		return p
+	}
+	p := len(b.n.PlaceNames)
+	b.n.PlaceNames = append(b.n.PlaceNames, name)
+	b.n.InitialMarking = append(b.n.InitialMarking, false)
+	b.placeByID[name] = p
+	return p
+}
+
+// implicitPlace creates (or returns) the implicit place between two
+// transitions.
+func (b *Builder) implicitPlace(from, to int) int {
+	key := fmt.Sprintf("<%s,%s>", b.n.TransLabel(from), b.n.TransLabel(to))
+	if p, ok := b.placeByID[key]; ok {
+		return p
+	}
+	p := len(b.n.PlaceNames)
+	b.n.PlaceNames = append(b.n.PlaceNames, "")
+	b.n.InitialMarking = append(b.n.InitialMarking, false)
+	b.placeByID[key] = p
+	b.n.PostT[from] = append(b.n.PostT[from], p)
+	b.n.PreT[to] = append(b.n.PreT[to], p)
+	return p
+}
+
+// Arc adds an arc between two nodes given as labels: transition labels
+// ("a+", "b-/2") or explicit place names (anything else). An arc between
+// two transitions creates the implicit place between them.
+func (b *Builder) Arc(from, to string) {
+	fromT, toT := b.isTransLabel(from), b.isTransLabel(to)
+	switch {
+	case fromT && toT:
+		b.implicitPlace(b.trans(from), b.trans(to))
+	case fromT && !toT:
+		t, p := b.trans(from), b.place(to)
+		b.n.PostT[t] = append(b.n.PostT[t], p)
+	case !fromT && toT:
+		p, t := b.place(from), b.trans(to)
+		b.n.PreT[t] = append(b.n.PreT[t], p)
+	default:
+		panic("stg: place-to-place arc " + from + " -> " + to)
+	}
+}
+
+// isTransLabel reports whether the label parses as a transition of a
+// declared signal.
+func (b *Builder) isTransLabel(label string) bool {
+	_, _, _, err := b.n.parseTransLabel(label)
+	return err == nil
+}
+
+// MarkPlace puts the initial token on an explicit place.
+func (b *Builder) MarkPlace(name string) {
+	p, ok := b.placeByID[name]
+	if !ok {
+		panic("stg: marking unknown place " + name)
+	}
+	b.n.InitialMarking[p] = true
+}
+
+// MarkBetween puts the initial token on the implicit place between two
+// transitions (creating it if the arc was not yet declared).
+func (b *Builder) MarkBetween(from, to string) {
+	p := b.implicitPlace(b.trans(from), b.trans(to))
+	b.n.InitialMarking[p] = true
+}
+
+// Build finalizes and returns the STG.
+func (b *Builder) Build() *STG { return b.n }
+
+// parseTransLabel splits "a+", "b-", "c+/2" into components. It fails
+// when the signal is undeclared or the syntax is wrong.
+func (n *STG) parseTransLabel(label string) (sig int, d Dir, occur int, err error) {
+	occur = 1
+	body := label
+	if i := strings.IndexByte(label, '/'); i >= 0 {
+		if _, e := fmt.Sscanf(label[i+1:], "%d", &occur); e != nil || occur < 1 {
+			return 0, 0, 0, fmt.Errorf("stg: bad occurrence suffix in %q", label)
+		}
+		body = label[:i]
+	}
+	if len(body) < 2 {
+		return 0, 0, 0, fmt.Errorf("stg: bad transition label %q", label)
+	}
+	switch body[len(body)-1] {
+	case '+':
+		d = Plus
+	case '-':
+		d = Minus
+	default:
+		return 0, 0, 0, fmt.Errorf("stg: transition label %q lacks +/-", label)
+	}
+	sig = n.SignalIndex(body[:len(body)-1])
+	if sig < 0 {
+		return 0, 0, 0, fmt.Errorf("stg: unknown signal in label %q", label)
+	}
+	return sig, d, occur, nil
+}
+
+// Format renders the STG in the astg ".g" dialect.
+func (n *STG) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".model %s\n", n.Name)
+	var ins, outs, ints []string
+	for i, s := range n.Signals {
+		switch n.Kinds[i] {
+		case Input:
+			ins = append(ins, s)
+		case Output:
+			outs = append(outs, s)
+		default:
+			ints = append(ints, s)
+		}
+	}
+	if len(ins) > 0 {
+		fmt.Fprintf(&b, ".inputs %s\n", strings.Join(ins, " "))
+	}
+	if len(outs) > 0 {
+		fmt.Fprintf(&b, ".outputs %s\n", strings.Join(outs, " "))
+	}
+	if len(ints) > 0 {
+		fmt.Fprintf(&b, ".internal %s\n", strings.Join(ints, " "))
+	}
+	b.WriteString(".graph\n")
+	// Adjacency: for each transition, successors through implicit places;
+	// explicit places printed by name.
+	type adj struct {
+		from string
+		tos  []string
+	}
+	var rows []adj
+	for t := range n.Trans {
+		row := adj{from: n.TransLabel(t)}
+		for _, p := range n.PostT[t] {
+			if n.PlaceNames[p] != "" {
+				row.tos = append(row.tos, n.PlaceNames[p])
+				continue
+			}
+			for t2 := range n.Trans {
+				for _, q := range n.PreT[t2] {
+					if q == p {
+						row.tos = append(row.tos, n.TransLabel(t2))
+					}
+				}
+			}
+		}
+		if len(row.tos) > 0 {
+			rows = append(rows, row)
+		}
+	}
+	for p, name := range n.PlaceNames {
+		if name == "" {
+			continue
+		}
+		row := adj{from: name}
+		for t := range n.Trans {
+			for _, q := range n.PreT[t] {
+				if q == p {
+					row.tos = append(row.tos, n.TransLabel(t))
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	for _, r := range rows {
+		sort.Strings(r.tos)
+		fmt.Fprintf(&b, "%s %s\n", r.from, strings.Join(r.tos, " "))
+	}
+	// Marking.
+	var marks []string
+	for p, m := range n.InitialMarking {
+		if !m {
+			continue
+		}
+		if n.PlaceNames[p] != "" {
+			marks = append(marks, n.PlaceNames[p])
+			continue
+		}
+		var from, to string
+		for t := range n.Trans {
+			for _, q := range n.PostT[t] {
+				if q == p {
+					from = n.TransLabel(t)
+				}
+			}
+			for _, q := range n.PreT[t] {
+				if q == p {
+					to = n.TransLabel(t)
+				}
+			}
+		}
+		marks = append(marks, fmt.Sprintf("<%s,%s>", from, to))
+	}
+	sort.Strings(marks)
+	fmt.Fprintf(&b, ".marking { %s }\n.end\n", strings.Join(marks, " "))
+	return b.String()
+}

@@ -1,0 +1,300 @@
+package stg_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stg"
+)
+
+const handshakeG = `
+# simple two-phase handshake
+.model handshake
+.inputs req
+.outputs ack
+.graph
+req+ ack+
+ack+ req-
+req- ack-
+ack- req+
+.marking { <ack-,req+> }
+.end
+`
+
+const diamondG = `
+.model diamond
+.inputs r
+.outputs x y
+.graph
+r+ x+ y+
+x+ r-
+y+ r-
+r- x- y-
+x- r+
+y- r+
+.marking { <x-,r+> <y-,r+> }
+.end
+`
+
+const choiceG = `
+.model choice
+.inputs a b
+.outputs c
+.graph
+p0 a+ b+
+a+ c+
+c+ a-
+a- c-
+c- p0
+b+ c+/2
+c+/2 b-
+b- c-/2
+c-/2 p0
+.marking { p0 }
+.end
+`
+
+func TestParseHandshake(t *testing.T) {
+	n, err := stg.Parse(handshakeG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "handshake" {
+		t.Errorf("name = %q", n.Name)
+	}
+	if len(n.Signals) != 2 || len(n.Trans) != 4 {
+		t.Fatalf("signals=%d trans=%d", len(n.Signals), len(n.Trans))
+	}
+	if n.Kinds[n.SignalIndex("req")] != stg.Input {
+		t.Error("req must be an input")
+	}
+	if n.Kinds[n.SignalIndex("ack")] != stg.Output {
+		t.Error("ack must be an output")
+	}
+}
+
+func TestHandshakeSG(t *testing.T) {
+	g, err := stg.BuildSG(stg.MustParse(handshakeG))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumStates() != 4 {
+		t.Fatalf("handshake SG has %d states, want 4", g.NumStates())
+	}
+	if !g.SemiModular() {
+		t.Error("handshake is semi-modular")
+	}
+	if !g.USC() {
+		t.Error("handshake has unique state codes")
+	}
+	// Initial state: both signals 0, req+ excited.
+	if g.States[g.Initial].Code != 0 {
+		t.Errorf("initial code = %b", g.States[g.Initial].Code)
+	}
+	if !g.Excited(g.Initial, g.SignalIndex("req")) {
+		t.Error("req+ must be excited initially")
+	}
+	if g.Excited(g.Initial, g.SignalIndex("ack")) {
+		t.Error("ack must be stable initially")
+	}
+}
+
+func TestDiamondSG(t *testing.T) {
+	g, err := stg.BuildSG(stg.MustParse(diamondG))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumStates() != 8 {
+		t.Fatalf("diamond SG has %d states, want 8", g.NumStates())
+	}
+	if !g.SemiModular() {
+		t.Error("marked graphs are semi-modular")
+	}
+	if !g.Distributive() {
+		t.Error("this marked graph is distributive")
+	}
+	// x and y are concurrent after r+: some state has both excited.
+	x, y := g.SignalIndex("x"), g.SignalIndex("y")
+	both := false
+	for s := 0; s < g.NumStates(); s++ {
+		if g.Excited(s, x) && g.Excited(s, y) {
+			both = true
+		}
+	}
+	if !both {
+		t.Error("x and y should be concurrently excited somewhere")
+	}
+}
+
+func TestChoiceSG(t *testing.T) {
+	g, err := stg.BuildSG(stg.MustParse(choiceG))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumStates() != 7 {
+		t.Fatalf("choice SG has %d states, want 7", g.NumStates())
+	}
+	if g.SemiModular() {
+		t.Error("input choice creates a (benign) conflict state")
+	}
+	if !g.OutputSemiModular() {
+		t.Error("the choice is between inputs only")
+	}
+	// c fires in both branches: two ER(+c) regions.
+	c := g.SignalIndex("c")
+	regs := g.RegionsOf(c)
+	plus := 0
+	for _, er := range regs.ER {
+		if er.Dir > 0 {
+			plus++
+		}
+	}
+	if plus != 2 {
+		t.Errorf("ER(+c) regions = %d, want 2", plus)
+	}
+}
+
+func TestUnsafeNetRejected(t *testing.T) {
+	src := `
+.model unsafe
+.inputs a
+.outputs b
+.graph
+p a+
+a+ q
+b+ q
+r b+
+a- p
+q a-
+.marking { p r q }
+.end
+`
+	n, err := stg.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stg.BuildSG(n); err == nil || !strings.Contains(err.Error(), "1-safe") {
+		t.Fatalf("unsafe net must be rejected, got %v", err)
+	}
+}
+
+func TestInconsistentAssignmentRejected(t *testing.T) {
+	// a+ fires twice in a row without a-.
+	src := `
+.model inconsistent
+.inputs a b
+.graph
+a+ b+
+b+ a+/2
+a+/2 b-
+b- a+
+.marking { <b-,a+> }
+.end
+`
+	n, err := stg.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stg.BuildSG(n); err == nil || !strings.Contains(err.Error(), "inconsistent") {
+		t.Fatalf("inconsistent STG must be rejected, got %v", err)
+	}
+}
+
+func TestUnusedSignalRejected(t *testing.T) {
+	src := `
+.model unused
+.inputs a ghost
+.outputs b
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end
+`
+	n, err := stg.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stg.BuildSG(n); err == nil || !strings.Contains(err.Error(), "never fires") {
+		t.Fatalf("unused signal must be rejected, got %v", err)
+	}
+}
+
+func TestStateLimit(t *testing.T) {
+	n := stg.MustParse(diamondG)
+	if _, err := stg.BuildSGLimit(n, 3); err == nil || !strings.Contains(err.Error(), "state limit") {
+		t.Fatalf("limit must trigger, got %v", err)
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	for _, src := range []string{handshakeG, diamondG, choiceG} {
+		n1 := stg.MustParse(src)
+		g1, err := stg.BuildSG(n1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := n1.Format()
+		n2, err := stg.Parse(text)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v\n%s", err, text)
+		}
+		g2, err := stg.BuildSG(n2)
+		if err != nil {
+			t.Fatalf("re-build failed: %v\n%s", err, text)
+		}
+		if g1.NumStates() != g2.NumStates() {
+			t.Errorf("round trip changed state count: %d → %d\n%s",
+				g1.NumStates(), g2.NumStates(), text)
+		}
+	}
+}
+
+func TestTransLabels(t *testing.T) {
+	n := stg.MustParse(choiceG)
+	labels := map[string]bool{}
+	for i := range n.Trans {
+		labels[n.TransLabel(i)] = true
+	}
+	for _, want := range []string{"a+", "a-", "b+", "b-", "c+", "c+/2", "c-", "c-/2"} {
+		if !labels[want] {
+			t.Errorf("missing transition %q (have %v)", want, labels)
+		}
+	}
+}
+
+func TestBuilderAPI(t *testing.T) {
+	b := stg.NewBuilder("toy")
+	b.Signal("a", stg.Input)
+	b.Signal("z", stg.Output)
+	b.Arc("a+", "z+")
+	b.Arc("z+", "a-")
+	b.Arc("a-", "z-")
+	b.Arc("z-", "a+")
+	b.MarkBetween("z-", "a+")
+	g, err := stg.BuildSG(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumStates() != 4 {
+		t.Fatalf("states = %d", g.NumStates())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := stg.Parse(".model x\n.graph\n"); err == nil {
+		// no transitions: error surfaces at BuildSG
+		n := stg.MustParse(".model x\n.graph\n")
+		if _, err := stg.BuildSG(n); err == nil {
+			t.Fatal("empty net must be rejected")
+		}
+	}
+	if _, err := stg.Parse("junk line\n"); err == nil {
+		t.Fatal("adjacency outside .graph must be rejected")
+	}
+	if _, err := stg.Parse(".inputs a\n.graph\na+ a-\n.marking { q }\n.end\n"); err == nil {
+		t.Fatal("marking with unknown place must be rejected")
+	}
+}

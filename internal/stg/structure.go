@@ -1,0 +1,244 @@
+package stg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Class is the structural class of the underlying Petri net.
+type Class int8
+
+// Structural net classes, from most to least restricted.
+const (
+	// MarkedGraph: every place has at most one producer and one consumer
+	// — no choice, only concurrency (the STGs of distributive circuits).
+	MarkedGraph Class = iota
+	// StateMachine: every transition has at most one input and one
+	// output place — no concurrency, only choice.
+	StateMachine
+	// FreeChoice: conflicts are free — if a place feeds several
+	// transitions, it is their only input place.
+	FreeChoice
+	// General: none of the above.
+	General
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case MarkedGraph:
+		return "marked graph"
+	case StateMachine:
+		return "state machine"
+	case FreeChoice:
+		return "free choice"
+	default:
+		return "general"
+	}
+}
+
+// preP and postP compute the producer/consumer transitions of a place.
+func (n *STG) placeArcs() (preP, postP [][]int) {
+	preP = make([][]int, n.NumPlaces())
+	postP = make([][]int, n.NumPlaces())
+	for t := range n.Trans {
+		for _, p := range n.PostT[t] {
+			preP[p] = append(preP[p], t)
+		}
+		for _, p := range n.PreT[t] {
+			postP[p] = append(postP[p], t)
+		}
+	}
+	return preP, postP
+}
+
+// Classify determines the structural class of the net.
+func (n *STG) Classify() Class {
+	preP, postP := n.placeArcs()
+	mg := true
+	for p := range n.PlaceNames {
+		if len(preP[p]) > 1 || len(postP[p]) > 1 {
+			mg = false
+			break
+		}
+	}
+	if mg {
+		return MarkedGraph
+	}
+	sm := true
+	for t := range n.Trans {
+		if len(n.PreT[t]) > 1 || len(n.PostT[t]) > 1 {
+			sm = false
+			break
+		}
+	}
+	if sm {
+		return StateMachine
+	}
+	fc := true
+	for p := range n.PlaceNames {
+		if len(postP[p]) <= 1 {
+			continue
+		}
+		for _, t := range postP[p] {
+			if len(n.PreT[t]) != 1 {
+				fc = false
+			}
+		}
+	}
+	if fc {
+		return FreeChoice
+	}
+	return General
+}
+
+// CheckMarkedGraphLive verifies the classical liveness criterion for
+// marked graphs: every directed cycle carries at least one token.
+// It returns an error naming a token-free cycle, or nil. Calling it on a
+// non-marked-graph net returns an error.
+func (n *STG) CheckMarkedGraphLive() error {
+	if n.Classify() != MarkedGraph {
+		return fmt.Errorf("stg: %s is not a marked graph", n.Name)
+	}
+	// Transitions are nodes; an unmarked place is an edge from its
+	// producer to its consumer. A cycle in this graph is a token-free
+	// cycle of the net.
+	preP, postP := n.placeArcs()
+	adj := make([][]int, len(n.Trans)) // successor transitions via unmarked places
+	label := make([]map[int]int, len(n.Trans))
+	for p := range n.PlaceNames {
+		if n.InitialMarking[p] || len(preP[p]) == 0 || len(postP[p]) == 0 {
+			continue
+		}
+		from, to := preP[p][0], postP[p][0]
+		adj[from] = append(adj[from], to)
+		if label[from] == nil {
+			label[from] = map[int]int{}
+		}
+		label[from][to] = p
+	}
+	const (
+		white = iota
+		gray
+		black
+	)
+	color := make([]int8, len(n.Trans))
+	parent := make([]int, len(n.Trans))
+	for i := range parent {
+		parent[i] = -1
+	}
+	var cycleAt int = -1
+	var cycleTo int
+	var dfs func(t int) bool
+	dfs = func(t int) bool {
+		color[t] = gray
+		for _, u := range adj[t] {
+			if color[u] == gray {
+				cycleAt, cycleTo = t, u
+				return true
+			}
+			if color[u] == white {
+				parent[u] = t
+				if dfs(u) {
+					return true
+				}
+			}
+		}
+		color[t] = black
+		return false
+	}
+	for t := range n.Trans {
+		if color[t] == white && dfs(t) {
+			// Reconstruct the cycle for the diagnostic.
+			var names []string
+			names = append(names, n.TransLabel(cycleTo))
+			for v := cycleAt; v != cycleTo && v != -1; v = parent[v] {
+				names = append(names, n.TransLabel(v))
+			}
+			for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+				names[i], names[j] = names[j], names[i]
+			}
+			return fmt.Errorf("stg: token-free cycle: %s", strings.Join(names, " → "))
+		}
+	}
+	return nil
+}
+
+// CheckSignalBalance verifies that every signal has both rising and
+// falling transitions — a necessary structural condition for a
+// consistent, cyclic STG.
+func (n *STG) CheckSignalBalance() error {
+	type pair struct{ plus, minus bool }
+	seen := make([]pair, len(n.Signals))
+	for _, tr := range n.Trans {
+		if tr.Dir == Plus {
+			seen[tr.Signal].plus = true
+		} else {
+			seen[tr.Signal].minus = true
+		}
+	}
+	for sig, p := range seen {
+		if !p.plus || !p.minus {
+			return fmt.Errorf("stg: signal %s lacks %s transitions",
+				n.Signals[sig], map[bool]string{true: "falling", false: "rising"}[p.plus])
+		}
+	}
+	return nil
+}
+
+// StructureReport summarizes the structural analysis.
+type StructureReport struct {
+	Class      Class
+	Places     int
+	Trans      int
+	Tokens     int
+	Live       error // marked-graph liveness verdict (nil, a cycle, or inapplicable)
+	Balanced   error
+	ChoicePlcs int // places with more than one consumer
+}
+
+// Structure computes the report.
+func (n *STG) Structure() StructureReport {
+	_, postP := n.placeArcs()
+	rep := StructureReport{
+		Class:    n.Classify(),
+		Places:   n.NumPlaces(),
+		Trans:    len(n.Trans),
+		Balanced: n.CheckSignalBalance(),
+	}
+	for p := range n.PlaceNames {
+		if n.InitialMarking[p] {
+			rep.Tokens++
+		}
+		if len(postP[p]) > 1 {
+			rep.ChoicePlcs++
+		}
+	}
+	if rep.Class == MarkedGraph {
+		rep.Live = n.CheckMarkedGraphLive()
+	} else {
+		rep.Live = fmt.Errorf("stg: liveness check only implemented for marked graphs")
+	}
+	return rep
+}
+
+// String renders the report.
+func (r StructureReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "class: %s\n", r.Class)
+	fmt.Fprintf(&b, "places: %d (%d marked, %d choice), transitions: %d\n",
+		r.Places, r.Tokens, r.ChoicePlcs, r.Trans)
+	if r.Class == MarkedGraph {
+		if r.Live == nil {
+			b.WriteString("liveness: every cycle marked\n")
+		} else {
+			fmt.Fprintf(&b, "liveness: %v\n", r.Live)
+		}
+	}
+	if r.Balanced == nil {
+		b.WriteString("signal transitions: balanced")
+	} else {
+		fmt.Fprintf(&b, "signal transitions: %v", r.Balanced)
+	}
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package stg
+
+import (
+	"fmt"
+
+	"repro/internal/bdd"
+)
+
+// SymbolicReport is the result of BDD-based reachability over the net's
+// markings.
+type SymbolicReport struct {
+	States    uint64 // reachable 1-safe markings (= state-graph states)
+	Iters     int    // image iterations to the fixpoint
+	BDDNodes  int    // node-table size over the whole run
+	FinalSize int    // BDD size of the reachable-set function
+	Unsafe    bool   // a transition could doubly mark a place
+}
+
+// SymbolicReachability computes the reachable markings of the net
+// symbolically: one BDD variable per place, breadth-first image
+// computation until fixpoint. It detects 1-safeness violations exactly
+// like the explicit token game and is cross-checked against it in the
+// tests; unlike the explicit exploration it scales with BDD size rather
+// than state count (a k-way fork has 2^k + 2^k markings but a linear
+// BDD).
+func SymbolicReachability(n *STG) (SymbolicReport, error) {
+	places := n.NumPlaces()
+	if places == 0 {
+		return SymbolicReport{}, fmt.Errorf("stg: net has no places")
+	}
+	m := bdd.New(places)
+
+	// Initial marking as a minterm.
+	init := bdd.True
+	for p := 0; p < places; p++ {
+		if n.InitialMarking[p] {
+			init = m.And(init, m.Var(p))
+		} else {
+			init = m.And(init, m.NVar(p))
+		}
+	}
+
+	// Per-transition enabling conditions and frame data.
+	type trans struct {
+		en      int   // all pre-places marked
+		changed []int // places whose value changes
+		post    int   // values of changed places after firing
+		unsafe  int   // condition: some produced place already marked
+	}
+	ts := make([]trans, len(n.Trans))
+	for t := range n.Trans {
+		en := bdd.True
+		pre := map[int]bool{}
+		for _, p := range n.PreT[t] {
+			en = m.And(en, m.Var(p))
+			pre[p] = true
+		}
+		post := map[int]bool{}
+		for _, p := range n.PostT[t] {
+			post[p] = true
+		}
+		tr := trans{en: en, unsafe: bdd.False}
+		after := bdd.True
+		for p := range pre {
+			if !post[p] {
+				tr.changed = append(tr.changed, p)
+				after = m.And(after, m.NVar(p))
+			}
+		}
+		for p := range post {
+			if !pre[p] {
+				tr.changed = append(tr.changed, p)
+				after = m.And(after, m.Var(p))
+				// Unsafe if p is already marked while the transition is
+				// enabled.
+				tr.unsafe = m.Or(tr.unsafe, m.Var(p))
+			}
+		}
+		tr.post = after
+		ts[t] = tr
+	}
+
+	reached := init
+	frontier := init
+	rep := SymbolicReport{}
+	for frontier != bdd.False {
+		rep.Iters++
+		next := bdd.False
+		for t := range ts {
+			enabled := m.And(frontier, ts[t].en)
+			if enabled == bdd.False {
+				continue
+			}
+			if m.And(enabled, ts[t].unsafe) != bdd.False {
+				rep.Unsafe = true
+				rep.BDDNodes = m.NumNodes()
+				return rep, fmt.Errorf("stg: net not 1-safe (transition %s)", n.TransLabel(t))
+			}
+			img := m.ExistsAll(enabled, ts[t].changed)
+			img = m.And(img, ts[t].post)
+			next = m.Or(next, img)
+		}
+		frontier = m.Diff(next, reached)
+		reached = m.Or(reached, frontier)
+		if rep.Iters > 1<<20 {
+			return rep, fmt.Errorf("stg: symbolic fixpoint did not converge")
+		}
+	}
+	rep.States = m.SatCount(reached)
+	rep.BDDNodes = m.NumNodes()
+	rep.FinalSize = m.Size(reached)
+	return rep, nil
+}

@@ -1,0 +1,103 @@
+package stg_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/benchdata"
+	"repro/internal/stg"
+)
+
+func TestSymbolicMatchesExplicitOnFixtures(t *testing.T) {
+	for _, src := range []string{handshakeG, diamondG, choiceG} {
+		n := stg.MustParse(src)
+		g, err := stg.BuildSG(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := stg.SymbolicReachability(n)
+		if err != nil {
+			t.Fatalf("%s: %v", n.Name, err)
+		}
+		if rep.States != uint64(g.NumStates()) {
+			t.Errorf("%s: symbolic %d states, explicit %d", n.Name, rep.States, g.NumStates())
+		}
+	}
+}
+
+func TestSymbolicMatchesExplicitOnTable1(t *testing.T) {
+	for _, e := range benchdata.Table1 {
+		n := e.STG()
+		g, err := stg.BuildSG(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := stg.SymbolicReachability(n)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if rep.States != uint64(g.NumStates()) {
+			t.Errorf("%s: symbolic %d states, explicit %d", e.Name, rep.States, g.NumStates())
+		}
+		if rep.Iters == 0 || rep.BDDNodes == 0 {
+			t.Errorf("%s: degenerate report %+v", e.Name, rep)
+		}
+	}
+}
+
+func TestSymbolicScalesOnWideFork(t *testing.T) {
+	// A 18-way fork has 2·2^18 = 524288 markings: far beyond comfortable
+	// explicit exploration, trivial symbolically.
+	n := benchdata.GenParallelizer(18)
+	rep, err := stg.SymbolicReachability(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(2) << 18; rep.States != want {
+		t.Fatalf("fork18: %d states, want %d", rep.States, want)
+	}
+	// The reachable set of a fork is almost a product form: its BDD is
+	// tiny even though it encodes half a million markings.
+	if rep.FinalSize > 500 {
+		t.Errorf("reachable-set BDD has %d nodes, expected a compact form", rep.FinalSize)
+	}
+}
+
+func TestSymbolicDetectsUnsafe(t *testing.T) {
+	src := `
+.model unsafe
+.inputs a
+.outputs b
+.graph
+p a+
+a+ q
+b+ q
+r b+
+a- p
+q a-
+.marking { p r q }
+.end
+`
+	n := stg.MustParse(src)
+	_, err := stg.SymbolicReachability(n)
+	if err == nil || !strings.Contains(err.Error(), "1-safe") {
+		t.Fatalf("unsafe net must be reported, got %v", err)
+	}
+}
+
+func TestSymbolicMatchesRandomSpecs(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		spec := benchdata.GenRandomSpec(seed, 4)
+		g, err := stg.BuildSG(spec.Net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := stg.SymbolicReachability(spec.Net)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.States != uint64(g.NumStates()) {
+			t.Errorf("seed %d: symbolic %d, explicit %d", seed, rep.States, g.NumStates())
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Package synth is the end-to-end synthesis pipeline of the paper:
+//
+//	STG → state graph → behavioural checks → Monotonous Cover analysis
+//	    → (if needed) SAT-driven state-signal insertion (Section V)
+//	    → per-region MC cubes, optionally share-optimized (Section VI)
+//	    → standard C- or RS-implementation (Section III)
+//	    → speed-independence verification (Theorem 3, checked
+//	      empirically on every synthesized circuit).
+package synth
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/encode"
+	"repro/internal/netlist"
+	"repro/internal/sg"
+	"repro/internal/stg"
+	"repro/internal/verify"
+)
+
+// Options configures a synthesis run.
+type Options struct {
+	// RS selects the standard RS-implementation instead of the standard
+	// C-implementation.
+	RS bool
+	// Share enables the Section-VI generalized-MC gate sharing.
+	Share bool
+	// Repair configures the state-signal insertion loop.
+	Repair encode.Options
+	// SkipVerify skips the final speed-independence verification.
+	SkipVerify bool
+	// VerifyLimit bounds the composed state space (0 = default).
+	VerifyLimit int
+	// SkipBisim skips the check that state-signal insertion preserved
+	// the specification's visible behaviour (weak bisimulation with the
+	// inserted signals hidden).
+	SkipBisim bool
+}
+
+// Report is the complete outcome of one synthesis run.
+type Report struct {
+	Name  string
+	Spec  *sg.Graph // the input specification
+	Final *sg.Graph // after state-signal insertion (== Spec when none)
+
+	Props        sg.PropertyReport
+	AddedSignals []string
+	MC           *core.Report
+	SharedSaved  int // AND terms saved by Section-VI sharing
+	Netlist      *netlist.Netlist
+	Stats        netlist.Stats
+	Verify       *verify.Result
+
+	// Phase durations.
+	AnalyzeTime time.Duration
+	RepairTime  time.Duration
+	CoverTime   time.Duration
+	VerifyTime  time.Duration
+}
+
+// OK reports whether synthesis succeeded end to end (including
+// verification when it ran).
+func (r *Report) OK() bool {
+	if r.MC == nil || !r.MC.Satisfied() || r.Netlist == nil {
+		return false
+	}
+	return r.Verify == nil || r.Verify.OK()
+}
+
+// Summary renders a human-readable synthesis report.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", r.Name)
+	fmt.Fprintf(&b, "spec: %d signals, %d states\n", r.Spec.NumSignals(), r.Spec.NumStates())
+	fmt.Fprintf(&b, "%s\n", indent(r.Props.String()))
+	if len(r.AddedSignals) > 0 {
+		fmt.Fprintf(&b, "inserted state signals: %s (final graph: %d states)\n",
+			strings.Join(r.AddedSignals, ", "), r.Final.NumStates())
+	} else {
+		fmt.Fprintf(&b, "inserted state signals: none\n")
+	}
+	if r.MC != nil {
+		fmt.Fprintf(&b, "MC covers:\n%s", indent(r.MC.String()))
+	}
+	if r.SharedSaved > 0 {
+		fmt.Fprintf(&b, "gate sharing saved %d AND terms\n", r.SharedSaved)
+	}
+	if r.Netlist != nil {
+		fmt.Fprintf(&b, "netlist (%s):\n%s", r.Stats, indent(r.Netlist.String()))
+	}
+	if r.Verify != nil {
+		fmt.Fprintf(&b, "verification: %s\n", r.Verify)
+	}
+	fmt.Fprintf(&b, "times: analyze=%v repair=%v covers=%v verify=%v\n",
+		r.AnalyzeTime.Round(time.Microsecond), r.RepairTime.Round(time.Microsecond),
+		r.CoverTime.Round(time.Microsecond), r.VerifyTime.Round(time.Microsecond))
+	return b.String()
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	return "  " + strings.Join(lines, "\n  ") + "\n"
+}
+
+// FromSTGSource parses an STG in .g syntax and synthesizes it.
+func FromSTGSource(src string, opts Options) (*Report, error) {
+	net, err := stg.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return FromSTG(net, opts)
+}
+
+// FromSTG builds the state graph of the net and synthesizes it.
+func FromSTG(net *stg.STG, opts Options) (*Report, error) {
+	g, err := stg.BuildSG(net)
+	if err != nil {
+		return nil, err
+	}
+	return FromGraph(g, opts)
+}
+
+// FromGraph synthesizes a state-graph specification.
+func FromGraph(g *sg.Graph, opts Options) (*Report, error) {
+	rep := &Report{Name: g.Name, Spec: g, Final: g}
+
+	t0 := time.Now()
+	if err := g.CheckConsistency(); err != nil {
+		return rep, err
+	}
+	rep.Props = g.Check()
+	rep.AnalyzeTime = time.Since(t0)
+	if !rep.Props.OutputSemiModular {
+		return rep, fmt.Errorf("synth: %s is not output semi-modular; no speed-independent implementation exists", g.Name)
+	}
+
+	t1 := time.Now()
+	fixed, err := encode.Repair(g, opts.Repair)
+	rep.RepairTime = time.Since(t1)
+	if err != nil {
+		return rep, err
+	}
+	rep.Final = fixed.G
+	rep.AddedSignals = fixed.Added
+	rep.MC = fixed.Report
+	if len(rep.AddedSignals) > 0 && !opts.SkipBisim && g.NumStates() <= 4096 {
+		if err := sg.WeaklyBisimilar(g, rep.Final); err != nil {
+			return rep, fmt.Errorf("synth: insertion changed the visible behaviour: %w", err)
+		}
+	}
+
+	t2 := time.Now()
+	fns := map[int]netlist.SR{}
+	if opts.Share {
+		shared, saved, err := rep.MC.A.ShareOptimize(rep.MC)
+		if err != nil {
+			return rep, err
+		}
+		rep.SharedSaved = saved
+		for sig, f := range shared {
+			fns[sig] = netlist.SR{Set: f.Set, Reset: f.Reset}
+		}
+	} else {
+		for sig := range rep.Final.Signals {
+			if rep.Final.Input[sig] {
+				continue
+			}
+			set, reset, err := rep.MC.ExcitationFunctions(sig)
+			if err != nil {
+				return rep, err
+			}
+			fns[sig] = netlist.SR{Set: set, Reset: reset}
+		}
+	}
+	nl, err := netlist.Build(rep.Final, fns, netlist.Options{RS: opts.RS, Share: opts.Share})
+	rep.CoverTime = time.Since(t2)
+	if err != nil {
+		return rep, err
+	}
+	rep.Netlist = nl
+	rep.Stats = nl.Stats()
+
+	if !opts.SkipVerify {
+		t3 := time.Now()
+		limit := opts.VerifyLimit
+		if limit == 0 {
+			limit = verify.DefaultStateLimit
+		}
+		rep.Verify = verify.CheckLimit(nl, rep.Final, limit)
+		rep.VerifyTime = time.Since(t3)
+		if !rep.Verify.OK() {
+			return rep, fmt.Errorf("synth: %s: synthesized circuit failed verification:\n%s", g.Name, rep.Verify)
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,172 @@
+// Package tech performs technology mapping of the standard
+// implementations onto a bounded-fan-in gate library: wide AND/OR gates
+// are decomposed into trees, input bubbles become explicit inverters,
+// and an area estimate is produced.
+//
+// Mapping is where speed-independence meets reality: the paper proves
+// the UNMAPPED standard implementation hazard-free, notes that separate
+// input inverters break pure speed-independence, and justifies them with
+// the relative timing constraint d_inv^max < D_sn^min. This package
+// makes those residues explicit: every mapping step that is not
+// SI-preserving emits a timing Obligation, and ValidateObligations
+// checks the mapped circuit by random-delay simulation under delay
+// assignments that honour the obligations.
+package tech
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/netlist"
+	"repro/internal/sg"
+	"repro/internal/sim"
+	"repro/internal/verify"
+)
+
+// Library describes the target cell library.
+type Library struct {
+	// MaxFanin bounds AND/OR fan-in (0 = unbounded, no decomposition).
+	MaxFanin int
+	// ExplicitInverters replaces pin bubbles by inverter cells.
+	ExplicitInverters bool
+}
+
+// Obligation is a relative-timing assumption the mapped circuit needs
+// because a mapping step is not speed-independence preserving.
+type Obligation struct {
+	// Gates lists the affected gate indices in the mapped netlist.
+	Gates []int
+	// Rule is the constraint, e.g. "d_inv^max < D_sn^min".
+	Rule string
+	// Why explains the hazard avoided.
+	Why string
+}
+
+// Result is the outcome of mapping.
+type Result struct {
+	Netlist     *netlist.Netlist
+	Cells       map[string]int
+	Area        float64
+	Obligations []Obligation
+	// UntimedSI reports whether the mapped circuit is still
+	// speed-independent without any timing assumption.
+	UntimedSI bool
+}
+
+// String renders a mapping summary.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "area %.1f, cells:", r.Area)
+	for _, k := range []string{"AND", "OR", "NOR", "INV", "C", "RS", "WIRE"} {
+		if n := r.Cells[k]; n > 0 {
+			fmt.Fprintf(&b, " %s×%d", k, n)
+		}
+	}
+	fmt.Fprintf(&b, "\nuntimed speed-independent: %v\n", r.UntimedSI)
+	for _, o := range r.Obligations {
+		fmt.Fprintf(&b, "timing obligation (%d gates): %s — %s\n", len(o.Gates), o.Rule, o.Why)
+	}
+	return b.String()
+}
+
+// area per cell kind; AND/OR pay per input.
+func cellArea(g netlist.Gate) float64 {
+	switch g.Kind {
+	case netlist.And, netlist.Or, netlist.Nor:
+		return 1 + 0.5*float64(len(g.Pins))
+	case netlist.Wire:
+		return 0.5
+	case netlist.CElem:
+		return 3
+	case netlist.RSLatch:
+		return 2
+	case netlist.Complex:
+		return 2 + float64(g.Fn.LiteralCount())
+	default:
+		return 1
+	}
+}
+
+// Map applies the library constraints to the netlist and verifies the
+// result against the specification.
+func Map(nl *netlist.Netlist, spec *sg.Graph, lib Library) (*Result, error) {
+	mapped := nl
+	var obligations []Obligation
+
+	if lib.ExplicitInverters {
+		mapped = netlist.ExplicitInverters(mapped)
+		invs := mapped.InverterGates()
+		if len(invs) > 0 {
+			obligations = append(obligations, Obligation{
+				Gates: invs,
+				Rule:  "d_inv^max < D_sn^min",
+				Why: "a separate input inverter is an unacknowledged gate; the paper's " +
+					"relational constraint keeps every inverter faster than any signal network",
+			})
+		}
+	}
+	if lib.MaxFanin >= 2 {
+		before := len(mapped.Gates)
+		d, err := netlist.Decompose(mapped, lib.MaxFanin)
+		if err != nil {
+			return nil, err
+		}
+		if len(d.Gates) > before {
+			// Decomposition names internal tree nodes "<base>[level.idx]".
+			var internal []int
+			for gi := range d.Gates {
+				if strings.Contains(d.Gates[gi].Name, "[") {
+					internal = append(internal, gi)
+				}
+			}
+			obligations = append(obligations, Obligation{
+				Gates: internal,
+				Rule:  "d_tree^max < D_env^min",
+				Why: "internal tree nodes compute sub-cubes wider than the monotonous cover " +
+					"and can be disabled; they must settle before the environment reacts",
+			})
+		}
+		mapped = d
+	}
+
+	res := &Result{Netlist: mapped, Cells: map[string]int{}}
+	for _, g := range mapped.Gates {
+		name := g.Kind.String()
+		if g.Kind == netlist.Wire && len(g.Pins) == 1 && g.Pins[0].Invert {
+			name = "INV"
+		}
+		res.Cells[name]++
+		res.Area += cellArea(g)
+	}
+	res.Obligations = obligations
+	// Hazardous mapped circuits can have very large composed state
+	// spaces; a bounded exploration is enough for the verdict (a
+	// truncated run is conservatively reported as not SI).
+	res.UntimedSI = verify.CheckLimit(mapped, spec, 1<<16).OK()
+	return res, nil
+}
+
+// ValidateObligations simulates the mapped circuit over the given seeds
+// with delay assignments honouring every obligation (obligated gates
+// pinned fast) and reports the first failure, or nil when all runs are
+// clean — the empirical counterpart of the paper's claim that the
+// relational constraint restores hazard freedom.
+func ValidateObligations(res *Result, spec *sg.Graph, seeds int) error {
+	inject := map[int]float64{}
+	for _, o := range res.Obligations {
+		for _, gi := range o.Gates {
+			inject[gi] = 0.01 // far below the default [1,10) gate delays
+		}
+	}
+	for seed := 0; seed < seeds; seed++ {
+		r := sim.Run(res.Netlist, spec, sim.Config{
+			Seed:        int64(seed),
+			MaxEvents:   2000,
+			InjectDelay: inject,
+		})
+		if !r.OK() {
+			return fmt.Errorf("tech: obligation validation failed at seed %d: %s", seed, r)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package tech_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/benchdata"
+	"repro/internal/netlist"
+	"repro/internal/sg"
+	"repro/internal/stg"
+	"repro/internal/synth"
+	"repro/internal/tech"
+)
+
+func synthFor(t *testing.T, name string) (*netlist.Netlist, *sg.Graph) {
+	t.Helper()
+	e, ok := benchdata.Table1ByName(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %s", name)
+	}
+	g, err := stg.BuildSG(e.STG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := synth.FromGraph(g, synth.Options{SkipVerify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.Netlist, rep.Final
+}
+
+func TestMapIdentity(t *testing.T) {
+	nl, spec := synthFor(t, "Delement")
+	res, err := tech.Map(nl, spec, tech.Library{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.UntimedSI {
+		t.Fatal("identity mapping must stay speed-independent")
+	}
+	if len(res.Obligations) != 0 {
+		t.Fatalf("identity mapping needs no obligations: %v", res.Obligations)
+	}
+	if res.Area <= 0 || len(res.Cells) == 0 {
+		t.Fatalf("degenerate report: %+v", res)
+	}
+}
+
+func TestMapWithInverters(t *testing.T) {
+	nl, spec := synthFor(t, "berkel2")
+	res, err := tech.Map(nl, spec, tech.Library{ExplicitInverters: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UntimedSI {
+		t.Fatal("explicit inverters must break untimed SI here")
+	}
+	if len(res.Obligations) != 1 {
+		t.Fatalf("expected the inverter obligation, got %v", res.Obligations)
+	}
+	if !strings.Contains(res.Obligations[0].Rule, "d_inv") {
+		t.Fatalf("rule = %q", res.Obligations[0].Rule)
+	}
+	if res.Cells["INV"] == 0 {
+		t.Fatalf("inverter cells missing: %v", res.Cells)
+	}
+	// The paper's constraint restores hazard freedom: honoring the
+	// obligation in simulation yields clean runs.
+	if err := tech.ValidateObligations(res, spec, 15); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapWithFaninBound(t *testing.T) {
+	nl, spec := synthFor(t, "duplicator")
+	if nl.MaxFanin() <= 2 {
+		t.Skip("benchmark has no wide gates")
+	}
+	res, err := tech.Map(nl, spec, tech.Library{MaxFanin: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Netlist.MaxFanin() > 2 {
+		t.Fatal("fan-in bound not enforced")
+	}
+	if res.UntimedSI {
+		t.Fatal("fan-in decomposition must break untimed SI here")
+	}
+	found := false
+	for _, o := range res.Obligations {
+		if strings.Contains(o.Rule, "d_tree") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing the tree obligation: %v", res.Obligations)
+	}
+	if err := tech.ValidateObligations(res, spec, 15); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapFullLibrary(t *testing.T) {
+	nl, spec := synthFor(t, "Delement")
+	res, err := tech.Map(nl, spec, tech.Library{MaxFanin: 2, ExplicitInverters: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := res.String(); !strings.Contains(s, "area") || !strings.Contains(s, "obligation") {
+		t.Errorf("summary rendering:\n%s", s)
+	}
+	if err := tech.ValidateObligations(res, spec, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapObligationsNotAlwaysSufficient(t *testing.T) {
+	// An honest negative result: combining fan-in decomposition WITH
+	// explicit inverters on nowick leaves a residual race that the two
+	// local obligations do not cover (an excitation-function pulse
+	// disabling a latch mid-reset). The paper's relational constraint is
+	// stated for the inverter-only mapping of the standard
+	// implementation; SI-preserving full technology mapping is a harder
+	// problem, and the validator exposes it rather than hiding it.
+	nl, spec := synthFor(t, "nowick")
+	res, err := tech.Map(nl, spec, tech.Library{MaxFanin: 2, ExplicitInverters: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tech.ValidateObligations(res, spec, 10); err == nil {
+		t.Skip("mapping validated on this run; the residual race did not fire")
+	}
+}

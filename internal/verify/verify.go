@@ -1,0 +1,378 @@
+// Package verify checks speed-independence of a gate-level circuit
+// against its state-graph specification.
+//
+// The circuit is closed with its environment — the mirror of the
+// specification (Molnar's Foam Rubber Wrapper view): the environment
+// fires input transitions exactly when the specification allows them,
+// and observes output transitions. Every gate output is a separate
+// signal with unbounded pure delay (Section III of the paper). The
+// composed reachable state space is explored exhaustively and the
+// verifier reports:
+//
+//   - semi-modularity violations of internal and output gates (an
+//     excited gate gets disabled before firing) — these are exactly the
+//     potential hazards under the pure/unbounded gate delay model;
+//   - conformance violations (the circuit produces an output transition
+//     the specification does not allow);
+//   - RS latch drive conflicts (S and R active simultaneously).
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/netlist"
+	"repro/internal/sg"
+)
+
+// DefaultStateLimit bounds composed-state exploration.
+const DefaultStateLimit = 1 << 22
+
+// maxWitnesses bounds how many violations of each kind are collected.
+const maxWitnesses = 16
+
+// Hazard is a semi-modularity violation of a gate: in state State, gate
+// Gate was excited, and firing By disabled it.
+type Hazard struct {
+	Gate     int    // index into the netlist's gate list
+	GateName string // human-readable gate name
+	By       string // description of the disabling transition
+	State    string // rendering of the composed state
+	// Trace is the transition sequence from the initial state to State
+	// (possibly elided in the middle for very long paths).
+	Trace []string
+}
+
+// Unexpected is a conformance violation: an output gate fired although
+// the specification does not enable that output transition.
+type Unexpected struct {
+	Signal int
+	State  string
+}
+
+// Result is the verification outcome.
+type Result struct {
+	States     int
+	Hazards    []Hazard
+	Unexpected []Unexpected
+	RSConflict []string
+	Deadlocks  []string // composed states with no enabled transition
+	Truncated  bool     // state limit was hit
+}
+
+// OK reports whether the circuit verified hazard-free, conformant and
+// deadlock-free.
+func (r *Result) OK() bool {
+	return len(r.Hazards) == 0 && len(r.Unexpected) == 0 && len(r.RSConflict) == 0 &&
+		len(r.Deadlocks) == 0 && !r.Truncated
+}
+
+// String renders a short verdict.
+func (r *Result) String() string {
+	if r.OK() {
+		return fmt.Sprintf("speed-independent: yes (%d composed states)", r.States)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "speed-independent: NO (%d composed states)\n", r.States)
+	for _, h := range r.Hazards {
+		fmt.Fprintf(&b, "  hazard: gate %s disabled by %s in state %s\n", h.GateName, h.By, h.State)
+		if len(h.Trace) > 0 {
+			fmt.Fprintf(&b, "    via: %s\n", strings.Join(h.Trace, " "))
+		}
+	}
+	for _, u := range r.Unexpected {
+		fmt.Fprintf(&b, "  unexpected output: signal %d in state %s\n", u.Signal, u.State)
+	}
+	for _, c := range r.RSConflict {
+		fmt.Fprintf(&b, "  RS drive conflict: %s\n", c)
+	}
+	for _, d := range r.Deadlocks {
+		fmt.Fprintf(&b, "  deadlock: %s\n", d)
+	}
+	if r.Truncated {
+		b.WriteString("  state limit exceeded\n")
+	}
+	return b.String()
+}
+
+// funcVal evaluates the steady-state value a pin would settle to if the
+// combinational network were given time: latch outputs and primary
+// inputs keep their current values, AND/OR gates are recomputed
+// recursively. visiting guards against (malformed) combinational cycles.
+func funcVal(nl *netlist.Netlist, vals []bool, p netlist.Pin, visiting map[int]bool) bool {
+	v := netVal(nl, vals, p.Net, visiting)
+	if p.Invert {
+		return !v
+	}
+	return v
+}
+
+func netVal(nl *netlist.Netlist, vals []bool, net int, visiting map[int]bool) bool {
+	d := nl.Nets[net].Driver
+	if d < 0 || visiting[net] {
+		return vals[net]
+	}
+	g := nl.Gates[d]
+	if !g.Kind.Combinational() {
+		return vals[net]
+	}
+	visiting[net] = true
+	defer delete(visiting, net)
+	switch g.Kind {
+	case netlist.And:
+		for _, p := range g.Pins {
+			if !funcVal(nl, vals, p, visiting) {
+				return false
+			}
+		}
+		return true
+	case netlist.Or:
+		for _, p := range g.Pins {
+			if funcVal(nl, vals, p, visiting) {
+				return true
+			}
+		}
+		return false
+	default:
+		return vals[net]
+	}
+}
+
+// transition is one enabled move of the composed system.
+type transition struct {
+	isInput bool
+	signal  int // for inputs: specification signal
+	gate    int // for gates: netlist gate index
+}
+
+func (t transition) describe(nl *netlist.Netlist) string {
+	if t.isInput {
+		return "input " + nl.G.Signals[t.signal]
+	}
+	return "gate " + nl.Gates[t.gate].Name
+}
+
+// Check explores the composition of the netlist with its specification
+// environment and returns the verification result.
+func Check(nl *netlist.Netlist, spec *sg.Graph) *Result {
+	return CheckLimit(nl, spec, DefaultStateLimit)
+}
+
+// CheckLimit is Check with an explicit composed-state bound.
+func CheckLimit(nl *netlist.Netlist, spec *sg.Graph, limit int) *Result {
+	res := &Result{}
+	nNets := nl.NumNets()
+
+	// Initial values: primary signal nets from the spec's initial code,
+	// combinational nets settled to their stable values.
+	values := make([]bool, nNets)
+	for sig := range spec.Signals {
+		values[nl.SignalNet[sig]] = spec.Value(spec.Initial, sig)
+	}
+	for ni, n := range nl.Nets {
+		if n.ComplementOf >= 0 {
+			values[ni] = !spec.Value(spec.Initial, n.ComplementOf)
+		}
+	}
+	for iter := 0; ; iter++ {
+		changed := false
+		for gi, g := range nl.Gates {
+			if !nl.SettleAtInit(gi) {
+				continue // latch and signal-wire gates keep the code value
+			}
+			next := nl.Eval(values, gi)
+			if values[g.Out] != next {
+				values[g.Out] = next
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		if iter > nNets+4 {
+			res.Hazards = append(res.Hazards, Hazard{GateName: "(init)", By: "combinational cycle", State: "initial"})
+			return res
+		}
+	}
+
+	type stateKey string
+	key := func(vals []bool, spec int) stateKey {
+		b := make([]byte, 0, len(vals)+4)
+		for _, v := range vals {
+			if v {
+				b = append(b, '1')
+			} else {
+				b = append(b, '0')
+			}
+		}
+		return stateKey(fmt.Sprintf("%s@%d", b, spec))
+	}
+	render := func(vals []bool, specState int) string {
+		var b strings.Builder
+		for i, v := range vals {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			val := "0"
+			if v {
+				val = "1"
+			}
+			fmt.Fprintf(&b, "%s=%s", nl.Nets[i].Name, val)
+		}
+		fmt.Fprintf(&b, " @spec s%d", specState)
+		return b.String()
+	}
+
+	// enabled lists the transitions firable in a composed state.
+	enabled := func(vals []bool, specState int) []transition {
+		var out []transition
+		for _, e := range spec.States[specState].Succ {
+			if spec.Input[e.Signal] {
+				out = append(out, transition{isInput: true, signal: e.Signal})
+			}
+		}
+		for gi := range nl.Gates {
+			if nl.Eval(vals, gi) != vals[nl.Gates[gi].Out] {
+				out = append(out, transition{gate: gi})
+			}
+		}
+		return out
+	}
+
+	// fire applies a transition; ok=false when it is an unexpected
+	// output (conformance failure), in which case the state is dropped.
+	fire := func(vals []bool, specState int, t transition) (nv []bool, ns int, ok bool) {
+		nv = append([]bool(nil), vals...)
+		ns = specState
+		if t.isInput {
+			nv[nl.SignalNet[t.signal]] = !nv[nl.SignalNet[t.signal]]
+			to, found := spec.Successor(specState, t.signal)
+			if !found {
+				panic("verify: input fired without spec edge")
+			}
+			ns = to
+			return nv, ns, true
+		}
+		g := nl.Gates[t.gate]
+		nv[g.Out] = !nv[g.Out]
+		if sig := nl.Nets[g.Out].Signal; sig >= 0 {
+			to, found := spec.Successor(specState, sig)
+			if !found {
+				if len(res.Unexpected) < maxWitnesses {
+					res.Unexpected = append(res.Unexpected, Unexpected{Signal: sig, State: render(vals, specState)})
+				}
+				return nil, 0, false
+			}
+			ns = to
+		}
+		return nv, ns, true
+	}
+
+	type node struct {
+		vals      []bool
+		specState int
+		key       stateKey
+	}
+	type arrival struct {
+		prev stateKey
+		via  string
+	}
+	seen := map[stateKey]bool{}
+	parent := map[stateKey]arrival{}
+	startKey := key(values, spec.Initial)
+	var queue []node
+	start := node{vals: values, specState: spec.Initial, key: startKey}
+	seen[startKey] = true
+	queue = append(queue, start)
+	res.States = 1
+
+	// traceTo reconstructs the transition sequence to a state, eliding
+	// the middle of very long paths.
+	traceTo := func(k stateKey) []string {
+		var rev []string
+		for k != startKey {
+			a, ok := parent[k]
+			if !ok {
+				break
+			}
+			rev = append(rev, a.via)
+			k = a.prev
+		}
+		for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+			rev[i], rev[j] = rev[j], rev[i]
+		}
+		if len(rev) > 24 {
+			head := append([]string(nil), rev[:8]...)
+			head = append(head, fmt.Sprintf("… (%d steps) …", len(rev)-16))
+			rev = append(head, rev[len(rev)-8:]...)
+		}
+		return rev
+	}
+
+	for len(queue) > 0 {
+		cur := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		trans := enabled(cur.vals, cur.specState)
+		if len(trans) == 0 && len(res.Deadlocks) < maxWitnesses {
+			// The specification always has successors (cyclic specs);
+			// a composed state with nothing enabled means the circuit
+			// wedged (e.g. an output the logic can never produce).
+			res.Deadlocks = append(res.Deadlocks, render(cur.vals, cur.specState))
+		}
+
+		// RS drive conflicts: the set and reset FUNCTIONS both evaluate
+		// to 1 over the settled signal values. Transient overlaps where
+		// one side is a stale net still excited to fall are inherent to
+		// the architecture and benign for the primitive latch; a
+		// functional overlap means the covers are not disjoint — a real
+		// drive fight.
+		for gi, g := range nl.Gates {
+			if g.Kind != netlist.RSLatch {
+				continue
+			}
+			s := funcVal(nl, cur.vals, g.Pins[0], map[int]bool{})
+			r := funcVal(nl, cur.vals, g.Pins[1], map[int]bool{})
+			if s && r && len(res.RSConflict) < maxWitnesses {
+				res.RSConflict = append(res.RSConflict,
+					fmt.Sprintf("%s in state %s", nl.Gates[gi].Name, render(cur.vals, cur.specState)))
+			}
+		}
+
+		for _, t := range trans {
+			nv, ns, ok := fire(cur.vals, cur.specState, t)
+			if !ok {
+				continue
+			}
+			// Semi-modularity of gates: every gate excited before the
+			// move (other than the mover) must stay excited after it.
+			for _, u := range trans {
+				if u.isInput || (!t.isInput && u.gate == t.gate) {
+					continue
+				}
+				if nl.Eval(nv, u.gate) == nv[nl.Gates[u.gate].Out] {
+					if len(res.Hazards) < maxWitnesses {
+						res.Hazards = append(res.Hazards, Hazard{
+							Gate:     u.gate,
+							GateName: nl.Gates[u.gate].Name,
+							By:       t.describe(nl),
+							State:    render(cur.vals, cur.specState),
+							Trace:    traceTo(cur.key),
+						})
+					}
+				}
+			}
+			k := key(nv, ns)
+			if !seen[k] {
+				if res.States >= limit {
+					res.Truncated = true
+					return res
+				}
+				seen[k] = true
+				parent[k] = arrival{prev: cur.key, via: t.describe(nl)}
+				res.States++
+				queue = append(queue, node{vals: nv, specState: ns, key: k})
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,270 @@
+package verify_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/benchdata"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/sg"
+	"repro/internal/stg"
+	"repro/internal/verify"
+)
+
+func buildFromMC(t *testing.T, g *sg.Graph, opts netlist.Options) *netlist.Netlist {
+	t.Helper()
+	rep := core.NewAnalyzer(g).CheckGraph()
+	if !rep.Satisfied() {
+		t.Fatalf("MC not satisfied:\n%s", rep)
+	}
+	fns := map[int]netlist.SR{}
+	for sig := range g.Signals {
+		if g.Input[sig] {
+			continue
+		}
+		set, reset, err := rep.ExcitationFunctions(sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fns[sig] = netlist.SR{Set: set, Reset: reset}
+	}
+	nl, err := netlist.Build(g, fns, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+func mustSG(t *testing.T, src string) *sg.Graph {
+	t.Helper()
+	g, err := stg.BuildSG(stg.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+const handshakeG = `
+.model hs
+.inputs req
+.outputs ack
+.graph
+req+ ack+
+ack+ req-
+req- ack-
+ack- req+
+.marking { <ack-,req+> }
+.end
+`
+
+const celemG = `
+.model celem
+.inputs a b
+.outputs c
+.graph
+a+ c+
+b+ c+
+c+ a- b-
+a- c-
+b- c-
+c- a+ b+
+.marking { <c-,a+> <c-,b+> }
+.end
+`
+
+func TestHandshakeWireVerifies(t *testing.T) {
+	g := mustSG(t, handshakeG)
+	nl := buildFromMC(t, g, netlist.Options{})
+	res := verify.Check(nl, g)
+	if !res.OK() {
+		t.Fatalf("handshake implementation must verify:\n%s", res)
+	}
+	if res.States < 4 {
+		t.Errorf("composed states = %d, expected at least the 4 spec states", res.States)
+	}
+}
+
+func TestCElementSpecVerifiesCAndRS(t *testing.T) {
+	g := mustSG(t, celemG)
+	for _, rs := range []bool{false, true} {
+		nl := buildFromMC(t, g, netlist.Options{RS: rs})
+		res := verify.Check(nl, g)
+		if !res.OK() {
+			t.Fatalf("rs=%v: %s\n%s", rs, res, nl)
+		}
+	}
+}
+
+// fig4Baseline hand-builds the paper's Example-2 implementation
+// t = c'd, b = a + t, which satisfies the Beerel–Meng correct-cover
+// conditions but violates MC and is hazardous.
+func fig4Baseline(g *sg.Graph) *netlist.Netlist {
+	nl := &netlist.Netlist{G: g, SignalNet: make([]int, g.NumSignals())}
+	for sig, name := range g.Signals {
+		nl.Nets = append(nl.Nets, netlist.Net{Name: name, Driver: -1, Signal: sig})
+		nl.SignalNet[sig] = sig
+	}
+	a := g.SignalIndex("a")
+	b := g.SignalIndex("b")
+	c := g.SignalIndex("c")
+	d := g.SignalIndex("d")
+	// AND gate t = c' d.
+	tNet := len(nl.Nets)
+	nl.Nets = append(nl.Nets, netlist.Net{Name: "t", Driver: 0, Signal: -1})
+	nl.Gates = append(nl.Gates, netlist.Gate{
+		Kind: netlist.And, Name: "AND(c' d)",
+		Pins: []netlist.Pin{{Net: nl.SignalNet[c], Invert: true}, {Net: nl.SignalNet[d]}},
+		Out:  tNet,
+	})
+	// OR gate b = a + t.
+	nl.Gates = append(nl.Gates, netlist.Gate{
+		Kind: netlist.Or, Name: "OR(b)",
+		Pins: []netlist.Pin{{Net: nl.SignalNet[a]}, {Net: tNet}},
+		Out:  nl.SignalNet[b],
+	})
+	nl.Nets[nl.SignalNet[b]].Driver = 1
+	return nl
+}
+
+func TestFig4BaselineIsHazardous(t *testing.T) {
+	g := benchdata.Fig4SG()
+	nl := fig4Baseline(g)
+	res := verify.Check(nl, g)
+	if res.OK() {
+		t.Fatalf("the paper's Example-2 baseline must be hazardous")
+	}
+	if len(res.Hazards) == 0 {
+		t.Fatalf("expected a semi-modularity hazard, got:\n%s", res)
+	}
+	// The unacknowledged gate is the AND t = c'd.
+	found := false
+	for _, h := range res.Hazards {
+		if strings.Contains(h.GateName, "AND") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("hazard should involve the AND gate t:\n%s", res)
+	}
+}
+
+func TestWrongLogicDetected(t *testing.T) {
+	// Implement ack = wire of req with inverted polarity: the circuit
+	// immediately produces an output the spec does not expect.
+	g := mustSG(t, handshakeG)
+	req, ack := g.SignalIndex("req"), g.SignalIndex("ack")
+	nl := &netlist.Netlist{G: g, SignalNet: []int{0, 1}}
+	nl.Nets = []netlist.Net{
+		{Name: "req", Driver: -1, Signal: req},
+		{Name: "ack", Driver: 0, Signal: ack},
+	}
+	nl.Gates = []netlist.Gate{{
+		Kind: netlist.Wire, Name: "WIRE(ack)",
+		Pins: []netlist.Pin{{Net: 0, Invert: true}},
+		Out:  1,
+	}}
+	res := verify.Check(nl, g)
+	if res.OK() {
+		t.Fatal("inverted wire must fail verification")
+	}
+	if len(res.Unexpected) == 0 {
+		t.Fatalf("expected an unexpected-output witness:\n%s", res)
+	}
+}
+
+func TestRSConflictDetected(t *testing.T) {
+	// RS latch with S = req and R = req: both active when req rises.
+	g := mustSG(t, handshakeG)
+	req, ack := g.SignalIndex("req"), g.SignalIndex("ack")
+	nl := &netlist.Netlist{G: g, SignalNet: []int{0, 1}}
+	nl.Nets = []netlist.Net{
+		{Name: "req", Driver: -1, Signal: req},
+		{Name: "ack", Driver: 0, Signal: ack},
+	}
+	nl.Gates = []netlist.Gate{{
+		Kind: netlist.RSLatch, Name: "RS(ack)",
+		Pins: []netlist.Pin{{Net: 0}, {Net: 0}},
+		Out:  1,
+	}}
+	res := verify.Check(nl, g)
+	if len(res.RSConflict) == 0 {
+		t.Fatalf("S=R=1 must be reported:\n%s", res)
+	}
+}
+
+func TestNorPairLatchRaces(t *testing.T) {
+	// Demonstration of why the RS flip-flop must be a primitive basic
+	// element: implementing it as a bare cross-coupled NOR pair races —
+	// after a reset, the environment may deassert R (via a new input
+	// transition) before the internal q̄ has acknowledged, leaving both
+	// NOR gates excited and one of them disabled.
+	g := mustSG(t, celemG)
+	a, b, c := g.SignalIndex("a"), g.SignalIndex("b"), g.SignalIndex("c")
+	nl := &netlist.Netlist{G: g, SignalNet: []int{0, 1, 2}}
+	nl.Nets = []netlist.Net{
+		{Name: "a", Driver: -1, Signal: a, ComplementOf: -1},
+		{Name: "b", Driver: -1, Signal: b, ComplementOf: -1},
+		{Name: "c", Driver: 2, Signal: c, ComplementOf: -1},
+		{Name: "c_b", Driver: 3, Signal: -1, ComplementOf: c},
+		{Name: "Sc", Driver: 0, Signal: -1, ComplementOf: -1},
+		{Name: "Rc", Driver: 1, Signal: -1, ComplementOf: -1},
+	}
+	nl.Gates = []netlist.Gate{
+		{Kind: netlist.And, Name: "AND(Sc)", Pins: []netlist.Pin{{Net: 0}, {Net: 1}}, Out: 4},
+		{Kind: netlist.And, Name: "AND(Rc)", Pins: []netlist.Pin{{Net: 0, Invert: true}, {Net: 1, Invert: true}}, Out: 5},
+		{Kind: netlist.Nor, Name: "NOR_q(c)", Pins: []netlist.Pin{{Net: 5}, {Net: 3}}, Out: 2},
+		{Kind: netlist.Nor, Name: "NOR_qb(c)", Pins: []netlist.Pin{{Net: 4}, {Net: 2}}, Out: 3},
+	}
+	res := verify.Check(nl, g)
+	if res.OK() {
+		t.Fatal("the bare NOR-pair latch must race")
+	}
+	if len(res.Hazards) == 0 {
+		t.Fatalf("expected semi-modularity hazards:\n%s", res)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	// ack driven by a constant-0 AND: after req+ nothing can ever fire.
+	g := mustSG(t, handshakeG)
+	req, ack := g.SignalIndex("req"), g.SignalIndex("ack")
+	nl := &netlist.Netlist{G: g, SignalNet: []int{0, 1}}
+	nl.Nets = []netlist.Net{
+		{Name: "req", Driver: -1, Signal: req, ComplementOf: -1},
+		{Name: "ack", Driver: 0, Signal: ack, ComplementOf: -1},
+	}
+	nl.Gates = []netlist.Gate{{
+		Kind: netlist.And, Name: "AND(req !req)",
+		Pins: []netlist.Pin{{Net: 0}, {Net: 0, Invert: true}},
+		Out:  1,
+	}}
+	res := verify.Check(nl, g)
+	if len(res.Deadlocks) == 0 {
+		t.Fatalf("wedged circuit must report a deadlock:\n%s", res)
+	}
+	if res.OK() {
+		t.Fatal("deadlocked result must not be OK")
+	}
+}
+
+func TestStateLimitTruncates(t *testing.T) {
+	g := mustSG(t, celemG)
+	nl := buildFromMC(t, g, netlist.Options{})
+	res := verify.CheckLimit(nl, g, 2)
+	if !res.Truncated {
+		t.Fatal("limit of 2 must truncate")
+	}
+	if res.OK() {
+		t.Fatal("truncated run must not report OK")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	g := mustSG(t, handshakeG)
+	nl := buildFromMC(t, g, netlist.Options{})
+	res := verify.Check(nl, g)
+	if !strings.Contains(res.String(), "speed-independent: yes") {
+		t.Errorf("verdict rendering: %s", res)
+	}
+}

@@ -1,0 +1,14 @@
+.model Delement
+.inputs r1 a2
+.outputs a1 r2
+.graph
+r1+ r2+
+r2+ a2+
+a2+ r2-
+r2- a2-
+a2- a1+
+a1+ r1-
+r1- a1-
+a1- r1+
+.marking { <a1-,r1+> }
+.end

@@ -1,0 +1,16 @@
+.model berkel2
+.inputs a b
+.outputs x y
+.graph
+a+ x+
+x+ b+
+b+ b-
+b- a-
+a- x-
+x- a+/2
+a+/2 y+
+y+ a-/2
+a-/2 y-
+y- a+
+.marking { <y-,a+> }
+.end

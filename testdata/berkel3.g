@@ -1,0 +1,24 @@
+.model berkel3
+.inputs a b
+.outputs x y
+.graph
+a+ x+
+x+ a-
+a- x-
+x- a+/2
+a+/2 b+
+b+ y+
+y+ a-/2
+a-/2 y-
+y- a+/3
+a+/3 x+/2
+x+/2 a-/3
+a-/3 x-/2
+x-/2 a+/4
+a+/4 b-
+b- y+/2
+y+/2 a-/4
+a-/4 y-/2
+y-/2 a+
+.marking { <y-/2,a+> }
+.end

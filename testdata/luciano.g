@@ -1,0 +1,14 @@
+.model luciano
+.inputs a
+.outputs x y
+.graph
+a+ x+
+x+ a-
+a- x-
+x- a+/2
+a+/2 y+
+y+ a-/2
+a-/2 y-
+y- a+
+.marking { <y-,a+> }
+.end

@@ -1,0 +1,20 @@
+.model mp-forward-pkt
+.inputs r x y
+.outputs p q u v
+.graph
+r+ p+
+p+ x+
+x+ q+
+q+ y+
+y+ u+ v+
+u+ r-
+v+ r-
+r- p-
+p- x-
+x- q-
+q- y-
+y- u- v-
+u- r+
+v- r+
+.marking { <u-,r+> <v-,r+> }
+.end

@@ -1,0 +1,38 @@
+.model nak-pa
+.inputs r ai ni d
+.outputs q a b c e
+.graph
+r+ q+
+q+ pc
+ai+ e+
+ni+ b+
+e+ a+
+a+ d+
+d+ q-
+q- ai-
+ai- e-
+e- d-
+d- r-
+r- a-
+a- p0
+b+ q-/2
+q-/2 ni-
+ni- b-
+b- c+
+c+ c-
+c- q+/2
+q+/2 ai+/2
+ai+/2 e+/2
+e+/2 a+/2
+a+/2 d+/2
+d+/2 q-/3
+q-/3 ai-/2
+ai-/2 e-/2
+e-/2 d-/2
+d-/2 r-/2
+r-/2 a-/2
+a-/2 p0
+p0 r+
+pc ai+ ni+
+.marking { p0 }
+.end

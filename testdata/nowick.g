@@ -1,0 +1,18 @@
+.model nowick
+.inputs a b c
+.outputs x y
+.graph
+a+ x+
+x+ b+
+b+ b-
+b- a-
+a- x-
+x- a+/2
+a+/2 y+
+y+ c+
+c+ c-
+c- a-/2
+a-/2 y-
+y- a+
+.marking { <y-,a+> }
+.end

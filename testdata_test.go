@@ -1,0 +1,63 @@
+package repro
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/benchdata"
+	"repro/internal/stg"
+)
+
+// TestDataCorpusRoundTrips checks the on-disk .g corpus: every file
+// parses, builds the same state graph as the embedded benchmark
+// definition, and survives a format → parse round trip.
+func TestDataCorpusRoundTrips(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != len(benchdata.Table1) {
+		t.Fatalf("corpus has %d files, want %d", len(files), len(benchdata.Table1))
+	}
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net, err := stg.Parse(string(data))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		g, err := stg.BuildSG(net)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		name := strings.TrimSuffix(filepath.Base(path), ".g")
+		e, ok := benchdata.Table1ByName(name)
+		if !ok {
+			t.Fatalf("%s: not a Table-1 benchmark", name)
+		}
+		g2, err := stg.BuildSG(e.STG())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumStates() != g2.NumStates() || g.NumSignals() != g2.NumSignals() {
+			t.Errorf("%s: file gives %d states/%d signals, embedded %d/%d",
+				name, g.NumStates(), g.NumSignals(), g2.NumStates(), g2.NumSignals())
+		}
+		// Round trip through the writer.
+		again, err := stg.Parse(net.Format())
+		if err != nil {
+			t.Fatalf("%s: reformatted source does not parse: %v", name, err)
+		}
+		g3, err := stg.BuildSG(again)
+		if err != nil {
+			t.Fatalf("%s: reformatted source does not build: %v", name, err)
+		}
+		if g3.NumStates() != g.NumStates() {
+			t.Errorf("%s: round trip changed the state count", name)
+		}
+	}
+}
