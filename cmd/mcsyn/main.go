@@ -9,21 +9,26 @@
 //
 //	mcsyn [flags] spec.g        synthesize an STG file
 //	mcsyn [flags] -bench name   synthesize a built-in Table-1 benchmark
+//	mcsyn [flags] -table1       synthesize all nine Table-1 benchmarks
 //	mcsyn -list                 list the built-in benchmarks
 //
 // Flags:
 //
-//	-rs       emit the standard RS-implementation (default: C-elements)
-//	-share    enable Section-VI generalized-MC gate sharing
-//	-baseline use the correct-cover baseline instead of MC synthesis
-//	-dot      print the final state graph in Graphviz syntax
-//	-quiet    print only the verdict line
+//	-rs         emit the standard RS-implementation (default: C-elements)
+//	-share      enable Section-VI generalized-MC gate sharing
+//	-baseline   use the correct-cover baseline instead of MC synthesis
+//	-dot        print the final state graph in Graphviz syntax
+//	-quiet      print only the verdict line
+//	-parallel N bound the analysis/benchmark worker pools (0 = GOMAXPROCS,
+//	            1 = sequential)
+//	-cpuprofile write a CPU profile to the given file
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"repro/internal/baseline"
 	"repro/internal/benchdata"
@@ -39,18 +44,56 @@ func main() {
 	share := flag.Bool("share", false, "enable generalized-MC gate sharing (Section VI)")
 	useBaseline := flag.Bool("baseline", false, "use the correct-cover baseline (no MC repair)")
 	bench := flag.String("bench", "", "synthesize a built-in Table-1 benchmark")
+	table1 := flag.Bool("table1", false, "synthesize all nine Table-1 benchmarks")
 	list := flag.Bool("list", false, "list built-in benchmarks")
 	dot := flag.Bool("dot", false, "print the final state graph in Graphviz syntax")
 	quiet := flag.Bool("quiet", false, "print only the verdict line")
 	fanin := flag.Int("fanin", 0, "map to a library with this AND/OR fan-in bound (0 = none)")
 	inverters := flag.Bool("inverters", false, "map pin bubbles to explicit inverter cells")
 	verilog := flag.Bool("verilog", false, "print the implementation as structural Verilog")
+	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("%v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *list {
 		for _, e := range benchdata.Table1 {
 			fmt.Printf("%-16s %d inputs, %d outputs (paper: %d added signals)\n",
 				e.Name, e.Inputs, e.Outputs, e.PaperAdded)
+		}
+		return
+	}
+
+	if *table1 {
+		results := benchdata.RunTable1(synth.Options{RS: *rs, Share: *share, Parallel: *parallel}, *parallel)
+		failed := false
+		for _, r := range results {
+			if r.Err != nil {
+				failed = true
+				fmt.Printf("%s: ERROR: %v\n", r.Entry.Name, r.Err)
+				continue
+			}
+			if *quiet {
+				fmt.Printf("%-16s added=%d %s\n", r.Entry.Name, len(r.Report.AddedSignals), r.Report.Verify)
+			} else {
+				fmt.Print(r.Report.Summary())
+			}
+			if !r.Report.OK() {
+				failed = true
+			}
+		}
+		if failed {
+			exit(1)
 		}
 		return
 	}
@@ -92,12 +135,12 @@ func main() {
 		}
 		fmt.Printf("%s: %s\n", net.Name, res)
 		if !res.OK() {
-			os.Exit(1)
+			exit(1)
 		}
 		return
 	}
 
-	rep, err := synth.FromSTG(net, synth.Options{RS: *rs, Share: *share})
+	rep, err := synth.FromSTG(net, synth.Options{RS: *rs, Share: *share, Parallel: *parallel})
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -130,11 +173,18 @@ func main() {
 		}
 	}
 	if !rep.OK() {
-		os.Exit(1)
+		exit(1)
 	}
+}
+
+// exit stops an active CPU profile (a no-op otherwise) before exiting,
+// since os.Exit skips deferred calls.
+func exit(code int) {
+	pprof.StopCPUProfile()
+	os.Exit(code)
 }
 
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "mcsyn: "+format+"\n", args...)
-	os.Exit(1)
+	exit(1)
 }

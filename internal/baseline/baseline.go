@@ -63,14 +63,10 @@ func sop(g *sg.Graph, minimize func(on, dc cube.Cover) (cube.Cover, error)) (map
 		// covers both the free quiescent phase and unreachable codes,
 		// and keeps states whose projections collide with OFF out of
 		// the don't-care set.
-		build := func(on, off map[int]bool, name string) (cube.Cover, error) {
+		build := func(on, off sg.StateSet, name string) (cube.Cover, error) {
 			onC, offC := cube.NewCover(n), cube.NewCover(n)
-			for s := range on {
-				onC.Add(project(s, sig))
-			}
-			for s := range off {
-				offC.Add(project(s, sig))
-			}
+			on.ForEach(func(s int) { onC.Add(project(s, sig)) })
+			off.ForEach(func(s int) { offC.Add(project(s, sig)) })
 			if !onC.Disjoint(offC) {
 				return cube.Cover{}, fmt.Errorf(
 					"baseline: ON and OFF of %s collide without the own literal (CSC-type conflict)", name)
@@ -78,28 +74,17 @@ func sop(g *sg.Graph, minimize func(on, dc cube.Cover) (cube.Cover, error)) (map
 			dc := onC.Union(offC).Complement()
 			return minimize(onC.SCC(), dc)
 		}
-		set, err := build(sets.ZeroStar, union(sets.OneStar, sets.Zero), "S"+g.Signals[sig])
+		set, err := build(sets.ZeroStar, sets.OneStar.Union(sets.Zero), "S"+g.Signals[sig])
 		if err != nil {
 			return nil, err
 		}
-		reset, err := build(sets.OneStar, union(sets.ZeroStar, sets.One), "R"+g.Signals[sig])
+		reset, err := build(sets.OneStar, sets.ZeroStar.Union(sets.One), "R"+g.Signals[sig])
 		if err != nil {
 			return nil, err
 		}
 		out[sig] = netlist.SR{Set: set, Reset: reset}
 	}
 	return out, nil
-}
-
-func union(a, b map[int]bool) map[int]bool {
-	out := make(map[int]bool, len(a)+len(b))
-	for s := range a {
-		out[s] = true
-	}
-	for s := range b {
-		out[s] = true
-	}
-	return out
 }
 
 // Synthesize runs SOP and assembles the standard implementation.
@@ -141,12 +126,8 @@ func ComplexGate(g *sg.Graph) (*netlist.Netlist, error) {
 		}
 		sets := a.SetsOf(sig)
 		on, dc := cube.NewCover(n), cube.NewCover(n)
-		for s := range sets.ZeroStar {
-			on.Add(a.MintermCube(s))
-		}
-		for s := range sets.One {
-			on.Add(a.MintermCube(s))
-		}
+		sets.ZeroStar.ForEach(func(s int) { on.Add(a.MintermCube(s)) })
+		sets.One.ForEach(func(s int) { on.Add(a.MintermCube(s)) })
 		dc = dc.Union(unreachable)
 		f := cube.Minimize(on.SCC(), dc)
 		gi := len(nl.Gates)

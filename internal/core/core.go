@@ -24,34 +24,54 @@ import (
 	"strings"
 
 	"repro/internal/cube"
+	"repro/internal/par"
 	"repro/internal/sg"
 )
 
-// Analyzer caches the region decomposition of one state graph and
-// answers Monotonous Cover queries against it.
+// Analyzer caches the region decomposition and dense index of one state
+// graph and answers Monotonous Cover queries against it. Its query
+// methods are safe for concurrent use once constructed.
 type Analyzer struct {
 	G    *sg.Graph
+	Idx  *sg.Index     // dense excitation/successor index of G
 	Regs []*sg.Regions // indexed by signal
+
+	minterms [][]bool // per-state value vectors, precomputed
+	workers  int      // worker-pool bound for per-signal fan-out
 }
 
-// NewAnalyzer computes the region decomposition of every signal.
-func NewAnalyzer(g *sg.Graph) *Analyzer {
-	a := &Analyzer{G: g, Regs: make([]*sg.Regions, g.NumSignals())}
-	for sig := range g.Signals {
-		a.Regs[sig] = g.RegionsOf(sig)
+// NewAnalyzer computes the dense index and the region decomposition of
+// every signal, fanning the per-signal decompositions out over
+// GOMAXPROCS workers.
+func NewAnalyzer(g *sg.Graph) *Analyzer { return NewAnalyzerN(g, 0) }
+
+// NewAnalyzerN is NewAnalyzer with an explicit worker-pool bound
+// (0 = GOMAXPROCS, 1 = sequential).
+func NewAnalyzerN(g *sg.Graph, workers int) *Analyzer {
+	a := &Analyzer{
+		G:       g,
+		Idx:     sg.NewIndex(g),
+		Regs:    make([]*sg.Regions, g.NumSignals()),
+		workers: par.Workers(workers),
 	}
+	n := g.NumSignals()
+	a.minterms = make([][]bool, g.NumStates())
+	for s := range a.minterms {
+		v := make([]bool, n)
+		for i := 0; i < n; i++ {
+			v[i] = g.Value(s, i)
+		}
+		a.minterms[s] = v
+	}
+	par.ForEach(n, a.workers, func(sig int) {
+		a.Regs[sig] = a.Idx.RegionsOf(sig)
+	})
 	return a
 }
 
-// Minterm returns the binary code of state s as a value vector.
-func (a *Analyzer) Minterm(s int) []bool {
-	n := a.G.NumSignals()
-	out := make([]bool, n)
-	for i := 0; i < n; i++ {
-		out[i] = a.G.Value(s, i)
-	}
-	return out
-}
+// Minterm returns the binary code of state s as a value vector. The
+// returned slice is shared; callers must not mutate it.
+func (a *Analyzer) Minterm(s int) []bool { return a.minterms[s] }
 
 // MintermCube returns the full minterm cube of state s.
 func (a *Analyzer) MintermCube(s int) cube.Cube {
@@ -68,7 +88,7 @@ func (a *Analyzer) CoverCube(er *sg.Region) cube.Cube {
 	c := cube.NewFull(g.NumSignals())
 	ref := er.States[0]
 	for b := range g.Signals {
-		if b == er.Signal || !g.Ordered(er, b) {
+		if b == er.Signal || !a.Idx.Ordered(er, b) {
 			continue
 		}
 		if g.Value(ref, b) {
@@ -87,16 +107,17 @@ func (a *Analyzer) CoverCube(er *sg.Region) cube.Cube {
 //	1-set(a)  = ∪ QR(+a_i): a stable at 1,
 //	1*set(a)  = ∪ ER(−a_i): a excited at 1.
 type Sets struct {
-	Zero, ZeroStar, One, OneStar map[int]bool
+	Zero, ZeroStar, One, OneStar sg.StateSet
 }
 
 // SetsOf computes the four characteristic state sets of signal sig.
 func (a *Analyzer) SetsOf(sig int) Sets {
+	n := a.G.NumStates()
 	s := Sets{
-		Zero:     map[int]bool{},
-		ZeroStar: map[int]bool{},
-		One:      map[int]bool{},
-		OneStar:  map[int]bool{},
+		Zero:     sg.NewStateSet(n),
+		ZeroStar: sg.NewStateSet(n),
+		One:      sg.NewStateSet(n),
+		OneStar:  sg.NewStateSet(n),
 	}
 	regs := a.Regs[sig]
 	for _, er := range regs.ER {
@@ -104,9 +125,7 @@ func (a *Analyzer) SetsOf(sig int) Sets {
 		if er.Dir == sg.Minus {
 			dst = s.OneStar
 		}
-		for _, st := range er.States {
-			dst[st] = true
-		}
+		dst.UnionWith(er.Set())
 	}
 	for _, qr := range regs.QR {
 		// QR(+a): a stable at 1; QR(−a): a stable at 0.
@@ -114,9 +133,7 @@ func (a *Analyzer) SetsOf(sig int) Sets {
 		if qr.Dir == sg.Minus {
 			dst = s.Zero
 		}
-		for _, st := range qr.States {
-			dst[st] = true
-		}
+		dst.UnionWith(qr.Set())
 	}
 	return s
 }
@@ -184,7 +201,7 @@ func (v *Violation) Describe(g *sg.Graph) string {
 
 // covers reports whether cube c covers state s.
 func (a *Analyzer) covers(c cube.Cube, s int) bool {
-	return c.ContainsMinterm(a.Minterm(s))
+	return c.ContainsMinterm(a.minterms[s])
 }
 
 // erIndex locates er inside its signal's region list.
@@ -231,7 +248,7 @@ func (a *Analyzer) CheckMC(er *sg.Region, c cube.Cube) *Violation {
 	// Condition (3): cover no reachable state outside the CFR.
 	var outside []int
 	for s := 0; s < g.NumStates(); s++ {
-		if !cfr[s] && a.covers(c, s) {
+		if !cfr.Has(s) && a.covers(c, s) {
 			outside = append(outside, s)
 		}
 	}
@@ -244,19 +261,25 @@ func (a *Analyzer) CheckMC(er *sg.Region, c cube.Cube) *Violation {
 // doubleChange looks for a monotonicity violation of cube c inside the
 // CFR: a rising edge (uncovered → covered) between CFR states. It
 // returns the edge's endpoints, or (-1, -1) when the cube only falls.
-func (a *Analyzer) doubleChange(cfr map[int]bool, c cube.Cube) (int, int) {
+func (a *Analyzer) doubleChange(cfr sg.StateSet, c cube.Cube) (int, int) {
 	g := a.G
-	for u := range cfr {
-		if a.covers(c, u) {
-			continue
+	to := -1
+	u := cfr.FindFirst(func(s int) bool {
+		if a.covers(c, s) {
+			return false
 		}
-		for _, e := range g.States[u].Succ {
-			if cfr[e.To] && a.covers(c, e.To) {
-				return u, e.To
+		for _, e := range g.States[s].Succ {
+			if cfr.Has(e.To) && a.covers(c, e.To) {
+				to = e.To
+				return true
 			}
 		}
+		return false
+	})
+	if u < 0 {
+		return -1, -1
 	}
-	return -1, -1
+	return u, to
 }
 
 // CheckCorrectCover verifies Definition 16: the cube must not cover any
@@ -265,18 +288,16 @@ func (a *Analyzer) doubleChange(cfr map[int]bool, c cube.Cube) (int, int) {
 // 0*-set(a) ∪ 1-set(a).
 func (a *Analyzer) CheckCorrectCover(er *sg.Region, c cube.Cube) *Violation {
 	sets := a.SetsOf(er.Signal)
-	forbidden := func(s int) bool {
-		if er.Dir == sg.Plus {
-			return sets.OneStar[s] || sets.Zero[s]
-		}
-		return sets.ZeroStar[s] || sets.One[s]
+	forbidden := sets.OneStar.Union(sets.Zero)
+	if er.Dir == sg.Minus {
+		forbidden = sets.ZeroStar.Union(sets.One)
 	}
 	var bad []int
-	for s := 0; s < a.G.NumStates(); s++ {
-		if forbidden(s) && a.covers(c, s) {
+	forbidden.ForEach(func(s int) {
+		if a.covers(c, s) {
 			bad = append(bad, s)
 		}
-	}
+	})
 	if len(bad) > 0 {
 		return &Violation{Kind: IncorrectCover, Signal: er.Signal, ER: er, Cube: c, States: bad}
 	}
@@ -351,20 +372,20 @@ func (a *Analyzer) shrinkMC(er *sg.Region, c cube.Cube) cube.Cube {
 
 // varyingLiterals returns the cube's literals whose signals take both
 // values over the given state set.
-func (a *Analyzer) varyingLiterals(c cube.Cube, states map[int]bool) []int {
+func (a *Analyzer) varyingLiterals(c cube.Cube, states sg.StateSet) []int {
 	var out []int
 	for _, l := range c.Literals() {
 		saw0, saw1 := false, false
-		for s := range states {
+		states.FindFirst(func(s int) bool {
 			if a.G.Value(s, l) {
 				saw1 = true
 			} else {
 				saw0 = true
 			}
-			if saw0 && saw1 {
-				out = append(out, l)
-				break
-			}
+			return saw0 && saw1
+		})
+		if saw0 && saw1 {
+			out = append(out, l)
 		}
 	}
 	return out
@@ -516,7 +537,9 @@ func (r *Report) String() string {
 }
 
 // CheckGraph evaluates the MC requirement for every excitation region of
-// every non-input signal.
+// every non-input signal. The per-signal analyses are independent and
+// fan out over the analyzer's worker pool; results are assembled in
+// signal order, so the report is deterministic.
 func (a *Analyzer) CheckGraph() *Report {
 	rep := &Report{G: a.G, A: a}
 	sigs := make([]int, 0, a.G.NumSignals())
@@ -526,45 +549,55 @@ func (a *Analyzer) CheckGraph() *Report {
 		}
 	}
 	sort.Ints(sigs)
-	for _, sig := range sigs {
-		var results []RegionResult
-		failed := false
-		for _, er := range a.Regs[sig].ER {
-			c, v := a.FindMC(er)
-			if v != nil {
-				failed = true
-			}
-			results = append(results, RegionResult{Signal: sig, ER: er, Cube: c, Violation: v})
-		}
-		if failed {
-			// Multiple transitions of one signal may share a single cube
-			// (Definition 19 with F a set of same-signal transitions):
-			// e.g. two excitation regions with identical codes in
-			// alternative branches. Try a generalized cube over all
-			// regions of the same direction.
-			failed = !a.groupSameFunction(sig, results)
-		}
-		if failed {
-			// Degenerate fallback: the whole signal as a single-literal
-			// wire needs only correct covers (Section IV, note 2).
-			if w, ok := a.WireOf(sig); ok {
-				n := a.G.NumSignals()
-				for i := range results {
-					c := cube.NewFull(n)
-					lit := cube.One
-					if (results[i].ER.Dir == sg.Plus) == w.Inverted {
-						lit = cube.Zero
-					}
-					c.Set(w.Of, lit)
-					results[i].Cube = c
-					results[i].Violation = nil
-					results[i].Degenerate = true
-				}
-			}
-		}
+	perSig := make([][]RegionResult, len(sigs))
+	par.ForEach(len(sigs), a.workers, func(k int) {
+		perSig[k] = a.checkSignal(sigs[k])
+	})
+	for _, results := range perSig {
 		rep.Results = append(rep.Results, results...)
 	}
 	return rep
+}
+
+// checkSignal evaluates the MC requirement for every excitation region
+// of one signal, including the shared-cube and degenerate fallbacks.
+func (a *Analyzer) checkSignal(sig int) []RegionResult {
+	var results []RegionResult
+	failed := false
+	for _, er := range a.Regs[sig].ER {
+		c, v := a.FindMC(er)
+		if v != nil {
+			failed = true
+		}
+		results = append(results, RegionResult{Signal: sig, ER: er, Cube: c, Violation: v})
+	}
+	if failed {
+		// Multiple transitions of one signal may share a single cube
+		// (Definition 19 with F a set of same-signal transitions):
+		// e.g. two excitation regions with identical codes in
+		// alternative branches. Try a generalized cube over all
+		// regions of the same direction.
+		failed = !a.groupSameFunction(sig, results)
+	}
+	if failed {
+		// Degenerate fallback: the whole signal as a single-literal
+		// wire needs only correct covers (Section IV, note 2).
+		if w, ok := a.WireOf(sig); ok {
+			n := a.G.NumSignals()
+			for i := range results {
+				c := cube.NewFull(n)
+				lit := cube.One
+				if (results[i].ER.Dir == sg.Plus) == w.Inverted {
+					lit = cube.Zero
+				}
+				c.Set(w.Of, lit)
+				results[i].Cube = c
+				results[i].Violation = nil
+				results[i].Degenerate = true
+			}
+		}
+	}
+	return results
 }
 
 // groupSameFunction attempts to repair the failed regions of one signal
@@ -659,12 +692,10 @@ func (a *Analyzer) findGeneralizedMC(ers []*sg.Region, c cube.Cube) (cube.Cube, 
 	if v.Kind != NonMonotonic {
 		return cube.Cube{}, false
 	}
-	union := map[int]bool{}
+	union := sg.NewStateSet(a.G.NumStates())
 	for _, er := range ers {
 		regs := a.Regs[er.Signal]
-		for s := range regs.CFR(a.erIndexIn(regs, er)) {
-			union[s] = true
-		}
+		union.UnionWith(regs.CFR(a.erIndexIn(regs, er)))
 	}
 	lits := a.varyingLiterals(c, union)
 	for size := 1; size <= len(lits); size++ {

@@ -249,7 +249,7 @@ func TestSetsOfPartitionStates(t *testing.T) {
 	a := core.NewAnalyzer(g)
 	for sig := range g.Signals {
 		sets := a.SetsOf(sig)
-		total := len(sets.Zero) + len(sets.ZeroStar) + len(sets.One) + len(sets.OneStar)
+		total := sets.Zero.Count() + sets.ZeroStar.Count() + sets.One.Count() + sets.OneStar.Count()
 		if total != g.NumStates() {
 			t.Fatalf("signal %s: sets cover %d states, want %d",
 				g.Signals[sig], total, g.NumStates())
@@ -258,19 +258,19 @@ func TestSetsOfPartitionStates(t *testing.T) {
 			v, e := g.Value(s, sig), g.Excited(s, sig)
 			switch {
 			case !v && e:
-				if !sets.ZeroStar[s] {
+				if !sets.ZeroStar.Has(s) {
 					t.Fatalf("state %d should be in 0*-set(%s)", s, g.Signals[sig])
 				}
 			case !v && !e:
-				if !sets.Zero[s] {
+				if !sets.Zero.Has(s) {
 					t.Fatalf("state %d should be in 0-set(%s)", s, g.Signals[sig])
 				}
 			case v && e:
-				if !sets.OneStar[s] {
+				if !sets.OneStar.Has(s) {
 					t.Fatalf("state %d should be in 1*-set(%s)", s, g.Signals[sig])
 				}
 			default:
-				if !sets.One[s] {
+				if !sets.One.Has(s) {
 					t.Fatalf("state %d should be in 1-set(%s)", s, g.Signals[sig])
 				}
 			}

@@ -48,21 +48,19 @@ func (a *Analyzer) CheckGeneralizedMC(ers []*sg.Region, c cube.Cube) *Violation 
 		}
 	}
 	// Condition (2), per region CFR.
-	union := map[int]bool{}
+	union := sg.NewStateSet(a.G.NumStates())
 	for _, er := range ers {
 		regs := a.Regs[er.Signal]
 		cfr := regs.CFR(a.erIndexIn(regs, er))
 		if u, v := a.doubleChange(cfr, c); u >= 0 {
 			return &Violation{Kind: NonMonotonic, Signal: er.Signal, ER: er, Cube: c, States: []int{u, v}}
 		}
-		for s := range cfr {
-			union[s] = true
-		}
+		union.UnionWith(cfr)
 	}
 	// Condition (3) over the union of CFRs.
 	var outside []int
 	for s := 0; s < a.G.NumStates(); s++ {
-		if !union[s] && a.covers(c, s) {
+		if !union.Has(s) && a.covers(c, s) {
 			outside = append(outside, s)
 		}
 	}
@@ -136,12 +134,12 @@ func (a *Analyzer) ShareOptimize(rep *Report) (map[int]Functions, int, error) {
 		// the group, the cube must not touch that signal's other
 		// excitation regions (they are covered by their own cubes, and
 		// a second overlapping cube would fire inside them).
-		seen := map[int]bool{}
+		var seen uint64
 		for _, r := range regions {
-			if seen[r.Signal] {
+			if seen>>uint(r.Signal)&1 == 1 {
 				continue
 			}
-			seen[r.Signal] = true
+			seen |= 1 << uint(r.Signal)
 			for _, er := range a.Regs[r.Signal].ER {
 				if inGroup[er] {
 					continue

@@ -252,6 +252,9 @@ type Options struct {
 	Strategies []Strategy
 	// Target selects the property to establish (default TargetMC).
 	Target Target
+	// Workers bounds the worker pool of the per-signal MC analyses run
+	// inside the repair loop (0 = GOMAXPROCS, 1 = sequential).
+	Workers int
 	// Trace receives progress lines when non-nil.
 	Trace func(string)
 }
@@ -485,7 +488,7 @@ func Repair(g *sg.Graph, opts Options) (*Result, error) {
 
 	res := &Result{G: g}
 	for round := 0; ; round++ {
-		rep := core.NewAnalyzer(res.G).CheckGraph()
+		rep := core.NewAnalyzerN(res.G, opts.Workers).CheckGraph()
 		res.Report = rep
 		if score(res.G, rep) == 0 {
 			trace(fmt.Sprintf("round %d: %s satisfied", round, targetName))
@@ -506,7 +509,7 @@ func Repair(g *sg.Graph, opts Options) (*Result, error) {
 		best, bestScore, bestStrat := (*sg.Graph)(nil), cur, Free
 		for _, c := range confl {
 			for _, strat := range opts.Strategies {
-				g2, models, count := tryInsert(res.G, c, confl, strat, name, opts.MaxModels, cur, score)
+				g2, models, count := tryInsert(res.G, c, confl, strat, name, opts, cur, score)
 				res.Models += models
 				better := g2 != nil && (count < bestScore || best == nil ||
 					(count == bestScore && g2.NumStates() < best.NumStates()))
@@ -554,7 +557,8 @@ func freshSignalName(g *sg.Graph, k int) string {
 // returning the expanded graph with the lowest remaining score (only
 // when strictly below the current score; ties broken towards smaller
 // expansions), the number of models examined, and that score.
-func tryInsert(g *sg.Graph, c conflict, all []conflict, strat Strategy, name string, maxModels, target int, score func(*sg.Graph, *core.Report) int) (*sg.Graph, int, int) {
+func tryInsert(g *sg.Graph, c conflict, all []conflict, strat Strategy, name string, opts Options, target int, score func(*sg.Graph, *core.Report) int) (*sg.Graph, int, int) {
+	maxModels := opts.MaxModels
 	solver, vars := buildCNF(g, seedsFor(strat, c))
 
 	// Packing strategies: greedily commit the separation constraints of
@@ -605,7 +609,7 @@ func tryInsert(g *sg.Graph, c conflict, all []conflict, strat Strategy, name str
 		if !g2.OutputSemiModular() {
 			continue
 		}
-		rep2 := core.NewAnalyzer(g2).CheckGraph()
+		rep2 := core.NewAnalyzerN(g2, opts.Workers).CheckGraph()
 		count := score(g2, rep2)
 		if count < bestCount || (best != nil && count == bestCount && g2.NumStates() < best.NumStates()) {
 			best, bestCount = g2, count

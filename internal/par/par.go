@@ -1,0 +1,54 @@
+// Package par is the bounded worker pool shared by the analysis and
+// benchmark fan-outs: embarrassingly-parallel loops (per-signal region
+// decomposition, per-signal MC checking, per-benchmark synthesis) run on
+// up to GOMAXPROCS goroutines while callers keep deterministic output by
+// writing results into index-addressed slots.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a requested worker count: n when positive, otherwise
+// GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
+// (0 = GOMAXPROCS) and returns when all calls are done. With one worker,
+// or n < 2, it degrades to a plain loop on the calling goroutine.
+// Determinism is the caller's contract: fn must write its result into a
+// slot addressed by i, never append to shared state.
+func ForEach(n, workers int, fn func(i int)) {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

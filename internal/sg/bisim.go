@@ -2,7 +2,6 @@ package sg
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -54,25 +53,23 @@ func WeaklyBisimilar(spec, impl *Graph) error {
 		}
 	}
 
+	nImpl := impl.NumStates()
+
 	// τ-closure of an impl state set. Hidden moves in an output
 	// semi-modular graph cannot be disabled, so the closure is finite
 	// and confluent. A cycle of hidden moves inside the closure would be
 	// divergence (the circuit chattering internally forever).
-	closure := func(set map[int]bool) (map[int]bool, error) {
-		out := map[int]bool{}
-		var stack []int
-		for s := range set {
-			out[s] = true
-			stack = append(stack, s)
-		}
+	closure := func(set StateSet) (StateSet, error) {
+		out := set.Clone()
+		stack := set.Members()
 		for len(stack) > 0 {
 			s := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			for _, e := range impl.States[s].Succ {
-				if !hidden[e.Signal] || out[e.To] {
+				if !hidden[e.Signal] || out.Has(e.To) {
 					continue
 				}
-				out[e.To] = true
+				out.Add(e.To)
 				stack = append(stack, e.To)
 			}
 		}
@@ -82,12 +79,12 @@ func WeaklyBisimilar(spec, impl *Graph) error {
 			gray
 			black
 		)
-		color := map[int]int8{}
+		color := make([]int8, nImpl)
 		var dfs func(s int) bool
 		dfs = func(s int) bool {
 			color[s] = gray
 			for _, e := range impl.States[s].Succ {
-				if !hidden[e.Signal] || !out[e.To] {
+				if !hidden[e.Signal] || !out.Has(e.To) {
 					continue
 				}
 				switch color[e.To] {
@@ -102,33 +99,25 @@ func WeaklyBisimilar(spec, impl *Graph) error {
 			color[s] = black
 			return false
 		}
-		for s := range out {
-			if color[s] == white && dfs(s) {
-				return nil, fmt.Errorf("sg: divergence: cycle of hidden moves at state %d", s)
-			}
+		diverged := out.FindFirst(func(s int) bool { return color[s] == white && dfs(s) })
+		if diverged >= 0 {
+			return nil, fmt.Errorf("sg: divergence: cycle of hidden moves at state %d", diverged)
 		}
 		return out, nil
 	}
 
-	key := func(set map[int]bool) string {
-		ids := make([]int, 0, len(set))
-		for s := range set {
-			ids = append(ids, s)
-		}
-		sort.Ints(ids)
+	key := func(set StateSet) string {
 		var b strings.Builder
-		for _, s := range ids {
-			fmt.Fprintf(&b, "%d,", s)
-		}
+		set.ForEach(func(s int) { fmt.Fprintf(&b, "%d,", s) })
 		return b.String()
 	}
 
 	type node struct {
 		spec  int
-		impl  map[int]bool
+		impl  StateSet
 		trace []visibleLabel
 	}
-	start, err := closure(map[int]bool{impl.Initial: true})
+	start, err := closure(SetOf(nImpl, impl.Initial))
 	if err != nil {
 		return err
 	}
@@ -155,19 +144,19 @@ func WeaklyBisimilar(spec, impl *Graph) error {
 			specEnabled[visibleLabel{Signal: e.Signal, Dir: e.Dir}] = e.To
 		}
 		// Visible moves of the impl state set (after closure).
-		implEnabled := map[visibleLabel]map[int]bool{}
-		for s := range cur.impl {
+		implEnabled := map[visibleLabel]StateSet{}
+		cur.impl.ForEach(func(s int) {
 			for _, e := range impl.States[s].Succ {
 				if hidden[e.Signal] {
 					continue
 				}
 				l := visibleLabel{Signal: toSpec[e.Signal], Dir: e.Dir}
 				if implEnabled[l] == nil {
-					implEnabled[l] = map[int]bool{}
+					implEnabled[l] = NewStateSet(nImpl)
 				}
-				implEnabled[l][e.To] = true
+				implEnabled[l].Add(e.To)
 			}
-		}
+		})
 		for l := range specEnabled {
 			if implEnabled[l] == nil {
 				return fmt.Errorf("sg: implementation refuses %s after trace: %s",

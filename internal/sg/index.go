@@ -1,0 +1,89 @@
+package sg
+
+// Index is a precomputed dense view of one state graph: per-state
+// excitation bitmasks and a state×signal successor table. It turns the
+// O(deg) Succ-slice scans of Excited and Successor — the inner loop of
+// region decomposition, MC checking and verification — into O(1) array
+// lookups. Build it once per graph (the graph must not gain states or
+// edges afterwards) and thread it through the analysis.
+type Index struct {
+	G *Graph
+
+	nsig    int
+	excited []uint64 // per-state bitmask of excited signals
+	excOut  []uint64 // per-state bitmask of excited non-input signals
+	succ    []int32  // state*nsig + sig → successor state, or -1
+}
+
+// NewIndex builds the dense index of g.
+func NewIndex(g *Graph) *Index {
+	ns, nsig := g.NumStates(), g.NumSignals()
+	ix := &Index{
+		G:       g,
+		nsig:    nsig,
+		excited: make([]uint64, ns),
+		excOut:  make([]uint64, ns),
+		succ:    make([]int32, ns*nsig),
+	}
+	for i := range ix.succ {
+		ix.succ[i] = -1
+	}
+	inputMask := uint64(0)
+	for sig, in := range g.Input {
+		if in {
+			inputMask |= 1 << uint(sig)
+		}
+	}
+	for s := range g.States {
+		var m uint64
+		row := ix.succ[s*nsig : (s+1)*nsig]
+		for _, e := range g.States[s].Succ {
+			m |= 1 << uint(e.Signal)
+			row[e.Signal] = int32(e.To)
+		}
+		ix.excited[s] = m
+		ix.excOut[s] = m &^ inputMask
+	}
+	return ix
+}
+
+// Excited reports whether signal sig has an enabled transition in state s.
+func (ix *Index) Excited(s, sig int) bool { return ix.excited[s]>>uint(sig)&1 == 1 }
+
+// ExcitedMask returns the bitmask of signals excited in state s.
+func (ix *Index) ExcitedMask(s int) uint64 { return ix.excited[s] }
+
+// ExcitedOutputs returns the bitmask of excited non-input signals in s.
+func (ix *Index) ExcitedOutputs(s int) uint64 { return ix.excOut[s] }
+
+// Successor returns the destination of firing signal sig in state s and
+// whether such an edge exists.
+func (ix *Index) Successor(s, sig int) (int, bool) {
+	to := ix.succ[s*ix.nsig+sig]
+	return int(to), to >= 0
+}
+
+// Ordered reports whether signal b is ordered with respect to the
+// excitation region er (Definition 11): no transition of b is excited
+// within er. The region's own signal is not ordered with itself.
+func (ix *Index) Ordered(er *Region, b int) bool {
+	if b == er.Signal {
+		return false
+	}
+	bit := uint64(1) << uint(b)
+	for _, s := range er.States {
+		if ix.excited[s]&bit != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Concurrent reports whether signal b is concurrent with er's transition
+// (the negation of Ordered for signals other than er's own).
+func (ix *Index) Concurrent(er *Region, b int) bool {
+	if b == er.Signal {
+		return false
+	}
+	return !ix.Ordered(er, b)
+}

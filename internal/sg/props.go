@@ -30,6 +30,13 @@ func (c Conflict) Describe(g *Graph) string {
 
 // Conflicts returns all conflict states of the graph (Definition 1).
 func (g *Graph) Conflicts() []Conflict {
+	return NewIndex(g).Conflicts()
+}
+
+// Conflicts is the index-backed form of the graph method: the per-pair
+// excitation test is a mask lookup instead of a successor-list scan.
+func (ix *Index) Conflicts() []Conflict {
+	g := ix.G
 	var out []Conflict
 	for w := range g.States {
 		for _, eb := range g.States[w].Succ {
@@ -39,7 +46,7 @@ func (g *Graph) Conflicts() []Conflict {
 				if a == eb.Signal {
 					continue
 				}
-				if !g.Excited(u, a) {
+				if ix.excited[u]>>uint(a)&1 == 0 {
 					out = append(out, Conflict{
 						State: w, Signal: a, By: eb.Signal, ByDir: eb.Dir,
 						After: u, Internal: !g.Input[a],
@@ -97,6 +104,12 @@ type Detonant struct {
 // Figure 1 has an input choice at its initial state and is explicitly
 // stated to be detonant-free.
 func (g *Graph) Detonants(outputsOnly bool) []Detonant {
+	return NewIndex(g).Detonants(outputsOnly)
+}
+
+// Detonants is the index-backed form of the graph method.
+func (ix *Index) Detonants(outputsOnly bool) []Detonant {
+	g := ix.G
 	var out []Detonant
 	for w := range g.States {
 		succ := g.States[w].Succ
@@ -104,12 +117,13 @@ func (g *Graph) Detonants(outputsOnly bool) []Detonant {
 			if outputsOnly && g.Input[sig] {
 				continue
 			}
-			if g.Excited(w, sig) {
+			bit := uint64(1) << uint(sig)
+			if ix.excited[w]&bit != 0 {
 				continue
 			}
 			var hits []Edge
 			for _, e := range succ {
-				if e.Signal != sig && g.Excited(e.To, sig) {
+				if e.Signal != sig && ix.excited[e.To]&bit != 0 {
 					hits = append(hits, e)
 				}
 			}
@@ -117,7 +131,7 @@ func (g *Graph) Detonants(outputsOnly bool) []Detonant {
 				for j := i + 1; j < len(hits); j++ {
 					// Concurrent divergence: each branch keeps the other
 					// transition enabled.
-					if g.Excited(hits[i].To, hits[j].Signal) && g.Excited(hits[j].To, hits[i].Signal) {
+					if ix.Excited(hits[i].To, hits[j].Signal) && ix.Excited(hits[j].To, hits[i].Signal) {
 						out = append(out, Detonant{State: w, Signal: sig, U: hits[i].To, V: hits[j].To})
 					}
 				}
@@ -148,6 +162,12 @@ type CSCViolation struct {
 // CSCViolations returns all state pairs breaking the Complete State
 // Coding requirement.
 func (g *Graph) CSCViolations() []CSCViolation {
+	return NewIndex(g).CSCViolations()
+}
+
+// CSCViolations is the index-backed form of the graph method.
+func (ix *Index) CSCViolations() []CSCViolation {
+	g := ix.G
 	byCode := make(map[uint64][]int)
 	for s := range g.States {
 		byCode[g.States[s].Code] = append(byCode[g.States[s].Code], s)
@@ -162,7 +182,7 @@ func (g *Graph) CSCViolations() []CSCViolation {
 		states := byCode[c]
 		for i := 0; i < len(states); i++ {
 			for j := i + 1; j < len(states); j++ {
-				if g.ExcitedOutputs(states[i]) != g.ExcitedOutputs(states[j]) {
+				if ix.excOut[states[i]] != ix.excOut[states[j]] {
 					out = append(out, CSCViolation{A: states[i], B: states[j]})
 				}
 			}
@@ -206,13 +226,14 @@ type PropertyReport struct {
 
 // Check computes the full property report.
 func (g *Graph) Check() PropertyReport {
-	conf := g.Conflicts()
+	ix := NewIndex(g)
+	conf := ix.Conflicts()
 	rep := PropertyReport{
 		Consistent:    g.CheckConsistency() == nil,
-		Persistent:    g.Persistent(),
-		CSC:           g.CSC(),
+		Persistent:    len(ix.PersistencyViolations()) == 0,
+		CSC:           len(ix.CSCViolations()) == 0,
 		USC:           g.USC(),
-		Detonants:     len(g.Detonants(false)),
+		Detonants:     len(ix.Detonants(false)),
 		States:        len(g.States),
 		UniqueEntryOK: true,
 	}
@@ -227,12 +248,12 @@ func (g *Graph) Check() PropertyReport {
 	rep.InputConflicts = len(conf) - internal
 	rep.OutputSemiModular = internal == 0
 	rep.Distributive = rep.SemiModular && rep.Detonants == 0
-	rep.OutputDistrib = rep.OutputSemiModular && len(g.Detonants(true)) == 0
+	rep.OutputDistrib = rep.OutputSemiModular && len(ix.Detonants(true)) == 0
 	for sig := range g.Signals {
 		if g.Input[sig] {
 			continue
 		}
-		for _, er := range g.RegionsOf(sig).ER {
+		for _, er := range ix.RegionsOf(sig).ER {
 			if !er.UniqueEntry() {
 				rep.UniqueEntryOK = false
 			}

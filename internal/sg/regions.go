@@ -19,11 +19,14 @@ type Region struct {
 	// (Definition 9) when len(Min) == 1.
 	Min []int
 
-	set map[int]bool
+	set StateSet
 }
 
 // Contains reports whether state s belongs to the region.
-func (r *Region) Contains(s int) bool { return r.set[s] }
+func (r *Region) Contains(s int) bool { return r.set.Has(s) }
+
+// Set returns the region's membership bitset. Callers must not mutate it.
+func (r *Region) Set() StateSet { return r.set }
 
 // UniqueEntry reports whether the region satisfies the unique entry
 // condition (Definition 9).
@@ -60,31 +63,32 @@ type Regions struct {
 // connectedComponents splits the state set into maximal weakly connected
 // components using only edges whose both endpoints lie in the set.
 func (g *Graph) connectedComponents(states []int) [][]int {
-	in := make(map[int]bool, len(states))
+	n := g.NumStates()
+	in := NewStateSet(n)
 	for _, s := range states {
-		in[s] = true
+		in.Add(s)
 	}
-	seen := make(map[int]bool, len(states))
+	seen := NewStateSet(n)
 	var comps [][]int
 	for _, s := range states {
-		if seen[s] {
+		if seen.Has(s) {
 			continue
 		}
 		comp := []int{s}
-		seen[s] = true
+		seen.Add(s)
 		for q := []int{s}; len(q) > 0; {
 			u := q[len(q)-1]
 			q = q[:len(q)-1]
 			for _, e := range g.States[u].Succ {
-				if in[e.To] && !seen[e.To] {
-					seen[e.To] = true
+				if in.Has(e.To) && !seen.Has(e.To) {
+					seen.Add(e.To)
 					comp = append(comp, e.To)
 					q = append(q, e.To)
 				}
 			}
 			for _, e := range g.States[u].Pred {
-				if in[e.To] && !seen[e.To] {
-					seen[e.To] = true
+				if in.Has(e.To) && !seen.Has(e.To) {
+					seen.Add(e.To)
 					comp = append(comp, e.To)
 					q = append(q, e.To)
 				}
@@ -97,14 +101,14 @@ func (g *Graph) connectedComponents(states []int) [][]int {
 }
 
 func newRegion(g *Graph, sig int, d Dir, idx int, states []int) *Region {
-	r := &Region{Signal: sig, Dir: d, Index: idx, States: states, set: make(map[int]bool, len(states))}
+	r := &Region{Signal: sig, Dir: d, Index: idx, States: states, set: NewStateSet(g.NumStates())}
 	for _, s := range states {
-		r.set[s] = true
+		r.set.Add(s)
 	}
 	for _, s := range states {
 		minimal := true
 		for _, e := range g.States[s].Pred {
-			if r.set[e.To] {
+			if r.set.Has(e.To) {
 				minimal = false
 				break
 			}
@@ -117,12 +121,22 @@ func newRegion(g *Graph, sig int, d Dir, idx int, states []int) *Region {
 }
 
 // RegionsOf computes the excitation and quiescent regions of signal sig
-// (Definitions 5 and 6) and the ER → following-QR association.
+// (Definitions 5 and 6) and the ER → following-QR association. It builds
+// a transient Index; callers decomposing many signals should build one
+// Index and use its RegionsOf.
 func (g *Graph) RegionsOf(sig int) *Regions {
+	return NewIndex(g).RegionsOf(sig)
+}
+
+// RegionsOf computes the region decomposition of signal sig using the
+// index's O(1) excitation and successor lookups.
+func (ix *Index) RegionsOf(sig int) *Regions {
+	g := ix.G
+	bit := uint64(1) << uint(sig)
 	var erPlus, erMinus, qr0, qr1 []int
 	for s := range g.States {
 		v := g.Value(s, sig)
-		if g.Excited(s, sig) {
+		if ix.excited[s]&bit != 0 {
 			if v {
 				erMinus = append(erMinus, s)
 			} else {
@@ -163,7 +177,7 @@ func (g *Graph) RegionsOf(sig int) *Regions {
 	for i, er := range res.ER {
 		res.QRAfter[i] = -1
 		for _, s := range er.States {
-			to, ok := g.Successor(s, sig)
+			to, ok := ix.Successor(s, sig)
 			if !ok {
 				continue
 			}
@@ -189,15 +203,10 @@ func (g *Graph) QRLabel(r *Region) string { return r.label(g, "QR") }
 
 // CFR returns the constant function region of the i-th excitation region
 // of res (Definition 7): ER(*a_i) ∪ QR(*a_i), as a state set.
-func (res *Regions) CFR(i int) map[int]bool {
-	out := make(map[int]bool)
-	for _, s := range res.ER[i].States {
-		out[s] = true
-	}
+func (res *Regions) CFR(i int) StateSet {
+	out := res.ER[i].set.Clone()
 	if j := res.QRAfter[i]; j >= 0 {
-		for _, s := range res.QR[j].States {
-			out[s] = true
-		}
+		out.UnionWith(res.QR[j].set)
 	}
 	return out
 }
@@ -262,20 +271,26 @@ type PersistencyViolation struct {
 // pair of non-input signals violating persistency. A state graph is
 // persistent when the result is empty.
 func (g *Graph) PersistencyViolations() []PersistencyViolation {
+	return NewIndex(g).PersistencyViolations()
+}
+
+// PersistencyViolations is the index-backed form of the graph method.
+func (ix *Index) PersistencyViolations() []PersistencyViolation {
+	g := ix.G
 	var out []PersistencyViolation
 	for sig := range g.Signals {
 		if g.Input[sig] {
 			continue
 		}
-		regs := g.RegionsOf(sig)
+		regs := ix.RegionsOf(sig)
 		for _, er := range regs.ER {
-			seen := map[int]bool{}
+			var seen uint64
 			for _, tr := range g.Triggers(er) {
-				if seen[tr.Signal] {
+				if seen>>uint(tr.Signal)&1 == 1 {
 					continue
 				}
-				seen[tr.Signal] = true
-				if g.Concurrent(er, tr.Signal) {
+				seen |= 1 << uint(tr.Signal)
+				if ix.Concurrent(er, tr.Signal) {
 					out = append(out, PersistencyViolation{Region: er, Trigger: tr.Signal})
 				}
 			}

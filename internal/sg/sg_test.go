@@ -165,8 +165,8 @@ func TestFig1QRAfter(t *testing.T) {
 		}
 		// CFR = ER ∪ QR and the two parts are disjoint.
 		cfr := regs.CFR(i)
-		if len(cfr) != len(er.States)+len(qr.States) {
-			t.Fatalf("CFR size %d != |ER|+|QR| = %d", len(cfr), len(er.States)+len(qr.States))
+		if cfr.Count() != len(er.States)+len(qr.States) {
+			t.Fatalf("CFR size %d != |ER|+|QR| = %d", cfr.Count(), len(er.States)+len(qr.States))
 		}
 	}
 }

@@ -1,0 +1,45 @@
+package stg
+
+import (
+	"testing"
+)
+
+// FuzzParse asserts the .g parser's contract: malformed input must be
+// rejected with an error, never with a panic. Run with
+//
+//	go test -fuzz FuzzParse ./internal/stg
+//
+// for coverage-guided exploration; plain `go test` replays the seed
+// corpus below (each seed targets one historical panic path: duplicate
+// declarations, place-to-place arcs, markings naming undeclared
+// transitions).
+func FuzzParse(f *testing.F) {
+	f.Add(`
+.model buf
+.inputs x
+.outputs y
+.graph
+x+ y+
+y+ x-
+x- y-
+y- x+
+.marking { <y-,x+> }
+.end
+`)
+	f.Add(".inputs x x\n")
+	f.Add(".inputs a\n.outputs a\n")
+	f.Add(".graph\np0 p1\n")
+	f.Add(".marking { <a+,b+> }\n")
+	f.Add(".marking { <a+> }\n")
+	f.Add(".marking { p9 }\n")
+	f.Add(".inputs a\n.graph\na+ p\np a-\n.marking { p }\n.end\n")
+	f.Add("a+ b+\n")
+	f.Add(".inputs a\n.graph\na+/0 a-\n")
+	f.Add(".model\n.graph\n.marking {}\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := Parse(src)
+		if err == nil && n == nil {
+			t.Fatal("Parse returned neither an STG nor an error")
+		}
+	})
+}

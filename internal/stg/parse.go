@@ -17,6 +17,15 @@ func Parse(src string) (*STG, error) {
 	var marking []string
 	inGraph := false
 	lineNo := 0
+	declare := func(names []string, kind SignalKind) error {
+		for _, s := range names {
+			if b.n.SignalIndex(s) >= 0 {
+				return fmt.Errorf("stg: line %d: duplicate signal %q", lineNo, s)
+			}
+			b.Signal(s, kind)
+		}
+		return nil
+	}
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -30,16 +39,16 @@ func Parse(src string) (*STG, error) {
 				b.n.Name = fields[1]
 			}
 		case strings.HasPrefix(line, ".inputs"):
-			for _, s := range fields[1:] {
-				b.Signal(s, Input)
+			if err := declare(fields[1:], Input); err != nil {
+				return nil, err
 			}
 		case strings.HasPrefix(line, ".outputs"):
-			for _, s := range fields[1:] {
-				b.Signal(s, Output)
+			if err := declare(fields[1:], Output); err != nil {
+				return nil, err
 			}
 		case strings.HasPrefix(line, ".internal"):
-			for _, s := range fields[1:] {
-				b.Signal(s, Internal)
+			if err := declare(fields[1:], Internal); err != nil {
+				return nil, err
 			}
 		case strings.HasPrefix(line, ".graph"):
 			inGraph = true
@@ -67,6 +76,9 @@ func Parse(src string) (*STG, error) {
 	for _, fields := range graphLines {
 		from := fields[0]
 		for _, to := range fields[1:] {
+			if !b.isTransLabel(from) && !b.isTransLabel(to) {
+				return nil, fmt.Errorf("stg: place-to-place arc %q -> %q", from, to)
+			}
 			b.Arc(from, to)
 		}
 	}
@@ -76,7 +88,11 @@ func Parse(src string) (*STG, error) {
 			if len(pair) != 2 {
 				return nil, fmt.Errorf("stg: bad marking token %q", m)
 			}
-			b.MarkBetween(strings.TrimSpace(pair[0]), strings.TrimSpace(pair[1]))
+			from, to := strings.TrimSpace(pair[0]), strings.TrimSpace(pair[1])
+			if !b.isTransLabel(from) || !b.isTransLabel(to) {
+				return nil, fmt.Errorf("stg: marking token %q names an undeclared transition", m)
+			}
+			b.MarkBetween(from, to)
 			continue
 		}
 		if _, ok := b.placeByID[m]; !ok {

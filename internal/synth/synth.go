@@ -38,6 +38,10 @@ type Options struct {
 	// the specification's visible behaviour (weak bisimulation with the
 	// inserted signals hidden).
 	SkipBisim bool
+	// Parallel bounds the worker pool of the per-signal analysis
+	// fan-out (0 = GOMAXPROCS, 1 = sequential). It also seeds
+	// Repair.Workers when that is unset.
+	Parallel int
 }
 
 // Report is the complete outcome of one synthesis run.
@@ -138,6 +142,9 @@ func FromGraph(g *sg.Graph, opts Options) (*Report, error) {
 	}
 
 	t1 := time.Now()
+	if opts.Repair.Workers == 0 {
+		opts.Repair.Workers = opts.Parallel
+	}
 	fixed, err := encode.Repair(g, opts.Repair)
 	rep.RepairTime = time.Since(t1)
 	if err != nil {

@@ -162,6 +162,9 @@ func Check(nl *netlist.Netlist, spec *sg.Graph) *Result {
 func CheckLimit(nl *netlist.Netlist, spec *sg.Graph, limit int) *Result {
 	res := &Result{}
 	nNets := nl.NumNets()
+	// Dense index of the specification: every spec-successor lookup on
+	// the exploration's hot path becomes an O(1) table read.
+	ix := sg.NewIndex(spec)
 
 	// Initial values: primary signal nets from the spec's initial code,
 	// combinational nets settled to their stable values.
@@ -196,16 +199,23 @@ func CheckLimit(nl *netlist.Netlist, spec *sg.Graph, limit int) *Result {
 	}
 
 	type stateKey string
+	// key packs the net values into a dense bitset followed by the spec
+	// state — 8× smaller than a byte-per-net rendering and built without
+	// formatting, which matters at millions of composed states.
+	keyLen := (nNets+7)/8 + 4
 	key := func(vals []bool, spec int) stateKey {
-		b := make([]byte, 0, len(vals)+4)
-		for _, v := range vals {
+		b := make([]byte, keyLen)
+		for i, v := range vals {
 			if v {
-				b = append(b, '1')
-			} else {
-				b = append(b, '0')
+				b[i>>3] |= 1 << uint(i&7)
 			}
 		}
-		return stateKey(fmt.Sprintf("%s@%d", b, spec))
+		off := keyLen - 4
+		b[off] = byte(spec)
+		b[off+1] = byte(spec >> 8)
+		b[off+2] = byte(spec >> 16)
+		b[off+3] = byte(spec >> 24)
+		return stateKey(b)
 	}
 	render := func(vals []bool, specState int) string {
 		var b strings.Builder
@@ -246,7 +256,7 @@ func CheckLimit(nl *netlist.Netlist, spec *sg.Graph, limit int) *Result {
 		ns = specState
 		if t.isInput {
 			nv[nl.SignalNet[t.signal]] = !nv[nl.SignalNet[t.signal]]
-			to, found := spec.Successor(specState, t.signal)
+			to, found := ix.Successor(specState, t.signal)
 			if !found {
 				panic("verify: input fired without spec edge")
 			}
@@ -256,7 +266,7 @@ func CheckLimit(nl *netlist.Netlist, spec *sg.Graph, limit int) *Result {
 		g := nl.Gates[t.gate]
 		nv[g.Out] = !nv[g.Out]
 		if sig := nl.Nets[g.Out].Signal; sig >= 0 {
-			to, found := spec.Successor(specState, sig)
+			to, found := ix.Successor(specState, sig)
 			if !found {
 				if len(res.Unexpected) < maxWitnesses {
 					res.Unexpected = append(res.Unexpected, Unexpected{Signal: sig, State: render(vals, specState)})
