@@ -147,6 +147,7 @@ func BenchmarkFig4Repair(b *testing.B) {
 func BenchmarkTable1(b *testing.B) {
 	for _, e := range benchdata.Table1 {
 		b.Run(e.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				rep, err := synth.FromSTG(e.STG(), synth.Options{})
 				if err != nil {
@@ -476,10 +477,77 @@ func BenchmarkInverterMapping(b *testing.B) {
 // value inference alone.
 func BenchmarkReachability(b *testing.B) {
 	net := benchdata.GenBufferChain(24)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := stg.BuildSG(net); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkBuildSG measures reachability + encoding inference on every
+// Table-1 benchmark (parsing outside the loop) and on a 24-stage buffer
+// chain, the largest marking space in the suite.
+func BenchmarkBuildSG(b *testing.B) {
+	nets := map[string]*stg.STG{"chain24": benchdata.GenBufferChain(24)}
+	order := []string{}
+	for _, e := range benchdata.Table1 {
+		nets[e.Name] = e.STG()
+		order = append(order, e.Name)
+	}
+	order = append(order, "chain24")
+	for _, name := range order {
+		net := nets[name]
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := stg.BuildSG(net); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCheckLimit measures composed-state verification alone: every
+// Table-1 benchmark's synthesized MC implementation re-verified against
+// its final specification, plus the k=8 fork (512 composed states).
+func BenchmarkCheckLimit(b *testing.B) {
+	type target struct {
+		name string
+		nl   *netlist.Netlist
+		g    *sg.Graph
+	}
+	var targets []target
+	for _, e := range benchdata.Table1 {
+		rep, err := synth.FromSTG(e.STG(), synth.Options{SkipVerify: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		targets = append(targets, target{e.Name, rep.Netlist, rep.Final})
+	}
+	{
+		net := benchdata.GenParallelizer(8)
+		g, err := stg.BuildSG(net)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep := core.NewAnalyzer(g).CheckGraph()
+		nl, err := netlist.Build(g, mcFunctions(b, g, rep), netlist.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		targets = append(targets, target{"fork8", nl, g})
+	}
+	for _, tg := range targets {
+		b.Run(tg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if !verify.Check(tg.nl, tg.g).OK() {
+					b.Fatal("must verify")
+				}
+			}
+		})
 	}
 }
 

@@ -22,6 +22,9 @@
 //	-parallel N bound the analysis/benchmark worker pools (0 = GOMAXPROCS,
 //	            1 = sequential)
 //	-cpuprofile write a CPU profile to the given file
+//	-benchjson  benchmark the Table-1 pipeline stages (parse, reach,
+//	            analyze, synth, verify) and write a JSON report
+//	-benchtime  per-stage measuring time for -benchjson
 package main
 
 import (
@@ -31,6 +34,7 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/baseline"
+	"repro/internal/bench"
 	"repro/internal/benchdata"
 	"repro/internal/netlist"
 	"repro/internal/stg"
@@ -43,7 +47,7 @@ func main() {
 	rs := flag.Bool("rs", false, "emit the standard RS-implementation")
 	share := flag.Bool("share", false, "enable generalized-MC gate sharing (Section VI)")
 	useBaseline := flag.Bool("baseline", false, "use the correct-cover baseline (no MC repair)")
-	bench := flag.String("bench", "", "synthesize a built-in Table-1 benchmark")
+	benchName := flag.String("bench", "", "synthesize a built-in Table-1 benchmark")
 	table1 := flag.Bool("table1", false, "synthesize all nine Table-1 benchmarks")
 	list := flag.Bool("list", false, "list built-in benchmarks")
 	dot := flag.Bool("dot", false, "print the final state graph in Graphviz syntax")
@@ -53,6 +57,8 @@ func main() {
 	verilog := flag.Bool("verilog", false, "print the implementation as structural Verilog")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	benchjson := flag.String("benchjson", "", "benchmark the Table-1 pipeline stages and write the JSON report to this file")
+	benchtime := flag.Duration("benchtime", 0, "per-stage measuring time for -benchjson (0 = testing default of 1s)")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -71,6 +77,19 @@ func main() {
 			fmt.Printf("%-16s %d inputs, %d outputs (paper: %d added signals)\n",
 				e.Name, e.Inputs, e.Outputs, e.PaperAdded)
 		}
+		return
+	}
+
+	if *benchjson != "" {
+		rep, err := bench.RunTable1(*benchtime)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := rep.WriteFile(*benchjson); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote %s (%d benchmarks × %d stages, benchtime %s)\n",
+			*benchjson, len(rep.Entries), len(rep.StageOrder), rep.Benchtime)
 		return
 	}
 
@@ -100,10 +119,10 @@ func main() {
 
 	var net *stg.STG
 	switch {
-	case *bench != "":
-		e, ok := benchdata.Table1ByName(*bench)
+	case *benchName != "":
+		e, ok := benchdata.Table1ByName(*benchName)
 		if !ok {
-			fatalf("unknown benchmark %q (use -list)", *bench)
+			fatalf("unknown benchmark %q (use -list)", *benchName)
 		}
 		net = e.STG()
 	case flag.NArg() == 1:

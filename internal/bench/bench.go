@@ -1,0 +1,160 @@
+// Package bench measures the per-stage cost of the synthesis pipeline
+// over the nine Table-1 benchmarks — parse, reachability (BuildSG),
+// state-graph analysis, MC synthesis, and verification — and emits the
+// machine-readable report committed as BENCH_table1.json. Each stage is
+// timed with testing.Benchmark under ReportAllocs, so the JSON records
+// ns/op, allocs/op and B/op per benchmark and stage; CI regenerates the
+// file on every run and uploads it as an artifact, giving the repo a
+// tracked history of the two hot paths this package exists to guard
+// (stg reachability and verify exploration).
+package bench
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/benchdata"
+	"repro/internal/core"
+	"repro/internal/stg"
+	"repro/internal/synth"
+	"repro/internal/verify"
+)
+
+// StageOrder lists the measured pipeline stages in execution order.
+var StageOrder = []string{"parse", "reach", "analyze", "synth", "verify"}
+
+// Stage is the measured cost of one pipeline stage.
+type Stage struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	Iterations  int   `json:"iterations"`
+}
+
+// Entry is the per-benchmark record.
+type Entry struct {
+	Name           string           `json:"name"`
+	SGStates       int              `json:"sg_states"`
+	ComposedStates int              `json:"composed_states"`
+	Stages         map[string]Stage `json:"stages"`
+}
+
+// Report is the full BENCH_table1.json payload.
+type Report struct {
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	Benchtime  string   `json:"benchtime"`
+	StageOrder []string `json:"stage_order"`
+	Entries    []Entry  `json:"entries"`
+}
+
+func measure(f func(b *testing.B)) Stage {
+	r := testing.Benchmark(f)
+	return Stage{
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+	}
+}
+
+// RunTable1 benchmarks every pipeline stage of the nine Table-1
+// entries. benchtime bounds the measuring time per stage; zero keeps
+// the testing package's default of 1s. Stages run through the same
+// entry points the production pipeline uses (synthesis with
+// SkipVerify, verification measured separately on its output).
+func RunTable1(benchtime time.Duration) (*Report, error) {
+	testing.Init()
+	if benchtime > 0 {
+		if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+			return nil, err
+		}
+	} else {
+		benchtime = time.Second
+	}
+	rep := &Report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchtime:  benchtime.String(),
+		StageOrder: StageOrder,
+	}
+	for _, e := range benchdata.Table1 {
+		src := e.Source
+		net, err := stg.Parse(src)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", e.Name, err)
+		}
+		g, err := stg.BuildSG(net)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", e.Name, err)
+		}
+		srep, err := synth.FromGraph(g, synth.Options{SkipVerify: true})
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", e.Name, err)
+		}
+		vres := verify.Check(srep.Netlist, srep.Final)
+
+		ent := Entry{
+			Name:           e.Name,
+			SGStates:       g.NumStates(),
+			ComposedStates: vres.States,
+			Stages:         make(map[string]Stage, len(StageOrder)),
+		}
+		ent.Stages["parse"] = measure(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := stg.Parse(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		ent.Stages["reach"] = measure(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := stg.BuildSG(net); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		ent.Stages["analyze"] = measure(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.NewAnalyzer(g).CheckGraph()
+			}
+		})
+		ent.Stages["synth"] = measure(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := synth.FromGraph(g, synth.Options{SkipVerify: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		ent.Stages["verify"] = measure(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if r := verify.Check(srep.Netlist, srep.Final); !r.OK() {
+					b.Fatalf("verification failed: %s", r)
+				}
+			}
+		})
+		rep.Entries = append(rep.Entries, ent)
+	}
+	return rep, nil
+}
+
+// WriteFile marshals the report as indented JSON to path.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -19,14 +19,187 @@ func (m marking) has(p int) bool { return m[p/64]>>uint(p%64)&1 == 1 }
 func (m marking) set(p int)      { m[p/64] |= 1 << uint(p%64) }
 func (m marking) clear(p int)    { m[p/64] &^= 1 << uint(p%64) }
 func (m marking) clone() marking { c := make(marking, len(m)); copy(c, m); return c }
-func (m marking) key() string {
-	b := make([]byte, len(m)*8)
-	for i, w := range m {
-		for j := 0; j < 8; j++ {
-			b[i*8+j] = byte(w >> uint(8*j))
+
+// sgEdge is one explored firing: marking from reaches marking to by
+// firing transition trans.
+type sgEdge struct{ from, trans, to int }
+
+// fireMasks holds the word-level firing machinery of one net: per
+// transition the pre-set and post-set as place bitmasks, so Enabled is a
+// word-wise AND comparison and firing is AND-NOT/OR — no per-place loops
+// and no allocation on the hot path.
+type fireMasks struct {
+	words     int      // words per marking
+	pre, post []uint64 // t*words .. (t+1)*words
+	hasPre    []bool   // transition has a non-empty pre-set
+	dupPost   []bool   // a place repeats in PostT[t]: firing always violates 1-safety
+}
+
+func newFireMasks(n *STG) *fireMasks {
+	words := (n.NumPlaces() + 63) / 64
+	nt := len(n.Trans)
+	fm := &fireMasks{
+		words:   words,
+		pre:     make([]uint64, nt*words),
+		post:    make([]uint64, nt*words),
+		hasPre:  make([]bool, nt),
+		dupPost: make([]bool, nt),
+	}
+	for t := 0; t < nt; t++ {
+		pre := fm.pre[t*words : (t+1)*words]
+		post := fm.post[t*words : (t+1)*words]
+		for _, p := range n.PreT[t] {
+			pre[p/64] |= 1 << uint(p%64)
+		}
+		fm.hasPre[t] = len(n.PreT[t]) > 0
+		for _, p := range n.PostT[t] {
+			if post[p/64]>>uint(p%64)&1 == 1 {
+				fm.dupPost[t] = true
+			}
+			post[p/64] |= 1 << uint(p%64)
 		}
 	}
-	return string(b)
+	return fm
+}
+
+// enabled reports whether transition t is enabled under m: the pre-set
+// mask is fully contained in the marking. Source transitions (empty
+// pre-set) are rejected — they would be unsafe.
+func (fm *fireMasks) enabled(m []uint64, t int) bool {
+	if !fm.hasPre[t] {
+		return false
+	}
+	pre := fm.pre[t*fm.words : (t+1)*fm.words]
+	for w, pw := range pre {
+		if m[w]&pw != pw {
+			return false
+		}
+	}
+	return true
+}
+
+// fire computes the marking after firing t into dst (a caller-owned
+// scratch buffer — nothing is allocated, and a failed fire leaves no
+// garbage behind). A post place that is still marked after the pre-set
+// is consumed violates 1-safety; the rare error path replays the firing
+// place by place to name the same doubly-marked place the reference
+// implementation reports.
+func (fm *fireMasks) fire(n *STG, m, dst []uint64, t int) error {
+	if fm.dupPost[t] {
+		return n.fireError(m, t)
+	}
+	pre := fm.pre[t*fm.words : (t+1)*fm.words]
+	post := fm.post[t*fm.words : (t+1)*fm.words]
+	for w := range dst {
+		rem := m[w] &^ pre[w]
+		if rem&post[w] != 0 {
+			return n.fireError(m, t)
+		}
+		dst[w] = rem | post[w]
+	}
+	return nil
+}
+
+// fireError replays the reference clear-then-set firing order to report
+// the first doubly-marked place, matching the historical error text.
+func (n *STG) fireError(m marking, t int) error {
+	out := m.clone()
+	for _, p := range n.PreT[t] {
+		out.clear(p)
+	}
+	for _, p := range n.PostT[t] {
+		if out.has(p) {
+			return fmt.Errorf("stg: net not 1-safe: place %d doubly marked firing %s", p, n.TransLabel(t))
+		}
+		out.set(p)
+	}
+	return fmt.Errorf("stg: net not 1-safe firing %s", n.TransLabel(t))
+}
+
+// hashWords mixes a marking's words into a table hash (splitmix-style
+// finalizer per word; no byte-string materialization).
+func hashWords(ws []uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, w := range ws {
+		h ^= w
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+		h *= 0xc4ceb9fe1a85ec53
+	}
+	return h
+}
+
+// markTable is an open-addressing hash set of markings. The markings
+// themselves live in a grow-only arena (one flat []uint64), so insertion
+// costs one append of words and the table stores only int32 ids.
+type markTable struct {
+	words int
+	arena []uint64
+	slots []int32 // power-of-two probe table over arena ids, -1 = empty
+	n     int
+}
+
+func newMarkTable(words int) *markTable {
+	tb := &markTable{words: words, slots: make([]int32, 64)}
+	for i := range tb.slots {
+		tb.slots[i] = -1
+	}
+	return tb
+}
+
+// at returns the id-th marking. The slice aliases the arena and is
+// invalidated by the next insertion.
+func (tb *markTable) at(id int) []uint64 { return tb.arena[id*tb.words : (id+1)*tb.words] }
+
+func (tb *markTable) equal(id int, m []uint64) bool {
+	s := tb.at(id)
+	for w := range m {
+		if s[w] != m[w] {
+			return false
+		}
+	}
+	return true
+}
+
+func (tb *markTable) grow() {
+	old := tb.slots
+	tb.slots = make([]int32, 2*len(old))
+	mask := uint64(len(tb.slots) - 1)
+	for i := range tb.slots {
+		tb.slots[i] = -1
+	}
+	for _, id := range old {
+		if id < 0 {
+			continue
+		}
+		i := hashWords(tb.at(int(id))) & mask
+		for tb.slots[i] >= 0 {
+			i = (i + 1) & mask
+		}
+		tb.slots[i] = id
+	}
+}
+
+// lookupOrAdd interns m, copying it into the arena when new.
+func (tb *markTable) lookupOrAdd(m []uint64) (id int, added bool) {
+	if (tb.n+1)*4 > len(tb.slots)*3 {
+		tb.grow()
+	}
+	mask := uint64(len(tb.slots) - 1)
+	i := hashWords(m) & mask
+	for {
+		s := tb.slots[i]
+		if s < 0 {
+			tb.slots[i] = int32(tb.n)
+			tb.arena = append(tb.arena, m...)
+			tb.n++
+			return tb.n - 1, true
+		}
+		if tb.equal(int(s), m) {
+			return int(s), false
+		}
+		i = (i + 1) & mask
+	}
 }
 
 // Enabled reports whether transition t is enabled under m.
@@ -42,20 +215,68 @@ func (n *STG) Enabled(m marking, t int) bool {
 	return true
 }
 
-// fire returns the marking after firing t, or an error when the net is
-// not 1-safe at this step.
-func (n *STG) fire(m marking, t int) (marking, error) {
-	out := m.clone()
-	for _, p := range n.PreT[t] {
-		out.clear(p)
-	}
-	for _, p := range n.PostT[t] {
-		if out.has(p) {
-			return nil, fmt.Errorf("stg: net not 1-safe: place %d doubly marked firing %s", p, n.TransLabel(t))
+// explore plays the token game over the reachable markings and returns
+// the state count and the labelled firing edges in discovery order.
+// Markings are interned in an arena-backed hash table; firing goes
+// through precomputed word masks into two reused scratch buffers, so the
+// loop allocates only for the arena and the edge list. Nets with at most
+// 64 places (all of Table 1) take a register-resident single-word path.
+func explore(n *STG, limit int) (int, []sgEdge, error) {
+	fm := newFireMasks(n)
+	tb := newMarkTable(fm.words)
+	init := make([]uint64, fm.words)
+	for p, ok := range n.InitialMarking {
+		if ok {
+			init[p/64] |= 1 << uint(p%64)
 		}
-		out.set(p)
 	}
-	return out, nil
+	tb.lookupOrAdd(init)
+
+	var edges []sgEdge
+	nt := len(n.Trans)
+	if fm.words == 1 {
+		next := make([]uint64, 1)
+		for head := 0; head < tb.n; head++ {
+			cur := tb.arena[head] // single word: no aliasing concern
+			for t := 0; t < nt; t++ {
+				pw := fm.pre[t]
+				if !fm.hasPre[t] || cur&pw != pw {
+					continue
+				}
+				rem := cur &^ pw
+				if rem&fm.post[t] != 0 || fm.dupPost[t] {
+					return 0, nil, n.fireError(marking{cur}, t)
+				}
+				next[0] = rem | fm.post[t]
+				to, added := tb.lookupOrAdd(next)
+				if added && to >= limit {
+					return 0, nil, fmt.Errorf("stg: state limit %d exceeded", limit)
+				}
+				edges = append(edges, sgEdge{from: head, trans: t, to: to})
+			}
+		}
+		return tb.n, edges, nil
+	}
+
+	cur := make([]uint64, fm.words)
+	next := make([]uint64, fm.words)
+	for head := 0; head < tb.n; head++ {
+		copy(cur, tb.at(head)) // the arena may grow while we expand head
+		for t := 0; t < nt; t++ {
+			if !fm.enabled(cur, t) {
+				continue
+			}
+			if err := fm.fire(n, cur, next, t); err != nil {
+				return 0, nil, err
+			}
+			to, added := tb.lookupOrAdd(next)
+			if added && to >= limit {
+				return 0, nil, fmt.Errorf("stg: state limit %d exceeded", limit)
+			}
+			edges = append(edges, sgEdge{from: head, trans: t, to: to})
+		}
+	}
+	return tb.n, edges, nil
 }
 
 // BuildSG explores the reachable markings of the net under interleaving
@@ -69,47 +290,35 @@ func BuildSG(n *STG) (*sg.Graph, error) {
 
 // BuildSGLimit is BuildSG with an explicit bound on the number of states.
 func BuildSGLimit(n *STG, limit int) (*sg.Graph, error) {
+	if err := checkBuildable(n); err != nil {
+		return nil, err
+	}
+	nstates, edges, err := explore(n, limit)
+	if err != nil {
+		return nil, err
+	}
+	return assembleSG(n, nstates, edges)
+}
+
+// checkBuildable rejects nets reachability cannot represent.
+func checkBuildable(n *STG) error {
 	if len(n.Signals) > 64 {
-		return nil, fmt.Errorf("stg: %d signals exceed the 64-signal limit", len(n.Signals))
+		return fmt.Errorf("stg: %d signals exceed the 64-signal limit", len(n.Signals))
 	}
 	if len(n.Trans) == 0 {
-		return nil, fmt.Errorf("stg: net has no transitions")
+		return fmt.Errorf("stg: net has no transitions")
 	}
-	init := newMarking(n.NumPlaces())
-	for p, ok := range n.InitialMarking {
-		if ok {
-			init.set(p)
-		}
-	}
+	return nil
+}
 
-	type edge struct{ from, trans, to int }
-	index := map[string]int{init.key(): 0}
-	marks := []marking{init}
-	var edges []edge
-	for head := 0; head < len(marks); head++ {
-		m := marks[head]
-		for t := range n.Trans {
-			if !n.Enabled(m, t) {
-				continue
-			}
-			next, err := n.fire(m, t)
-			if err != nil {
-				return nil, err
-			}
-			k := next.key()
-			to, ok := index[k]
-			if !ok {
-				to = len(marks)
-				if to >= limit {
-					return nil, fmt.Errorf("stg: state limit %d exceeded", limit)
-				}
-				index[k] = to
-				marks = append(marks, next)
-			}
-			edges = append(edges, edge{from: head, trans: t, to: to})
-		}
-	}
-
+// assembleSG infers a consistent binary signal encoding over the
+// explored states and builds the state graph. The propagation fixpoint
+// runs over a flat value matrix and a counting-sorted edge index —
+// assembly performs a constant number of allocations regardless of the
+// state count, and the per-edge inner loop is branch-light direct
+// indexing. Observable behaviour (error ordering included) matches the
+// per-state adjacency-list original bit for bit.
+func assembleSG(n *STG, nstates int, edges []sgEdge) (*sg.Graph, error) {
 	// Infer signal values. val[s*nsig+sig] ∈ {unknown, zero, one}.
 	const (
 		unknown int8 = iota
@@ -117,88 +326,105 @@ func BuildSGLimit(n *STG, limit int) (*sg.Graph, error) {
 		one
 	)
 	nsig := len(n.Signals)
-	val := make([]int8, len(marks)*nsig)
-	at := func(s, sig int) *int8 { return &val[s*nsig+sig] }
+	val := make([]int8, nstates*nsig)
 
-	assign := func(s, sig int, v int8) error {
-		cur := at(s, sig)
-		if *cur == unknown {
-			*cur = v
-			return nil
+	// Per-transition inference constants: the signal, its value after the
+	// transition fires, and the complementary value it must hold before.
+	nt := len(n.Trans)
+	trSig := make([]int32, nt)
+	trAfter := make([]int8, nt)
+	trBefore := make([]int8, nt)
+	for t, tr := range n.Trans {
+		trSig[t] = int32(tr.Signal)
+		if tr.Dir == Plus {
+			trAfter[t], trBefore[t] = one, zero
+		} else {
+			trAfter[t], trBefore[t] = zero, one
 		}
-		if *cur != v {
-			return fmt.Errorf("stg: inconsistent state assignment for signal %s", n.Signals[sig])
-		}
-		return nil
 	}
 
-	// Adjacency for propagation.
-	succ := make([][]edge, len(marks))
+	// Counting-sorted adjacency: eidx[start[s]:start[s+1]] lists the
+	// indices of s's outgoing edges, preserving their discovery order.
+	start := make([]int32, nstates+1)
 	for _, e := range edges {
-		succ[e.from] = append(succ[e.from], e)
+		start[e.from+1]++
+	}
+	for s := 0; s < nstates; s++ {
+		start[s+1] += start[s]
+	}
+	eidx := make([]int32, len(edges))
+	fill := make([]int32, nstates)
+	copy(fill, start)
+	for i, e := range edges {
+		eidx[fill[e.from]] = int32(i)
+		fill[e.from]++
+	}
+
+	inconsistent := func(sig int) error {
+		return fmt.Errorf("stg: inconsistent state assignment for signal %s", n.Signals[sig])
 	}
 
 	// Seed: an enabled a+ pins a=0, an enabled a- pins a=1.
-	for s := range marks {
-		for _, e := range succ[s] {
-			tr := n.Trans[e.trans]
-			want := zero
-			if tr.Dir == Minus {
-				want = one
-			}
-			if err := assign(s, tr.Signal, want); err != nil {
-				return nil, err
+	for s := 0; s < nstates; s++ {
+		row := val[s*nsig : s*nsig+nsig]
+		for _, ei := range eidx[start[s]:start[s+1]] {
+			t := edges[ei].trans
+			sig := trSig[t]
+			if cur := row[sig]; cur == unknown {
+				row[sig] = trBefore[t]
+			} else if cur != trBefore[t] {
+				return nil, inconsistent(int(sig))
 			}
 		}
 	}
-	// Propagate along edges in both directions until fixpoint.
+	// Propagate along edges in both directions until fixpoint. The
+	// before-value assignment deliberately does not raise changed — the
+	// original converged that way, and the fixpoint must be identical.
 	changed := true
 	for changed {
 		changed = false
-		for s := range marks {
-			for _, e := range succ[s] {
-				tr := n.Trans[e.trans]
+		for s := 0; s < nstates; s++ {
+			vs := val[s*nsig : s*nsig+nsig]
+			for _, ei := range eidx[start[s]:start[s+1]] {
+				e := edges[ei]
+				tsig := int(trSig[e.trans])
+				vt := val[e.to*nsig : e.to*nsig+nsig]
 				for sig := 0; sig < nsig; sig++ {
-					var fwd int8
-					if sig == tr.Signal {
-						fwd = zero
-						if tr.Dir == Plus {
-							fwd = one
-						}
-					} else {
-						fwd = *at(s, sig)
-					}
-					if fwd != unknown && *at(e.to, sig) == unknown {
-						*at(e.to, sig) = fwd
-						changed = true
-					}
-					if fwd != unknown && *at(e.to, sig) != fwd {
-						return nil, fmt.Errorf("stg: inconsistent state assignment for signal %s", n.Signals[sig])
-					}
-					// Backward: value at destination implies value at
-					// source for unrelated signals.
-					if sig != tr.Signal {
-						back := *at(e.to, sig)
-						if back != unknown && *at(s, sig) == unknown {
-							*at(s, sig) = back
+					if sig == tsig {
+						after := trAfter[e.trans]
+						if vt[sig] == unknown {
+							vt[sig] = after
 							changed = true
+						} else if vt[sig] != after {
+							return nil, inconsistent(sig)
 						}
-					} else {
 						// Before firing a±, a has the complementary value.
-						before := one
-						if tr.Dir == Plus {
-							before = zero
+						if before := trBefore[e.trans]; vs[sig] == unknown {
+							vs[sig] = before
+						} else if vs[sig] != before {
+							return nil, inconsistent(sig)
 						}
-						if err := assign(s, sig, before); err != nil {
-							return nil, err
+						continue
+					}
+					if f := vs[sig]; f != unknown {
+						if vt[sig] == unknown {
+							vt[sig] = f
+							changed = true
+						} else if vt[sig] != f {
+							return nil, inconsistent(sig)
 						}
+					} else if b := vt[sig]; b != unknown {
+						// Backward: value at destination implies value at
+						// source for unrelated signals.
+						vs[sig] = b
+						changed = true
 					}
 				}
 			}
 		}
 	}
 	for sig := 0; sig < nsig; sig++ {
-		if *at(0, sig) == unknown {
+		if val[sig] == unknown {
 			return nil, fmt.Errorf("stg: signal %s never fires; cannot infer its value", n.Signals[sig])
 		}
 	}
@@ -212,14 +438,36 @@ func BuildSGLimit(n *STG, limit int) (*sg.Graph, error) {
 	for i, k := range n.Kinds {
 		g.Input[i] = k == Input
 	}
-	for s := range marks {
+	g.States = make([]sg.State, 0, nstates)
+	for s := 0; s < nstates; s++ {
+		row := val[s*nsig : s*nsig+nsig]
 		var code uint64
 		for sig := 0; sig < nsig; sig++ {
-			if *at(s, sig) == one {
+			if row[sig] == one {
 				code |= 1 << uint(sig)
 			}
 		}
 		g.AddState(code)
+	}
+	// Pre-size every adjacency list out of two flat buffers: AddEdge then
+	// appends in place. States without edges keep nil lists, exactly as
+	// append-from-nil left them.
+	indeg := make([]int32, nstates)
+	for _, e := range edges {
+		indeg[e.to]++
+	}
+	succBuf := make([]sg.Edge, len(edges))
+	predBuf := make([]sg.Edge, len(edges))
+	so, po := 0, 0
+	for s := 0; s < nstates; s++ {
+		if od := int(start[s+1] - start[s]); od > 0 {
+			g.States[s].Succ = succBuf[so : so : so+od]
+			so += od
+		}
+		if id := int(indeg[s]); id > 0 {
+			g.States[s].Pred = predBuf[po : po : po+id]
+			po += id
+		}
 	}
 	for _, e := range edges {
 		tr := n.Trans[e.trans]

@@ -1,0 +1,114 @@
+package stg_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/benchdata"
+	"repro/internal/stg"
+)
+
+// Differential tests pinning the arena/hash-table explorer of BuildSG
+// against the retained map-based reference (BuildSGRef): identical
+// graphs — same state numbering, codes and edge order — on the Table-1
+// benchmarks, the generated scaling families and random series-parallel
+// specifications (same style as internal/core/diff_test.go).
+
+func diffNets() map[string]*stg.STG {
+	out := map[string]*stg.STG{}
+	for _, e := range benchdata.Table1 {
+		out[e.Name] = e.STG()
+	}
+	out["chain8"] = benchdata.GenBufferChain(8)
+	out["fork6"] = benchdata.GenParallelizer(6)
+	out["sel3"] = benchdata.GenSelectorRing(3)
+	for seed := int64(0); seed < 15; seed++ {
+		spec := benchdata.GenRandomSpec(seed, 3)
+		out[spec.Net.Name] = spec.Net
+	}
+	return out
+}
+
+func TestDifferentialBuildSGVsMapReference(t *testing.T) {
+	for name, net := range diffNets() {
+		got, gerr := stg.BuildSG(net)
+		want, werr := stg.BuildSGRef(net, stg.DefaultStateLimit)
+		if (gerr == nil) != (werr == nil) {
+			t.Fatalf("%s: error mismatch: %v vs reference %v", name, gerr, werr)
+		}
+		if gerr != nil {
+			if gerr.Error() != werr.Error() {
+				t.Fatalf("%s: error text mismatch: %q vs reference %q", name, gerr, werr)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: graphs differ:\n--- got ---\n%s--- reference ---\n%s",
+				name, got.Dump(), want.Dump())
+		}
+	}
+}
+
+func TestDifferentialBuildSGStateLimit(t *testing.T) {
+	// Both explorers must report the limit at the same threshold.
+	net := benchdata.GenBufferChain(8)
+	for _, limit := range []int{1, 2, 5, 16, 17, 18, 1 << 10} {
+		_, gerr := stg.BuildSGLimit(net, limit)
+		_, werr := stg.BuildSGRef(net, limit)
+		if (gerr == nil) != (werr == nil) {
+			t.Fatalf("limit %d: error mismatch: %v vs reference %v", limit, gerr, werr)
+		}
+		if gerr != nil && gerr.Error() != werr.Error() {
+			t.Fatalf("limit %d: error text mismatch: %q vs reference %q", limit, gerr, werr)
+		}
+	}
+}
+
+// unsafeNet fires a+ (consuming q) into the already-marked place p —
+// the canonical 1-safety violation.
+const unsafeNet = `
+.model unsafe
+.inputs a
+.outputs b
+.graph
+q a+
+a+ p
+p b+
+.marking { p q }
+.end
+`
+
+func TestBuildSGUnsafeNet(t *testing.T) {
+	// Regression for the 1-safety error path: a failed fire must report
+	// the doubly-marked place (and, since the scratch-marking rework, do
+	// so without cloning a marking per attempt). Both explorers agree on
+	// the exact error.
+	net := stg.MustParse(unsafeNet)
+	g, err := stg.BuildSG(net)
+	if err == nil {
+		t.Fatalf("unsafe net built a graph:\n%s", g.Dump())
+	}
+	if !strings.Contains(err.Error(), "not 1-safe") {
+		t.Fatalf("error %q does not mention 1-safety", err)
+	}
+	_, werr := stg.BuildSGRef(net, stg.DefaultStateLimit)
+	if werr == nil || werr.Error() != err.Error() {
+		t.Fatalf("reference disagrees: %v vs %v", werr, err)
+	}
+}
+
+func TestBuildSGUnsafeNetDoesNotLeakPerAttempt(t *testing.T) {
+	// The error is detected on the very first expansion; the whole
+	// attempt should stay within the fixed setup allocations (masks,
+	// table, scratches) rather than cloning markings per fire.
+	net := stg.MustParse(unsafeNet)
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := stg.BuildSG(net); err == nil {
+			t.Fatal("unsafe net must not build")
+		}
+	})
+	if allocs > 32 {
+		t.Fatalf("unsafe-net BuildSG costs %.0f allocs/attempt; the error path is leaking", allocs)
+	}
+}

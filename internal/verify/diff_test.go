@@ -1,0 +1,117 @@
+package verify_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/benchdata"
+	"repro/internal/netlist"
+	"repro/internal/sg"
+	"repro/internal/stg"
+	"repro/internal/synth"
+	"repro/internal/verify"
+)
+
+// Differential tests pinning the levelized, cone-limited exploration
+// engine against the retained reference engine (CheckLimitRef): the
+// complete Result — state counts, every witness string and every trace
+// — must be identical over hazard-free and hazardous circuits alike
+// (same style as internal/core/diff_test.go).
+
+type diffCase struct {
+	name string
+	nl   *netlist.Netlist
+	g    *sg.Graph
+}
+
+func diffCases(t *testing.T) []diffCase {
+	t.Helper()
+	var out []diffCase
+	add := func(name string, nl *netlist.Netlist, g *sg.Graph, err error) {
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out = append(out, diffCase{name, nl, g})
+	}
+	// Hazard-free MC implementations, C and RS, over all of Table 1.
+	for _, e := range benchdata.Table1 {
+		for _, mode := range []struct {
+			suffix string
+			rs     bool
+		}{{"/C", false}, {"/RS", true}} {
+			rep, err := synth.FromSTG(e.STG(), synth.Options{RS: mode.rs, SkipVerify: true})
+			add(e.Name+mode.suffix, rep.Netlist, rep.Final, err)
+		}
+	}
+	// Hazardous circuits: the correct-cover baseline on the paper
+	// figures (semi-modularity witnesses with traces).
+	for name, g := range map[string]*sg.Graph{"fig1": benchdata.Fig1SG(), "fig4": benchdata.Fig4SG()} {
+		nl, err := baseline.Synthesize(g, netlist.Options{})
+		add("baseline/"+name, nl, g, err)
+	}
+	// Fan-in-2 decomposition and explicit inverters both break SI on
+	// berkel2 — deeper combinational networks, many witnesses.
+	{
+		e, _ := benchdata.Table1ByName("berkel2")
+		g, err := stg.BuildSG(e.STG())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := synth.FromGraph(g, synth.Options{SkipVerify: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := netlist.Decompose(rep.Netlist, 2)
+		add("decompose/berkel2", d, rep.Final, err)
+		add("inverters/berkel2", netlist.ExplicitInverters(rep.Netlist), rep.Final, nil)
+	}
+	// Complex-gate baseline (Complex gates read every signal net);
+	// mp-forward-pkt is the CSC-clean Table-1 entry.
+	{
+		e, _ := benchdata.Table1ByName("mp-forward-pkt")
+		g, err := stg.BuildSG(e.STG())
+		if err != nil {
+			t.Fatal(err)
+		}
+		nl, err := baseline.ComplexGate(g)
+		add("complex/mp-forward-pkt", nl, g, err)
+	}
+	// Wide concurrency: the k=6 fork, 128 composed states.
+	{
+		g, err := stg.BuildSG(benchdata.GenParallelizer(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := synth.FromGraph(g, synth.Options{SkipVerify: true})
+		add("fork6", rep.Netlist, rep.Final, err)
+	}
+	return out
+}
+
+func TestDifferentialCheckLimitVsReference(t *testing.T) {
+	for _, c := range diffCases(t) {
+		got := verify.Check(c.nl, c.g)
+		want := verify.CheckLimitRef(c.nl, c.g, verify.DefaultStateLimit)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: results differ:\n--- got ---\n%s--- reference ---\n%s", c.name, got, want)
+		}
+	}
+}
+
+func TestDifferentialCheckLimitTruncation(t *testing.T) {
+	// Both engines explore in the same order, so they must truncate at
+	// the same point and report identical partial results.
+	e, _ := benchdata.Table1ByName("ganesh_8")
+	rep, err := synth.FromSTG(e.STG(), synth.Options{SkipVerify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, limit := range []int{1, 2, 17, 256, 1319, 1320, 1321} {
+		got := verify.CheckLimit(rep.Netlist, rep.Final, limit)
+		want := verify.CheckLimitRef(rep.Netlist, rep.Final, limit)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("limit %d: results differ:\n--- got ---\n%s--- reference ---\n%s", limit, got, want)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package verify
+
+import "repro/internal/netlist"
+
+// evaluator is the levelized view of a netlist's combinational network:
+// the AND/OR gates in topological order plus, per net, the list of gates
+// whose excitation status can change when that net flips. Built once per
+// verification run, it replaces the recursive per-probe steady-state
+// evaluator with an iterative sweep over preallocated buffers and lets
+// the explorer re-evaluate only the fan-out cone of the single net that
+// changed between composed states.
+type evaluator struct {
+	nl     *netlist.Netlist
+	order  []int32   // combinational gates, inputs before outputs
+	cyclic bool      // a combinational cycle defeats levelization
+	fanout [][]int32 // net → gates to re-evaluate when the net flips
+}
+
+func levelize(nl *netlist.Netlist) *evaluator {
+	ev := &evaluator{nl: nl, fanout: make([][]int32, nl.NumNets())}
+
+	// Topological order of the combinational gates (DFS postorder over
+	// pin-net drivers). Gates on a cycle mark the evaluator cyclic; the
+	// verifier then falls back to the recursive reference evaluator.
+	const (
+		white = iota
+		gray
+		black
+	)
+	color := make([]int8, len(nl.Gates))
+	var visit func(gi int)
+	visit = func(gi int) {
+		switch color[gi] {
+		case gray:
+			ev.cyclic = true
+			return
+		case black:
+			return
+		}
+		color[gi] = gray
+		for _, p := range nl.Gates[gi].Pins {
+			if d := nl.Nets[p.Net].Driver; d >= 0 && nl.Gates[d].Kind.Combinational() {
+				visit(d)
+			}
+		}
+		color[gi] = black
+		ev.order = append(ev.order, int32(gi))
+	}
+	for gi := range nl.Gates {
+		if nl.Gates[gi].Kind.Combinational() {
+			visit(gi)
+		}
+	}
+
+	// Excitation fan-out. Eval(g) compares against values[g.Out], so a
+	// flip of g's own output net re-excites g; CElem and RSLatch also
+	// read their output for the hold case, and Complex gates read every
+	// specification signal net through SignalNet.
+	add := func(net, gi int) {
+		for _, have := range ev.fanout[net] {
+			if have == int32(gi) {
+				return
+			}
+		}
+		ev.fanout[net] = append(ev.fanout[net], int32(gi))
+	}
+	for gi, g := range nl.Gates {
+		add(g.Out, gi)
+		for _, p := range g.Pins {
+			add(p.Net, gi)
+		}
+		if g.Kind == netlist.Complex {
+			for _, net := range nl.SignalNet {
+				add(net, gi)
+			}
+		}
+	}
+	return ev
+}
+
+// sweep settles the combinational network over vals into settled (both
+// caller-owned, len == NumNets): non-combinational nets keep their
+// current values, AND/OR outputs are recomputed in topological order.
+// Equivalent to the recursive funcVal on acyclic networks.
+func (ev *evaluator) sweep(vals, settled []bool) {
+	copy(settled, vals)
+	nl := ev.nl
+	for _, gi := range ev.order {
+		g := &nl.Gates[gi]
+		v := g.Kind == netlist.And
+		if v {
+			for _, p := range g.Pins {
+				if settled[p.Net] == p.Invert {
+					v = false
+					break
+				}
+			}
+		} else {
+			for _, p := range g.Pins {
+				if settled[p.Net] != p.Invert {
+					v = true
+					break
+				}
+			}
+		}
+		settled[g.Out] = v
+	}
+}
+
+// pinVal reads a pin over a settled value slice.
+func pinVal(settled []bool, p netlist.Pin) bool { return settled[p.Net] != p.Invert }

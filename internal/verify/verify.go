@@ -15,10 +15,20 @@
 //   - conformance violations (the circuit produces an output transition
 //     the specification does not allow);
 //   - RS latch drive conflicts (S and R active simultaneously).
+//
+// The exploration engine is allocation-lean: composed states live
+// packed in a grow-only arena behind an open-addressing hash table
+// (keyed by the binary net-value/spec-state words), per-state excited
+// gate sets are tracked as bitmasks and updated by re-evaluating only
+// the fan-out cone of the single net a transition flips, and the
+// steady-state functions of RS latches are read off one levelized
+// sweep per state instead of a recursive probe per latch pin. The seed
+// engine is retained in reference.go as the differential oracle.
 package verify
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 
 	"repro/internal/netlist"
@@ -95,49 +105,6 @@ func (r *Result) String() string {
 	return b.String()
 }
 
-// funcVal evaluates the steady-state value a pin would settle to if the
-// combinational network were given time: latch outputs and primary
-// inputs keep their current values, AND/OR gates are recomputed
-// recursively. visiting guards against (malformed) combinational cycles.
-func funcVal(nl *netlist.Netlist, vals []bool, p netlist.Pin, visiting map[int]bool) bool {
-	v := netVal(nl, vals, p.Net, visiting)
-	if p.Invert {
-		return !v
-	}
-	return v
-}
-
-func netVal(nl *netlist.Netlist, vals []bool, net int, visiting map[int]bool) bool {
-	d := nl.Nets[net].Driver
-	if d < 0 || visiting[net] {
-		return vals[net]
-	}
-	g := nl.Gates[d]
-	if !g.Kind.Combinational() {
-		return vals[net]
-	}
-	visiting[net] = true
-	defer delete(visiting, net)
-	switch g.Kind {
-	case netlist.And:
-		for _, p := range g.Pins {
-			if !funcVal(nl, vals, p, visiting) {
-				return false
-			}
-		}
-		return true
-	case netlist.Or:
-		for _, p := range g.Pins {
-			if funcVal(nl, vals, p, visiting) {
-				return true
-			}
-		}
-		return false
-	default:
-		return vals[net]
-	}
-}
-
 // transition is one enabled move of the composed system.
 type transition struct {
 	isInput bool
@@ -158,6 +125,182 @@ func Check(nl *netlist.Netlist, spec *sg.Graph) *Result {
 	return CheckLimit(nl, spec, DefaultStateLimit)
 }
 
+// evalGate recomputes one gate's output with direct pin reads — the
+// monomorphized hot-path twin of netlist.Eval. Complex gates (minterm
+// table over every specification signal) keep going through the netlist
+// evaluator.
+func evalGate(nl *netlist.Netlist, vals []bool, g *netlist.Gate, gi int) bool {
+	switch g.Kind {
+	case netlist.And:
+		for _, p := range g.Pins {
+			if vals[p.Net] == p.Invert {
+				return false
+			}
+		}
+		return true
+	case netlist.Or:
+		for _, p := range g.Pins {
+			if vals[p.Net] != p.Invert {
+				return true
+			}
+		}
+		return false
+	case netlist.Nor:
+		for _, p := range g.Pins {
+			if vals[p.Net] != p.Invert {
+				return false
+			}
+		}
+		return true
+	case netlist.Wire:
+		return vals[g.Pins[0].Net] != g.Pins[0].Invert
+	case netlist.CElem:
+		// C(A,B) = AB + (A+B)C with A = S and B = ¬R.
+		a := vals[g.Pins[0].Net] != g.Pins[0].Invert
+		b := vals[g.Pins[1].Net] == g.Pins[1].Invert
+		cur := vals[g.Out]
+		return a && b || (a || b) && cur
+	case netlist.RSLatch:
+		s := vals[g.Pins[0].Net] != g.Pins[0].Invert
+		r := vals[g.Pins[1].Net] != g.Pins[1].Invert
+		switch {
+		case s && !r:
+			return true
+		case r && !s:
+			return false
+		default:
+			return vals[g.Out] // hold (S=R=1 also holds, flagged by the verifier)
+		}
+	default:
+		return nl.Eval(vals, gi)
+	}
+}
+
+// hashWords mixes packed state words into a table hash.
+func hashWords(ws []uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, w := range ws {
+		h ^= w
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+		h *= 0xc4ceb9fe1a85ec53
+	}
+	return h
+}
+
+// engine holds the exploration state of one CheckLimit run: the packed
+// composed-state arena, its open-addressing index, the parent links for
+// witness traces, and the reusable scratch buffers.
+type engine struct {
+	nl   *netlist.Netlist
+	spec *sg.Graph
+
+	stateWords int // words of packed net values
+	keyWords   int // stateWords + 1 (spec state)
+	recWords   int // keyWords + gateWords (excited-set snapshot)
+	gateWords  int
+
+	arena    []uint64 // recWords per composed state
+	slots    []int32  // power-of-two probe table, -1 = empty
+	n        int
+	parentOf []int32
+	viaOf    []int32 // ^signal for inputs, gate index for gates
+}
+
+func newEngine(nl *netlist.Netlist, spec *sg.Graph) *engine {
+	e := &engine{nl: nl, spec: spec}
+	e.stateWords = (nl.NumNets() + 63) / 64
+	e.keyWords = e.stateWords + 1
+	e.gateWords = (len(nl.Gates) + 63) / 64
+	e.recWords = e.keyWords + e.gateWords
+	e.slots = make([]int32, 64)
+	for i := range e.slots {
+		e.slots[i] = -1
+	}
+	return e
+}
+
+func (e *engine) rec(id int) []uint64 { return e.arena[id*e.recWords : (id+1)*e.recWords] }
+
+func (e *engine) keyEqual(id int, key []uint64) bool {
+	r := e.rec(id)
+	for w := 0; w < e.keyWords; w++ {
+		if r[w] != key[w] {
+			return false
+		}
+	}
+	return true
+}
+
+// find probes for a packed key, returning its id or -1 plus the slot
+// where it would be inserted. It grows the table first, so the slot
+// stays valid for an immediately following insert.
+func (e *engine) find(key []uint64) (id int, slot uint64) {
+	if (e.n+1)*4 > len(e.slots)*3 {
+		old := e.slots
+		e.slots = make([]int32, 2*len(old))
+		for i := range e.slots {
+			e.slots[i] = -1
+		}
+		mask := uint64(len(e.slots) - 1)
+		for _, s := range old {
+			if s < 0 {
+				continue
+			}
+			i := hashWords(e.rec(int(s))[:e.keyWords]) & mask
+			for e.slots[i] >= 0 {
+				i = (i + 1) & mask
+			}
+			e.slots[i] = s
+		}
+	}
+	mask := uint64(len(e.slots) - 1)
+	i := hashWords(key) & mask
+	for {
+		s := e.slots[i]
+		if s < 0 {
+			return -1, i
+		}
+		if e.keyEqual(int(s), key) {
+			return int(s), i
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// insert interns a new composed state: key words plus excited-set
+// snapshot into the arena, parent link for witness traces.
+func (e *engine) insert(slot uint64, key, exc []uint64, parent int, via int32) int {
+	e.slots[slot] = int32(e.n)
+	e.arena = append(e.arena, key...)
+	e.arena = append(e.arena, exc...)
+	e.parentOf = append(e.parentOf, int32(parent))
+	e.viaOf = append(e.viaOf, via)
+	e.n++
+	return e.n - 1
+}
+
+func (e *engine) describeVia(v int32) string {
+	if v < 0 {
+		return "input " + e.nl.G.Signals[^v]
+	}
+	return "gate " + e.nl.Gates[v].Name
+}
+
+// traceTo reconstructs the transition sequence to a state, eliding the
+// middle of very long paths.
+func (e *engine) traceTo(id int) []string {
+	var rev []string
+	for id != 0 {
+		rev = append(rev, e.describeVia(e.viaOf[id]))
+		id = int(e.parentOf[id])
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return elideTrace(rev)
+}
+
 // CheckLimit is Check with an explicit composed-state bound.
 func CheckLimit(nl *netlist.Netlist, spec *sg.Graph, limit int) *Result {
 	res := &Result{}
@@ -166,168 +309,87 @@ func CheckLimit(nl *netlist.Netlist, spec *sg.Graph, limit int) *Result {
 	// the exploration's hot path becomes an O(1) table read.
 	ix := sg.NewIndex(spec)
 
-	// Initial values: primary signal nets from the spec's initial code,
-	// combinational nets settled to their stable values.
-	values := make([]bool, nNets)
-	for sig := range spec.Signals {
-		values[nl.SignalNet[sig]] = spec.Value(spec.Initial, sig)
+	values := initialValues(nl, spec, res)
+	if values == nil {
+		return res
 	}
-	for ni, n := range nl.Nets {
-		if n.ComplementOf >= 0 {
-			values[ni] = !spec.Value(spec.Initial, n.ComplementOf)
-		}
-	}
-	for iter := 0; ; iter++ {
-		changed := false
-		for gi, g := range nl.Gates {
-			if !nl.SettleAtInit(gi) {
-				continue // latch and signal-wire gates keep the code value
-			}
-			next := nl.Eval(values, gi)
-			if values[g.Out] != next {
-				values[g.Out] = next
-				changed = true
-			}
-		}
-		if !changed {
-			break
-		}
-		if iter > nNets+4 {
-			res.Hazards = append(res.Hazards, Hazard{GateName: "(init)", By: "combinational cycle", State: "initial"})
-			return res
+
+	ev := levelize(nl)
+	var rsGates []int
+	for gi, g := range nl.Gates {
+		if g.Kind == netlist.RSLatch {
+			rsGates = append(rsGates, gi)
 		}
 	}
 
-	type stateKey string
-	// key packs the net values into a dense bitset followed by the spec
-	// state — 8× smaller than a byte-per-net rendering and built without
-	// formatting, which matters at millions of composed states.
-	keyLen := (nNets+7)/8 + 4
-	key := func(vals []bool, spec int) stateKey {
-		b := make([]byte, keyLen)
-		for i, v := range vals {
-			if v {
-				b[i>>3] |= 1 << uint(i&7)
-			}
-		}
-		off := keyLen - 4
-		b[off] = byte(spec)
-		b[off+1] = byte(spec >> 8)
-		b[off+2] = byte(spec >> 16)
-		b[off+3] = byte(spec >> 24)
-		return stateKey(b)
+	eng := newEngine(nl, spec)
+	// Scratch buffers — everything on the per-state/per-transition path
+	// below reuses these; the only growing allocations are the arena,
+	// the parent links and the DFS stack. Transitions fire by flipping
+	// the one moved net of curVals in place (restored afterwards), and
+	// successor keys are the current key with one bit toggled — nothing
+	// on the per-transition path is O(nets).
+	curVals := make([]bool, nNets)
+	var settled []bool
+	if len(rsGates) > 0 && !ev.cyclic {
+		settled = make([]bool, nNets)
 	}
-	render := func(vals []bool, specState int) string {
-		var b strings.Builder
-		for i, v := range vals {
-			if i > 0 {
-				b.WriteByte(' ')
-			}
-			val := "0"
-			if v {
-				val = "1"
-			}
-			fmt.Fprintf(&b, "%s=%s", nl.Nets[i].Name, val)
-		}
-		fmt.Fprintf(&b, " @spec s%d", specState)
-		return b.String()
-	}
+	excCur := make([]uint64, eng.gateWords)
+	excNext := make([]uint64, eng.gateWords)
+	curKey := make([]uint64, eng.keyWords)
+	keyBuf := make([]uint64, eng.keyWords)
+	var trans []transition
 
-	// enabled lists the transitions firable in a composed state.
-	enabled := func(vals []bool, specState int) []transition {
-		var out []transition
-		for _, e := range spec.States[specState].Succ {
-			if spec.Input[e.Signal] {
-				out = append(out, transition{isInput: true, signal: e.Signal})
-			}
+	// Intern the initial state with its full excitation scan.
+	for gi := range nl.Gates {
+		if evalGate(nl, values, &nl.Gates[gi], gi) != values[nl.Gates[gi].Out] {
+			excCur[gi>>6] |= 1 << uint(gi&63)
 		}
-		for gi := range nl.Gates {
-			if nl.Eval(vals, gi) != vals[nl.Gates[gi].Out] {
-				out = append(out, transition{gate: gi})
-			}
+	}
+	for i, v := range values {
+		if v {
+			keyBuf[i>>6] |= 1 << uint(i&63)
 		}
-		return out
 	}
-
-	// fire applies a transition; ok=false when it is an unexpected
-	// output (conformance failure), in which case the state is dropped.
-	fire := func(vals []bool, specState int, t transition) (nv []bool, ns int, ok bool) {
-		nv = append([]bool(nil), vals...)
-		ns = specState
-		if t.isInput {
-			nv[nl.SignalNet[t.signal]] = !nv[nl.SignalNet[t.signal]]
-			to, found := ix.Successor(specState, t.signal)
-			if !found {
-				panic("verify: input fired without spec edge")
-			}
-			ns = to
-			return nv, ns, true
-		}
-		g := nl.Gates[t.gate]
-		nv[g.Out] = !nv[g.Out]
-		if sig := nl.Nets[g.Out].Signal; sig >= 0 {
-			to, found := ix.Successor(specState, sig)
-			if !found {
-				if len(res.Unexpected) < maxWitnesses {
-					res.Unexpected = append(res.Unexpected, Unexpected{Signal: sig, State: render(vals, specState)})
-				}
-				return nil, 0, false
-			}
-			ns = to
-		}
-		return nv, ns, true
-	}
-
-	type node struct {
-		vals      []bool
-		specState int
-		key       stateKey
-	}
-	type arrival struct {
-		prev stateKey
-		via  string
-	}
-	seen := map[stateKey]bool{}
-	parent := map[stateKey]arrival{}
-	startKey := key(values, spec.Initial)
-	var queue []node
-	start := node{vals: values, specState: spec.Initial, key: startKey}
-	seen[startKey] = true
-	queue = append(queue, start)
+	keyBuf[eng.stateWords] = uint64(spec.Initial)
+	_, slot := eng.find(keyBuf)
+	eng.insert(slot, keyBuf, excCur, -1, 0)
 	res.States = 1
-
-	// traceTo reconstructs the transition sequence to a state, eliding
-	// the middle of very long paths.
-	traceTo := func(k stateKey) []string {
-		var rev []string
-		for k != startKey {
-			a, ok := parent[k]
-			if !ok {
-				break
-			}
-			rev = append(rev, a.via)
-			k = a.prev
-		}
-		for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-			rev[i], rev[j] = rev[j], rev[i]
-		}
-		if len(rev) > 24 {
-			head := append([]string(nil), rev[:8]...)
-			head = append(head, fmt.Sprintf("… (%d steps) …", len(rev)-16))
-			rev = append(head, rev[len(rev)-8:]...)
-		}
-		return rev
-	}
+	queue := []int32{0}
 
 	for len(queue) > 0 {
-		cur := queue[len(queue)-1]
+		head := int(queue[len(queue)-1])
 		queue = queue[:len(queue)-1]
-		trans := enabled(cur.vals, cur.specState)
+		// Unpack the state: the arena may grow while head is expanded,
+		// so copy rather than alias.
+		rec := eng.rec(head)
+		copy(curKey, rec[:eng.keyWords])
+		for i := range curVals {
+			curVals[i] = curKey[i>>6]>>uint(i&63)&1 == 1
+		}
+		specState := int(curKey[eng.stateWords])
+		copy(excCur, rec[eng.keyWords:])
+
+		// Enabled moves, in the reference order: spec-allowed inputs
+		// first, then excited gates ascending.
+		trans = trans[:0]
+		for _, edge := range spec.States[specState].Succ {
+			if spec.Input[edge.Signal] {
+				trans = append(trans, transition{isInput: true, signal: edge.Signal})
+			}
+		}
+		for w, word := range excCur {
+			for word != 0 {
+				gi := w<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				trans = append(trans, transition{gate: gi})
+			}
+		}
 		if len(trans) == 0 && len(res.Deadlocks) < maxWitnesses {
 			// The specification always has successors (cyclic specs);
 			// a composed state with nothing enabled means the circuit
 			// wedged (e.g. an output the logic can never produce).
-			res.Deadlocks = append(res.Deadlocks, render(cur.vals, cur.specState))
+			res.Deadlocks = append(res.Deadlocks, render(nl, curVals, specState))
 		}
 
 		// RS drive conflicts: the set and reset FUNCTIONS both evaluate
@@ -335,53 +397,114 @@ func CheckLimit(nl *netlist.Netlist, spec *sg.Graph, limit int) *Result {
 		// one side is a stale net still excited to fall are inherent to
 		// the architecture and benign for the primitive latch; a
 		// functional overlap means the covers are not disjoint — a real
-		// drive fight.
-		for gi, g := range nl.Gates {
-			if g.Kind != netlist.RSLatch {
-				continue
+		// drive fight. One levelized sweep settles the whole SOP
+		// network; malformed cyclic networks fall back to the recursive
+		// reference evaluator.
+		if len(rsGates) > 0 {
+			if settled != nil {
+				ev.sweep(curVals, settled)
 			}
-			s := funcVal(nl, cur.vals, g.Pins[0], map[int]bool{})
-			r := funcVal(nl, cur.vals, g.Pins[1], map[int]bool{})
-			if s && r && len(res.RSConflict) < maxWitnesses {
-				res.RSConflict = append(res.RSConflict,
-					fmt.Sprintf("%s in state %s", nl.Gates[gi].Name, render(cur.vals, cur.specState)))
+			for _, gi := range rsGates {
+				g := &nl.Gates[gi]
+				var s, r bool
+				if settled != nil {
+					s, r = pinVal(settled, g.Pins[0]), pinVal(settled, g.Pins[1])
+				} else {
+					s = funcVal(nl, curVals, g.Pins[0], map[int]bool{})
+					r = funcVal(nl, curVals, g.Pins[1], map[int]bool{})
+				}
+				if s && r && len(res.RSConflict) < maxWitnesses {
+					res.RSConflict = append(res.RSConflict,
+						fmt.Sprintf("%s in state %s", g.Name, render(nl, curVals, specState)))
+				}
 			}
 		}
 
 		for _, t := range trans {
-			nv, ns, ok := fire(cur.vals, cur.specState, t)
-			if !ok {
-				continue
+			// Fire t: exactly one net flips. The spec successor is
+			// resolved before touching curVals so an unexpected output
+			// (conformance failure) drops the state without any undo.
+			ns := specState
+			var flipped int
+			var via int32
+			if t.isInput {
+				flipped = nl.SignalNet[t.signal]
+				to, found := ix.Successor(specState, t.signal)
+				if !found {
+					panic("verify: input fired without spec edge")
+				}
+				ns = to
+				via = int32(^t.signal)
+			} else {
+				flipped = nl.Gates[t.gate].Out
+				via = int32(t.gate)
+				if sig := nl.Nets[flipped].Signal; sig >= 0 {
+					to, found := ix.Successor(specState, sig)
+					if !found {
+						if len(res.Unexpected) < maxWitnesses {
+							res.Unexpected = append(res.Unexpected, Unexpected{Signal: sig, State: render(nl, curVals, specState)})
+						}
+						continue
+					}
+					ns = to
+				}
 			}
+			curVals[flipped] = !curVals[flipped]
+
+			// Cone-limited excitation update: only gates reading (or
+			// driving) the flipped net can change status.
+			copy(excNext, excCur)
+			for _, gi := range ev.fanout[flipped] {
+				g := &nl.Gates[gi]
+				if evalGate(nl, curVals, g, int(gi)) != curVals[g.Out] {
+					excNext[gi>>6] |= 1 << uint(gi&63)
+				} else {
+					excNext[gi>>6] &^= 1 << uint(gi&63)
+				}
+			}
+
 			// Semi-modularity of gates: every gate excited before the
 			// move (other than the mover) must stay excited after it.
-			for _, u := range trans {
-				if u.isInput || (!t.isInput && u.gate == t.gate) {
-					continue
+			for w := range excNext {
+				h := excCur[w] &^ excNext[w]
+				if !t.isInput && t.gate>>6 == w {
+					h &^= 1 << uint(t.gate&63)
 				}
-				if nl.Eval(nv, u.gate) == nv[nl.Gates[u.gate].Out] {
+				for h != 0 {
+					gi := w<<6 + bits.TrailingZeros64(h)
+					h &= h - 1
 					if len(res.Hazards) < maxWitnesses {
+						// Witnesses render the pre-move state: undo the
+						// flip around the (rare) formatting call.
+						curVals[flipped] = !curVals[flipped]
+						state := render(nl, curVals, specState)
+						curVals[flipped] = !curVals[flipped]
 						res.Hazards = append(res.Hazards, Hazard{
-							Gate:     u.gate,
-							GateName: nl.Gates[u.gate].Name,
+							Gate:     gi,
+							GateName: nl.Gates[gi].Name,
 							By:       t.describe(nl),
-							State:    render(cur.vals, cur.specState),
-							Trace:    traceTo(cur.key),
+							State:    state,
+							Trace:    eng.traceTo(head),
 						})
 					}
 				}
 			}
-			k := key(nv, ns)
-			if !seen[k] {
+
+			// Successor key: the current key with the moved net's bit
+			// toggled and the new spec state.
+			copy(keyBuf, curKey)
+			keyBuf[flipped>>6] ^= 1 << uint(flipped&63)
+			keyBuf[eng.stateWords] = uint64(ns)
+			if id, slot := eng.find(keyBuf); id < 0 {
 				if res.States >= limit {
 					res.Truncated = true
 					return res
 				}
-				seen[k] = true
-				parent[k] = arrival{prev: cur.key, via: t.describe(nl)}
+				id = eng.insert(slot, keyBuf, excNext, head, via)
 				res.States++
-				queue = append(queue, node{vals: nv, specState: ns, key: k})
+				queue = append(queue, int32(id))
 			}
+			curVals[flipped] = !curVals[flipped] // restore the pre-move state
 		}
 	}
 	return res
