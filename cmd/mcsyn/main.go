@@ -22,26 +22,160 @@
 //	-parallel N bound the analysis/benchmark worker pools (0 = GOMAXPROCS,
 //	            1 = sequential)
 //	-cpuprofile write a CPU profile to the given file
+//	-memprofile write a heap profile at exit to the given file
 //	-benchjson  benchmark the Table-1 pipeline stages (parse, reach,
 //	            analyze, synth, verify) and write a JSON report
 //	-benchtime  per-stage measuring time for -benchjson
+//
+// Observability (see the Observability section of README.md):
+//
+//	-metrics f  write engine counters in Prometheus text format to f
+//	-trace f    write a Chrome trace_event JSON (about:tracing/Perfetto)
+//	-report f   write a machine-readable run report (JSON) per spec
+//	-v          structured slog progress logging to stderr
+//
+// All output files — profiles included — are flushed on every exit
+// path, error exits included.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
+	"runtime"
 	"runtime/pprof"
+	"sync"
 
 	"repro/internal/baseline"
 	"repro/internal/bench"
 	"repro/internal/benchdata"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/stg"
 	"repro/internal/synth"
 	"repro/internal/tech"
 	"repro/internal/verify"
 )
+
+// session owns every output that must be flushed before the process
+// exits. os.Exit skips deferred calls, so all exits — fatalf included —
+// are routed through exit(), which flushes first; the historical bug
+// where `defer pprof.StopCPUProfile()` never ran under fatalf left
+// truncated CPU profiles behind.
+type session struct {
+	once sync.Once
+
+	cpu                                *os.File // active CPU profile, nil when off
+	memPath                            string
+	metricsPath, tracePath, reportPath string
+
+	o       *obs.Observer
+	reports []*obs.RunReport
+}
+
+var ses session
+
+// flush writes every pending output exactly once. Failures are reported
+// but do not abort the remaining writers.
+func (s *session) flush() {
+	s.once.Do(func() {
+		if s.cpu != nil {
+			pprof.StopCPUProfile()
+			s.cpu.Close()
+		}
+		if s.memPath != "" {
+			if f, err := os.Create(s.memPath); err != nil {
+				fmt.Fprintf(os.Stderr, "mcsyn: memprofile: %v\n", err)
+			} else {
+				runtime.GC()
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintf(os.Stderr, "mcsyn: memprofile: %v\n", err)
+				}
+				f.Close()
+			}
+		}
+		if s.o == nil {
+			return
+		}
+		if s.metricsPath != "" {
+			if f, err := os.Create(s.metricsPath); err != nil {
+				fmt.Fprintf(os.Stderr, "mcsyn: metrics: %v\n", err)
+			} else {
+				if err := s.o.Metrics.WritePrometheus(f); err != nil {
+					fmt.Fprintf(os.Stderr, "mcsyn: metrics: %v\n", err)
+				}
+				f.Close()
+			}
+		}
+		if s.tracePath != "" {
+			if f, err := os.Create(s.tracePath); err != nil {
+				fmt.Fprintf(os.Stderr, "mcsyn: trace: %v\n", err)
+			} else {
+				if err := s.o.Tracer.WriteChromeTrace(f); err != nil {
+					fmt.Fprintf(os.Stderr, "mcsyn: trace: %v\n", err)
+				}
+				f.Close()
+			}
+		}
+		if s.reportPath != "" && len(s.reports) > 0 {
+			var v any = s.reports
+			if len(s.reports) == 1 {
+				v = s.reports[0]
+			}
+			if err := obs.WriteJSON(s.reportPath, v); err != nil {
+				fmt.Fprintf(os.Stderr, "mcsyn: report: %v\n", err)
+			}
+		}
+	})
+}
+
+// begin snapshots the observer ahead of one spec's pipeline — before
+// the spec is even parsed, so the parse span lands in the report; the
+// returned finish builds the run report from everything recorded since.
+func (s *session) begin() (finish func(spec string, fill func(r *obs.RunReport))) {
+	if s.o == nil {
+		return func(string, func(r *obs.RunReport)) {}
+	}
+	mark := s.o.Tracer.Mark()
+	base := s.o.Metrics.Snapshot()
+	return func(spec string, fill func(r *obs.RunReport)) {
+		r := s.o.BuildRunReport(spec, mark, base)
+		if fill != nil {
+			fill(r)
+		}
+		s.reports = append(s.reports, r)
+	}
+}
+
+// fillSynth copies the verdict fields of a synthesis report.
+func fillSynth(r *obs.RunReport, rep *synth.Report, err error) {
+	if rep == nil {
+		r.Verdict = "error: " + err.Error()
+		return
+	}
+	r.OK = rep.OK()
+	r.AddedSignals = rep.AddedSignals
+	r.Literals = rep.Stats.Literals
+	if rep.Spec != nil {
+		r.SpecStates = rep.Spec.NumStates()
+	}
+	if rep.Final != nil {
+		r.FinalStates = rep.Final.NumStates()
+	}
+	switch {
+	case rep.Verify != nil:
+		r.Verdict = rep.Verify.String()
+		r.ComposedStates = rep.Verify.States
+	case err != nil:
+		r.Verdict = "error: " + err.Error()
+	default:
+		r.Verdict = "synthesized (verification skipped)"
+	}
+	if err != nil {
+		r.OK = false
+	}
+}
 
 func main() {
 	rs := flag.Bool("rs", false, "emit the standard RS-implementation")
@@ -57,9 +191,26 @@ func main() {
 	verilog := flag.Bool("verilog", false, "print the implementation as structural Verilog")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	benchjson := flag.String("benchjson", "", "benchmark the Table-1 pipeline stages and write the JSON report to this file")
 	benchtime := flag.Duration("benchtime", 0, "per-stage measuring time for -benchjson (0 = testing default of 1s)")
+	metricsOut := flag.String("metrics", "", "write engine metrics in Prometheus text format to this file at exit")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON trace to this file at exit")
+	reportOut := flag.String("report", "", "write a machine-readable JSON run report to this file at exit")
+	verbose := flag.Bool("v", false, "structured progress logging (slog) to stderr")
 	flag.Parse()
+
+	ses.memPath = *memprofile
+	ses.metricsPath, ses.tracePath, ses.reportPath = *metricsOut, *traceOut, *reportOut
+	if *metricsOut != "" || *traceOut != "" || *reportOut != "" || *verbose {
+		var lg *slog.Logger
+		if *verbose {
+			lg = slog.New(slog.NewTextHandler(os.Stderr, nil))
+		}
+		ses.o = obs.New(lg)
+		obs.Enable(ses.o)
+	}
+	defer ses.flush()
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -69,7 +220,7 @@ func main() {
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fatalf("%v", err)
 		}
-		defer pprof.StopCPUProfile()
+		ses.cpu = f
 	}
 
 	if *list {
@@ -93,22 +244,22 @@ func main() {
 		return
 	}
 
+	opts := synth.Options{RS: *rs, Share: *share, Parallel: *parallel}
+
 	if *table1 {
-		results := benchdata.RunTable1(synth.Options{RS: *rs, Share: *share, Parallel: *parallel}, *parallel)
 		failed := false
-		for _, r := range results {
-			if r.Err != nil {
-				failed = true
-				fmt.Printf("%s: ERROR: %v\n", r.Entry.Name, r.Err)
-				continue
+		if ses.o != nil {
+			// Observed runs go spec by spec so spans and counter deltas
+			// attribute cleanly to one benchmark each.
+			for _, e := range benchdata.Table1 {
+				finish := ses.begin()
+				rep, err := synth.FromSTG(e.STG(), opts)
+				finish(e.Name, func(r *obs.RunReport) { fillSynth(r, rep, err) })
+				failed = printTable1Result(benchdata.Table1Result{Entry: e, Report: rep, Err: err}, *quiet) || failed
 			}
-			if *quiet {
-				fmt.Printf("%-16s added=%d %s\n", r.Entry.Name, len(r.Report.AddedSignals), r.Report.Verify)
-			} else {
-				fmt.Print(r.Report.Summary())
-			}
-			if !r.Report.OK() {
-				failed = true
+		} else {
+			for _, r := range benchdata.RunTable1(opts, *parallel) {
+				failed = printTable1Result(r, *quiet) || failed
 			}
 		}
 		if failed {
@@ -117,6 +268,7 @@ func main() {
 		return
 	}
 
+	finish := ses.begin()
 	var net *stg.STG
 	switch {
 	case *benchName != "":
@@ -136,19 +288,31 @@ func main() {
 		}
 	default:
 		flag.Usage()
-		os.Exit(2)
+		exit(2)
 	}
 
 	if *useBaseline {
 		g, err := stg.BuildSG(net)
 		if err != nil {
+			finish(net.Name, func(r *obs.RunReport) { r.Verdict = "error: " + err.Error() })
 			fatalf("%v", err)
 		}
+		ssp := obs.Start("synth", obs.A("spec", net.Name))
 		nl, err := baseline.Synthesize(g, netlist.Options{RS: *rs})
+		ssp.End()
 		if err != nil {
+			finish(net.Name, func(r *obs.RunReport) { r.Verdict = "error: " + err.Error() })
 			fatalf("baseline: %v", err)
 		}
 		res := verify.Check(nl, g)
+		finish(net.Name, func(r *obs.RunReport) {
+			r.Verdict = res.String()
+			r.OK = res.OK()
+			r.Literals = nl.Stats().Literals
+			r.SpecStates = g.NumStates()
+			r.FinalStates = g.NumStates()
+			r.ComposedStates = res.States
+		})
 		if !*quiet {
 			fmt.Printf("baseline netlist (%s):\n%s", nl.Stats(), nl)
 		}
@@ -159,7 +323,8 @@ func main() {
 		return
 	}
 
-	rep, err := synth.FromSTG(net, synth.Options{RS: *rs, Share: *share, Parallel: *parallel})
+	rep, err := synth.FromSTG(net, opts)
+	finish(net.Name, func(r *obs.RunReport) { fillSynth(r, rep, err) })
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -196,10 +361,24 @@ func main() {
 	}
 }
 
-// exit stops an active CPU profile (a no-op otherwise) before exiting,
-// since os.Exit skips deferred calls.
+// printTable1Result renders one Table-1 outcome and reports failure.
+func printTable1Result(r benchdata.Table1Result, quiet bool) (failed bool) {
+	if r.Err != nil {
+		fmt.Printf("%s: ERROR: %v\n", r.Entry.Name, r.Err)
+		return true
+	}
+	if quiet {
+		fmt.Printf("%-16s added=%d %s\n", r.Entry.Name, len(r.Report.AddedSignals), r.Report.Verify)
+	} else {
+		fmt.Print(r.Report.Summary())
+	}
+	return !r.Report.OK()
+}
+
+// exit flushes every pending output — profiles, metrics, trace, run
+// reports — before terminating, since os.Exit skips deferred calls.
 func exit(code int) {
-	pprof.StopCPUProfile()
+	ses.flush()
 	os.Exit(code)
 }
 

@@ -14,7 +14,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
+	"runtime/debug"
+	"strings"
 	"testing"
 	"time"
 
@@ -44,14 +47,47 @@ type Entry struct {
 	Stages         map[string]Stage `json:"stages"`
 }
 
-// Report is the full BENCH_table1.json payload.
+// Report is the full BENCH_table1.json payload. The run-metadata
+// fields (commit, timestamp, GOMAXPROCS) make any two archived reports
+// comparable without consulting the CI logs they came from.
 type Report struct {
-	GoVersion  string   `json:"go_version"`
-	GOOS       string   `json:"goos"`
-	GOARCH     string   `json:"goarch"`
-	Benchtime  string   `json:"benchtime"`
-	StageOrder []string `json:"stage_order"`
-	Entries    []Entry  `json:"entries"`
+	GoVersion    string   `json:"go_version"`
+	GOOS         string   `json:"goos"`
+	GOARCH       string   `json:"goarch"`
+	GOMAXPROCS   int      `json:"gomaxprocs"`
+	GitCommit    string   `json:"git_commit,omitempty"`
+	GeneratedUTC string   `json:"generated_utc"`
+	Benchtime    string   `json:"benchtime"`
+	StageOrder   []string `json:"stage_order"`
+	Entries      []Entry  `json:"entries"`
+}
+
+// gitCommit resolves the source revision: the vcs.revision build
+// setting when the binary was built from a checkout, else a
+// best-effort `git rev-parse HEAD` for `go run` / test invocations
+// (module-cache builds have neither and report "").
+func gitCommit() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev, dirty string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "-dirty"
+				}
+			}
+		}
+		if rev != "" {
+			return rev + dirty
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func measure(f func(b *testing.B)) Stage {
@@ -79,11 +115,14 @@ func RunTable1(benchtime time.Duration) (*Report, error) {
 		benchtime = time.Second
 	}
 	rep := &Report{
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		Benchtime:  benchtime.String(),
-		StageOrder: StageOrder,
+		GoVersion:    runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		GitCommit:    gitCommit(),
+		GeneratedUTC: time.Now().UTC().Format(time.RFC3339),
+		Benchtime:    benchtime.String(),
+		StageOrder:   StageOrder,
 	}
 	for _, e := range benchdata.Table1 {
 		src := e.Source

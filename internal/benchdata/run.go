@@ -1,6 +1,7 @@
 package benchdata
 
 import (
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/synth"
 )
@@ -20,10 +21,10 @@ type Table1Result struct {
 // and every report in it — is independent of scheduling.
 func RunTable1(opts synth.Options, workers int) []Table1Result {
 	out := make([]Table1Result, len(Table1))
-	par.ForEach(len(Table1), workers, func(i int) {
+	par.ForEachHook(len(Table1), workers, func(i int) {
 		e := Table1[i]
 		rep, err := synth.FromSTG(e.STG(), opts)
 		out[i] = Table1Result{Entry: e, Report: rep, Err: err}
-	})
+	}, obs.TaskHook("benchdata.table1"))
 	return out
 }

@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"repro/internal/cube"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/sg"
 )
@@ -63,9 +64,12 @@ func NewAnalyzerN(g *sg.Graph, workers int) *Analyzer {
 		}
 		a.minterms[s] = v
 	}
-	par.ForEach(n, a.workers, func(sig int) {
+	if o := obs.Get(); o != nil {
+		o.Metrics.Gauge("par_pool_size", "pool", "core.regions").Set(int64(a.workers))
+	}
+	par.ForEachHook(n, a.workers, func(sig int) {
 		a.Regs[sig] = a.Idx.RegionsOf(sig)
-	})
+	}, obs.TaskHook("core.regions"))
 	return a
 }
 
@@ -550,9 +554,9 @@ func (a *Analyzer) CheckGraph() *Report {
 	}
 	sort.Ints(sigs)
 	perSig := make([][]RegionResult, len(sigs))
-	par.ForEach(len(sigs), a.workers, func(k int) {
+	par.ForEachHook(len(sigs), a.workers, func(k int) {
 		perSig[k] = a.checkSignal(sigs[k])
-	})
+	}, obs.TaskHook("core.mc"))
 	for _, results := range perSig {
 		rep.Results = append(rep.Results, results...)
 	}

@@ -32,6 +32,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sat"
 	"repro/internal/sg"
 )
@@ -488,18 +489,26 @@ func Repair(g *sg.Graph, opts Options) (*Result, error) {
 
 	res := &Result{G: g}
 	for round := 0; ; round++ {
+		rsp := obs.Start("repair.round", obs.A("round", round), obs.A("spec", g.Name))
 		rep := core.NewAnalyzerN(res.G, opts.Workers).CheckGraph()
 		res.Report = rep
 		if score(res.G, rep) == 0 {
 			trace(fmt.Sprintf("round %d: %s satisfied", round, targetName))
+			rsp.SetAttr("satisfied", true)
+			rsp.End()
+			publishRepair(res, round)
 			return res, nil
 		}
 		if round >= opts.MaxSignals {
+			rsp.End()
+			publishRepair(res, round)
 			return nil, fmt.Errorf("encode: %s still violated after inserting %d signals:\n%s",
 				targetName, len(res.Added), rep)
 		}
 		confl := conflictsOf(res.G, rep)
+		rsp.SetAttr("conflicts", len(confl))
 		trace(fmt.Sprintf("round %d: %d conflicts", round, len(confl)))
+		obs.Info("repair round", "spec", g.Name, "round", round, "conflicts", len(confl))
 		for _, c := range confl {
 			trace("  " + c.label)
 		}
@@ -527,13 +536,45 @@ func Repair(g *sg.Graph, opts Options) (*Result, error) {
 			}
 		}
 		if best == nil {
+			rsp.End()
+			publishRepair(res, round)
 			return nil, fmt.Errorf("encode: no insertion reduces the %d %s conflicts of %s",
 				len(confl), targetName, res.G.Name)
 		}
 		res.G = best
 		res.Added = append(res.Added, name)
 		res.Strategy = append(res.Strategy, bestStrat)
+		rsp.SetAttr("inserted", name)
+		rsp.SetAttr("strategy", bestStrat.String())
+		rsp.End()
 	}
+}
+
+// publishRepair reports one repair run's tallies to the observability
+// layer (a no-op without an enabled observer).
+func publishRepair(res *Result, rounds int) {
+	o := obs.Get()
+	if o == nil {
+		return
+	}
+	m := o.Metrics
+	m.Counter("encode_rounds_total").Add(int64(rounds))
+	m.Counter("encode_inserted_signals_total").Add(int64(len(res.Added)))
+	m.Counter("encode_models_total").Add(int64(res.Models))
+}
+
+// publishSAT accumulates one solver's search statistics (a no-op
+// without an enabled observer).
+func publishSAT(s *sat.Solver) {
+	o := obs.Get()
+	if o == nil {
+		return
+	}
+	m := o.Metrics
+	m.Counter("sat_decisions_total").Add(s.Decisions)
+	m.Counter("sat_propagations_total").Add(s.Propagations)
+	m.Counter("sat_conflicts_total").Add(s.Conflicts)
+	m.Counter("sat_restarts_total").Add(s.Restarts)
 }
 
 // freshSignalName picks a state-signal name not colliding with any
@@ -560,6 +601,7 @@ func freshSignalName(g *sg.Graph, k int) string {
 func tryInsert(g *sg.Graph, c conflict, all []conflict, strat Strategy, name string, opts Options, target int, score func(*sg.Graph, *core.Report) int) (*sg.Graph, int, int) {
 	maxModels := opts.MaxModels
 	solver, vars := buildCNF(g, seedsFor(strat, c))
+	defer publishSAT(solver)
 
 	// Packing strategies: greedily commit the separation constraints of
 	// the other conflicts while the formula stays satisfiable, so one

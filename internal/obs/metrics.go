@@ -1,0 +1,307 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The nil counter (what a
+// disabled registry hands out) accepts updates and stays at zero.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a point-in-time value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add moves the gauge by n.
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bound bucket histogram (Prometheus semantics:
+// bucket i counts observations ≤ bounds[i], plus a +Inf overflow).
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64 // len(bounds)+1; last bucket is +Inf
+	sum    float64
+	n      int64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) { h.AddSample(v, 1) }
+
+// AddSample records n observations of value v in one update — the bulk
+// path for engines that pre-aggregate bucket counts locally.
+func (h *Histogram) AddSample(v float64, n int64) {
+	if h == nil || n <= 0 {
+		return
+	}
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i] += n
+	h.sum += v * float64(n)
+	h.n += n
+	h.mu.Unlock()
+}
+
+func (h *Histogram) snapshot() (counts []int64, sum float64, n int64) {
+	h.mu.Lock()
+	counts = append(counts, h.counts...)
+	sum, n = h.sum, h.n
+	h.mu.Unlock()
+	return counts, sum, n
+}
+
+type metricKind int8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one metric name with all its labelled series.
+type family struct {
+	kind   metricKind
+	bounds []float64      // histogram families only
+	series map[string]any // label string ("" or `{k="v",...}`) → metric
+}
+
+// Registry is a concurrency-safe collection of named metrics. Series
+// are identified by family name plus an ordered label list; acquiring
+// the same name+labels twice returns the same metric. The nil registry
+// hands out nil metrics, so disabled call sites stay branch-free.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{families: map[string]*family{}} }
+
+func (r *Registry) acquire(name string, kind metricKind, bounds []float64, labels []string) any {
+	key := labelKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{kind: kind, bounds: bounds, series: map[string]any{}}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s registered as %s and %s", name, f.kind, kind))
+	}
+	m := f.series[key]
+	if m == nil {
+		switch kind {
+		case kindCounter:
+			m = &Counter{}
+		case kindGauge:
+			m = &Gauge{}
+		default:
+			m = &Histogram{bounds: f.bounds, counts: make([]int64, len(f.bounds)+1)}
+		}
+		f.series[key] = m
+	}
+	return m
+}
+
+// Counter returns the named counter; labels are ordered key-value pairs.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.acquire(name, kindCounter, nil, labels).(*Counter)
+}
+
+// Gauge returns the named gauge.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.acquire(name, kindGauge, nil, labels).(*Gauge)
+}
+
+// Histogram returns the named histogram. The bounds of the first
+// acquisition win for the whole family; nil bounds default to
+// power-of-two buckets 1…2^20.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = Pow2Buckets
+	}
+	return r.acquire(name, kindHistogram, bounds, labels).(*Histogram)
+}
+
+// Pow2Buckets are generic size-distribution bounds: 1, 2, 4, … 2^20.
+var Pow2Buckets = func() []float64 {
+	b := make([]float64, 21)
+	for i := range b {
+		b[i] = float64(int64(1) << i)
+	}
+	return b
+}()
+
+func labelKey(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic("obs: labels must be key-value pairs")
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", labels[i], labels[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// mergeLabels splices extra labels (e.g. le=...) into a rendered label
+// key.
+func mergeLabels(key, extra string) string {
+	if key == "" {
+		return "{" + extra + "}"
+	}
+	return key[:len(key)-1] + "," + extra + "}"
+}
+
+// WritePrometheus renders every metric in the Prometheus text
+// exposition format (families and series in lexical order). The whole
+// render runs under the registry lock: series maps may otherwise gain
+// entries mid-walk.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, name := range names {
+		f := r.families[name]
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, f.kind)
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			switch m := f.series[k].(type) {
+			case *Counter:
+				fmt.Fprintf(&b, "%s%s %d\n", name, k, m.Value())
+			case *Gauge:
+				fmt.Fprintf(&b, "%s%s %d\n", name, k, m.Value())
+			case *Histogram:
+				counts, sum, n := m.snapshot()
+				cum := int64(0)
+				for bi, c := range counts {
+					cum += c
+					le := "+Inf"
+					if bi < len(m.bounds) {
+						le = formatFloat(m.bounds[bi])
+					}
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", name, mergeLabels(k, `le="`+le+`"`), cum)
+				}
+				fmt.Fprintf(&b, "%s_sum%s %s\n", name, k, formatFloat(sum))
+				fmt.Fprintf(&b, "%s_count%s %d\n", name, k, n)
+			}
+		}
+	}
+	r.mu.Unlock()
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Snapshot returns the current value of every counter and gauge (and
+// the _count/_sum pair of every histogram) keyed by the rendered series
+// name. Run reports diff two snapshots to attribute counters to one
+// spec.
+func (r *Registry) Snapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := map[string]float64{}
+	for name, f := range r.families {
+		for k, m := range f.series {
+			switch m := m.(type) {
+			case *Counter:
+				out[name+k] = float64(m.Value())
+			case *Gauge:
+				out[name+k] = float64(m.Value())
+			case *Histogram:
+				_, sum, n := m.snapshot()
+				out[name+"_count"+k] = float64(n)
+				out[name+"_sum"+k] = sum
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Attr is one key-value span attribute.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// A builds an attribute.
+func A(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// Tracer records spans against a fixed epoch. Start/End maintain an
+// implicit current-span stack for the sequential pipeline goroutine;
+// concurrent pool workers bypass the stack through Event, which lands
+// complete events on per-worker lanes. All methods are safe for
+// concurrent use and no-op on the nil tracer.
+type Tracer struct {
+	mu    sync.Mutex
+	epoch time.Time
+	cur   *Span
+	recs  []SpanRecord
+}
+
+// NewTracer returns a tracer whose timestamps count from now.
+func NewTracer() *Tracer { return &Tracer{epoch: time.Now()} }
+
+// SpanRecord is one finished span or event.
+type SpanRecord struct {
+	Name  string
+	TID   int64
+	Depth int           // nesting depth below a top-level span
+	Start time.Duration // offset from the tracer epoch
+	Dur   time.Duration
+	Attrs []Attr
+}
+
+// Span is an in-flight traced interval. The nil span (what a disabled
+// tracer returns) accepts SetAttr and End.
+type Span struct {
+	t      *Tracer
+	name   string
+	parent *Span
+	depth  int
+	start  time.Time
+	attrs  []Attr
+}
+
+// Start opens a span nested under the tracer's current span and makes
+// the new span current.
+func (t *Tracer) Start(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{t: t, name: name, start: time.Now(), attrs: attrs}
+	t.mu.Lock()
+	sp.parent = t.cur
+	if t.cur != nil {
+		sp.depth = t.cur.depth + 1
+	}
+	t.cur = sp
+	t.mu.Unlock()
+	return sp
+}
+
+// SetAttr adds (or replaces) an attribute on an open span.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// End closes the span and appends its record. Ending out of order is
+// tolerated: the current pointer only pops when the span is on top.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := time.Now()
+	t := s.t
+	t.mu.Lock()
+	if t.cur == s {
+		t.cur = s.parent
+	}
+	t.recs = append(t.recs, SpanRecord{
+		Name:  s.name,
+		TID:   1,
+		Depth: s.depth,
+		Start: s.start.Sub(t.epoch),
+		Dur:   end.Sub(s.start),
+		Attrs: s.attrs,
+	})
+	t.mu.Unlock()
+}
+
+// Event records a complete interval directly, bypassing the span stack
+// — the thread-safe path for concurrent pool workers (tid picks the
+// trace lane).
+func (t *Tracer) Event(name string, tid int64, start time.Time, d time.Duration, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.recs = append(t.recs, SpanRecord{
+		Name:  name,
+		TID:   tid,
+		Start: start.Sub(t.epoch),
+		Dur:   d,
+		Attrs: attrs,
+	})
+	t.mu.Unlock()
+}
+
+// Mark returns a cursor into the record stream; RecordsSince(mark)
+// returns everything finished after it. Run reports use the pair to
+// attribute spans to one spec.
+func (t *Tracer) Mark() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.recs)
+}
+
+// RecordsSince copies the records finished after mark.
+func (t *Tracer) RecordsSince(mark int) []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if mark < 0 || mark > len(t.recs) {
+		mark = len(t.recs)
+	}
+	return append([]SpanRecord(nil), t.recs[mark:]...)
+}
+
+// Records copies every finished record.
+func (t *Tracer) Records() []SpanRecord { return t.RecordsSince(0) }
+
+// chromeEvent is one trace_event entry (the subset of the format the
+// Chrome/Perfetto loaders need).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace renders every finished record as Chrome trace_event
+// JSON (complete "X" events plus thread-name metadata), loadable in
+// about:tracing and Perfetto.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	recs := t.Records()
+	tr := chromeTrace{DisplayTimeUnit: "ms"}
+	tids := map[int64]bool{}
+	for _, r := range recs {
+		ev := chromeEvent{
+			Name: r.Name,
+			Cat:  "mcsyn",
+			Ph:   "X",
+			TS:   float64(r.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(r.Dur.Nanoseconds()) / 1e3,
+			PID:  1,
+			TID:  r.TID,
+		}
+		if len(r.Attrs) > 0 {
+			ev.Args = map[string]any{}
+			for _, a := range r.Attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		tr.TraceEvents = append(tr.TraceEvents, ev)
+		tids[r.TID] = true
+	}
+	lanes := make([]int64, 0, len(tids))
+	for tid := range tids {
+		lanes = append(lanes, tid)
+	}
+	sort.Slice(lanes, func(i, j int) bool { return lanes[i] < lanes[j] })
+	for _, tid := range lanes {
+		name := "pipeline"
+		if tid >= 100 {
+			name = "worker"
+		}
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			PID:  1,
+			TID:  tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tr)
+}

@@ -8,6 +8,7 @@ package par
 import (
 	"runtime"
 	"sync"
+	"time"
 )
 
 // Workers resolves a requested worker count: n when positive, otherwise
@@ -19,36 +20,74 @@ func Workers(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// TaskHook observes one completed pool task: its index, the worker that
+// ran it, and when/how long it ran. Hooks fire exactly once per task,
+// on the worker goroutine that executed it, and only for tasks that
+// return normally.
+type TaskHook func(i, worker int, start time.Time, d time.Duration)
+
 // ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
 // (0 = GOMAXPROCS) and returns when all calls are done. With one worker,
 // or n < 2, it degrades to a plain loop on the calling goroutine.
 // Determinism is the caller's contract: fn must write its result into a
 // slot addressed by i, never append to shared state.
+//
+// A panic in any task is re-raised on the calling goroutine after the
+// pool drains, matching the sequential path's behaviour.
 func ForEach(n, workers int, fn func(i int)) {
+	ForEachHook(n, workers, fn, nil)
+}
+
+// ForEachHook is ForEach with an optional per-task observation hook
+// (nil = unobserved; the pool then takes no clock readings).
+func ForEachHook(n, workers int, fn func(i int), hook TaskHook) {
 	workers = Workers(workers)
 	if workers > n {
 		workers = n
 	}
+	run := func(i, worker int) {
+		if hook == nil {
+			fn(i)
+			return
+		}
+		start := time.Now()
+		fn(i)
+		hook(i, worker, start, time.Since(start))
+	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			run(i, 0)
 		}
 		return
 	}
 	next := make(chan int)
 	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicked any
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
+			// A panicking task must not wedge the feeder: capture the
+			// first panic, keep draining, and re-raise on the caller.
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+					for range next {
+					}
+				}
+			}()
 			for i := range next {
-				fn(i)
+				run(i, worker)
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		next <- i
 	}
 	close(next)
 	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
 }

@@ -1,0 +1,151 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+// TestForEachSequential pins the size-1 contract: tasks run in index
+// order on the calling goroutine, so callers may rely on strictly
+// deterministic execution.
+func TestForEachSequential(t *testing.T) {
+	const n = 100
+	var order []int
+	var mu sync.Mutex
+	ForEach(n, 1, func(i int) {
+		mu.Lock()
+		order = append(order, i)
+		mu.Unlock()
+	})
+	if len(order) != n {
+		t.Fatalf("ran %d tasks, want %d", len(order), n)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("task %d ran at position %d; sequential pool must preserve order", got, i)
+		}
+	}
+}
+
+// TestForEachParallel checks the GOMAXPROCS pool: every index runs
+// exactly once and worker ids stay inside the pool bound.
+func TestForEachParallel(t *testing.T) {
+	const n = 500
+	ran := make([]int32, n)
+	bound := Workers(0)
+	var badWorker atomic.Int32
+	ForEachHook(n, 0, func(i int) {
+		atomic.AddInt32(&ran[i], 1)
+	}, func(i, worker int, start time.Time, d time.Duration) {
+		if worker < 0 || worker >= bound {
+			badWorker.Store(int32(worker))
+		}
+	})
+	for i, c := range ran {
+		if c != 1 {
+			t.Fatalf("task %d ran %d times", i, c)
+		}
+	}
+	if w := badWorker.Load(); w != 0 {
+		t.Fatalf("worker id %d outside pool of %d", w, bound)
+	}
+}
+
+// TestForEachPanicPropagation: a panicking task must surface on the
+// calling goroutine — for the concurrent pool as for the plain loop —
+// and must not wedge the feeder.
+func TestForEachPanicPropagation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r != "boom" {
+					t.Errorf("workers=%d: recovered %v, want \"boom\"", workers, r)
+				}
+			}()
+			ForEach(100, workers, func(i int) {
+				if i == 3 {
+					panic("boom")
+				}
+			})
+			t.Errorf("workers=%d: ForEach returned instead of panicking", workers)
+		}()
+	}
+}
+
+// TestForEachAllPanic: every task panicking must still drain the feeder
+// and re-raise exactly one panic.
+func TestForEachAllPanic(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("no panic propagated")
+		}
+	}()
+	ForEach(64, 4, func(i int) { panic(i) })
+	t.Error("ForEach returned")
+}
+
+// TestHookFiresOncePerTask: the per-task timing hook must fire exactly
+// once per completed task, with a plausible start/duration, in both
+// pool shapes.
+func TestHookFiresOncePerTask(t *testing.T) {
+	for _, workers := range []int{1, 0} {
+		const n = 200
+		fired := make([]int32, n)
+		epoch := time.Now()
+		var badTime atomic.Bool
+		ForEachHook(n, workers, func(i int) {
+			time.Sleep(time.Microsecond)
+		}, func(i, worker int, start time.Time, d time.Duration) {
+			atomic.AddInt32(&fired[i], 1)
+			if start.Before(epoch) || d < 0 {
+				badTime.Store(true)
+			}
+		})
+		for i, c := range fired {
+			if c != 1 {
+				t.Fatalf("workers=%d: hook fired %d times for task %d, want exactly 1", workers, c, i)
+			}
+		}
+		if badTime.Load() {
+			t.Fatalf("workers=%d: hook saw start before the loop began or negative duration", workers)
+		}
+	}
+}
+
+// TestHookNotCalledForPanickedTask: hooks only observe tasks that
+// return normally.
+func TestHookNotCalledForPanickedTask(t *testing.T) {
+	var hooked atomic.Int32
+	func() {
+		defer func() { recover() }()
+		ForEachHook(8, 2, func(i int) {
+			if i == 0 {
+				panic("first")
+			}
+		}, func(i, worker int, start time.Time, d time.Duration) {
+			if i == 0 {
+				t.Error("hook fired for panicked task")
+			}
+			hooked.Add(1)
+		})
+	}()
+	if hooked.Load() > 7 {
+		t.Errorf("hook fired %d times for 7 surviving tasks", hooked.Load())
+	}
+}

@@ -81,6 +81,7 @@ type Solver struct {
 	Conflicts    int64
 	Decisions    int64
 	Propagations int64
+	Restarts     int64
 
 	model []bool
 	ok    bool
@@ -436,6 +437,7 @@ func (s *Solver) Solve(assumptions ...Lit) bool {
 			conflictBudget--
 			if conflictBudget <= 0 {
 				// Restart: keep learnt clauses, drop the search tree.
+				s.Restarts++
 				s.backtrackTo(assumpLevel)
 				conflictBudget = 256 + len(s.learnts)/2
 			}

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"fmt"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // Parse reads an STG in the astg ".g" dialect. Lines beginning with '#'
@@ -11,6 +13,11 @@ import (
 // .inputs, .outputs, .internal, .graph, .marking, .end; everything between
 // .graph and .marking is adjacency. Unknown dot-directives are skipped.
 func Parse(src string) (*STG, error) {
+	var sp *obs.Span
+	if obs.Enabled() {
+		sp = obs.Start("parse", obs.A("bytes", len(src)))
+	}
+	defer sp.End()
 	sc := bufio.NewScanner(strings.NewReader(src))
 	b := NewBuilder("stg")
 	var graphLines [][]string
@@ -99,6 +106,9 @@ func Parse(src string) (*STG, error) {
 			return nil, fmt.Errorf("stg: marking references unknown place %q", m)
 		}
 		b.MarkPlace(m)
+	}
+	if sp != nil {
+		sp.SetAttr("spec", b.n.Name)
 	}
 	return b.Build(), nil
 }

@@ -3,6 +3,7 @@ package stg
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sg"
 )
 
@@ -131,16 +132,22 @@ func hashWords(ws []uint64) uint64 {
 
 // markTable is an open-addressing hash set of markings. The markings
 // themselves live in a grow-only arena (one flat []uint64), so insertion
-// costs one append of words and the table stores only int32 ids.
+// costs one append of words and the table stores only int32 ids. The
+// probe/resize tallies accumulate only when stats is set (an observer
+// was enabled) and are published once per build, so disabled builds
+// keep the uninstrumented loop.
 type markTable struct {
-	words int
-	arena []uint64
-	slots []int32 // power-of-two probe table over arena ids, -1 = empty
-	n     int
+	words   int
+	arena   []uint64
+	slots   []int32 // power-of-two probe table over arena ids, -1 = empty
+	n       int
+	stats   bool
+	probes  int64 // slot inspections across all lookups
+	resizes int64 // probe-table doublings
 }
 
 func newMarkTable(words int) *markTable {
-	tb := &markTable{words: words, slots: make([]int32, 64)}
+	tb := &markTable{words: words, slots: make([]int32, 64), stats: obs.Enabled()}
 	for i := range tb.slots {
 		tb.slots[i] = -1
 	}
@@ -162,6 +169,7 @@ func (tb *markTable) equal(id int, m []uint64) bool {
 }
 
 func (tb *markTable) grow() {
+	tb.resizes++
 	old := tb.slots
 	tb.slots = make([]int32, 2*len(old))
 	mask := uint64(len(tb.slots) - 1)
@@ -187,19 +195,27 @@ func (tb *markTable) lookupOrAdd(m []uint64) (id int, added bool) {
 	}
 	mask := uint64(len(tb.slots) - 1)
 	i := hashWords(m) & mask
+	probes := int64(1)
 	for {
 		s := tb.slots[i]
 		if s < 0 {
 			tb.slots[i] = int32(tb.n)
 			tb.arena = append(tb.arena, m...)
 			tb.n++
-			return tb.n - 1, true
+			id, added = tb.n-1, true
+			break
 		}
 		if tb.equal(int(s), m) {
-			return int(s), false
+			id, added = int(s), false
+			break
 		}
 		i = (i + 1) & mask
+		probes++
 	}
+	if tb.stats {
+		tb.probes += probes
+	}
+	return id, added
 }
 
 // Enabled reports whether transition t is enabled under m.
@@ -216,14 +232,16 @@ func (n *STG) Enabled(m marking, t int) bool {
 }
 
 // explore plays the token game over the reachable markings and returns
-// the state count and the labelled firing edges in discovery order.
-// Markings are interned in an arena-backed hash table; firing goes
-// through precomputed word masks into two reused scratch buffers, so the
-// loop allocates only for the arena and the edge list. Nets with at most
-// 64 places (all of Table 1) take a register-resident single-word path.
-func explore(n *STG, limit int) (int, []sgEdge, error) {
+// the populated intern table (tb.n is the state count) and the labelled
+// firing edges in discovery order. Markings are interned in an
+// arena-backed hash table; firing goes through precomputed word masks
+// into two reused scratch buffers, so the loop allocates only for the
+// arena and the edge list. Nets with at most 64 places (all of Table 1)
+// take a register-resident single-word path. unsafe reports whether the
+// run aborted on a 1-safety violation (as opposed to the state limit).
+func explore(n *STG, limit int) (tb *markTable, edges []sgEdge, unsafe bool, err error) {
 	fm := newFireMasks(n)
-	tb := newMarkTable(fm.words)
+	tb = newMarkTable(fm.words)
 	init := make([]uint64, fm.words)
 	for p, ok := range n.InitialMarking {
 		if ok {
@@ -232,7 +250,6 @@ func explore(n *STG, limit int) (int, []sgEdge, error) {
 	}
 	tb.lookupOrAdd(init)
 
-	var edges []sgEdge
 	nt := len(n.Trans)
 	if fm.words == 1 {
 		next := make([]uint64, 1)
@@ -245,17 +262,17 @@ func explore(n *STG, limit int) (int, []sgEdge, error) {
 				}
 				rem := cur &^ pw
 				if rem&fm.post[t] != 0 || fm.dupPost[t] {
-					return 0, nil, n.fireError(marking{cur}, t)
+					return tb, nil, true, n.fireError(marking{cur}, t)
 				}
 				next[0] = rem | fm.post[t]
 				to, added := tb.lookupOrAdd(next)
 				if added && to >= limit {
-					return 0, nil, fmt.Errorf("stg: state limit %d exceeded", limit)
+					return tb, nil, false, fmt.Errorf("stg: state limit %d exceeded", limit)
 				}
 				edges = append(edges, sgEdge{from: head, trans: t, to: to})
 			}
 		}
-		return tb.n, edges, nil
+		return tb, edges, false, nil
 	}
 
 	cur := make([]uint64, fm.words)
@@ -267,16 +284,16 @@ func explore(n *STG, limit int) (int, []sgEdge, error) {
 				continue
 			}
 			if err := fm.fire(n, cur, next, t); err != nil {
-				return 0, nil, err
+				return tb, nil, true, err
 			}
 			to, added := tb.lookupOrAdd(next)
 			if added && to >= limit {
-				return 0, nil, fmt.Errorf("stg: state limit %d exceeded", limit)
+				return tb, nil, false, fmt.Errorf("stg: state limit %d exceeded", limit)
 			}
 			edges = append(edges, sgEdge{from: head, trans: t, to: to})
 		}
 	}
-	return tb.n, edges, nil
+	return tb, edges, false, nil
 }
 
 // BuildSG explores the reachable markings of the net under interleaving
@@ -293,11 +310,47 @@ func BuildSGLimit(n *STG, limit int) (*sg.Graph, error) {
 	if err := checkBuildable(n); err != nil {
 		return nil, err
 	}
-	nstates, edges, err := explore(n, limit)
+	if !obs.Enabled() {
+		tb, edges, _, err := explore(n, limit)
+		if err != nil {
+			return nil, err
+		}
+		return assembleSG(n, tb.n, edges)
+	}
+	sp := obs.Start("reach", obs.A("spec", n.Name))
+	defer sp.End()
+	esp := obs.Start("reach.explore")
+	tb, edges, unsafe, err := explore(n, limit)
+	esp.End()
+	publishReach(tb, len(edges), unsafe)
 	if err != nil {
 		return nil, err
 	}
-	return assembleSG(n, nstates, edges)
+	sp.SetAttr("states", tb.n)
+	sp.SetAttr("edges", len(edges))
+	asp := obs.Start("reach.assemble")
+	g, err := assembleSG(n, tb.n, edges)
+	asp.End()
+	return g, err
+}
+
+// publishReach reports one exploration's tallies to the observability
+// layer (a no-op without an enabled observer).
+func publishReach(tb *markTable, edges int, unsafe bool) {
+	o := obs.Get()
+	if o == nil {
+		return
+	}
+	m := o.Metrics
+	m.Counter("stg_reach_states_total").Add(int64(tb.n))
+	m.Counter("stg_reach_edges_total").Add(int64(edges))
+	m.Counter("stg_reach_probes_total").Add(tb.probes)
+	m.Counter("stg_reach_resizes_total").Add(tb.resizes)
+	m.Counter("stg_reach_arena_bytes_total").Add(int64(len(tb.arena) * 8))
+	if unsafe {
+		m.Counter("stg_reach_unsafe_rejections_total").Add(1)
+	}
+	obs.Info("reach done", "states", tb.n, "edges", edges, "probes", tb.probes)
 }
 
 // checkBuildable rejects nets reachability cannot represent.

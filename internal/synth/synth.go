@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/encode"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/sg"
 	"repro/internal/stg"
 	"repro/internal/verify"
@@ -131,16 +132,21 @@ func FromSTG(net *stg.STG, opts Options) (*Report, error) {
 func FromGraph(g *sg.Graph, opts Options) (*Report, error) {
 	rep := &Report{Name: g.Name, Spec: g, Final: g}
 
+	asp := obs.Start("analyze", obs.A("spec", g.Name), obs.A("states", g.NumStates()))
 	t0 := time.Now()
 	if err := g.CheckConsistency(); err != nil {
+		asp.End()
 		return rep, err
 	}
 	rep.Props = g.Check()
 	rep.AnalyzeTime = time.Since(t0)
+	asp.End()
+	obs.Info("analyze done", "spec", g.Name, "states", g.NumStates(), "dur", rep.AnalyzeTime)
 	if !rep.Props.OutputSemiModular {
 		return rep, fmt.Errorf("synth: %s is not output semi-modular; no speed-independent implementation exists", g.Name)
 	}
 
+	rsp := obs.Start("repair", obs.A("spec", g.Name))
 	t1 := time.Now()
 	if opts.Repair.Workers == 0 {
 		opts.Repair.Workers = opts.Parallel
@@ -148,17 +154,23 @@ func FromGraph(g *sg.Graph, opts Options) (*Report, error) {
 	fixed, err := encode.Repair(g, opts.Repair)
 	rep.RepairTime = time.Since(t1)
 	if err != nil {
+		rsp.End()
 		return rep, err
 	}
+	rsp.SetAttr("added", len(fixed.Added))
+	rsp.SetAttr("models", fixed.Models)
+	rsp.End()
 	rep.Final = fixed.G
 	rep.AddedSignals = fixed.Added
 	rep.MC = fixed.Report
+	obs.Info("repair done", "spec", g.Name, "added", len(fixed.Added), "dur", rep.RepairTime)
 	if len(rep.AddedSignals) > 0 && !opts.SkipBisim && g.NumStates() <= 4096 {
 		if err := sg.WeaklyBisimilar(g, rep.Final); err != nil {
 			return rep, fmt.Errorf("synth: insertion changed the visible behaviour: %w", err)
 		}
 	}
 
+	ssp := obs.Start("synth", obs.A("spec", g.Name))
 	t2 := time.Now()
 	fns := map[int]netlist.SR{}
 	if opts.Share {
@@ -185,12 +197,17 @@ func FromGraph(g *sg.Graph, opts Options) (*Report, error) {
 	nl, err := netlist.Build(rep.Final, fns, netlist.Options{RS: opts.RS, Share: opts.Share})
 	rep.CoverTime = time.Since(t2)
 	if err != nil {
+		ssp.End()
 		return rep, err
 	}
 	rep.Netlist = nl
 	rep.Stats = nl.Stats()
+	ssp.SetAttr("literals", rep.Stats.Literals)
+	ssp.End()
+	obs.Info("synth done", "spec", g.Name, "literals", rep.Stats.Literals, "dur", rep.CoverTime)
 
 	if !opts.SkipVerify {
+		vsp := obs.Start("verify", obs.A("spec", g.Name))
 		t3 := time.Now()
 		limit := opts.VerifyLimit
 		if limit == 0 {
@@ -198,6 +215,9 @@ func FromGraph(g *sg.Graph, opts Options) (*Report, error) {
 		}
 		rep.Verify = verify.CheckLimit(nl, rep.Final, limit)
 		rep.VerifyTime = time.Since(t3)
+		vsp.SetAttr("composed_states", rep.Verify.States)
+		vsp.SetAttr("ok", rep.Verify.OK())
+		vsp.End()
 		if !rep.Verify.OK() {
 			return rep, fmt.Errorf("synth: %s: synthesized circuit failed verification:\n%s", g.Name, rep.Verify)
 		}

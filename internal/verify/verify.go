@@ -32,6 +32,7 @@ import (
 	"strings"
 
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/sg"
 )
 
@@ -205,6 +206,18 @@ type engine struct {
 	n        int
 	parentOf []int32
 	viaOf    []int32 // ^signal for inputs, gate index for gates
+
+	// Exploration tallies, accumulated only when stats is set (an
+	// observer was enabled when the run started) and published once per
+	// run. Guarding the per-probe and per-transition bookkeeping keeps
+	// disabled runs at the uninstrumented engine's speed.
+	stats       bool
+	probes      int64
+	resizes     int64
+	coneCount   int64 // cone-limited excitation updates
+	coneSum     int64 // total gates re-evaluated across updates
+	coneMax     int64
+	coneBuckets [18]int64 // cone sizes, indexed by bits.Len(size)
 }
 
 func newEngine(nl *netlist.Netlist, spec *sg.Graph) *engine {
@@ -237,6 +250,7 @@ func (e *engine) keyEqual(id int, key []uint64) bool {
 // stays valid for an immediately following insert.
 func (e *engine) find(key []uint64) (id int, slot uint64) {
 	if (e.n+1)*4 > len(e.slots)*3 {
+		e.resizes++
 		old := e.slots
 		e.slots = make([]int32, 2*len(old))
 		for i := range e.slots {
@@ -256,16 +270,24 @@ func (e *engine) find(key []uint64) (id int, slot uint64) {
 	}
 	mask := uint64(len(e.slots) - 1)
 	i := hashWords(key) & mask
+	probes := int64(1)
 	for {
 		s := e.slots[i]
 		if s < 0 {
-			return -1, i
+			id = -1
+			break
 		}
 		if e.keyEqual(int(s), key) {
-			return int(s), i
+			id = int(s)
+			break
 		}
 		i = (i + 1) & mask
+		probes++
 	}
+	if e.stats {
+		e.probes += probes
+	}
+	return id, i
 }
 
 // insert interns a new composed state: key words plus excited-set
@@ -304,6 +326,13 @@ func (e *engine) traceTo(id int) []string {
 // CheckLimit is Check with an explicit composed-state bound.
 func CheckLimit(nl *netlist.Netlist, spec *sg.Graph, limit int) *Result {
 	res := &Result{}
+	if obs.Enabled() {
+		sp := obs.Start("verify.explore", obs.A("spec", spec.Name))
+		defer func() {
+			sp.SetAttr("composed_states", res.States)
+			sp.End()
+		}()
+	}
 	nNets := nl.NumNets()
 	// Dense index of the specification: every spec-successor lookup on
 	// the exploration's hot path becomes an O(1) table read.
@@ -323,6 +352,7 @@ func CheckLimit(nl *netlist.Netlist, spec *sg.Graph, limit int) *Result {
 	}
 
 	eng := newEngine(nl, spec)
+	eng.stats = obs.Enabled()
 	// Scratch buffers — everything on the per-state/per-transition path
 	// below reuses these; the only growing allocations are the arena,
 	// the parent links and the DFS stack. Transitions fire by flipping
@@ -453,8 +483,21 @@ func CheckLimit(nl *netlist.Netlist, spec *sg.Graph, limit int) *Result {
 
 			// Cone-limited excitation update: only gates reading (or
 			// driving) the flipped net can change status.
+			cone := ev.fanout[flipped]
+			if eng.stats {
+				eng.coneCount++
+				eng.coneSum += int64(len(cone))
+				if int64(len(cone)) > eng.coneMax {
+					eng.coneMax = int64(len(cone))
+				}
+				if bi := bits.Len(uint(len(cone))); bi < len(eng.coneBuckets) {
+					eng.coneBuckets[bi]++
+				} else {
+					eng.coneBuckets[len(eng.coneBuckets)-1]++
+				}
+			}
 			copy(excNext, excCur)
-			for _, gi := range ev.fanout[flipped] {
+			for _, gi := range cone {
 				g := &nl.Gates[gi]
 				if evalGate(nl, curVals, g, int(gi)) != curVals[g.Out] {
 					excNext[gi>>6] |= 1 << uint(gi&63)
@@ -498,6 +541,7 @@ func CheckLimit(nl *netlist.Netlist, spec *sg.Graph, limit int) *Result {
 			if id, slot := eng.find(keyBuf); id < 0 {
 				if res.States >= limit {
 					res.Truncated = true
+					eng.publish(ev, res)
 					return res
 				}
 				id = eng.insert(slot, keyBuf, excNext, head, via)
@@ -507,5 +551,49 @@ func CheckLimit(nl *netlist.Netlist, spec *sg.Graph, limit int) *Result {
 			curVals[flipped] = !curVals[flipped] // restore the pre-move state
 		}
 	}
+	eng.publish(ev, res)
 	return res
+}
+
+// publish reports one verification run's tallies to the observability
+// layer (a no-op without an enabled observer).
+func (e *engine) publish(ev *evaluator, res *Result) {
+	o := obs.Get()
+	if o == nil {
+		return
+	}
+	m := o.Metrics
+	m.Counter("verify_states_total").Add(int64(res.States))
+	m.Counter("verify_probes_total").Add(e.probes)
+	m.Counter("verify_resizes_total").Add(e.resizes)
+	m.Counter("verify_arena_bytes_total").Add(int64(len(e.arena) * 8))
+	m.Counter("verify_cone_updates_total").Add(e.coneCount)
+	m.Counter("verify_cone_gates_total").Add(e.coneSum)
+	m.Gauge("verify_cone_gates_max").Set(e.coneMax)
+	h := m.Histogram("verify_cone_size", nil)
+	for bi, c := range e.coneBuckets {
+		if c == 0 {
+			continue
+		}
+		// bits.Len(size)==bi means size ∈ [2^(bi-1), 2^bi); report the
+		// bucket's lower bound as the representative value.
+		v := 0.5
+		if bi > 0 {
+			v = float64(uint64(1) << (bi - 1))
+		}
+		h.AddSample(v, c)
+	}
+	m.Gauge("verify_levelized_gates").Set(int64(len(ev.order)))
+	if ev.cyclic {
+		m.Counter("verify_levelize_cyclic_total").Add(1)
+	}
+	var fan int64
+	for _, f := range ev.fanout {
+		fan += int64(len(f))
+	}
+	m.Gauge("verify_fanout_entries").Set(fan)
+	m.Counter("verify_hazards_total").Add(int64(len(res.Hazards)))
+	m.Counter("verify_unexpected_total").Add(int64(len(res.Unexpected)))
+	m.Counter("verify_deadlocks_total").Add(int64(len(res.Deadlocks)))
+	obs.Info("verify done", "states", res.States, "hazards", len(res.Hazards), "ok", res.OK())
 }
