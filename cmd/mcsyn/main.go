@@ -21,10 +21,14 @@
 //	-quiet      print only the verdict line
 //	-parallel N bound the analysis/benchmark worker pools (0 = GOMAXPROCS,
 //	            1 = sequential)
+//	-maxmodels N    bound the SAT models enumerated per conflict/strategy
+//	                pair during state-signal insertion (0 = default 128)
+//	-repair-workers N  bound the repair candidate-scoring pool
+//	                (0 = follow -parallel, 1 = sequential)
 //	-cpuprofile write a CPU profile to the given file
 //	-memprofile write a heap profile at exit to the given file
 //	-benchjson  benchmark the Table-1 pipeline stages (parse, reach,
-//	            analyze, synth, verify) and write a JSON report
+//	            analyze, repair, cover, verify) and write a JSON report
 //	-benchtime  per-stage measuring time for -benchjson
 //
 // Observability (see the Observability section of README.md):
@@ -190,6 +194,8 @@ func main() {
 	inverters := flag.Bool("inverters", false, "map pin bubbles to explicit inverter cells")
 	verilog := flag.Bool("verilog", false, "print the implementation as structural Verilog")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	maxModels := flag.Int("maxmodels", 0, "max SAT models per conflict/strategy pair in repair (0 = default 128)")
+	repairWorkers := flag.Int("repair-workers", 0, "repair candidate-scoring pool size (0 = follow -parallel, 1 = sequential)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	benchjson := flag.String("benchjson", "", "benchmark the Table-1 pipeline stages and write the JSON report to this file")
@@ -245,6 +251,8 @@ func main() {
 	}
 
 	opts := synth.Options{RS: *rs, Share: *share, Parallel: *parallel}
+	opts.Repair.MaxModels = *maxModels
+	opts.Repair.Workers = *repairWorkers
 
 	if *table1 {
 		failed := false

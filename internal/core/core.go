@@ -49,6 +49,26 @@ func NewAnalyzer(g *sg.Graph) *Analyzer { return NewAnalyzerN(g, 0) }
 // NewAnalyzerN is NewAnalyzer with an explicit worker-pool bound
 // (0 = GOMAXPROCS, 1 = sequential).
 func NewAnalyzerN(g *sg.Graph, workers int) *Analyzer {
+	a := newAnalyzerBase(g, workers)
+	if o := obs.Get(); o != nil {
+		o.Metrics.Gauge("par_pool_size", "pool", "core.regions").Set(int64(a.workers))
+	}
+	par.ForEachHook(g.NumSignals(), a.workers, func(sig int) {
+		a.Regs[sig] = a.Idx.RegionsOf(sig)
+	}, obs.TaskHook("core.regions"))
+	return a
+}
+
+// NewAnalyzerLazy builds a sequential analyzer that decomposes a
+// signal's regions on first use instead of up front. Budgeted scoring
+// over throwaway candidate graphs usually inspects only a few signals
+// before hitting its budget, so the eager whole-graph decomposition is
+// mostly wasted there. Lazy analyzers are not safe for concurrent use.
+func NewAnalyzerLazy(g *sg.Graph) *Analyzer {
+	return newAnalyzerBase(g, 1)
+}
+
+func newAnalyzerBase(g *sg.Graph, workers int) *Analyzer {
 	a := &Analyzer{
 		G:       g,
 		Idx:     sg.NewIndex(g),
@@ -64,13 +84,21 @@ func NewAnalyzerN(g *sg.Graph, workers int) *Analyzer {
 		}
 		a.minterms[s] = v
 	}
-	if o := obs.Get(); o != nil {
-		o.Metrics.Gauge("par_pool_size", "pool", "core.regions").Set(int64(a.workers))
-	}
-	par.ForEachHook(n, a.workers, func(sig int) {
-		a.Regs[sig] = a.Idx.RegionsOf(sig)
-	}, obs.TaskHook("core.regions"))
 	return a
+}
+
+// regs returns signal sig's region decomposition, computing it on
+// demand. Every internal consumer goes through this accessor so lazy
+// analyzers work on all paths; eager analyzers always hit the
+// precomputed entry, which keeps the parallel per-signal fan-outs free
+// of writes.
+func (a *Analyzer) regs(sig int) *sg.Regions {
+	if r := a.Regs[sig]; r != nil {
+		return r
+	}
+	r := a.Idx.RegionsOf(sig)
+	a.Regs[sig] = r
+	return r
 }
 
 // Minterm returns the binary code of state s as a value vector. The
@@ -123,7 +151,7 @@ func (a *Analyzer) SetsOf(sig int) Sets {
 		One:      sg.NewStateSet(n),
 		OneStar:  sg.NewStateSet(n),
 	}
-	regs := a.Regs[sig]
+	regs := a.regs(sig)
 	for _, er := range regs.ER {
 		dst := s.ZeroStar
 		if er.Dir == sg.Minus {
@@ -210,7 +238,7 @@ func (a *Analyzer) covers(c cube.Cube, s int) bool {
 
 // erIndex locates er inside its signal's region list.
 func (a *Analyzer) erIndex(er *sg.Region) int {
-	for i, r := range a.Regs[er.Signal].ER {
+	for i, r := range a.regs(er.Signal).ER {
 		if r == er {
 			return i
 		}
@@ -223,7 +251,7 @@ func (a *Analyzer) erIndex(er *sg.Region) int {
 // monotonous cover.
 func (a *Analyzer) CheckMC(er *sg.Region, c cube.Cube) *Violation {
 	g := a.G
-	regs := a.Regs[er.Signal]
+	regs := a.regs(er.Signal)
 	i := a.erIndex(er)
 	cfr := regs.CFR(i)
 
@@ -260,6 +288,28 @@ func (a *Analyzer) CheckMC(er *sg.Region, c cube.Cube) *Violation {
 		return &Violation{Kind: OutsideCFR, Signal: er.Signal, ER: er, Cube: c, States: outside}
 	}
 	return nil
+}
+
+// checkMCFast is CheckMC reduced to a yes/no verdict with the CFR
+// precomputed by the caller. The candidate-search loops (FindMC's
+// subset enumeration, shrinkMC's greedy dropping) consume only
+// nil-ness, so they skip the per-call CFR clone and the diagnostic
+// state lists of the full check.
+func (a *Analyzer) checkMCFast(er *sg.Region, c cube.Cube, cfr sg.StateSet) bool {
+	for _, s := range er.States {
+		if !a.covers(c, s) {
+			return false
+		}
+	}
+	if u, _ := a.doubleChange(cfr, c); u >= 0 {
+		return false
+	}
+	for s := 0; s < a.G.NumStates(); s++ {
+		if !cfr.Has(s) && a.covers(c, s) {
+			return false
+		}
+	}
+	return true
 }
 
 // doubleChange looks for a monotonicity violation of cube c inside the
@@ -329,18 +379,19 @@ func (a *Analyzer) FindMC(er *sg.Region) (cube.Cube, *Violation) {
 	// the CFR can make the cube non-monotonic there — dropping a
 	// CFR-constant literal leaves the in-CFR pattern unchanged and only
 	// risks condition (3).
-	regs := a.Regs[er.Signal]
+	regs := a.regs(er.Signal)
 	cfr := regs.CFR(a.erIndex(er))
 	lits := a.varyingLiterals(c, cfr)
+	cand := c.Clone()
 	for size := 1; size <= len(lits); size++ {
 		var found cube.Cube
 		ok := forEachSubset(lits, size, func(drop []int) bool {
-			cand := c.Clone()
+			cand.CopyFrom(c)
 			for _, l := range drop {
 				cand.Set(l, cube.Full)
 			}
-			if a.CheckMC(er, cand) == nil {
-				found = cand
+			if a.checkMCFast(er, cand, cfr) {
+				found = cand.Clone()
 				return true
 			}
 			return false
@@ -352,19 +403,52 @@ func (a *Analyzer) FindMC(er *sg.Region) (cube.Cube, *Violation) {
 	return cube.Cube{}, v
 }
 
+// mcViolation is the existence-only twin of FindMC: identical verdict
+// (a cover exists iff FindMC returns a nil violation — shrinking never
+// changes that), but no cube is built, cloned or shrunk. The budgeted
+// candidate scorer calls it thousands of times per repair round.
+func (a *Analyzer) mcViolation(er *sg.Region) *Violation {
+	c := a.CoverCube(er)
+	v := a.CheckMC(er, c)
+	if v == nil {
+		return nil
+	}
+	if v.Kind != NonMonotonic {
+		return v
+	}
+	regs := a.regs(er.Signal)
+	cfr := regs.CFR(a.erIndex(er))
+	lits := a.varyingLiterals(c, cfr)
+	cand := c.Clone()
+	for size := 1; size <= len(lits); size++ {
+		if forEachSubset(lits, size, func(drop []int) bool {
+			cand.CopyFrom(c)
+			for _, l := range drop {
+				cand.Set(l, cube.Full)
+			}
+			return a.checkMCFast(er, cand, cfr)
+		}) {
+			return nil
+		}
+	}
+	return v
+}
+
 // shrinkMC greedily removes literals from a valid monotonous cover while
 // the MC conditions keep holding, mirroring the two-level optimization
 // the paper applies to the excitation functions (fewer literals, smaller
 // AND gates).
 func (a *Analyzer) shrinkMC(er *sg.Region, c cube.Cube) cube.Cube {
+	cfr := a.regs(er.Signal).CFR(a.erIndex(er))
 	c = c.Clone()
+	cand := c.Clone()
 	for {
 		dropped := false
 		for _, l := range c.Literals() {
-			cand := c.Clone()
+			cand.CopyFrom(c)
 			cand.Set(l, cube.Full)
-			if a.CheckMC(er, cand) == nil {
-				c = cand
+			if a.checkMCFast(er, cand, cfr) {
+				c.CopyFrom(cand)
 				dropped = true
 			}
 		}
@@ -399,10 +483,10 @@ func (a *Analyzer) varyingLiterals(c cube.Cube, states sg.StateSet) []int {
 // returns true; it reports whether fn succeeded.
 func forEachSubset(lits []int, k int, fn func([]int) bool) bool {
 	idx := make([]int, k)
+	sub := make([]int, k) // recycled between calls; fn must not retain it
 	var rec func(start, depth int) bool
 	rec = func(start, depth int) bool {
 		if depth == k {
-			sub := make([]int, k)
 			for i, j := range idx {
 				sub[i] = lits[j]
 			}
@@ -446,11 +530,24 @@ type Wire struct {
 // ER(+sig) correctly and the literal b' (resp. b) covers every ER(−sig)
 // correctly. It returns the wire description and true on success.
 func (a *Analyzer) WireOf(sig int) (Wire, bool) {
-	regs := a.Regs[sig]
+	regs := a.regs(sig)
 	if len(regs.ER) == 0 {
 		return Wire{}, false
 	}
 	n := a.G.NumSignals()
+	// One candidate literal is checked against every region for every
+	// signal, so the forbidden sets (identical across the whole scan)
+	// are computed once and the cover check early-exits on the first
+	// forbidden state instead of assembling diagnostics.
+	sets := a.SetsOf(sig)
+	coverOK := func(er *sg.Region, c cube.Cube) bool {
+		f1, f2 := sets.OneStar, sets.Zero
+		if er.Dir == sg.Minus {
+			f1, f2 = sets.ZeroStar, sets.One
+		}
+		bad := func(s int) bool { return a.covers(c, s) }
+		return f1.FindFirst(bad) < 0 && f2.FindFirst(bad) < 0
+	}
 	for b := range a.G.Signals {
 		if b == sig {
 			continue
@@ -480,7 +577,7 @@ func (a *Analyzer) WireOf(sig int) (Wire, bool) {
 						break
 					}
 				}
-				if !ok || a.CheckCorrectCover(er, c) != nil {
+				if !ok || !coverOK(er, c) {
 					ok = false
 					break
 				}
@@ -563,12 +660,130 @@ func (a *Analyzer) CheckGraph() *Report {
 	return rep
 }
 
+// CheckGraphBudget is CheckGraph with a branch-and-bound budget: the
+// signals are scanned sequentially in order and the scan stops once
+// the number of violating regions reaches budget (budget <= 0 means
+// no bound, equivalent to a sequential CheckGraph). A report with
+// fewer than budget violations is complete and exact; one with budget
+// or more means "at least this many" — which is all a candidate
+// scorer needs to discard a graph against an incumbent with fewer
+// violations. The scan is deliberately sequential: the insertion
+// loop's candidate scoring fans out one goroutine per candidate, so
+// nesting a per-signal fan-out underneath would only oversubscribe
+// the pool.
+func (a *Analyzer) CheckGraphBudget(budget int, hot ...string) *Report {
+	rep := &Report{G: a.G, A: a}
+	violations := 0
+	for _, sig := range a.scanOrder(hot) {
+		results := a.checkSignal(sig)
+		rep.Results = append(rep.Results, results...)
+		for i := range results {
+			if results[i].Violation != nil {
+				violations++
+			}
+		}
+		if budget > 0 && violations >= budget {
+			break
+		}
+	}
+	return rep
+}
+
+// scanOrder lists the non-input signals in index order, with the hot
+// names (likely violators, in the caller's priority order) moved to
+// the front so a bad graph burns a budget after a couple of signals
+// instead of a full sweep. Which signals get scanned can depend on the
+// order, but the one thing budgeted callers consume — "did the
+// violation count reach the budget, and if not, what is it exactly" —
+// cannot.
+func (a *Analyzer) scanOrder(hot []string) []int {
+	sigs := make([]int, 0, a.G.NumSignals())
+	for sig := range a.G.Signals {
+		if !a.G.Input[sig] {
+			sigs = append(sigs, sig)
+		}
+	}
+	sort.Ints(sigs)
+	if len(hot) > 0 {
+		rank := make(map[int]int, len(hot))
+		for i, name := range hot {
+			if sig := a.G.SignalIndex(name); sig >= 0 {
+				if _, ok := rank[sig]; !ok {
+					rank[sig] = i
+				}
+			}
+		}
+		sort.SliceStable(sigs, func(i, j int) bool {
+			ri, iok := rank[sigs[i]]
+			rj, jok := rank[sigs[j]]
+			if iok != jok {
+				return iok
+			}
+			return iok && ri < rj
+		})
+	}
+	return sigs
+}
+
+// CountViolationsBudget is the count-only twin of CheckGraphBudget:
+// same scan order, same early exit, same per-signal verdicts, but no
+// report is assembled and — decisively for the candidate-scoring hot
+// path — the success-path cube shrinking is skipped, since greedy
+// literal dropping can never turn a found cover into a violation (or
+// vice versa). The returned count is exact below budget and "at least
+// budget" otherwise, exactly as CheckGraphBudget's caller would count
+// its report's violations.
+func (a *Analyzer) CountViolationsBudget(budget int, hot ...string) int {
+	violations := 0
+	for _, sig := range a.scanOrder(hot) {
+		violations += a.countSignal(sig)
+		if budget > 0 && violations >= budget {
+			break
+		}
+	}
+	return violations
+}
+
+// countSignal is checkSignal minus everything that only affects cube
+// quality: each region gets an existence-only MC verdict, and the
+// grouped and degenerate fallbacks run exactly as in checkSignal (the
+// grouped path keeps its internal shrinking because the shared cube's
+// footprint feeds the Theorem-5 side condition).
+func (a *Analyzer) countSignal(sig int) int {
+	regs := a.regs(sig)
+	var results []RegionResult
+	failed := false
+	for _, er := range regs.ER {
+		v := a.mcViolation(er)
+		if v != nil {
+			failed = true
+		}
+		results = append(results, RegionResult{Signal: sig, ER: er, Violation: v})
+	}
+	if !failed {
+		return 0
+	}
+	if a.groupSameFunction(sig, results) {
+		return 0
+	}
+	if _, ok := a.WireOf(sig); ok {
+		return 0
+	}
+	n := 0
+	for i := range results {
+		if results[i].Violation != nil {
+			n++
+		}
+	}
+	return n
+}
+
 // checkSignal evaluates the MC requirement for every excitation region
 // of one signal, including the shared-cube and degenerate fallbacks.
 func (a *Analyzer) checkSignal(sig int) []RegionResult {
 	var results []RegionResult
 	failed := false
-	for _, er := range a.Regs[sig].ER {
+	for _, er := range a.regs(sig).ER {
 		c, v := a.FindMC(er)
 		if v != nil {
 			failed = true
@@ -698,7 +913,7 @@ func (a *Analyzer) findGeneralizedMC(ers []*sg.Region, c cube.Cube) (cube.Cube, 
 	}
 	union := sg.NewStateSet(a.G.NumStates())
 	for _, er := range ers {
-		regs := a.Regs[er.Signal]
+		regs := a.regs(er.Signal)
 		union.UnionWith(regs.CFR(a.erIndexIn(regs, er)))
 	}
 	lits := a.varyingLiterals(c, union)

@@ -50,7 +50,7 @@ func (a *Analyzer) CheckGeneralizedMC(ers []*sg.Region, c cube.Cube) *Violation 
 	// Condition (2), per region CFR.
 	union := sg.NewStateSet(a.G.NumStates())
 	for _, er := range ers {
-		regs := a.Regs[er.Signal]
+		regs := a.regs(er.Signal)
 		cfr := regs.CFR(a.erIndexIn(regs, er))
 		if u, v := a.doubleChange(cfr, c); u >= 0 {
 			return &Violation{Kind: NonMonotonic, Signal: er.Signal, ER: er, Cube: c, States: []int{u, v}}
@@ -140,7 +140,7 @@ func (a *Analyzer) ShareOptimize(rep *Report) (map[int]Functions, int, error) {
 				continue
 			}
 			seen |= 1 << uint(r.Signal)
-			for _, er := range a.Regs[r.Signal].ER {
+			for _, er := range a.regs(r.Signal).ER {
 				if inGroup[er] {
 					continue
 				}

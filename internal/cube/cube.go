@@ -125,6 +125,13 @@ func (c Cube) Set(i int, l Lit) {
 	c.w[i/varsPerWord] = c.w[i/varsPerWord]&^(3<<sh) | uint64(l)<<sh
 }
 
+// CopyFrom overwrites c with o's literals in place. Both cubes must be
+// over the same variable count; search loops use it to recycle one
+// scratch cube instead of cloning per candidate.
+func (c Cube) CopyFrom(o Cube) {
+	copy(c.w, o.w)
+}
+
 // Clone returns an independent copy of the cube.
 func (c Cube) Clone() Cube {
 	d := Cube{n: c.n, w: make([]uint64, len(c.w))}

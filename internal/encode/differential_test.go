@@ -1,0 +1,81 @@
+package encode_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/benchdata"
+	"repro/internal/encode"
+	"repro/internal/netlist"
+	"repro/internal/stg"
+)
+
+// netlistOf builds the standard C-implementation from a repair result,
+// so two repair runs can be compared down to the gate level.
+func netlistOf(t *testing.T, res *encode.Result) string {
+	t.Helper()
+	fns := map[int]netlist.SR{}
+	for sig := range res.G.Signals {
+		if res.G.Input[sig] {
+			continue
+		}
+		set, reset, err := res.Report.ExcitationFunctions(sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fns[sig] = netlist.SR{Set: set, Reset: reset}
+	}
+	nl, err := netlist.Build(res.G, fns, netlist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl.String()
+}
+
+// TestRepairParallelSequentialIdentical pins the determinism contract
+// of the candidate-search engine: chunked enumeration with budgets
+// frozen at chunk boundaries and an in-order reduction make the
+// parallel search select byte-identical results to the sequential one
+// — same inserted signals, same strategies, same model tallies, and
+// gate-identical netlists — across every Table-1 specification.
+func TestRepairParallelSequentialIdentical(t *testing.T) {
+	for _, e := range benchdata.Table1 {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			net, err := stg.Parse(e.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := stg.BuildSG(net)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, err := encode.Repair(g, encode.Options{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := encode.Repair(g, encode.Options{Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seq.Added, par.Added) {
+				t.Errorf("added signals diverge: seq=%v par=%v", seq.Added, par.Added)
+			}
+			if !reflect.DeepEqual(seq.Strategy, par.Strategy) {
+				t.Errorf("strategies diverge: seq=%v par=%v", seq.Strategy, par.Strategy)
+			}
+			if seq.Models != par.Models || seq.Candidates != par.Candidates ||
+				seq.Deduped != par.Deduped || seq.Pruned != par.Pruned {
+				t.Errorf("search tallies diverge: seq models=%d candidates=%d deduped=%d pruned=%d, par models=%d candidates=%d deduped=%d pruned=%d",
+					seq.Models, seq.Candidates, seq.Deduped, seq.Pruned,
+					par.Models, par.Candidates, par.Deduped, par.Pruned)
+			}
+			if len(seq.Added) == 0 {
+				return // nothing inserted; netlists trivially agree
+			}
+			if sn, pn := netlistOf(t, seq), netlistOf(t, par); sn != pn {
+				t.Errorf("netlists diverge:\n--- workers=1 ---\n%s--- workers=4 ---\n%s", sn, pn)
+			}
+		})
+	}
+}

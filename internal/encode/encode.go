@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/sat"
 	"repro/internal/sg"
 )
@@ -279,6 +280,11 @@ type Result struct {
 	Models   int       // SAT models examined over the whole run
 	Report   *core.Report
 	Strategy []Strategy // strategy that succeeded for each added signal
+
+	// Search-pruning tallies over the whole run.
+	Candidates int // label vectors actually expanded and scored
+	Deduped    int // models skipped because an identical label vector was already scored this round
+	Pruned     int // candidates abandoned by the branch-and-bound scoring budget
 }
 
 // labelVars holds the CNF variables of one state's label: (v1, v0) with
@@ -313,9 +319,13 @@ func (lv labelVars) lits(l Label) (sat.Lit, sat.Lit) {
 	}
 }
 
-// buildCNF encodes the labelling constraints; seeds force labels of
-// specific states (state → allowed labels).
-func buildCNF(g *sg.Graph, seeds map[int][]Label) (*sat.Solver, []labelVars) {
+// buildCNF encodes the graph-only labelling constraints: the edge
+// rules, input properness and non-triviality. Strategy seeds are NOT
+// part of the formula — they are passed to Solve as assumptions
+// (assumptionsFor), so a single solver serves every conflict and
+// strategy of one repair round and the clauses it learns carry across
+// all of them instead of being rediscovered per pair.
+func buildCNF(g *sg.Graph) (*sat.Solver, []labelVars) {
 	s := sat.New()
 	vars := make([]labelVars, g.NumStates())
 	for i := range vars {
@@ -356,28 +366,6 @@ func buildCNF(g *sg.Graph, seeds map[int][]Label) (*sat.Solver, []labelVars) {
 	}
 	s.AddClause(ups...)
 	s.AddClause(downs...)
-	// Seeds.
-	for st, allowed := range seeds {
-		if len(allowed) == 1 {
-			l1, l0 := vars[st].lits(allowed[0])
-			s.AddClause(l1)
-			s.AddClause(l0)
-			continue
-		}
-		// General case: forbid all labels outside the allowed set.
-		for _, l := range []Label{L0, LR, L1, LF} {
-			ok := false
-			for _, al := range allowed {
-				if l == al {
-					ok = true
-				}
-			}
-			if !ok {
-				l1, l0 := vars[st].lits(l)
-				s.AddClause(l1.Neg(), l0.Neg())
-			}
-		}
-	}
 	return s, vars
 }
 
@@ -413,32 +401,30 @@ func cscConflicts(g *sg.Graph) []conflict {
 	return out
 }
 
-// seedsFor derives the seeding constraints of one strategy from a
-// conflict.
-func seedsFor(strat Strategy, c conflict) map[int][]Label {
-	seeds := map[int][]Label{}
+// assumptionsFor renders one strategy's seeding constraints on a
+// conflict as assumption literals over the label variables — the
+// assumption-scoped equivalent of the unit-clause seeds that used to
+// force a CNF rebuild per conflict×strategy pair. Every strategy seed
+// is a conjunction of literals: a seeded state is pinned either to a
+// single label (both variables) or to a half of the label cycle that
+// one variable polarity captures exactly ({0, down} ↔ ¬v0 and
+// {1, down} ↔ v1 under the (v1, v0) encoding).
+func assumptionsFor(strat Strategy, c conflict, vars []labelVars) []sat.Lit {
 	switch strat {
 	case TriggerStrategy:
+		// ER states labelled "up": (¬v1, v0).
+		out := make([]sat.Lit, 0, 2*len(c.er))
 		for _, s := range c.er {
-			seeds[s] = []Label{LR}
+			out = append(out, sat.Lit(-vars[s].v1), sat.Lit(vars[s].v0))
 		}
+		return out
 	case SeparateHigh, PackHigh:
-		for _, s := range c.er {
-			seeds[s] = []Label{L1}
-		}
-		for _, s := range c.wit {
-			seeds[s] = []Label{L0, LF}
-		}
+		return separationAssumptions(vars, c, false)
 	case SeparateLow, PackLow:
-		for _, s := range c.er {
-			seeds[s] = []Label{L0}
-		}
-		for _, s := range c.wit {
-			seeds[s] = []Label{L1, LF}
-		}
-	case Free:
+		return separationAssumptions(vars, c, true)
+	default: // Free: pure enumeration.
+		return nil
 	}
-	return seeds
 }
 
 // separationAssumptions renders one conflict's separate-low (or
@@ -515,11 +501,24 @@ func Repair(g *sg.Graph, opts Options) (*Result, error) {
 		name := freshSignalName(res.G, len(res.Added))
 
 		cur := score(res.G, rep)
+		// Signals violating in the current graph, plus the inserted
+		// signal itself, are where a candidate's residual violations
+		// cluster — scanning them first lets budgeted scoring abandon
+		// bad candidates after a couple of signals.
+		var hot []string
+		hotSeen := map[int]bool{}
+		for i := range rep.Results {
+			if r := &rep.Results[i]; r.Violation != nil && !hotSeen[r.Signal] {
+				hotSeen[r.Signal] = true
+				hot = append(hot, res.G.Signals[r.Signal])
+			}
+		}
+		hot = append(hot, name)
+		search := newRoundSearch(res.G, name, opts, hot)
 		best, bestScore, bestStrat := (*sg.Graph)(nil), cur, Free
 		for _, c := range confl {
 			for _, strat := range opts.Strategies {
-				g2, models, count := tryInsert(res.G, c, confl, strat, name, opts, cur, score)
-				res.Models += models
+				g2, count := search.tryInsert(c, confl, strat, cur)
 				better := g2 != nil && (count < bestScore || best == nil ||
 					(count == bestScore && g2.NumStates() < best.NumStates()))
 				if g2 != nil && better {
@@ -535,6 +534,11 @@ func Repair(g *sg.Graph, opts Options) (*Result, error) {
 				break
 			}
 		}
+		res.Models += search.models
+		res.Candidates += search.candidates
+		res.Deduped += search.deduped
+		res.Pruned += search.pruned
+		publishSAT(search.solver)
 		if best == nil {
 			rsp.End()
 			publishRepair(res, round)
@@ -561,6 +565,9 @@ func publishRepair(res *Result, rounds int) {
 	m.Counter("encode_rounds_total").Add(int64(rounds))
 	m.Counter("encode_inserted_signals_total").Add(int64(len(res.Added)))
 	m.Counter("encode_models_total").Add(int64(res.Models))
+	m.Counter("encode_candidates_total").Add(int64(res.Candidates))
+	m.Counter("encode_candidates_deduped_total").Add(int64(res.Deduped))
+	m.Counter("encode_candidates_pruned_total").Add(int64(res.Pruned))
 }
 
 // publishSAT accumulates one solver's search statistics (a no-op
@@ -594,22 +601,106 @@ func freshSignalName(g *sg.Graph, k int) string {
 	}
 }
 
+// scoreChunk is the number of unique candidate labellings enumerated
+// between scoring fan-outs. It is a fixed constant — NOT a function of
+// the worker count — so sequential (Workers=1) and parallel runs
+// enumerate exactly the same models, prune with exactly the same
+// budgets, and select byte-identical candidates.
+const scoreChunk = 16
+
+// roundSearch is the candidate-evaluation engine of one repair round.
+// It owns the round's single SAT solver (built once from the graph;
+// per-strategy seeds are assumptions, so learned clauses carry across
+// every conflict and strategy of the round), the seen-set that dedupes
+// identical label vectors across strategies, and the pruning tallies.
+type roundSearch struct {
+	g    *sg.Graph
+	name string
+	opts Options
+
+	solver    *sat.Solver
+	vars      []labelVars
+	blockVars []int
+	seen      map[string]struct{} // label vectors already scored this round
+	hot       []string            // scan-first signals for budgeted scoring
+
+	models     int // SAT models enumerated
+	candidates int // unique label vectors expanded and scored
+	deduped    int // models skipped by the seen-set
+	pruned     int // candidates abandoned at the scoring budget
+}
+
+func newRoundSearch(g *sg.Graph, name string, opts Options, hot []string) *roundSearch {
+	solver, vars := buildCNF(g)
+	blockVars := make([]int, 0, 2*len(vars))
+	for _, lv := range vars {
+		blockVars = append(blockVars, lv.v1, lv.v0)
+	}
+	return &roundSearch{
+		g: g, name: name, opts: opts,
+		solver: solver, vars: vars, blockVars: blockVars,
+		seen: make(map[string]struct{}), hot: hot,
+	}
+}
+
+// scored is one candidate's verdict. A nil graph marks an invalid
+// labelling (expansion error or lost output semi-modularity); pruned
+// marks a count truncated at the branch-and-bound budget (the real
+// count is at least the reported one).
+type scored struct {
+	g      *sg.Graph
+	count  int
+	pruned bool
+}
+
+// score expands one labelling and counts the remaining conflicts,
+// abandoning the count at budget (candidates at or above the incumbent
+// can never be selected, so their exact count is irrelevant). It runs
+// on pool workers: everything it touches is either task-local or a
+// read-only view of the round's graph.
+func (rs *roundSearch) score(labels []Label, budget int) scored {
+	g2, err := Expand(rs.g, labels, rs.name)
+	if err != nil {
+		return scored{}
+	}
+	if !g2.OutputSemiModular() {
+		return scored{}
+	}
+	if rs.opts.Target == TargetCSC {
+		return scored{g: g2, count: len(g2.CSCViolations())}
+	}
+	n := core.NewAnalyzerLazy(g2).CountViolationsBudget(budget, rs.hot...)
+	return scored{g: g2, count: n, pruned: n >= budget}
+}
+
 // tryInsert enumerates labellings for one conflict and strategy,
-// returning the expanded graph with the lowest remaining score (only
-// when strictly below the current score; ties broken towards smaller
-// expansions), the number of models examined, and that score.
-func tryInsert(g *sg.Graph, c conflict, all []conflict, strat Strategy, name string, opts Options, target int, score func(*sg.Graph, *core.Report) int) (*sg.Graph, int, int) {
-	maxModels := opts.MaxModels
-	solver, vars := buildCNF(g, seedsFor(strat, c))
-	defer publishSAT(solver)
+// returning the expanded graph with the lowest remaining conflict
+// count (only when strictly below the current score; ties broken
+// towards smaller expansions) and that count. Model enumeration stays
+// serial on the round's shared solver — it is cheap next to scoring —
+// while each chunk of unique models fans its Expand + semi-modularity
+// + conflict-count scoring out over the worker pool. The reduction
+// walks candidates in model order with budgets fixed at chunk
+// boundaries, so the selection is deterministic regardless of worker
+// count or completion order.
+func (rs *roundSearch) tryInsert(c conflict, all []conflict, strat Strategy, target int) (*sg.Graph, int) {
+	solver, vars := rs.solver, rs.vars
+	assume := assumptionsFor(strat, c, vars)
+
+	// Each pair's search starts from virgin branching heuristics: saved
+	// phases from a previous pair's enumeration would otherwise steer
+	// the early models into that pair's region of the label space, and
+	// the quality of the first few models is what makes MaxModels a
+	// usable cutoff. Learned clauses are kept — they are consequences of
+	// the base formula and only speed the search up.
+	solver.ResetSearch()
 
 	// Packing strategies: greedily commit the separation constraints of
 	// the other conflicts while the formula stays satisfiable, so one
 	// signal repairs as many conflicts as possible.
-	var assume []sat.Lit
 	if strat == PackLow || strat == PackHigh {
 		if !solver.Solve(assume...) {
-			return nil, 0, target
+			return nil, target
 		}
 		for i := range all {
 			c2 := all[i]
@@ -626,41 +717,95 @@ func tryInsert(g *sg.Graph, c conflict, all []conflict, strat Strategy, name str
 		}
 	}
 
-	models := 0
+	// Fresh selector variable per enumeration: blocking clauses carry
+	// its negation, so they bite only under this enumeration's
+	// assumptions and earlier enumerations don't censor this one.
+	sel := sat.Lit(solver.NewVar())
+	enum := append(append([]sat.Lit(nil), assume...), sel)
+
 	var best *sg.Graph
 	bestCount := target
-	blockVars := make([]int, 0, 2*len(vars))
-	for _, lv := range vars {
-		blockVars = append(blockVars, lv.v1, lv.v0)
-	}
-	for models < maxModels && solver.Solve(assume...) {
-		models++
-		m := solver.Model()
-		labels := make([]Label, len(vars))
-		for i, lv := range vars {
-			labels[i] = labelOf(m, lv)
+	models, maxModels := 0, rs.opts.MaxModels
+	exhausted, stop := false, false
+	for !stop && !exhausted && models < maxModels {
+		// Enumerate the next chunk of unique label vectors.
+		var chunk [][]Label
+		for models < maxModels && len(chunk) < scoreChunk {
+			if !solver.Solve(enum...) {
+				exhausted = true
+				break
+			}
+			models++
+			m := solver.Model()
+			labels := make([]Label, len(vars))
+			key := make([]byte, len(vars))
+			for i, lv := range vars {
+				labels[i] = labelOf(m, lv)
+				key[i] = byte(labels[i])
+			}
+			if !solver.BlockModelWith(sel.Neg(), rs.blockVars...) {
+				exhausted = true
+			}
+			if _, dup := rs.seen[string(key)]; dup {
+				// The same model routinely reappears under PackLow /
+				// PackHigh / Free; its first scoring already speaks for
+				// it in this round's selection.
+				rs.deduped++
+				continue
+			}
+			rs.seen[string(key)] = struct{}{}
+			chunk = append(chunk, labels)
 		}
-		if !solver.BlockModel(blockVars...) {
-			// Formula exhausted after this model.
-			maxModels = models
-		}
-		g2, err := Expand(g, labels, name)
-		if err != nil {
+		if len(chunk) == 0 {
 			continue
 		}
-		if !g2.OutputSemiModular() {
-			continue
-		}
-		rep2 := core.NewAnalyzerN(g2, opts.Workers).CheckGraph()
-		count := score(g2, rep2)
-		if count < bestCount || (best != nil && count == bestCount && g2.NumStates() < best.NumStates()) {
-			best, bestCount = g2, count
-			if count == 0 && g2.NumStates() <= g.NumStates()+2 {
-				break // minimal possible insertion footprint
+		// Score the chunk in parallel. The budget is the incumbent at
+		// the chunk boundary — deterministic, unlike a live-updated
+		// incumbent, which would make pruning depend on completion
+		// order. Truncated candidates have a true count above every
+		// incumbent this chunk's reduction can reach, so they are
+		// never selectable and the truncation is invisible to the
+		// selection.
+		budget := bestCount + 1
+		scores := make([]scored, len(chunk))
+		par.ForEachHook(len(chunk), rs.opts.Workers, func(i int) {
+			scores[i] = rs.score(chunk[i], budget)
+		}, obs.TaskHook("encode.score"))
+		rs.candidates += len(chunk)
+		for _, sc := range scores {
+			if sc.g == nil {
+				continue
+			}
+			if sc.pruned {
+				rs.pruned++
+				continue
+			}
+			if sc.count >= budget {
+				// Exact but not competitive (CSC scoring is never
+				// truncated); above the chunk budget it can beat no
+				// incumbent this reduction reaches.
+				continue
+			}
+			if sc.count < bestCount || (best != nil && sc.count == bestCount && sc.g.NumStates() < best.NumStates()) {
+				best, bestCount = sc.g, sc.count
+				if sc.count == 0 && sc.g.NumStates() <= rs.g.NumStates()+2 {
+					stop = true // minimal possible insertion footprint
+					break
+				}
 			}
 		}
 	}
-	return best, models, bestCount
+	// Retire the selector: pinning it false permanently satisfies this
+	// enumeration's blocking clauses and keeps later searches from
+	// branching on it (a phase-saved sel=true branch would re-arm the
+	// blocking clauses and censor models from later enumerations).
+	// Simplify then drops the satisfied blocking clauses outright —
+	// hundreds of full-width clauses per pair would otherwise keep
+	// taxing propagation for the rest of the round.
+	solver.AddClause(sel.Neg())
+	solver.Simplify()
+	rs.models += models
+	return best, bestCount
 }
 
 // DescribeLabels renders a labelling for diagnostics.

@@ -1,0 +1,88 @@
+package encode_test
+
+import (
+	"testing"
+
+	"repro/internal/encode"
+	"repro/internal/stg"
+)
+
+// fuzzSpec is a small two-phase handshake with an internal signal —
+// large enough for expansions to split both an up and a down region,
+// small enough for the fuzzer to cover the label space densely.
+const fuzzSpec = `
+.model fuzzbuf
+.inputs req
+.outputs ack done
+.graph
+p0 req+
+req+ ack+
+ack+ done+
+done+ req-
+req- ack-
+ack- done-
+done- p0
+.marking {p0}
+.end
+`
+
+// FuzzExpand throws arbitrary label vectors at Expand. The contract
+// under test: a vector violating the labelling rules (Section V) must
+// come back as an error — never a panic — and any accepted expansion
+// must be a consistent state graph with exactly one more signal.
+func FuzzExpand(f *testing.F) {
+	net, err := stg.Parse(fuzzSpec)
+	if err != nil {
+		f.Fatal(err)
+	}
+	g, err := stg.BuildSG(net)
+	if err != nil {
+		f.Fatal(err)
+	}
+	n := g.NumStates()
+
+	// Seed with the all-constant vectors and a plausible insertion
+	// shape (rise at the first state, fall halfway).
+	f.Add(make([]byte, n))
+	all1 := make([]byte, n)
+	for i := range all1 {
+		all1[i] = byte(encode.L1)
+	}
+	f.Add(all1)
+	mixed := make([]byte, n)
+	for i := range mixed {
+		switch {
+		case i == 0:
+			mixed[i] = byte(encode.LR)
+		case i < n/2:
+			mixed[i] = byte(encode.L1)
+		case i == n/2:
+			mixed[i] = byte(encode.LF)
+		}
+	}
+	f.Add(mixed)
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		labels := make([]encode.Label, n)
+		for i := range labels {
+			var b byte
+			if i < len(raw) {
+				b = raw[i]
+			}
+			labels[i] = encode.Label(b % 4)
+		}
+		g2, err := encode.Expand(g, labels, "x")
+		if err != nil {
+			return // rejected vectors are fine; panics are not
+		}
+		if g2.NumSignals() != g.NumSignals()+1 {
+			t.Fatalf("accepted expansion has %d signals, want %d", g2.NumSignals(), g.NumSignals()+1)
+		}
+		if err := g2.CheckConsistency(); err != nil {
+			t.Fatalf("accepted expansion is inconsistent: %v\nlabels: %s", err, encode.DescribeLabels(g, labels))
+		}
+		if x := g2.SignalIndex("x"); x < 0 || g2.Input[x] {
+			t.Fatal("inserted signal must exist as a non-input")
+		}
+	})
+}

@@ -7,7 +7,13 @@
 // Boolean constraints over per-state labelling variables (Section V/VII of
 // the paper, following Vanbekbergen et al.), and those constraints are
 // solved here. The solver also supports incremental solving under
-// assumptions and model enumeration through blocking clauses.
+// assumptions and model enumeration through blocking clauses. Learned
+// clauses are retained across Solve calls, so a caller that expresses
+// per-query constraints as assumptions (rather than rebuilding the
+// formula) amortizes the search effort over all its queries; selector
+// variables (BlockModelWith) extend the same sharing to enumeration,
+// scoping each enumeration's blocking clauses to its own assumption
+// context.
 package sat
 
 import "sort"
@@ -224,8 +230,13 @@ func (s *Solver) propagate() *clause {
 		// we stored watchers under the negation of the watched literal,
 		// so watchers of index(l) are clauses whose watched literal is
 		// ¬l, which has just become false).
+		// Compact the bucket in place: clauses that keep watching ¬l
+		// are written back through j, moved and deleted clauses are
+		// dropped. Appends triggered for a relocated clause always
+		// target a different bucket (its new watch literal cannot be
+		// ¬l, which is false), so the in-place scan is safe.
 		ws := s.watches[l.index()]
-		s.watches[l.index()] = nil
+		j := 0
 		for wi := 0; wi < len(ws); wi++ {
 			c := ws[wi]
 			if c.deleted {
@@ -237,7 +248,8 @@ func (s *Solver) propagate() *clause {
 			}
 			// If the other watched literal is true, keep watching.
 			if s.value(c.lits[0]) == lTrue {
-				s.watches[l.index()] = append(s.watches[l.index()], c)
+				ws[j] = c
+				j++
 				continue
 			}
 			// Look for a new literal to watch.
@@ -254,14 +266,17 @@ func (s *Solver) propagate() *clause {
 				continue
 			}
 			// Clause is unit or conflicting.
-			s.watches[l.index()] = append(s.watches[l.index()], c)
+			ws[j] = c
+			j++
 			if !s.enqueue(c.lits[0], c) {
 				// Conflict: restore remaining watchers and report.
-				s.watches[l.index()] = append(s.watches[l.index()], ws[wi+1:]...)
+				j += copy(ws[j:], ws[wi+1:])
+				s.watches[l.index()] = ws[:j]
 				s.trailLo = len(s.trail)
 				return c
 			}
 		}
+		s.watches[l.index()] = ws[:j]
 	}
 	return nil
 }
@@ -356,6 +371,61 @@ func (s *Solver) backtrackTo(level int) {
 	s.trail = s.trail[:lo]
 	s.trailLo = lo
 	s.limits = s.limits[:level]
+}
+
+// ResetSearch restores the branching heuristics — saved phases and
+// variable activities — to their initial state without touching the
+// clause database (learned clauses included). Callers sharing one
+// solver across many assumption-scoped enumerations use it so each
+// enumeration's early models track the formula, not the previous
+// enumeration's search trajectory.
+func (s *Solver) ResetSearch() {
+	for i := range s.phase {
+		s.phase[i] = false
+	}
+	for i := range s.activity {
+		s.activity[i] = 0
+	}
+	s.varInc = 1
+}
+
+// Simplify removes every clause satisfied by the level-0 assignment
+// from the database. Long-lived solvers use it to shed clauses that a
+// root-level fact has retired for good — e.g. enumeration blocking
+// clauses whose selector has been pinned false — so their watch lists
+// stop taxing propagation. It is a no-op mid-search or after the
+// formula has become unsatisfiable.
+func (s *Solver) Simplify() {
+	if !s.ok || len(s.limits) != 0 {
+		return
+	}
+	s.clauses = s.dropSatisfied(s.clauses)
+	s.learnts = s.dropSatisfied(s.learnts)
+}
+
+func (s *Solver) dropSatisfied(cs []*clause) []*clause {
+	out := cs[:0]
+	for _, c := range cs {
+		rooted := false
+		for _, l := range c.lits {
+			if s.value(l) == lTrue && s.level[l.Var()-1] == 0 {
+				rooted = true
+				break
+			}
+		}
+		if rooted {
+			// Watch lists drop the clause lazily via the deleted flag.
+			c.deleted = true
+			continue
+		}
+		out = append(out, c)
+	}
+	// Keep the tail pointers collectable.
+	tail := cs[len(out):]
+	for i := range tail {
+		tail[i] = nil
+	}
+	return out
 }
 
 // pickBranch returns the unassigned variable with the highest activity,
@@ -480,6 +550,25 @@ func (s *Solver) Model() []bool {
 // given variables (all variables when vars is empty), enabling model
 // enumeration. It returns false when the formula becomes unsatisfiable.
 func (s *Solver) BlockModel(vars ...int) bool {
+	return s.AddClause(s.blockLits(nil, vars)...)
+}
+
+// BlockModelWith is BlockModel with an escape literal: it adds the
+// clause (escape ∨ ¬model), which forbids the model only while
+// escape.Neg() is assumed. Dropping that assumption leaves the clause
+// vacuously satisfiable, so the blocking is scoped to one assumption
+// context while the solver — and every clause it has learned — stays
+// shared across contexts. Callers enumerate by allocating a fresh
+// selector variable per enumeration, assuming its positive literal,
+// and blocking each model with escape = ¬selector; a later enumeration
+// under a new selector sees the earlier enumeration's models again.
+func (s *Solver) BlockModelWith(escape Lit, vars ...int) bool {
+	return s.AddClause(s.blockLits([]Lit{escape}, vars)...)
+}
+
+// blockLits builds the blocking clause of the last model over vars
+// (all variables when empty), prefixed by the given extra literals.
+func (s *Solver) blockLits(extra []Lit, vars []int) []Lit {
 	if s.model == nil {
 		panic("sat: no model to block")
 	}
@@ -489,13 +578,14 @@ func (s *Solver) BlockModel(vars ...int) bool {
 			vars[i] = i + 1
 		}
 	}
-	lits := make([]Lit, len(vars))
-	for i, v := range vars {
+	lits := make([]Lit, 0, len(extra)+len(vars))
+	lits = append(lits, extra...)
+	for _, v := range vars {
 		if s.model[v-1] {
-			lits[i] = Lit(-v)
+			lits = append(lits, Lit(-v))
 		} else {
-			lits[i] = Lit(v)
+			lits = append(lits, Lit(v))
 		}
 	}
-	return s.AddClause(lits...)
+	return lits
 }

@@ -128,6 +128,44 @@ func FromSTG(net *stg.STG, opts Options) (*Report, error) {
 	return FromGraph(g, opts)
 }
 
+// CoverNetlist is the cover half of the pipeline: it derives the
+// per-signal excitation functions from an MC report over the final
+// (post-insertion) graph — share-optimized when opts.Share is set —
+// and builds the gate-level netlist. It returns the netlist and the
+// number of AND terms sharing saved. Benchmarks call it directly to
+// time covering apart from the state-signal insertion that precedes
+// it.
+func CoverNetlist(final *sg.Graph, mc *core.Report, opts Options) (*netlist.Netlist, int, error) {
+	fns := map[int]netlist.SR{}
+	saved := 0
+	if opts.Share {
+		shared, n, err := mc.A.ShareOptimize(mc)
+		if err != nil {
+			return nil, 0, err
+		}
+		saved = n
+		for sig, f := range shared {
+			fns[sig] = netlist.SR{Set: f.Set, Reset: f.Reset}
+		}
+	} else {
+		for sig := range final.Signals {
+			if final.Input[sig] {
+				continue
+			}
+			set, reset, err := mc.ExcitationFunctions(sig)
+			if err != nil {
+				return nil, 0, err
+			}
+			fns[sig] = netlist.SR{Set: set, Reset: reset}
+		}
+	}
+	nl, err := netlist.Build(final, fns, netlist.Options{RS: opts.RS, Share: opts.Share})
+	if err != nil {
+		return nil, 0, err
+	}
+	return nl, saved, nil
+}
+
 // FromGraph synthesizes a state-graph specification.
 func FromGraph(g *sg.Graph, opts Options) (*Report, error) {
 	rep := &Report{Name: g.Name, Spec: g, Final: g}
@@ -172,34 +210,13 @@ func FromGraph(g *sg.Graph, opts Options) (*Report, error) {
 
 	ssp := obs.Start("synth", obs.A("spec", g.Name))
 	t2 := time.Now()
-	fns := map[int]netlist.SR{}
-	if opts.Share {
-		shared, saved, err := rep.MC.A.ShareOptimize(rep.MC)
-		if err != nil {
-			return rep, err
-		}
-		rep.SharedSaved = saved
-		for sig, f := range shared {
-			fns[sig] = netlist.SR{Set: f.Set, Reset: f.Reset}
-		}
-	} else {
-		for sig := range rep.Final.Signals {
-			if rep.Final.Input[sig] {
-				continue
-			}
-			set, reset, err := rep.MC.ExcitationFunctions(sig)
-			if err != nil {
-				return rep, err
-			}
-			fns[sig] = netlist.SR{Set: set, Reset: reset}
-		}
-	}
-	nl, err := netlist.Build(rep.Final, fns, netlist.Options{RS: opts.RS, Share: opts.Share})
+	nl, saved, err := CoverNetlist(rep.Final, rep.MC, opts)
 	rep.CoverTime = time.Since(t2)
 	if err != nil {
 		ssp.End()
 		return rep, err
 	}
+	rep.SharedSaved = saved
 	rep.Netlist = nl
 	rep.Stats = nl.Stats()
 	ssp.SetAttr("literals", rep.Stats.Literals)
