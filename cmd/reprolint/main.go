@@ -1,0 +1,59 @@
+// Command reprolint is the repository's invariant checker: a
+// multichecker running the internal/analysis suite (determinism,
+// hotalloc, obssafe, parpool) over the packages matching its
+// arguments.
+//
+//	go run ./cmd/reprolint ./...
+//
+// It prints one line per finding (file:line:col: message (analyzer))
+// and exits 1 when anything is reported, 0 on a clean run. CI runs it
+// on every push; see the "Static analysis & invariants" section of
+// DESIGN.md for the invariant each analyzer enforces and its escape
+// hatch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/lint"
+)
+
+func main() {
+	doc := flag.Bool("doc", false, "print each analyzer's documentation and exit")
+	flag.Parse()
+	if *doc {
+		for _, sa := range analysis.Suite() {
+			fmt.Printf("%s: %s\n\n", sa.Analyzer.Name, sa.Analyzer.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+		os.Exit(2)
+	}
+	findings, err := lint.Run(pkgs, analysis.Suite())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "reprolint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,37 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, analysis.Determinism, "determinism")
+}
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, analysis.HotAlloc, "hotalloc")
+}
+
+func TestObsSafe(t *testing.T) {
+	analysistest.Run(t, analysis.ObsSafe, "obssafe")
+}
+
+func TestParPool(t *testing.T) {
+	analysistest.Run(t, analysis.ParPool, "parpool")
+}
+
+// TestHotAllocRequiredMarker pivots the required-marker list onto the
+// fixture: a marked required function is clean, an unmarked one is
+// reported at its declaration, and a listed function the package no
+// longer defines is reported at the package clause.
+func TestHotAllocRequiredMarker(t *testing.T) {
+	old := analysis.RequiredHotpaths
+	analysis.RequiredHotpaths = map[string][]string{
+		"hotalloc_required": {"Explore", "Engine.Step", "Gone"},
+	}
+	defer func() { analysis.RequiredHotpaths = old }()
+	analysistest.Run(t, analysis.HotAlloc, "hotalloc_required")
+}

@@ -1,0 +1,252 @@
+// Package analysistest runs one lint.Analyzer over fixture packages
+// under internal/analysis/testdata/src and checks its diagnostics
+// against `// want "regexp"` comments, mirroring the golden-test
+// protocol of golang.org/x/tools/go/analysis/analysistest on top of the
+// local lint framework.
+//
+// Fixture packages resolve imports GOPATH-style: an import path that
+// names a directory under testdata/src (e.g. the repro/internal/obs
+// stub) is parsed and type-checked from source; everything else (fmt,
+// time, …) is imported from compiler export data via `go list -export`.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/lint"
+)
+
+// Run loads each fixture package (a slash-separated path relative to
+// testdata/src), applies the analyzer, and fails the test unless the
+// diagnostics and the fixtures' want comments match one-to-one by file,
+// line, and regexp.
+func Run(t *testing.T, a *lint.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	h := newHarness(t)
+	external := map[string]bool{}
+	var targets []*parsedPkg
+	for _, path := range pkgPaths {
+		targets = append(targets, h.parse(path, external))
+	}
+	h.loadExports(external)
+	var pkgs []*lint.Package
+	for _, p := range targets {
+		pkgs = append(pkgs, h.check(p))
+	}
+	findings, err := lint.Run(pkgs, []lint.ScopedAnalyzer{{Analyzer: a}})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	h.match(findings, h.expectations(targets))
+}
+
+// parsedPkg is one fixture package before type checking.
+type parsedPkg struct {
+	path  string
+	dir   string
+	files []*ast.File
+}
+
+// harness caches parsed and checked fixture packages for one Run call
+// and doubles as the types.Importer wired into the checker.
+type harness struct {
+	t          *testing.T
+	fset       *token.FileSet
+	src        string // testdata/src root
+	moduleRoot string // where `go list` runs
+	parsed     map[string]*parsedPkg
+	checked    map[string]*lint.Package
+	gc         types.Importer // export-data fallback for non-fixture imports
+}
+
+func newHarness(t *testing.T) *harness {
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate analysistest source file")
+	}
+	dir := filepath.Dir(thisFile)
+	return &harness{
+		t:          t,
+		fset:       token.NewFileSet(),
+		src:        filepath.Join(dir, "..", "testdata", "src"),
+		moduleRoot: filepath.Join(dir, "..", "..", ".."),
+		parsed:     map[string]*parsedPkg{},
+		checked:    map[string]*lint.Package{},
+	}
+}
+
+// parse reads one fixture package and, recursively, every fixture
+// package it imports, accumulating non-fixture imports in external.
+func (h *harness) parse(path string, external map[string]bool) *parsedPkg {
+	if p, ok := h.parsed[path]; ok {
+		return p
+	}
+	dir := filepath.Join(h.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		h.t.Fatalf("fixture package %s: %v", path, err)
+	}
+	p := &parsedPkg{path: path, dir: dir}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(h.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			h.t.Fatalf("fixture package %s: %v", path, err)
+		}
+		p.files = append(p.files, f)
+	}
+	if len(p.files) == 0 {
+		h.t.Fatalf("fixture package %s: no Go files in %s", path, dir)
+	}
+	h.parsed[path] = p
+	for _, f := range p.files {
+		for _, imp := range f.Imports {
+			ip, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if st, err := os.Stat(filepath.Join(h.src, filepath.FromSlash(ip))); err == nil && st.IsDir() {
+				h.parse(ip, external)
+			} else {
+				external[ip] = true
+			}
+		}
+	}
+	return p
+}
+
+// loadExports resolves export data for the fixtures' non-fixture
+// imports and installs the fallback importer.
+func (h *harness) loadExports(external map[string]bool) {
+	exports := map[string]string{}
+	if len(external) > 0 {
+		paths := make([]string, 0, len(external))
+		for p := range external {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		var err error
+		exports, err = lint.LoadExports(h.moduleRoot, paths...)
+		if err != nil {
+			h.t.Fatalf("resolving fixture imports %v: %v", paths, err)
+		}
+	}
+	h.gc = lint.ExportImporter(h.fset, exports)
+}
+
+// Import makes the harness a types.Importer: fixture packages check
+// from source, everything else comes from export data.
+func (h *harness) Import(path string) (*types.Package, error) {
+	if p, ok := h.parsed[path]; ok {
+		return h.check(p).Pkg, nil
+	}
+	return h.gc.Import(path)
+}
+
+// check type-checks one parsed fixture package, memoized.
+func (h *harness) check(p *parsedPkg) *lint.Package {
+	if c, ok := h.checked[p.path]; ok {
+		return c
+	}
+	info := lint.NewInfo()
+	conf := types.Config{Importer: h}
+	tpkg, err := conf.Check(p.path, h.fset, p.files, info)
+	if err != nil {
+		h.t.Fatalf("typecheck fixture %s: %v", p.path, err)
+	}
+	c := &lint.Package{Path: p.path, Dir: p.dir, Fset: h.fset, Files: p.files, Pkg: tpkg, Info: info}
+	h.checked[p.path] = c
+	return c
+}
+
+// expectation is one parsed want pattern: a diagnostic matching re must
+// be reported on exactly this file and line.
+type expectation struct {
+	file    string
+	line    int
+	raw     string
+	re      *regexp.Regexp
+	matched bool
+}
+
+// expectations collects the `// want "re" ...` comments of the target
+// packages (imported stubs are not analyzed, so their comments are
+// ignored).
+func (h *harness) expectations(targets []*parsedPkg) []*expectation {
+	var out []*expectation
+	for _, p := range targets {
+		for _, f := range p.files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					out = append(out, h.parseWant(c)...)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// parseWant extracts the quoted regexps of one want comment.
+func (h *harness) parseWant(c *ast.Comment) []*expectation {
+	const prefix = "// want "
+	if !strings.HasPrefix(c.Text, prefix) {
+		return nil
+	}
+	pos := h.fset.Position(c.Pos())
+	rest := strings.TrimSpace(c.Text[len(prefix):])
+	var out []*expectation
+	for rest != "" {
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			h.t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+		}
+		pat, err := strconv.Unquote(q)
+		if err != nil {
+			h.t.Fatalf("%s:%d: malformed want pattern %s", pos.Filename, pos.Line, q)
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			h.t.Fatalf("%s:%d: want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+		}
+		out = append(out, &expectation{file: pos.Filename, line: pos.Line, raw: pat, re: re})
+		rest = strings.TrimSpace(rest[len(q):])
+	}
+	return out
+}
+
+// match pairs findings with expectations one-to-one and reports both
+// unexpected diagnostics and unmatched want patterns.
+func (h *harness) match(findings []lint.Finding, exps []*expectation) {
+	h.t.Helper()
+	for _, f := range findings {
+		found := false
+		for _, e := range exps {
+			if !e.matched && e.file == f.Pos.Filename && e.line == f.Pos.Line && e.re.MatchString(f.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			h.t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for _, e := range exps {
+		if !e.matched {
+			h.t.Errorf("%s:%d: no diagnostic matching %q", e.file, e.line, e.raw)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/lint"
+)
+
+// Determinism flags constructs whose observable order or value differs
+// between runs — bare map iteration, wall-clock reads, PRNG draws — in
+// packages that promise reproducible output. The Table-1 pinning tests
+// catch a nondeterministic netlist only after the fact; this analyzer
+// points at the construct that caused it.
+var Determinism = &lint.Analyzer{
+	Name: "determinism",
+	Doc: "flags bare map iteration and time/math-rand use in packages that promise " +
+		"byte-identical output (core, encode, netlist, synth, verify, cube, tech); " +
+		"escape with //reprolint:ordered <justification> when order provably cannot " +
+		"reach the output",
+	Run: runDeterminism,
+}
+
+const orderedEscape = "ordered"
+
+func runDeterminism(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		dirs := lint.FileDirectives(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				tv, ok := pass.TypesInfo.Types[n.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if escaped(pass, dirs, n, orderedEscape) {
+					return true
+				}
+				pass.Reportf(n.Pos(), "map iteration order is nondeterministic; sort the keys "+
+					"or annotate //reprolint:ordered <justification>")
+			case *ast.CallExpr:
+				fn := lint.Callee(pass.TypesInfo, n)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				path, name := fn.Pkg().Path(), fn.Name()
+				nondet := ""
+				switch {
+				case path == "time" && (name == "Now" || name == "Since" || name == "Until"):
+					nondet = "time." + name + " reads the wall clock"
+				case path == "math/rand" || path == "math/rand/v2":
+					nondet = path + "." + name + " draws from a process-seeded PRNG"
+				}
+				if nondet == "" {
+					return true
+				}
+				if escaped(pass, dirs, n, orderedEscape) {
+					return true
+				}
+				pass.Reportf(n.Pos(), "%s, which is nondeterministic in a reproducible package; "+
+					"annotate //reprolint:ordered <justification> if it cannot reach the output", nondet)
+			}
+			return true
+		})
+	}
+	return nil
+}

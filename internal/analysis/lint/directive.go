@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive is one parsed //reprolint:<name> comment. Escape
+// directives (ordered, alloc, obs, go) waive one finding on the line
+// they annotate and must carry a justification; marker directives
+// (hotpath) classify the declaration they precede.
+type Directive struct {
+	// Name is the word after "reprolint:" — "ordered", "hotpath",
+	// "alloc", "obs" or "go".
+	Name string
+	// Justification is the free text after the name, trimmed. Escape
+	// directives with an empty justification do not suppress anything
+	// and are themselves reported.
+	Justification string
+	Pos           token.Pos
+	Line          int
+}
+
+const directivePrefix = "//reprolint:"
+
+// parseDirective parses one comment, returning ok=false for ordinary
+// comments.
+func parseDirective(c *ast.Comment, fset *token.FileSet) (Directive, bool) {
+	if !strings.HasPrefix(c.Text, directivePrefix) {
+		return Directive{}, false
+	}
+	rest := c.Text[len(directivePrefix):]
+	name := rest
+	just := ""
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		name, just = rest[:i], strings.TrimSpace(rest[i+1:])
+	}
+	if name == "" {
+		return Directive{}, false
+	}
+	return Directive{
+		Name:          name,
+		Justification: just,
+		Pos:           c.Pos(),
+		Line:          fset.Position(c.Pos()).Line,
+	}, true
+}
+
+// DirectiveIndex maps source lines of one file to the reprolint
+// directives written there.
+type DirectiveIndex struct {
+	fset    *token.FileSet
+	byLine  map[int][]Directive
+	inOrder []Directive
+}
+
+// FileDirectives scans every comment of file for reprolint directives.
+func FileDirectives(fset *token.FileSet, file *ast.File) *DirectiveIndex {
+	ix := &DirectiveIndex{fset: fset, byLine: map[int][]Directive{}}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if d, ok := parseDirective(c, fset); ok {
+				ix.byLine[d.Line] = append(ix.byLine[d.Line], d)
+				ix.inOrder = append(ix.inOrder, d)
+			}
+		}
+	}
+	return ix
+}
+
+// All returns every directive of the file in source order.
+func (ix *DirectiveIndex) All() []Directive { return ix.inOrder }
+
+// For returns the directives named name that annotate node: written on
+// the node's starting line (trailing comment) or on the line directly
+// above it (the //nolint convention).
+func (ix *DirectiveIndex) For(node ast.Node, name string) []Directive {
+	line := ix.fset.Position(node.Pos()).Line
+	var out []Directive
+	for _, d := range append(ix.byLine[line-1], ix.byLine[line]...) {
+		if d.Name == name {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Escaped implements the shared escape protocol: escaped reports
+// whether a finding at node is waived by a justified //reprolint:<name>
+// comment. A directive without a justification does NOT waive the
+// finding: bare is returned true so the caller reports the unjustified
+// escape as its own diagnostic alongside the underlying finding.
+func (ix *DirectiveIndex) Escaped(node ast.Node, name string) (escaped, bare bool) {
+	ds := ix.For(node, name)
+	if len(ds) == 0 {
+		return false, false
+	}
+	for _, d := range ds {
+		if d.Justification != "" {
+			return true, false
+		}
+	}
+	return false, true
+}
+
+// HasMarker reports whether decl carries the marker directive name in
+// its doc comment or on the line above its first token.
+func HasMarker(fset *token.FileSet, decl *ast.FuncDecl, name string) bool {
+	if decl.Doc != nil {
+		for _, c := range decl.Doc.List {
+			if d, ok := parseDirective(c, fset); ok && d.Name == name {
+				return true
+			}
+		}
+	}
+	return false
+}

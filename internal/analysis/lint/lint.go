@@ -1,0 +1,136 @@
+// Package lint is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary — Analyzer, Pass,
+// Diagnostic — plus a package loader and a multichecker runner, built
+// only on the standard library's go/ast, go/types and go/importer.
+//
+// The x/tools module is deliberately not vendored: the checker suite in
+// internal/analysis needs exactly the core protocol (parse + typecheck
+// a package, hand the syntax and type information to each analyzer,
+// collect positioned diagnostics), and keeping the protocol local keeps
+// the repository self-contained. The API mirrors go/analysis closely
+// enough that the analyzers would port to the real framework by
+// changing one import.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker: a name for diagnostics and
+// escape comments, documentation, and the Run function applied to every
+// package in scope.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI output. It
+	// must be a valid identifier.
+	Name string
+	// Doc is the one-paragraph description printed by reprolint -help:
+	// the invariant enforced, the scope patrolled, the escape hatch.
+	Doc string
+	// Run applies the analyzer to one type-checked package, reporting
+	// findings through pass.Report.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one package: syntax, type
+// information, and the diagnostic sink.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position inside the package and the
+// message shown to the developer.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// NewInfo returns a types.Info with every map analyzers consume
+// allocated (Types, Defs, Uses, Selections, Implicits, Scopes).
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// Callee resolves the static callee of a call expression to a
+// *types.Func (package function or method), or nil for builtins,
+// function-typed variables and type conversions.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// CalleePath returns the defining package path and name of a call's
+// static callee, or ("", "") when it cannot be resolved. Methods
+// report as "Recv.Name" with pointer receivers dereferenced.
+func CalleePath(info *types.Info, call *ast.CallExpr) (pkgPath, name string) {
+	fn := Callee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", ""
+	}
+	return fn.Pkg().Path(), FuncDisplayName(fn)
+}
+
+// FuncDisplayName renders a *types.Func as "Name" for package functions
+// and "Recv.Name" for methods (pointer receivers dereferenced).
+func FuncDisplayName(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return fn.Name()
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	if named, ok := rt.(*types.Named); ok {
+		return named.Obj().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// DeclDisplayName renders an *ast.FuncDecl the same way FuncDisplayName
+// renders its object: "Name" or "Recv.Name".
+func DeclDisplayName(decl *ast.FuncDecl) string {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return decl.Name.Name
+	}
+	t := decl.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Generic receivers (Recv[T]) index the base identifier.
+	if ix, ok := t.(*ast.IndexExpr); ok {
+		t = ix.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + decl.Name.Name
+	}
+	return decl.Name.Name
+}

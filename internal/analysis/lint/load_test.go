@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// moduleRoot walks up from this file to the directory holding go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	return filepath.Clean(filepath.Join(filepath.Dir(file), "..", "..", ".."))
+}
+
+// TestLoadTypechecksAgainstExportData loads a real package of this
+// module and checks that cross-package types resolve through the
+// export-data importer: map ranges are recognizable and callees resolve
+// to their defining packages.
+func TestLoadTypechecksAgainstExportData(t *testing.T) {
+	pkgs, err := Load(moduleRoot(t), "./internal/netlist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "repro/internal/netlist" {
+		t.Fatalf("loaded %+v, want exactly repro/internal/netlist", pkgs)
+	}
+	p := pkgs[0]
+	if p.Pkg == nil || !p.Pkg.Complete() {
+		t.Fatal("package not type-checked to completion")
+	}
+	// The Build signature mentions sg.Graph and cube types imported from
+	// export data; resolving it proves the importer worked.
+	obj := p.Pkg.Scope().Lookup("Build")
+	if obj == nil {
+		t.Fatal("netlist.Build not found in package scope")
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Params().Len() != 3 {
+		t.Fatalf("netlist.Build has %d params, want 3", sig.Params().Len())
+	}
+	mapRanges := 0
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if rng, ok := n.(*ast.RangeStmt); ok && rng.X != nil {
+				if tv, ok := p.Info.Types[rng.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						mapRanges++
+					}
+				}
+			}
+			return true
+		})
+	}
+	if mapRanges == 0 {
+		t.Fatal("expected at least one map range in netlist (typecheck info missing?)")
+	}
+}
+
+func TestLoadExports(t *testing.T) {
+	exports, err := LoadExports(moduleRoot(t), "fmt", "time")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"fmt", "time", "io"} { // io is a dep of fmt
+		if exports[p] == "" {
+			t.Fatalf("no export data for %s (got %d entries)", p, len(exports))
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Finding is one positioned diagnostic produced by a run, resolved to
+// a concrete file position and tagged with its analyzer.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+}
+
+// Scope decides which packages an analyzer patrols.
+type Scope func(pkgPath string) bool
+
+// ScopedAnalyzer pairs an analyzer with the packages it runs on. A nil
+// Scope means every loaded package.
+type ScopedAnalyzer struct {
+	Analyzer *Analyzer
+	Scope    Scope
+}
+
+// Run applies every analyzer (honoring scopes) to every package and
+// returns the findings sorted by file, line, column, analyzer. Analyzer
+// errors (not diagnostics) abort the run.
+func Run(pkgs []*Package, suite []ScopedAnalyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, sa := range suite {
+			if sa.Scope != nil && !sa.Scope(pkg.Path) {
+				continue
+			}
+			a := sa.Analyzer
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.Info,
+				Report: func(d Diagnostic) {
+					findings = append(findings, Finding{
+						Analyzer: a.Name,
+						Pos:      pkg.Fset.Position(d.Pos),
+						Message:  d.Message,
+					})
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/lint"
+)
+
+// parPkgPath is the bounded worker pool all fan-out goes through.
+const parPkgPath = "repro/internal/par"
+
+// ParPool protects the deterministic-fan-out architecture: every
+// parallel loop goes through internal/par (so worker counts, panic
+// draining and task observation stay centralized), and pool callbacks
+// write results only into slots addressed by their own task index —
+// the index-disjointness contract that makes workers=1 and workers=N
+// byte-identical. It flags raw go statements and writes to captured
+// slices that are not indexed by the callback's task index.
+var ParPool = &lint.Analyzer{
+	Name: "parpool",
+	Doc: "flags raw go statements outside internal/par and shared-slice writes in " +
+		"par.ForEach callbacks that are not addressed by the task index; escape with " +
+		"//reprolint:go <justification>",
+	Run: runParPool,
+}
+
+const goEscape = "go"
+
+func runParPool(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		dirs := lint.FileDirectives(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if escaped(pass, dirs, n, goEscape) {
+					return true
+				}
+				pass.Reportf(n.Pos(), "raw go statement; fan out through internal/par so worker "+
+					"bounds and determinism stay centralized, or annotate //reprolint:go <justification>")
+			case *ast.CallExpr:
+				checkPoolCallback(pass, dirs, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkPoolCallback inspects the task callback of a par.ForEach /
+// par.ForEachHook call: writes to slices captured from the enclosing
+// scope must be indexed by the callback's own index parameter.
+func checkPoolCallback(pass *lint.Pass, dirs *lint.DirectiveIndex, call *ast.CallExpr) {
+	fn := lint.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != parPkgPath {
+		return
+	}
+	if name := fn.Name(); name != "ForEach" && name != "ForEachHook" {
+		return
+	}
+	if len(call.Args) < 3 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[2]).(*ast.FuncLit)
+	if !ok || len(lit.Type.Params.List) == 0 || len(lit.Type.Params.List[0].Names) == 0 {
+		return
+	}
+	idxObj := pass.TypesInfo.Defs[lit.Type.Params.List[0].Names[0]]
+	if idxObj == nil {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range asg.Lhs {
+			ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+			if !ok {
+				continue
+			}
+			base, ok := ast.Unparen(ix.X).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Uses[base].(*types.Var)
+			if !ok {
+				continue
+			}
+			if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+				continue
+			}
+			// Only captured slices race; slices declared inside the
+			// callback are task-local.
+			if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+				continue
+			}
+			if usesObject(pass, ix.Index, idxObj) {
+				continue
+			}
+			if escaped(pass, dirs, asg, goEscape) {
+				continue
+			}
+			pass.Reportf(lhs.Pos(), "write to captured slice %s is not addressed by the pool's "+
+				"task index %s; index-disjoint slots are the pool's determinism contract "+
+				"(//reprolint:go <justification> to waive)", base.Name, idxObj.Name())
+		}
+		return true
+	})
+}
+
+// usesObject reports whether expr mentions the given object.
+func usesObject(pass *lint.Pass, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,59 @@
+// Package determinism exercises the determinism analyzer: bare map
+// ranges, clock reads and PRNG draws are flagged; justified
+// //reprolint:ordered escapes are honored; bare escapes are themselves
+// diagnostics and suppress nothing.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func MapRange(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // want "map iteration order is nondeterministic"
+		sum += v
+	}
+	return sum
+}
+
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//reprolint:ordered keys are collected then sorted before any output depends on them
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func SliceRange(xs []int) int {
+	sum := 0
+	for _, x := range xs { // slices iterate in order; not a finding
+		sum += x
+	}
+	return sum
+}
+
+func Clock() time.Duration {
+	t0 := time.Now()      // want `time\.Now reads the wall clock`
+	return time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+func TimedEscape() time.Time {
+	return time.Now() //reprolint:ordered timing lands only in log fields, never in synthesized output
+}
+
+func Draw() int {
+	return rand.Intn(6) // want "draws from a process-seeded PRNG"
+}
+
+func BareEscape(m map[string]int) int {
+	n := 0
+	//reprolint:ordered
+	for range m { // want "escape needs a justification" "map iteration order is nondeterministic"
+		n++
+	}
+	return n
+}

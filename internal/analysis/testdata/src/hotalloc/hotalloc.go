@@ -1,0 +1,78 @@
+// Package hotalloc exercises the hotalloc analyzer: fmt calls and
+// capturing closures anywhere in a //reprolint:hotpath function,
+// nil-slice appends and interface boxing inside its loops. Unmarked
+// functions are never checked; justified //reprolint:alloc escapes are
+// honored; bare ones are reported.
+package hotalloc
+
+import "fmt"
+
+//reprolint:hotpath
+func Hot(xs []int) string {
+	s := ""
+	for _, x := range xs {
+		s = fmt.Sprintf("%s,%d", s, x) // want "fmt.Sprintf allocates"
+	}
+	return s
+}
+
+// Cold is identical but unmarked: nothing is reported.
+func Cold(xs []int) string {
+	s := ""
+	for _, x := range xs {
+		s = fmt.Sprintf("%s,%d", s, x)
+	}
+	return s
+}
+
+//reprolint:hotpath
+func Capture(xs []int) func() int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	f := func() int { return total } // want "func literal captures total"
+	return f
+}
+
+//reprolint:hotpath
+func Grow(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, 2*x) // want "append grows nil-declared slice out"
+	}
+	return out
+}
+
+//reprolint:hotpath
+func Preallocated(xs []int) []int {
+	out := make([]int, 0, len(xs)) // sized upfront: appends are not findings
+	for _, x := range xs {
+		out = append(out, 2*x)
+	}
+	return out
+}
+
+//reprolint:hotpath
+func Box(sink func(any), xs []int) {
+	for _, x := range xs {
+		sink(x) // want "argument x boxes into an interface parameter"
+	}
+}
+
+//reprolint:hotpath
+func GrowEscaped(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		if x > 0 {
+			out = append(out, x) //reprolint:alloc the survivors are the result; amortized growth is accepted
+		}
+	}
+	return out
+}
+
+//reprolint:hotpath
+func BareEscape(xs []int) string {
+	//reprolint:alloc
+	return fmt.Sprint(len(xs)) // want "escape needs a justification" "fmt.Sprint allocates"
+}

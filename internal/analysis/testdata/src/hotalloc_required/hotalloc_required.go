@@ -1,0 +1,23 @@
+// Package hotalloc_required exercises the RequiredHotpaths half of the
+// hotalloc analyzer. The test overrides analysis.RequiredHotpaths to
+// demand markers on Explore (marked: clean), Engine.Step (unmarked:
+// reported at the declaration) and Gone (absent: reported at the
+// package clause).
+package hotalloc_required // want "known hot path Gone not found in hotalloc_required"
+
+//reprolint:hotpath
+func Explore(n int) int {
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += i
+	}
+	return sum
+}
+
+type Engine struct {
+	steps int
+}
+
+func (e *Engine) Step() { // want "Engine.Step is a known hot path and must carry"
+	e.steps++
+}

@@ -1,0 +1,47 @@
+// Package obssafe exercises the obssafe analyzer: chaining off
+// obs.Get() without a nil check is flagged, obs calls inside hotpath
+// loops are flagged, the nil-safe helpers and checked handles are not.
+package obssafe
+
+import "repro/internal/obs"
+
+func Chained() {
+	obs.Get().Metrics.Counter("states").Add(1) // want "bind and nil-check the observer before touching Metrics"
+}
+
+func Checked() {
+	if o := obs.Get(); o != nil {
+		o.Metrics.Counter("states").Add(1)
+	}
+}
+
+func Helpers() {
+	// Package-level entry points are nil-safe by construction.
+	if obs.Enabled() {
+		obs.Info("starting")
+	}
+	span := obs.Start("stage")
+	span.End()
+}
+
+//reprolint:hotpath
+func Hot(n int) {
+	for i := 0; i < n; i++ {
+		obs.Info("step") // want "obs publish Info inside a loop"
+	}
+	obs.Info("done") // post-loop publish is the sanctioned pattern
+}
+
+//reprolint:hotpath
+func Sampled(n int) {
+	for i := 0; i < n; i++ {
+		if i%1024 == 0 {
+			obs.Info("tick") //reprolint:obs sampled every 1024 iterations, amortized to noise
+		}
+	}
+}
+
+func BareEscape() {
+	//reprolint:obs
+	obs.Get().Metrics.Counter("states").Add(1) // want "escape needs a justification" "bind and nil-check the observer"
+}

@@ -1,0 +1,50 @@
+// Package parpool exercises the parpool analyzer: raw go statements
+// are flagged outside internal/par, and par.ForEach callbacks must
+// address captured slices with their own task index.
+package parpool
+
+import "repro/internal/par"
+
+func Raw(done chan struct{}) {
+	go drain(done) // want "raw go statement"
+}
+
+func Waived(done chan struct{}) {
+	go drain(done) //reprolint:go single lifetime-of-process drainer, joined at shutdown
+}
+
+func BareWaiver(done chan struct{}) {
+	//reprolint:go
+	go drain(done) // want "escape needs a justification" "raw go statement"
+}
+
+func drain(done chan struct{}) { <-done }
+
+func Fan(xs []int) []int {
+	out := make([]int, len(xs))
+	first := make([]int, 1)
+	par.ForEach(len(xs), 4, func(i int) {
+		out[i] = 2 * xs[i] // task-index slot: the sanctioned pattern
+		first[0] = xs[i]   // want "write to captured slice first is not addressed by the pool's task index i"
+	})
+	return out
+}
+
+func FanLocal(xs []int) []int {
+	out := make([]int, len(xs))
+	par.ForEach(len(xs), 4, func(i int) {
+		scratch := make([]int, 2)
+		scratch[0] = xs[i] // task-local slice: not a finding
+		scratch[1] = 2 * xs[i]
+		out[i] = scratch[0] + scratch[1]
+	})
+	return out
+}
+
+func FanWaived(xs []int) int {
+	acc := make([]int, 1)
+	par.ForEach(len(xs), 1, func(i int) {
+		acc[0] += xs[i] //reprolint:go workers is pinned to 1 here, the single slot cannot race
+	})
+	return acc[0]
+}

@@ -1,0 +1,39 @@
+// Package obs is a fixture stub of the real observability layer: the
+// same entry-point names, no behaviour. The obssafe analyzer matches on
+// the import path and callee names only, so this is all the tests need.
+package obs
+
+// Observer is the handle obs.Get may or may not return.
+type Observer struct {
+	Metrics *Registry
+}
+
+// Registry hands out named counters.
+type Registry struct{}
+
+// Counter returns the counter registered under name.
+func (r *Registry) Counter(name string) *Counter { return &Counter{} }
+
+// Counter is a monotonically increasing metric.
+type Counter struct{}
+
+// Add increments the counter.
+func (c *Counter) Add(n int64) {}
+
+// Span is one traced region.
+type Span struct{}
+
+// End closes the span.
+func (s *Span) End() {}
+
+// Get returns the process observer, or nil when observation is off.
+func Get() *Observer { return nil }
+
+// Enabled reports whether observation is on. Always nil-safe.
+func Enabled() bool { return false }
+
+// Start opens a span. Always nil-safe.
+func Start(name string) *Span { return &Span{} }
+
+// Info logs one message. Always nil-safe.
+func Info(msg string) {}

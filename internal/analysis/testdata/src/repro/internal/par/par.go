@@ -1,0 +1,23 @@
+// Package par is a fixture stub of the real worker pool: the same
+// ForEach/ForEachHook shape (callback is the third argument, its first
+// parameter is the task index), executed serially. The parpool analyzer
+// matches on the import path and the callback position only.
+package par
+
+// TaskHook observes task completion.
+type TaskHook func(done int)
+
+// ForEach runs fn(i) for every i in [0, n).
+func ForEach(n, workers int, fn func(i int)) {
+	ForEachHook(n, workers, fn, nil)
+}
+
+// ForEachHook is ForEach with a completion hook.
+func ForEachHook(n, workers int, fn func(i int), hook TaskHook) {
+	for i := 0; i < n; i++ {
+		fn(i)
+		if hook != nil {
+			hook(i + 1)
+		}
+	}
+}

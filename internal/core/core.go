@@ -295,6 +295,8 @@ func (a *Analyzer) CheckMC(er *sg.Region, c cube.Cube) *Violation {
 // subset enumeration, shrinkMC's greedy dropping) consume only
 // nil-ness, so they skip the per-call CFR clone and the diagnostic
 // state lists of the full check.
+//
+//reprolint:hotpath
 func (a *Analyzer) checkMCFast(er *sg.Region, c cube.Cube, cfr sg.StateSet) bool {
 	for _, s := range er.States {
 		if !a.covers(c, s) {

@@ -223,8 +223,13 @@ func (a *Analyzer) ShareOptimize(rep *Report) (map[int]Functions, int, error) {
 		}
 		fns[res.Signal] = f
 	}
-	for sig, f := range fns {
-		fns[sig] = Functions{Set: f.Set.SCC(), Reset: f.Reset.SCC()}
+	// Canonicalize in signal order rather than map order: SCC itself is
+	// deterministic per cover, but walking the signals ascending keeps
+	// the whole assembly reproducible by construction.
+	for sig := 0; sig < n; sig++ {
+		if f, ok := fns[sig]; ok {
+			fns[sig] = Functions{Set: f.Set.SCC(), Reset: f.Reset.SCC()}
+		}
 	}
 	return fns, before - andCount(groups), nil
 }

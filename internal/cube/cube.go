@@ -105,7 +105,7 @@ func NewMinterm(values []bool) Cube {
 // variables not mentioned are don't cares.
 func FromLits(n int, lits map[int]Lit) Cube {
 	c := NewFull(n)
-	for i, l := range lits {
+	for i, l := range lits { //reprolint:ordered writes hit disjoint variable positions; the resulting cube is order-independent
 		c.Set(i, l)
 	}
 	return c

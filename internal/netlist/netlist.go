@@ -261,7 +261,7 @@ func (nl *Netlist) Stats() Stats {
 			}
 		}
 	}
-	for net := range inverted {
+	for net := range inverted { //reprolint:ordered order-independent counting of distinct inverted nets
 		sig := nl.Nets[net].Signal
 		if rs && sig >= 0 && latched[sig] {
 			continue
@@ -306,7 +306,7 @@ func Build(g *sg.Graph, fns map[int]SR, opts Options) (*Netlist, error) {
 		nl.SignalNet[sig] = nl.addNet(name, -1, sig)
 	}
 	sigs := make([]int, 0, len(fns))
-	for sig := range fns {
+	for sig := range fns { //reprolint:ordered keys are collected then sorted; gates are emitted in the sorted order below
 		if g.Input[sig] {
 			return nil, fmt.Errorf("netlist: signal %s is an input", g.Signals[sig])
 		}

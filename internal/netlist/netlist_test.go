@@ -290,3 +290,62 @@ func TestFig1ComplexityMatchesEquations(t *testing.T) {
 		t.Errorf("Rc = %s, want a' b d", reset.StringNamed(g.Signals))
 	}
 }
+
+func TestBuildDeterministicUnderMapInsertionOrder(t *testing.T) {
+	// Build consumes fns as a map; the emitted netlist must be
+	// byte-identical no matter the order entries were inserted in (and
+	// across repeated builds, which reshuffle Go's map iteration). The
+	// fork spec has two outputs with identical functions, so any
+	// order-dependence in gate emission or net numbering would show.
+	src := `
+.model fork
+.inputs a b
+.outputs y z
+.graph
+a+ y+ z+
+b+ y+ z+
+y+ a- b-
+z+ a- b-
+a- y- z-
+b- y- z-
+y- a+ b+
+z- a+ b+
+.marking { <y-,a+> <y-,b+> <z-,a+> <z-,b+> }
+.end
+`
+	g, err := stg.BuildSG(stg.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := fnsFromReport(t, g)
+	var sigs []int
+	for sig := range g.Signals {
+		if !g.Input[sig] {
+			sigs = append(sigs, sig)
+		}
+	}
+	for _, opts := range []netlist.Options{{}, {RS: true}} {
+		var want string
+		for round := 0; round < 6; round++ {
+			for rot := 0; rot < len(sigs); rot++ {
+				fns := make(map[int]netlist.SR, len(sigs))
+				for k := 0; k < len(sigs); k++ {
+					sig := sigs[(rot+k)%len(sigs)]
+					fns[sig] = base[sig]
+				}
+				nl, err := netlist.Build(g, fns, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := nl.String()
+				if want == "" {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Fatalf("netlist bytes differ under map insertion order (opts %+v):\n--- first\n%s\n--- now\n%s", opts, want, got)
+				}
+			}
+		}
+	}
+}

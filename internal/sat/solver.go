@@ -221,6 +221,8 @@ func (s *Solver) enqueue(l Lit, from *clause) bool {
 
 // propagate performs unit propagation; it returns a conflicting clause or
 // nil.
+//
+//reprolint:hotpath
 func (s *Solver) propagate() *clause {
 	for s.trailLo < len(s.trail) {
 		l := s.trail[s.trailLo]

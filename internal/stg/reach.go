@@ -239,6 +239,8 @@ func (n *STG) Enabled(m marking, t int) bool {
 // arena and the edge list. Nets with at most 64 places (all of Table 1)
 // take a register-resident single-word path. unsafe reports whether the
 // run aborted on a 1-safety violation (as opposed to the state limit).
+//
+//reprolint:hotpath
 func explore(n *STG, limit int) (tb *markTable, edges []sgEdge, unsafe bool, err error) {
 	fm := newFireMasks(n)
 	tb = newMarkTable(fm.words)
@@ -267,9 +269,9 @@ func explore(n *STG, limit int) (tb *markTable, edges []sgEdge, unsafe bool, err
 				next[0] = rem | fm.post[t]
 				to, added := tb.lookupOrAdd(next)
 				if added && to >= limit {
-					return tb, nil, false, fmt.Errorf("stg: state limit %d exceeded", limit)
+					return tb, nil, false, limitError(limit)
 				}
-				edges = append(edges, sgEdge{from: head, trans: t, to: to})
+				edges = append(edges, sgEdge{from: head, trans: t, to: to}) //reprolint:alloc the edge list is the result; amortized growth, not per-iteration garbage
 			}
 		}
 		return tb, edges, false, nil
@@ -288,12 +290,18 @@ func explore(n *STG, limit int) (tb *markTable, edges []sgEdge, unsafe bool, err
 			}
 			to, added := tb.lookupOrAdd(next)
 			if added && to >= limit {
-				return tb, nil, false, fmt.Errorf("stg: state limit %d exceeded", limit)
+				return tb, nil, false, limitError(limit)
 			}
-			edges = append(edges, sgEdge{from: head, trans: t, to: to})
+			edges = append(edges, sgEdge{from: head, trans: t, to: to}) //reprolint:alloc the edge list is the result; amortized growth, not per-iteration garbage
 		}
 	}
 	return tb, edges, false, nil
+}
+
+// limitError formats the state-limit abort off the exploration hot
+// path; it runs at most once per build.
+func limitError(limit int) error {
+	return fmt.Errorf("stg: state limit %d exceeded", limit)
 }
 
 // BuildSG explores the reachable markings of the net under interleaving

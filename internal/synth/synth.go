@@ -110,6 +110,18 @@ func indent(s string) string {
 	return "  " + strings.Join(lines, "\n  ") + "\n"
 }
 
+// now and since funnel the pipeline's wall-clock reads through one
+// audited point: phase durations land only in the Report timing fields,
+// never in the synthesized artifacts, so the reads cannot break the
+// byte-identical-output promise reprolint enforces on this package.
+func now() time.Time {
+	return time.Now() //reprolint:ordered phase timing lands only in Report duration fields, never in synthesized output
+}
+
+func since(t time.Time) time.Duration {
+	return time.Since(t) //reprolint:ordered phase timing lands only in Report duration fields, never in synthesized output
+}
+
 // FromSTGSource parses an STG in .g syntax and synthesizes it.
 func FromSTGSource(src string, opts Options) (*Report, error) {
 	net, err := stg.Parse(src)
@@ -144,8 +156,13 @@ func CoverNetlist(final *sg.Graph, mc *core.Report, opts Options) (*netlist.Netl
 			return nil, 0, err
 		}
 		saved = n
-		for sig, f := range shared {
-			fns[sig] = netlist.SR{Set: f.Set, Reset: f.Reset}
+		// Walk signals in index order rather than ranging over the map:
+		// the copy is order-independent today, but a deterministic walk
+		// keeps the loop safe against future side effects for free.
+		for sig := range final.Signals {
+			if f, ok := shared[sig]; ok {
+				fns[sig] = netlist.SR{Set: f.Set, Reset: f.Reset}
+			}
 		}
 	} else {
 		for sig := range final.Signals {
@@ -171,13 +188,13 @@ func FromGraph(g *sg.Graph, opts Options) (*Report, error) {
 	rep := &Report{Name: g.Name, Spec: g, Final: g}
 
 	asp := obs.Start("analyze", obs.A("spec", g.Name), obs.A("states", g.NumStates()))
-	t0 := time.Now()
+	t0 := now()
 	if err := g.CheckConsistency(); err != nil {
 		asp.End()
 		return rep, err
 	}
 	rep.Props = g.Check()
-	rep.AnalyzeTime = time.Since(t0)
+	rep.AnalyzeTime = since(t0)
 	asp.End()
 	obs.Info("analyze done", "spec", g.Name, "states", g.NumStates(), "dur", rep.AnalyzeTime)
 	if !rep.Props.OutputSemiModular {
@@ -185,12 +202,12 @@ func FromGraph(g *sg.Graph, opts Options) (*Report, error) {
 	}
 
 	rsp := obs.Start("repair", obs.A("spec", g.Name))
-	t1 := time.Now()
+	t1 := now()
 	if opts.Repair.Workers == 0 {
 		opts.Repair.Workers = opts.Parallel
 	}
 	fixed, err := encode.Repair(g, opts.Repair)
-	rep.RepairTime = time.Since(t1)
+	rep.RepairTime = since(t1)
 	if err != nil {
 		rsp.End()
 		return rep, err
@@ -209,9 +226,9 @@ func FromGraph(g *sg.Graph, opts Options) (*Report, error) {
 	}
 
 	ssp := obs.Start("synth", obs.A("spec", g.Name))
-	t2 := time.Now()
+	t2 := now()
 	nl, saved, err := CoverNetlist(rep.Final, rep.MC, opts)
-	rep.CoverTime = time.Since(t2)
+	rep.CoverTime = since(t2)
 	if err != nil {
 		ssp.End()
 		return rep, err
@@ -225,13 +242,13 @@ func FromGraph(g *sg.Graph, opts Options) (*Report, error) {
 
 	if !opts.SkipVerify {
 		vsp := obs.Start("verify", obs.A("spec", g.Name))
-		t3 := time.Now()
+		t3 := now()
 		limit := opts.VerifyLimit
 		if limit == 0 {
 			limit = verify.DefaultStateLimit
 		}
 		rep.Verify = verify.CheckLimit(nl, rep.Final, limit)
-		rep.VerifyTime = time.Since(t3)
+		rep.VerifyTime = since(t3)
 		vsp.SetAttr("composed_states", rep.Verify.States)
 		vsp.SetAttr("ok", rep.Verify.OK())
 		vsp.End()

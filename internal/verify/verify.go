@@ -324,11 +324,13 @@ func (e *engine) traceTo(id int) []string {
 }
 
 // CheckLimit is Check with an explicit composed-state bound.
+//
+//reprolint:hotpath
 func CheckLimit(nl *netlist.Netlist, spec *sg.Graph, limit int) *Result {
 	res := &Result{}
 	if obs.Enabled() {
 		sp := obs.Start("verify.explore", obs.A("spec", spec.Name))
-		defer func() {
+		defer func() { //reprolint:alloc once-per-run span close, taken only when observation is on
 			sp.SetAttr("composed_states", res.States)
 			sp.End()
 		}()
@@ -344,7 +346,7 @@ func CheckLimit(nl *netlist.Netlist, spec *sg.Graph, limit int) *Result {
 	}
 
 	ev := levelize(nl)
-	var rsGates []int
+	rsGates := make([]int, 0, len(nl.Gates))
 	for gi, g := range nl.Gates {
 		if g.Kind == netlist.RSLatch {
 			rsGates = append(rsGates, gi)
@@ -368,7 +370,13 @@ func CheckLimit(nl *netlist.Netlist, spec *sg.Graph, limit int) *Result {
 	excNext := make([]uint64, eng.gateWords)
 	curKey := make([]uint64, eng.keyWords)
 	keyBuf := make([]uint64, eng.keyWords)
-	var trans []transition
+	// At most every gate plus every input signal is enabled at once, so
+	// the transition scratch never regrows inside the loop.
+	trans := make([]transition, 0, len(nl.Gates)+spec.NumSignals())
+	// RS drive conflicts are recorded as (gate, state id) pairs and
+	// rendered after exploration: the witness strings allocate only when
+	// a violation actually exists, never on the clean hot path.
+	var rsPending []rsWitness
 
 	// Intern the initial state with its full excitation scan.
 	for gi := range nl.Gates {
@@ -443,9 +451,8 @@ func CheckLimit(nl *netlist.Netlist, spec *sg.Graph, limit int) *Result {
 					s = funcVal(nl, curVals, g.Pins[0], map[int]bool{})
 					r = funcVal(nl, curVals, g.Pins[1], map[int]bool{})
 				}
-				if s && r && len(res.RSConflict) < maxWitnesses {
-					res.RSConflict = append(res.RSConflict,
-						fmt.Sprintf("%s in state %s", g.Name, render(nl, curVals, specState)))
+				if s && r && len(rsPending) < maxWitnesses {
+					rsPending = append(rsPending, rsWitness{gate: gi, state: int32(head)}) //reprolint:alloc grows only when a drive conflict exists, capped at maxWitnesses
 				}
 			}
 		}
@@ -541,6 +548,7 @@ func CheckLimit(nl *netlist.Netlist, spec *sg.Graph, limit int) *Result {
 			if id, slot := eng.find(keyBuf); id < 0 {
 				if res.States >= limit {
 					res.Truncated = true
+					eng.flushRSConflicts(rsPending, res)
 					eng.publish(ev, res)
 					return res
 				}
@@ -551,8 +559,41 @@ func CheckLimit(nl *netlist.Netlist, spec *sg.Graph, limit int) *Result {
 			curVals[flipped] = !curVals[flipped] // restore the pre-move state
 		}
 	}
+	eng.flushRSConflicts(rsPending, res)
 	eng.publish(ev, res)
 	return res
+}
+
+// rsWitness is one pending RS drive conflict: the latch gate and the
+// interned composed state it was observed in. Witness strings are
+// formatted lazily from the arena after exploration finishes.
+type rsWitness struct {
+	gate  int
+	state int32
+}
+
+// stateVals unpacks an interned composed state into vals and returns
+// its specification state.
+func (e *engine) stateVals(id int, vals []bool) (specState int) {
+	rec := e.rec(id)
+	for i := range vals {
+		vals[i] = rec[i>>6]>>uint(i&63)&1 == 1
+	}
+	return int(rec[e.stateWords])
+}
+
+// flushRSConflicts renders the pending RS drive-conflict witnesses into
+// the result. It runs once per CheckLimit, off the exploration loop.
+func (e *engine) flushRSConflicts(pending []rsWitness, res *Result) {
+	if len(pending) == 0 {
+		return
+	}
+	vals := make([]bool, e.nl.NumNets())
+	for _, w := range pending {
+		specState := e.stateVals(int(w.state), vals)
+		res.RSConflict = append(res.RSConflict,
+			fmt.Sprintf("%s in state %s", e.nl.Gates[w.gate].Name, render(e.nl, vals, specState)))
+	}
 }
 
 // publish reports one verification run's tallies to the observability
