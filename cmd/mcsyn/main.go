@@ -15,6 +15,12 @@
 // Flags:
 //
 //	-rs         emit the standard RS-implementation (default: C-elements)
+//	-engine E   analysis engine: explicit (default), symbolic, or auto
+//	            (auto probes the state count and switches to symbolic
+//	            past a threshold). Symbolic synthesis produces netlists
+//	            byte-identical to explicit; on specs too large for the
+//	            explicit engine it degrades to an analysis-only report
+//	            (reachable states + existence-only MC check).
 //	-share      enable Section-VI generalized-MC gate sharing
 //	-baseline   use the correct-cover baseline instead of MC synthesis
 //	-dot        print the final state graph in Graphviz syntax
@@ -54,6 +60,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/bench"
 	"repro/internal/benchdata"
+	"repro/internal/engine"
 	"repro/internal/netlist"
 	"repro/internal/obs"
 	"repro/internal/stg"
@@ -193,6 +200,7 @@ func main() {
 	fanin := flag.Int("fanin", 0, "map to a library with this AND/OR fan-in bound (0 = none)")
 	inverters := flag.Bool("inverters", false, "map pin bubbles to explicit inverter cells")
 	verilog := flag.Bool("verilog", false, "print the implementation as structural Verilog")
+	engineName := flag.String("engine", "explicit", "analysis engine: explicit, symbolic, or auto (switches to symbolic past an estimated state count)")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	maxModels := flag.Int("maxmodels", 0, "max SAT models per conflict/strategy pair in repair (0 = default 128)")
 	repairWorkers := flag.Int("repair-workers", 0, "repair candidate-scoring pool size (0 = follow -parallel, 1 = sequential)")
@@ -250,22 +258,32 @@ func main() {
 		return
 	}
 
+	switch *engineName {
+	case "explicit", "symbolic", "auto":
+	default:
+		fatalf("unknown engine %q (want explicit, symbolic or auto)", *engineName)
+	}
+
 	opts := synth.Options{RS: *rs, Share: *share, Parallel: *parallel}
 	opts.Repair.MaxModels = *maxModels
 	opts.Repair.Workers = *repairWorkers
 
 	if *table1 {
 		failed := false
-		if ses.o != nil {
+		if ses.o != nil || *engineName == "auto" {
 			// Observed runs go spec by spec so spans and counter deltas
-			// attribute cleanly to one benchmark each.
+			// attribute cleanly to one benchmark each; auto runs do too,
+			// so the engine resolves per spec.
 			for _, e := range benchdata.Table1 {
 				finish := ses.begin()
-				rep, err := synth.FromSTG(e.STG(), opts)
+				o := opts
+				o.Engine = resolveEngine(*engineName, e.STG())
+				rep, err := synth.FromSTG(e.STG(), o)
 				finish(e.Name, func(r *obs.RunReport) { fillSynth(r, rep, err) })
 				failed = printTable1Result(benchdata.Table1Result{Entry: e, Report: rep, Err: err}, *quiet) || failed
 			}
 		} else {
+			opts.Engine = *engineName
 			for _, r := range benchdata.RunTable1(opts, *parallel) {
 				failed = printTable1Result(r, *quiet) || failed
 			}
@@ -331,7 +349,15 @@ func main() {
 		return
 	}
 
+	opts.Engine = resolveEngine(*engineName, net)
 	rep, err := synth.FromSTG(net, opts)
+	if err != nil && opts.Engine == "symbolic" && engine.IsStateLimit(err) {
+		// The spec is past the explicit engine's capacity. Synthesis
+		// needs the explicit graph, but the symbolic engine can still
+		// answer the analysis questions — report those instead of dying.
+		analysisOnly(net, finish, *quiet)
+		return
+	}
 	finish(net.Name, func(r *obs.RunReport) { fillSynth(r, rep, err) })
 	if err != nil {
 		fatalf("%v", err)
@@ -365,6 +391,54 @@ func main() {
 		}
 	}
 	if !rep.OK() {
+		exit(1)
+	}
+}
+
+// resolveEngine maps -engine=auto to a concrete engine for one spec: a
+// bounded probe exploration decides whether the state space is small
+// enough to stay explicit. Explicit and symbolic pass through.
+func resolveEngine(name string, net *stg.STG) string {
+	if name != "auto" {
+		return name
+	}
+	if n, exact := engine.EstimateStates(net, engine.DefaultAutoThreshold); exact && n <= uint64(engine.DefaultAutoThreshold) {
+		return "explicit"
+	}
+	return "symbolic"
+}
+
+// analysisOnly is the -engine=symbolic degradation path for specs the
+// explicit engine cannot explore: report the symbolic reachability
+// count and the existence-only MC verdict, then exit by their status.
+func analysisOnly(net *stg.STG, finish func(string, func(*obs.RunReport)), quiet bool) {
+	a, err := (&engine.Symbolic{}).Analyze(net)
+	if err != nil {
+		finish(net.Name, func(r *obs.RunReport) { r.Verdict = "error: " + err.Error() })
+		fatalf("symbolic analysis: %v", err)
+	}
+	ok := !a.Unsafe && len(a.MCUnresolved) == 0
+	verdict := fmt.Sprintf("analysis-only (symbolic): %d states", a.States)
+	switch {
+	case a.Unsafe:
+		verdict = "analysis-only (symbolic): net is not 1-safe"
+	case len(a.MCUnresolved) > 0:
+		verdict += fmt.Sprintf(", %d excitation regions without a monotonous cover", len(a.MCUnresolved))
+	default:
+		verdict += ", every excitation region has a monotonous cover"
+	}
+	finish(net.Name, func(r *obs.RunReport) {
+		r.Verdict = verdict
+		r.OK = ok
+	})
+	if !quiet {
+		fmt.Printf("%s: state space exceeds the explicit engine; symbolic analysis only\n", net.Name)
+		if len(a.MCUnresolved) > 0 {
+			fmt.Printf("  unresolved regions: %v\n", a.MCUnresolved)
+		}
+	}
+	fmt.Printf("%s: %s\n", net.Name, verdict)
+	if !ok {
 		exit(1)
 	}
 }

@@ -50,6 +50,12 @@ var deterministicPackages = map[string]bool{
 	"repro/internal/verify":  true,
 	"repro/internal/cube":    true,
 	"repro/internal/tech":    true,
+	// The symbolic core: node ids, variable orders and region
+	// decompositions must come out identical run over run, or the
+	// engine differential tests (and the byte-identical-netlist promise
+	// under Options.SymbolicMC) stop meaning anything.
+	"repro/internal/bdd":    true,
+	"repro/internal/engine": true,
 }
 
 // Suite returns the four analyzers with the package scope each one

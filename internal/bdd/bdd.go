@@ -6,15 +6,21 @@
 // and is cross-checked against the explicit token game in the tests.
 package bdd
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Manager owns the node table of one BDD universe with a fixed variable
 // order (variable 0 at the top).
 type Manager struct {
-	nvars  int
-	nodes  []node
-	unique map[node]int
-	cache  map[opKey]int
+	nvars      int
+	nodes      []node
+	unique     map[node]int
+	cache      map[opKey]int
+	cacheLimit int     // op-cache entry bound; the cache resets when full
+	shifts     [][]int // registered variable-substitution maps
+	stats      Stats
 }
 
 type node struct {
@@ -23,8 +29,8 @@ type node struct {
 }
 
 type opKey struct {
-	op   byte
-	a, b int
+	op      byte
+	a, b, c int
 }
 
 // Terminal node indices.
@@ -33,18 +39,81 @@ const (
 	True  = 1
 )
 
+// DefaultCacheLimit bounds the op cache of a fresh manager. Memoization
+// is the only purpose of the cache, so resetting it at the bound costs
+// recomputation but never correctness; without a bound a long fixpoint
+// (symbolic reachability of a 10^6-state net) grows the cache without
+// limit even while the live node count stays small.
+const DefaultCacheLimit = 1 << 20
+
 // New creates a manager over nvars variables.
 func New(nvars int) *Manager {
 	m := &Manager{
-		nvars:  nvars,
-		unique: make(map[node]int),
-		cache:  make(map[opKey]int),
+		nvars:      nvars,
+		unique:     make(map[node]int),
+		cache:      make(map[opKey]int),
+		cacheLimit: DefaultCacheLimit,
 	}
 	m.nodes = append(m.nodes,
 		node{v: nvars, lo: -1, hi: -1}, // False
 		node{v: nvars, lo: -1, hi: -1}, // True
 	)
 	return m
+}
+
+// SetCacheLimit bounds the op cache to n entries (n ≥ 1). When an
+// insertion would exceed the bound the whole cache is dropped and the
+// CacheResets counter increments.
+func (m *Manager) SetCacheLimit(n int) {
+	if n < 1 {
+		panic("bdd: cache limit must be ≥ 1")
+	}
+	m.cacheLimit = n
+}
+
+// Stats are the manager's lifetime operation counters.
+type Stats struct {
+	CacheHits   int64
+	CacheMisses int64
+	CacheResets int64 // op-cache drops forced by the cache limit
+	Collections int64 // Collect garbage collections
+	PeakNodes   int   // high-water node-table size across collections
+}
+
+// Stats returns a snapshot of the operation counters.
+func (m *Manager) Stats() Stats {
+	s := m.stats
+	if n := len(m.nodes); n > s.PeakNodes {
+		s.PeakNodes = n
+	}
+	return s
+}
+
+// CacheLen returns the current op-cache entry count (for the
+// bounded-cache regression tests).
+func (m *Manager) CacheLen() int { return len(m.cache) }
+
+// cacheGet looks an operation up, counting hits and misses.
+func (m *Manager) cacheGet(k opKey) (int, bool) {
+	r, ok := m.cache[k]
+	if ok {
+		m.stats.CacheHits++
+	} else {
+		m.stats.CacheMisses++
+	}
+	return r, ok
+}
+
+// cachePut memoizes an operation result, resetting the cache first when
+// it is full. It returns r so call sites can memoize and return in one
+// expression.
+func (m *Manager) cachePut(k opKey, r int) int {
+	if len(m.cache) >= m.cacheLimit {
+		m.cache = make(map[opKey]int, m.cacheLimit/4)
+		m.stats.CacheResets++
+	}
+	m.cache[k] = r
+	return r
 }
 
 // NumVars returns the variable count.
@@ -112,15 +181,13 @@ func (m *Manager) And(f, g int) int {
 		f, g = g, f
 	}
 	k := opKey{op: '&', a: f, b: g}
-	if r, ok := m.cache[k]; ok {
+	if r, ok := m.cacheGet(k); ok {
 		return r
 	}
 	v := m.topVar(f, g)
 	fl, fh := m.cofactors(f, v)
 	gl, gh := m.cofactors(g, v)
-	r := m.mk(v, m.And(fl, gl), m.And(fh, gh))
-	m.cache[k] = r
-	return r
+	return m.cachePut(k, m.mk(v, m.And(fl, gl), m.And(fh, gh)))
 }
 
 // Or returns f ∨ g.
@@ -139,15 +206,13 @@ func (m *Manager) Or(f, g int) int {
 		f, g = g, f
 	}
 	k := opKey{op: '|', a: f, b: g}
-	if r, ok := m.cache[k]; ok {
+	if r, ok := m.cacheGet(k); ok {
 		return r
 	}
 	v := m.topVar(f, g)
 	fl, fh := m.cofactors(f, v)
 	gl, gh := m.cofactors(g, v)
-	r := m.mk(v, m.Or(fl, gl), m.Or(fh, gh))
-	m.cache[k] = r
-	return r
+	return m.cachePut(k, m.mk(v, m.Or(fl, gl), m.Or(fh, gh)))
 }
 
 // Not returns ¬f.
@@ -159,13 +224,11 @@ func (m *Manager) Not(f int) int {
 		return False
 	}
 	k := opKey{op: '!', a: f}
-	if r, ok := m.cache[k]; ok {
+	if r, ok := m.cacheGet(k); ok {
 		return r
 	}
 	n := m.nodes[f]
-	r := m.mk(n.v, m.Not(n.lo), m.Not(n.hi))
-	m.cache[k] = r
-	return r
+	return m.cachePut(k, m.mk(n.v, m.Not(n.lo), m.Not(n.hi)))
 }
 
 // Diff returns f ∧ ¬g.
@@ -181,7 +244,7 @@ func (m *Manager) Restrict(f, v int, value bool) int {
 		op = 'R'
 	}
 	k := opKey{op: op, a: f, b: v}
-	if r, ok := m.cache[k]; ok {
+	if r, ok := m.cacheGet(k); ok {
 		return r
 	}
 	n := m.nodes[f]
@@ -195,8 +258,7 @@ func (m *Manager) Restrict(f, v int, value bool) int {
 	} else {
 		r = m.mk(n.v, m.Restrict(n.lo, v, value), m.Restrict(n.hi, v, value))
 	}
-	m.cache[k] = r
-	return r
+	return m.cachePut(k, r)
 }
 
 // Exists quantifies variable v out of f: f[v=0] ∨ f[v=1].
@@ -214,13 +276,43 @@ func (m *Manager) ExistsAll(f int, vars []int) int {
 
 // Cube returns the conjunction of the given literals (variable, value).
 func (m *Manager) Cube(lits map[int]bool) int {
+	vars := make([]int, 0, len(lits))
+	for v := range lits { //reprolint:ordered keys are collected then sorted before use
+		vars = append(vars, v)
+	}
+	sort.Ints(vars)
+	// Build bottom-up so each literal adds exactly one node and the node
+	// table grows identically on every run.
 	f := True
-	for v, val := range lits {
-		if val {
-			f = m.And(f, m.Var(v))
-		} else {
-			f = m.And(f, m.NVar(v))
+	for i := len(vars) - 1; i >= 0; i-- {
+		v := vars[i]
+		if v < 0 || v >= m.nvars {
+			panic(fmt.Sprintf("bdd: variable %d out of range", v))
 		}
+		if lits[v] {
+			f = m.mk(v, False, f)
+		} else {
+			f = m.mk(v, f, False)
+		}
+	}
+	return f
+}
+
+// CubeVars returns the conjunction of the given variables as positive
+// literals — the quantification-cube form AndExists expects.
+func (m *Manager) CubeVars(vars []int) int {
+	vs := append([]int(nil), vars...)
+	sort.Ints(vs)
+	f := True
+	for i := len(vs) - 1; i >= 0; i-- {
+		v := vs[i]
+		if v < 0 || v >= m.nvars {
+			panic(fmt.Sprintf("bdd: variable %d out of range", v))
+		}
+		if i+1 < len(vs) && vs[i+1] == v {
+			continue
+		}
+		f = m.mk(v, False, f)
 	}
 	return f
 }

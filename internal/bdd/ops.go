@@ -1,0 +1,276 @@
+package bdd
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file holds the operators symbolic model checking needs beyond the
+// basic boolean connectives: if-then-else, the AndExists relational
+// product (image computation in one pass), variable substitution between
+// current- and next-state variables, support-restricted counting and
+// enumeration, and a mark-sweep garbage collection of the node table.
+
+// ITE returns if f then g else h.
+func (m *Manager) ITE(f, g, h int) int {
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	case g == False && h == True:
+		return m.Not(f)
+	}
+	k := opKey{op: '?', a: f, b: g, c: h}
+	if r, ok := m.cacheGet(k); ok {
+		return r
+	}
+	v := m.nodes[f].v
+	if w := m.nodes[g].v; w < v {
+		v = w
+	}
+	if w := m.nodes[h].v; w < v {
+		v = w
+	}
+	fl, fh := m.cofactors(f, v)
+	gl, gh := m.cofactors(g, v)
+	hl, hh := m.cofactors(h, v)
+	return m.cachePut(k, m.mk(v, m.ITE(fl, gl, hl), m.ITE(fh, gh, hh)))
+}
+
+// AndExists returns ∃cube. (f ∧ g) without materializing f ∧ g — the
+// relational product at the heart of image computation. cube must be a
+// conjunction of positive literals (as built by CubeVars) naming the
+// variables to quantify.
+func (m *Manager) AndExists(f, g, cube int) int {
+	if f == False || g == False {
+		return False
+	}
+	if f == True && g == True {
+		return True
+	}
+	v := m.topVar(f, g)
+	// Quantified variables above the top of f∧g do not constrain it;
+	// skip them so the cache key is canonical.
+	for cube != True && m.nodes[cube].v < v {
+		cube = m.nodes[cube].hi
+	}
+	if cube == True {
+		return m.And(f, g)
+	}
+	if f > g {
+		f, g = g, f
+	}
+	k := opKey{op: 'E', a: f, b: g, c: cube}
+	if r, ok := m.cacheGet(k); ok {
+		return r
+	}
+	fl, fh := m.cofactors(f, v)
+	gl, gh := m.cofactors(g, v)
+	var r int
+	if m.nodes[cube].v == v {
+		rest := m.nodes[cube].hi
+		r = m.AndExists(fl, gl, rest)
+		if r != True {
+			r = m.Or(r, m.AndExists(fh, gh, rest))
+		}
+	} else {
+		r = m.mk(v, m.AndExists(fl, gl, cube), m.AndExists(fh, gh, cube))
+	}
+	return m.cachePut(k, r)
+}
+
+// Shift identifies a variable-substitution map registered with NewShift.
+type Shift int
+
+// NewShift registers the substitution map perm (perm[v] is the variable
+// replacing v) and returns its handle. Replace requires that perm be
+// order-preserving on the support of each function it is applied to;
+// this is checked at Replace time, not here, so a single registered map
+// can serve both directions of a current/next-state pairing.
+func (m *Manager) NewShift(perm []int) Shift {
+	if len(perm) != m.nvars {
+		panic(fmt.Sprintf("bdd: shift map has %d entries for %d variables", len(perm), m.nvars))
+	}
+	for v, w := range perm {
+		if w < 0 || w >= m.nvars {
+			panic(fmt.Sprintf("bdd: shift maps variable %d to out-of-range %d", v, w))
+		}
+	}
+	m.shifts = append(m.shifts, append([]int(nil), perm...))
+	return Shift(len(m.shifts) - 1)
+}
+
+// Replace substitutes variables in f according to the registered shift:
+// every variable v in f's support becomes shift's perm[v]. It panics if
+// the substitution would reorder variables along any path — the
+// interleaved current/next orderings this package is used with never do.
+func (m *Manager) Replace(f int, s Shift) int {
+	perm := m.shifts[s]
+	var rec func(f int) int
+	rec = func(f int) int {
+		if f == False || f == True {
+			return f
+		}
+		k := opKey{op: 'S', a: f, b: int(s)}
+		if r, ok := m.cacheGet(k); ok {
+			return r
+		}
+		n := m.nodes[f]
+		lo, hi := rec(n.lo), rec(n.hi)
+		nv := perm[n.v]
+		if m.nodes[lo].v <= nv || m.nodes[hi].v <= nv {
+			panic(fmt.Sprintf("bdd: shift does not preserve variable order at %d→%d", n.v, nv))
+		}
+		return m.cachePut(k, m.mk(nv, lo, hi))
+	}
+	return rec(f)
+}
+
+// SatCountVars counts the satisfying assignments of f over exactly the
+// given variables, which must cover f's support (it panics otherwise).
+// Unlike SatCount it does not weight variables outside the list, so a
+// current-state set in an interleaved current/next universe counts
+// correctly. Counts are uint64 and may wrap for > 2^64 assignments.
+func (m *Manager) SatCountVars(f int, vars []int) uint64 {
+	vs := append([]int(nil), vars...)
+	sort.Ints(vs)
+	level := make(map[int]int, len(vs)) // variable → position in vs
+	for i, v := range vs {
+		level[v] = i
+	}
+	lvl := func(n int) int {
+		nd := m.nodes[n]
+		if nd.v >= m.nvars {
+			return len(vs)
+		}
+		l, ok := level[nd.v]
+		if !ok {
+			panic(fmt.Sprintf("bdd: SatCountVars support variable %d not listed", nd.v))
+		}
+		return l
+	}
+	memo := map[int]uint64{}
+	var rec func(n int) uint64 // assignments over listed vars ≥ lvl(n)
+	rec = func(n int) uint64 {
+		switch n {
+		case False:
+			return 0
+		case True:
+			return 1
+		}
+		if c, ok := memo[n]; ok {
+			return c
+		}
+		l := lvl(n)
+		nd := m.nodes[n]
+		c := rec(nd.lo)<<uint(lvl(nd.lo)-l-1) + rec(nd.hi)<<uint(lvl(nd.hi)-l-1)
+		memo[n] = c
+		return c
+	}
+	return rec(f) << uint(lvl(f))
+}
+
+// ForEachSat enumerates the satisfying assignments of f over the given
+// variables (which must cover f's support) in lexicographic order of the
+// BDD variable order, false before true. fn receives the assignment
+// indexed by position in vars — valid only for the duration of the call —
+// and returns false to stop. The indexing follows the caller's vars
+// slice even when it is not sorted, so callers can keep entity-indexed
+// variable maps while the manager permutes the underlying order.
+// ForEachSat reports whether the enumeration ran to completion.
+func (m *Manager) ForEachSat(f int, vars []int, fn func(assign []bool) bool) bool {
+	vs := append([]int(nil), vars...)
+	sort.Ints(vs)
+	pos := make(map[int]int, len(vars)) // variable → caller position
+	for i, v := range vars {
+		pos[v] = i
+	}
+	assign := make([]bool, len(vs))
+	var rec func(i, n int) bool
+	rec = func(i, n int) bool {
+		if n == False {
+			return true
+		}
+		if i == len(vs) {
+			if m.nodes[n].v < m.nvars {
+				panic(fmt.Sprintf("bdd: ForEachSat support variable %d not listed", m.nodes[n].v))
+			}
+			return fn(assign)
+		}
+		lo, hi := m.cofactors(n, vs[i])
+		p := pos[vs[i]]
+		assign[p] = false
+		if !rec(i+1, lo) {
+			return false
+		}
+		assign[p] = true
+		return rec(i+1, hi)
+	}
+	return rec(0, f)
+}
+
+// Support returns the sorted variables f depends on.
+func (m *Manager) Support(f int) []int {
+	seen := map[int]bool{}
+	vars := map[int]bool{}
+	var rec func(n int)
+	rec = func(n int) {
+		if n == False || n == True || seen[n] {
+			return
+		}
+		seen[n] = true
+		nd := m.nodes[n]
+		vars[nd.v] = true
+		rec(nd.lo)
+		rec(nd.hi)
+	}
+	rec(f)
+	out := make([]int, 0, len(vars))
+	for v := range vars { //reprolint:ordered keys are collected then sorted before use
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Collect garbage-collects the node table, keeping only nodes reachable
+// from roots, and returns the roots' new ids (aligned with the input).
+// Every other node id and every cached op result is invalidated; callers
+// must re-root all BDDs they hold. Registered shifts survive.
+func (m *Manager) Collect(roots []int) []int {
+	if n := len(m.nodes); n > m.stats.PeakNodes {
+		m.stats.PeakNodes = n
+	}
+	old := m.nodes
+	m.nodes = make([]node, 2, len(old)/2+2)
+	m.nodes[False] = old[False]
+	m.nodes[True] = old[True]
+	m.unique = make(map[node]int, len(old)/2)
+	m.cache = make(map[opKey]int)
+	remap := make([]int, len(old))
+	for i := range remap {
+		remap[i] = -1
+	}
+	remap[False], remap[True] = False, True
+	var rec func(id int) int
+	rec = func(id int) int {
+		if r := remap[id]; r >= 0 {
+			return r
+		}
+		n := old[id]
+		r := m.mk(n.v, rec(n.lo), rec(n.hi))
+		remap[id] = r
+		return r
+	}
+	out := make([]int, len(roots))
+	for i, r := range roots {
+		out[i] = rec(r)
+	}
+	m.stats.Collections++
+	return out
+}

@@ -1,0 +1,280 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randFunc builds a random function over nvars variables as both a BDD
+// and a truth table, for brute-force cross-checks.
+func randFunc(m *Manager, rr *rand.Rand, nvars int) int {
+	f := False
+	if rr.Intn(2) == 0 {
+		f = True
+	}
+	for i := 0; i < 1+rr.Intn(6); i++ {
+		lits := map[int]bool{}
+		for v := 0; v < nvars; v++ {
+			if rr.Intn(2) == 0 {
+				lits[v] = rr.Intn(2) == 0
+			}
+		}
+		if rr.Intn(2) == 0 {
+			f = m.Or(f, m.Cube(lits))
+		} else {
+			f = m.Diff(f, m.Cube(lits))
+		}
+	}
+	return f
+}
+
+func forAllAssigns(nvars int, fn func(a []bool)) {
+	a := make([]bool, nvars)
+	for v := 0; v < 1<<uint(nvars); v++ {
+		for i := range a {
+			a[i] = v>>uint(i)&1 == 1
+		}
+		fn(a)
+	}
+}
+
+func TestITEAgainstBruteForce(t *testing.T) {
+	rr := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		nvars := 2 + rr.Intn(5)
+		m := New(nvars)
+		f, g, h := randFunc(m, rr, nvars), randFunc(m, rr, nvars), randFunc(m, rr, nvars)
+		r := m.ITE(f, g, h)
+		forAllAssigns(nvars, func(a []bool) {
+			want := m.Eval(g, a)
+			if !m.Eval(f, a) {
+				want = m.Eval(h, a)
+			}
+			if m.Eval(r, a) != want {
+				t.Fatalf("trial %d: ITE wrong at %v", trial, a)
+			}
+		})
+	}
+}
+
+func TestAndExistsAgainstBruteForce(t *testing.T) {
+	rr := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		nvars := 2 + rr.Intn(5)
+		m := New(nvars)
+		f, g := randFunc(m, rr, nvars), randFunc(m, rr, nvars)
+		var qvars []int
+		for v := 0; v < nvars; v++ {
+			if rr.Intn(2) == 0 {
+				qvars = append(qvars, v)
+			}
+		}
+		got := m.AndExists(f, g, m.CubeVars(qvars))
+		want := m.ExistsAll(m.And(f, g), qvars)
+		if got != want {
+			t.Fatalf("trial %d: AndExists ≠ ∃(f∧g) over %v", trial, qvars)
+		}
+	}
+}
+
+func TestReplaceInterleaved(t *testing.T) {
+	// Interleaved current/next universe over 3 signal pairs: cur_i = 2i,
+	// next_i = 2i+1. One swap map serves both directions because each
+	// function's support stays on one side.
+	const pairs = 3
+	m := New(2 * pairs)
+	perm := make([]int, 2*pairs)
+	for i := 0; i < pairs; i++ {
+		perm[2*i] = 2*i + 1
+		perm[2*i+1] = 2 * i
+	}
+	s := m.NewShift(perm)
+	rr := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		// A function over current vars only.
+		f := False
+		for i := 0; i < 3; i++ {
+			lits := map[int]bool{}
+			for p := 0; p < pairs; p++ {
+				if rr.Intn(2) == 0 {
+					lits[2*p] = rr.Intn(2) == 0
+				}
+			}
+			f = m.Or(f, m.Cube(lits))
+		}
+		g := m.Replace(f, s)
+		forAllAssigns(2*pairs, func(a []bool) {
+			swapped := make([]bool, len(a))
+			for p := 0; p < pairs; p++ {
+				swapped[2*p], swapped[2*p+1] = a[2*p+1], a[2*p]
+			}
+			if m.Eval(g, a) != m.Eval(f, swapped) {
+				t.Fatalf("trial %d: Replace wrong at %v", trial, a)
+			}
+		})
+		if m.Replace(g, s) != f {
+			t.Fatalf("trial %d: Replace is not an involution", trial)
+		}
+	}
+}
+
+func TestReplaceRejectsReordering(t *testing.T) {
+	m := New(3)
+	s := m.NewShift([]int{2, 1, 0}) // reverses order on 2-var supports
+	f := m.And(m.Var(0), m.Not(m.Var(2)))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("order-breaking shift must panic")
+		}
+	}()
+	m.Replace(f, s)
+}
+
+func TestSatCountVars(t *testing.T) {
+	m := New(6)
+	// x0 ∧ ¬x2 over current vars {0,2,4}: one free var → 2 assignments.
+	f := m.And(m.Var(0), m.Not(m.Var(2)))
+	if got := m.SatCountVars(f, []int{0, 2, 4}); got != 2 {
+		t.Fatalf("SatCountVars = %d, want 2", got)
+	}
+	if got := m.SatCountVars(True, []int{1, 3, 5}); got != 8 {
+		t.Fatalf("SatCountVars(⊤) = %d, want 8", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("uncovered support must panic")
+		}
+	}()
+	m.SatCountVars(f, []int{0, 4})
+}
+
+func TestForEachSatOrderAndCompleteness(t *testing.T) {
+	m := New(4)
+	f := m.Or(m.Cube(map[int]bool{0: true, 1: false}), m.Cube(map[int]bool{2: true}))
+	vars := []int{0, 1, 2, 3}
+	var got [][]bool
+	m.ForEachSat(f, vars, func(a []bool) bool {
+		got = append(got, append([]bool(nil), a...))
+		return true
+	})
+	var want [][]bool
+	a := make([]bool, 4)
+	var gen func(i int)
+	gen = func(i int) {
+		if i == 4 {
+			if m.Eval(f, a) {
+				want = append(want, append([]bool(nil), a...))
+			}
+			return
+		}
+		a[i] = false
+		gen(i + 1)
+		a[i] = true
+		gen(i + 1)
+	}
+	gen(0)
+	if len(got) != len(want) {
+		t.Fatalf("enumerated %d assignments, want %d", len(got), len(want))
+	}
+	for i := range got {
+		for j := range got[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("assignment %d differs: %v vs %v", i, got[i], want[i])
+			}
+		}
+	}
+	// Early stop.
+	n := 0
+	if m.ForEachSat(f, vars, func([]bool) bool { n++; return n < 2 }) {
+		t.Fatal("early-stopped enumeration must report false")
+	}
+	if n != 2 {
+		t.Fatalf("stopped after %d calls, want 2", n)
+	}
+}
+
+func TestSupport(t *testing.T) {
+	m := New(5)
+	f := m.Or(m.And(m.Var(1), m.Var(4)), m.Not(m.Var(3)))
+	got := m.Support(f)
+	want := []int{1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("support %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("support %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCacheLimitBoundsCache(t *testing.T) {
+	m := New(24)
+	m.SetCacheLimit(256)
+	rr := rand.New(rand.NewSource(4))
+	f := False
+	for i := 0; i < 400; i++ {
+		f = m.Or(f, randFunc(m, rr, 24))
+		if m.CacheLen() > 256 {
+			t.Fatalf("op cache grew to %d entries past the 256 limit", m.CacheLen())
+		}
+	}
+	if m.Stats().CacheResets == 0 {
+		t.Fatal("expected at least one cache reset under a tight limit")
+	}
+}
+
+func TestCollectPreservesFunctions(t *testing.T) {
+	m := New(8)
+	rr := rand.New(rand.NewSource(5))
+	var roots []int
+	for i := 0; i < 4; i++ {
+		roots = append(roots, randFunc(m, rr, 8))
+	}
+	// Create garbage: functions we will not keep.
+	for i := 0; i < 50; i++ {
+		randFunc(m, rr, 8)
+	}
+	before := m.NumNodes()
+	tables := make([][]bool, len(roots))
+	for i, r := range roots {
+		forAllAssigns(8, func(a []bool) {
+			tables[i] = append(tables[i], m.Eval(r, a))
+		})
+	}
+	newRoots := m.Collect(roots)
+	if m.NumNodes() >= before {
+		t.Fatalf("Collect did not shrink the table: %d → %d", before, m.NumNodes())
+	}
+	for i, r := range newRoots {
+		j := 0
+		forAllAssigns(8, func(a []bool) {
+			if m.Eval(r, a) != tables[i][j] {
+				t.Fatalf("root %d changed semantics after Collect", i)
+			}
+			j++
+		})
+	}
+	if m.Stats().Collections != 1 {
+		t.Fatalf("Collections = %d, want 1", m.Stats().Collections)
+	}
+	// The manager must remain fully usable after a collection.
+	if m.And(newRoots[0], m.Not(newRoots[0])) != False {
+		t.Fatal("manager broken after Collect")
+	}
+}
+
+func TestCubeDeterministic(t *testing.T) {
+	// Two managers fed the same literal map must intern identical node
+	// ids, regardless of map iteration order.
+	build := func() (int, int) {
+		m := New(12)
+		lits := map[int]bool{0: true, 3: false, 5: true, 7: false, 9: true, 11: false}
+		return m.Cube(lits), m.NumNodes()
+	}
+	f1, n1 := build()
+	f2, n2 := build()
+	if f1 != f2 || n1 != n2 {
+		t.Fatalf("Cube nondeterministic: ids %d/%d, tables %d/%d", f1, f2, n1, n2)
+	}
+}

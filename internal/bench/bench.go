@@ -24,6 +24,7 @@ import (
 	"repro/internal/benchdata"
 	"repro/internal/core"
 	"repro/internal/encode"
+	"repro/internal/engine"
 	"repro/internal/stg"
 	"repro/internal/synth"
 	"repro/internal/verify"
@@ -35,7 +36,12 @@ import (
 // to be tracked as a single "synth" stage; repair dominates it by
 // orders of magnitude, so it is tracked apart to keep its perf
 // trajectory visible.
-var StageOrder = []string{"parse", "reach", "analyze", "repair", "cover", "verify"}
+// The two trailing *_symbolic stages are the symbolic engine's
+// counterparts of "reach" and "analyze": BDD fixpoint reachability, and
+// the full engine-level analysis (regions + existence-only MC). They
+// track the explicit/symbolic crossover on specs both engines can
+// finish.
+var StageOrder = []string{"parse", "reach", "analyze", "repair", "cover", "verify", "reach_symbolic", "mc_symbolic"}
 
 // Stage is the measured cost of one pipeline stage.
 type Stage struct {
@@ -199,6 +205,23 @@ func RunTable1(benchtime time.Duration) (*Report, error) {
 			for i := 0; i < b.N; i++ {
 				if r := verify.Check(srep.Netlist, srep.Final); !r.OK() {
 					b.Fatalf("verification failed: %s", r)
+				}
+			}
+		})
+		ent.Stages["reach_symbolic"] = measure(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := stg.SymbolicReachability(net); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		ent.Stages["mc_symbolic"] = measure(func(b *testing.B) {
+			b.ReportAllocs()
+			sym := &engine.Symbolic{}
+			for i := 0; i < b.N; i++ {
+				if _, err := sym.Analyze(net); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

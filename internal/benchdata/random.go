@@ -96,3 +96,63 @@ func GenRandomSpec(seed int64, size int) RandomSpec {
 	b.MarkBetween(p.fallTail, "req+")
 	return RandomSpec{Net: b.Build(), Outputs: outputs, Seed: seed}
 }
+
+// GenWideFork builds a wide-fork/pipeline specification: one request
+// signal forks through a split output into `width` parallel pipelines of
+// `depth` sequenced handshakes each, rejoined by a join output. The
+// explicit state count is dominated by the rising- and falling-phase
+// interleavings of the branches, (depth+1)^width per phase — a handful
+// of signals (width·depth outputs plus three) whose marking space grows
+// exponentially in width. This is the workload that separates the
+// analysis engines: width 10 × depth 3 passes 10^6 explicit states while
+// every marking-set BDD stays tiny.
+//
+// The seed permutes the order branches are wired in, which varies place
+// numbering (and so BDD variable order) without changing the behaviour.
+func GenWideFork(seed int64, width, depth int) RandomSpec {
+	if width < 1 {
+		width = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	rr := rand.New(rand.NewSource(seed))
+	b := stg.NewBuilder(fmt.Sprintf("widefork%d_w%d_d%d", seed, width, depth))
+	b.Signal("req", stg.Input)
+	b.Signal("spl", stg.Output)
+	b.Signal("join", stg.Output)
+
+	outputs := 2
+	order := rr.Perm(width)
+	branches := make([][]string, width)
+	for _, w := range order {
+		names := make([]string, depth)
+		for d := range names {
+			outputs++
+			names[d] = fmt.Sprintf("o%d_%d", w+1, d+1)
+			b.Signal(names[d], stg.Output)
+		}
+		branches[w] = names
+	}
+	for _, names := range branches {
+		// Rising phase: spl+ → o1+ → … → oD+ → join+; falling mirrors.
+		prev := "spl+"
+		for _, o := range names {
+			b.Arc(prev, o+"+")
+			prev = o + "+"
+		}
+		b.Arc(prev, "join+")
+		prev = "spl-"
+		for _, o := range names {
+			b.Arc(prev, o+"-")
+			prev = o + "-"
+		}
+		b.Arc(prev, "join-")
+	}
+	b.Arc("req+", "spl+")
+	b.Arc("join+", "req-")
+	b.Arc("req-", "spl-")
+	b.Arc("join-", "req+")
+	b.MarkBetween("join-", "req+")
+	return RandomSpec{Net: b.Build(), Outputs: outputs, Seed: seed}
+}

@@ -43,3 +43,58 @@ func TestRandomSpecDeterministic(t *testing.T) {
 		t.Log("seeds 7 and 8 coincide (allowed but unexpected)")
 	}
 }
+
+func TestWideForkWellFormedAndDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		spec := benchdata.GenWideFork(seed, 4, 2)
+		g, err := stg.BuildSG(spec.Net)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, spec.Net.Format())
+		}
+		if !g.OutputSemiModular() {
+			t.Fatalf("seed %d: not output semi-modular", seed)
+		}
+		if err := g.CheckConsistency(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if spec.Net.Classify() != stg.MarkedGraph {
+			t.Fatalf("seed %d: wide forks are marked graphs", seed)
+		}
+		if err := spec.Net.CheckMarkedGraphLive(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	a := benchdata.GenWideFork(3, 4, 2)
+	b := benchdata.GenWideFork(3, 4, 2)
+	if a.Net.Format() != b.Net.Format() {
+		t.Fatal("generator must be deterministic per seed")
+	}
+}
+
+// TestWideForkStateGrowth pins the generator's reason to exist: the
+// explicit state count grows as (depth+1)^width per handshake phase, so
+// moderate widths cross the 10^6-state line while the signal count
+// stays linear. The count is verified symbolically — enumerating it is
+// exactly what the generator is built to defeat.
+func TestWideForkStateGrowth(t *testing.T) {
+	small := benchdata.GenWideFork(1, 4, 1)
+	g, err := stg.BuildSG(small.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phases interleave 4 independent rise/fall chains: 2^4 markings per
+	// phase plus the handshake boundary states.
+	if got := g.NumStates(); got < 2*16 {
+		t.Fatalf("width-4 fork has only %d states", got)
+	}
+	rep, err := stg.SymbolicReachability(benchdata.GenWideFork(1, 10, 3).Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.States <= 1<<20 {
+		t.Fatalf("width-10 depth-3 fork must exceed the explicit limit, got %d states", rep.States)
+	}
+	if n := len(benchdata.GenWideFork(1, 10, 3).Net.Signals); n > 64 {
+		t.Fatalf("signal budget exceeded: %d", n)
+	}
+}

@@ -39,6 +39,18 @@ type Analyzer struct {
 
 	minterms [][]bool // per-state value vectors, precomputed
 	workers  int      // worker-pool bound for per-signal fan-out
+
+	gspace *GraphSpace // lazy index-bit symbolic view of G, see graphSpace
+}
+
+// graphSpace returns (building on first use) the symbolic index-bit view
+// of the analyzer's graph that the *Symbolic checks run over. Lazily
+// built because only symbolic-engine paths pay for it.
+func (a *Analyzer) graphSpace() *GraphSpace {
+	if a.gspace == nil {
+		a.gspace = NewGraphSpace(a.G, a.Idx)
+	}
+	return a.gspace
 }
 
 // NewAnalyzer computes the dense index and the region decomposition of

@@ -257,6 +257,11 @@ type Options struct {
 	// Workers bounds the worker pool of the per-signal MC analyses run
 	// inside the repair loop (0 = GOMAXPROCS, 1 = sequential).
 	Workers int
+	// SymbolicMC scores candidates with the symbolic existence-only MC
+	// check (BDD set operations over the candidate graph) instead of the
+	// explicit per-state scans. The two scorers return identical counts,
+	// so the repair trajectory — and the final netlist — is unchanged.
+	SymbolicMC bool
 	// Trace receives progress lines when non-nil.
 	Trace func(string)
 }
@@ -669,7 +674,12 @@ func (rs *roundSearch) score(labels []Label, budget int) scored {
 	if rs.opts.Target == TargetCSC {
 		return scored{g: g2, count: len(g2.CSCViolations())}
 	}
-	n := core.NewAnalyzerLazy(g2).CountViolationsBudget(budget, rs.hot...)
+	var n int
+	if rs.opts.SymbolicMC {
+		n = core.NewAnalyzerLazy(g2).CountViolationsBudgetSymbolic(budget, rs.hot...)
+	} else {
+		n = core.NewAnalyzerLazy(g2).CountViolationsBudget(budget, rs.hot...)
+	}
 	return scored{g: g2, count: n, pruned: n >= budget}
 }
 

@@ -1,0 +1,159 @@
+package engine_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/benchdata"
+	"repro/internal/engine"
+	"repro/internal/stg"
+)
+
+// The explicit engine is the pinned reference: on every spec both
+// engines can finish, their analyses must be deeply equal — state
+// counts, 1-safety verdicts, region decompositions (as marking sets)
+// and the existence-only MC summary.
+
+// agree runs both engines with fingerprinting and fails the test on any
+// divergence.
+func agree(t *testing.T, n *stg.STG) {
+	t.Helper()
+	opts := engine.Options{Fingerprint: true}
+	exp, err := (&engine.Explicit{Opts: opts}).Analyze(n)
+	if err != nil {
+		t.Fatalf("%s: explicit: %v", n.Name, err)
+	}
+	sym, err := (&engine.Symbolic{Opts: opts}).Analyze(n)
+	if err != nil {
+		t.Fatalf("%s: symbolic: %v", n.Name, err)
+	}
+	exp.Engine, sym.Engine = "", ""
+	if !reflect.DeepEqual(exp, sym) {
+		t.Errorf("%s: analyses diverge\nexplicit: %+v\nsymbolic: %+v", n.Name, exp, sym)
+	}
+}
+
+// TestEnginesAgreeTable1 pins engine agreement on the paper's nine
+// benchmarks plus a sweep of random series-parallel and wide-fork
+// specifications small enough for the explicit engine.
+func TestEnginesAgreeTable1(t *testing.T) {
+	for _, e := range benchdata.Table1 {
+		net, err := stg.Parse(e.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agree(t, net)
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		agree(t, benchdata.GenRandomSpec(seed, 4).Net)
+	}
+	agree(t, benchdata.GenWideFork(7, 3, 2).Net)
+	agree(t, benchdata.GenWideFork(3, 4, 1).Net)
+}
+
+// TestEnginesAgreeUnsafe checks both engines return the same 1-safety
+// verdict (as a verdict, not an error) on a net where two concurrent
+// branches feed one shared place.
+func TestEnginesAgreeUnsafe(t *testing.T) {
+	src := `
+.model unsafe
+.inputs a
+.outputs b c
+.graph
+p0 a+
+a+ b+
+a+ c+
+b+ p
+c+ p
+p a-
+a- b-
+b- c-
+c- p0
+.marking {p0}
+.end
+`
+	net, err := stg.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range []engine.Engine{&engine.Explicit{}, &engine.Symbolic{}} {
+		a, err := eng.Analyze(net)
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if !a.Unsafe {
+			t.Errorf("%s: unsafe net not flagged", eng.Name())
+		}
+	}
+}
+
+// TestAutoSelectsEngine checks the probe-driven switch: a Table-1 spec
+// stays explicit, a spec whose probe overflows goes symbolic.
+func TestAutoSelectsEngine(t *testing.T) {
+	net, err := stg.Parse(benchdata.Table1[0].Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := (&engine.Auto{}).Analyze(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Engine != "explicit" {
+		t.Errorf("small spec routed to %s", a.Engine)
+	}
+	big := benchdata.GenWideFork(5, 6, 2).Net
+	a, err = (&engine.Auto{Opts: engine.Options{AutoThreshold: 64}}).Analyze(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Engine != "symbolic" {
+		t.Errorf("over-threshold spec routed to %s", a.Engine)
+	}
+}
+
+// TestEstimateStates pins the probe contract: exact counts below the
+// bound, (probe, false) above it.
+func TestEstimateStates(t *testing.T) {
+	net, err := stg.Parse(benchdata.Table1[0].Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, exact := engine.EstimateStates(net, 1<<16)
+	if !exact || n == 0 {
+		t.Errorf("got (%d, %v) for a small spec", n, exact)
+	}
+	big := benchdata.GenWideFork(1, 8, 1).Net // 2^8 interleavings per phase
+	n, exact = engine.EstimateStates(big, 16)
+	if exact || n != 16 {
+		t.Errorf("got (%d, %v) for an over-probe spec", n, exact)
+	}
+}
+
+// TestSymbolicCompletesBeyondExplicitLimit is the capacity acceptance
+// test of the engine abstraction: on a generated wide-fork spec with
+// more than 10^6 reachable markings the explicit engine must fail at
+// its exploration limit while the symbolic engine completes the full
+// analysis — reachability count and the existence-only MC summary.
+func TestSymbolicCompletesBeyondExplicitLimit(t *testing.T) {
+	spec := benchdata.GenWideFork(1, 10, 3)
+	if n := len(spec.Net.Signals); n > 64 {
+		t.Fatalf("generator exceeded the signal budget: %d", n)
+	}
+	_, err := (&engine.Explicit{}).Analyze(spec.Net)
+	if !engine.IsStateLimit(err) {
+		t.Fatalf("explicit engine did not hit its state limit: %v", err)
+	}
+	a, err := (&engine.Symbolic{}).Analyze(spec.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.States <= 1<<20 {
+		t.Errorf("spec too small to prove the point: %d states", a.States)
+	}
+	if a.Unsafe {
+		t.Error("generated spec flagged unsafe")
+	}
+	if len(a.MCUnresolved) != 0 {
+		t.Errorf("wide-fork pipelines have monotonous covers, got unresolved %v", a.MCUnresolved)
+	}
+}

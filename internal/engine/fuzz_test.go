@@ -1,0 +1,41 @@
+package engine_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/benchdata"
+	"repro/internal/engine"
+)
+
+// FuzzSymbolicVsExplicit throws seeded random specifications at both
+// engines and requires deeply equal analyses: identical reachable-state
+// counts, 1-safety verdicts, region decompositions (as marking sets)
+// and existence-only MC summaries. The generator only produces live,
+// 1-safe series-parallel specs, so this fuzzes the agreement of the two
+// region/MC pipelines, not the parser.
+func FuzzSymbolicVsExplicit(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed, uint8(seed%5)+1)
+	}
+	f.Fuzz(func(t *testing.T, seed int64, size uint8) {
+		spec := benchdata.GenRandomSpec(seed, int(size%8)+1)
+		opts := engine.Options{Fingerprint: true}
+		exp, err := (&engine.Explicit{Opts: opts}).Analyze(spec.Net)
+		if err != nil {
+			if engine.IsStateLimit(err) {
+				t.Skip("spec exceeds the explicit engine")
+			}
+			t.Fatalf("explicit: %v", err)
+		}
+		sym, err := (&engine.Symbolic{Opts: opts}).Analyze(spec.Net)
+		if err != nil {
+			t.Fatalf("symbolic: %v", err)
+		}
+		exp.Engine, sym.Engine = "", ""
+		if !reflect.DeepEqual(exp, sym) {
+			t.Errorf("seed %d size %d: analyses diverge\nexplicit: %+v\nsymbolic: %+v",
+				seed, size, exp, sym)
+		}
+	})
+}

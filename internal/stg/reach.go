@@ -298,6 +298,28 @@ func explore(n *STG, limit int) (tb *markTable, edges []sgEdge, unsafe bool, err
 	return tb, edges, false, nil
 }
 
+// ReachableMarkings replays the explicit token game and returns every
+// reachable marking as a place-indexed bool vector, in discovery order —
+// state i of BuildSG's graph is row i. It is the anchor tying explicit
+// state ids to symbolic marking sets in the engine differential tests.
+func ReachableMarkings(n *STG, limit int) ([][]bool, error) {
+	tb, _, _, err := explore(n, limit)
+	if err != nil {
+		return nil, err
+	}
+	places := n.NumPlaces()
+	out := make([][]bool, tb.n)
+	for i := range out {
+		mk := tb.at(i)
+		row := make([]bool, places)
+		for p := 0; p < places; p++ {
+			row[p] = mk[p/64]>>uint(p%64)&1 == 1
+		}
+		out[i] = row
+	}
+	return out, nil
+}
+
 // limitError formats the state-limit abort off the exploration hot
 // path; it runs at most once per build.
 func limitError(limit int) error {

@@ -2,8 +2,10 @@ package stg
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/bdd"
+	"repro/internal/obs"
 )
 
 // SymbolicReport is the result of BDD-based reachability over the net's
@@ -16,98 +18,558 @@ type SymbolicReport struct {
 	Unsafe    bool   // a transition could doubly mark a place
 }
 
-// SymbolicReachability computes the reachable markings of the net
-// symbolically: one BDD variable per place, breadth-first image
-// computation until fixpoint. It detects 1-safeness violations exactly
-// like the explicit token game and is cross-checked against it in the
-// tests; unlike the explicit exploration it scales with BDD size rather
-// than state count (a k-way fork has 2^k + 2^k markings but a linear
-// BDD).
-func SymbolicReachability(n *STG) (SymbolicReport, error) {
+// SymbolicSpace is the symbolic form of a net's reachable state space:
+// a BDD manager over interleaved current/next place variables (place p
+// occupies the pair 2·pvar[p] and 2·pvar[p]+1, where pvar is the static
+// order chosen by orderPlaces), the per-transition firing relations,
+// and the reachable-set BDD. It answers the questions the analysis core
+// asks — images, preimages, signal values, excitation sets — without
+// ever materializing individual markings, so it scales with BDD size
+// rather than state count. It implements core.SymSpace.
+//
+// A SymbolicSpace is not safe for concurrent use: every query may grow
+// the shared node table.
+type SymbolicSpace struct {
+	Net *STG
+
+	m      *bdd.Manager
+	places int
+	pvar   []int     // place → variable pair (place p lives at 2*pvar[p])
+	byVar  []int     // variable pair → place (inverse of pvar)
+	swap   bdd.Shift // exchanges current and next variables
+
+	curVars  []int
+	nextVars []int
+	curCube  int // ∃-cube of all current vars
+	nextCube int // ∃-cube of all next vars
+
+	init    int // initial marking minterm (current vars)
+	reached int // reachable-set BDD (current vars)
+	iters   int
+
+	rel      []int // per-transition firing relation over cur ∪ next vars
+	en       []int // per-transition enabling condition (current vars)
+	unsafeCd []int // per-transition 1-safety violation condition (current vars)
+	relAll   int   // union of rel, built on first Image/Preimage; -1 before
+
+	// val[2*sig+1] / val[2*sig] are the reached markings where the
+	// signal reads 1 / 0; filled by ComputeValues.
+	val      []int
+	valsDone bool
+	unsafe   bool
+
+	gcThreshold int
+}
+
+// gcMinThreshold is the node-table size below which the fixpoints never
+// bother collecting.
+const gcMinThreshold = 1 << 16
+
+// NewSymbolicSpace builds the transition relations and runs symbolic
+// reachability to the fixpoint. It fails when the net has no places or
+// is not 1-safe (reporting the first offending transition in index
+// order, like the explicit token game).
+func NewSymbolicSpace(n *STG) (*SymbolicSpace, error) {
 	places := n.NumPlaces()
 	if places == 0 {
-		return SymbolicReport{}, fmt.Errorf("stg: net has no places")
+		return nil, fmt.Errorf("stg: net has no places")
 	}
-	m := bdd.New(places)
+	m := bdd.New(2 * places)
+	s := &SymbolicSpace{
+		Net:         n,
+		m:           m,
+		places:      places,
+		pvar:        orderPlaces(n),
+		relAll:      -1,
+		gcThreshold: gcMinThreshold,
+	}
+	s.byVar = make([]int, places)
+	for p, v := range s.pvar {
+		s.byVar[v] = p
+	}
+	perm := make([]int, 2*places)
+	for p := 0; p < places; p++ {
+		s.curVars = append(s.curVars, s.curVar(p))
+		s.nextVars = append(s.nextVars, s.nextVar(p))
+		perm[2*p], perm[2*p+1] = 2*p+1, 2*p
+	}
+	s.swap = m.NewShift(perm)
+	s.curCube = m.CubeVars(s.curVars)
+	s.nextCube = m.CubeVars(s.nextVars)
+	s.buildRelations()
+	s.buildInit()
+	if err := s.fixpoint(); err != nil {
+		return s, err
+	}
+	s.publish()
+	return s, nil
+}
 
-	// Initial marking as a minterm.
-	init := bdd.True
+// curVar / nextVar map a place to its variable pair under the static
+// order chosen by orderPlaces.
+func (s *SymbolicSpace) curVar(p int) int  { return 2 * s.pvar[p] }
+func (s *SymbolicSpace) nextVar(p int) int { return 2*s.pvar[p] + 1 }
+
+// orderPlaces picks the static BDD variable order: a depth-first walk of
+// the flow relation from the initially marked places, so places along one
+// token's path get adjacent variable pairs. Place indices are an artifact
+// of the input syntax — the .g parser numbers implicit places in arc
+// order, which interleaves independent branches and can blow the
+// reachable-set BDD up exponentially in the branch count (a width-10
+// fork goes from thousands of nodes to millions). The DFS recovers
+// branch-contiguity from the net structure regardless of how the places
+// were numbered. Ties follow index order, so the result is deterministic.
+func orderPlaces(n *STG) []int {
+	places := n.NumPlaces()
+	postP := make([][]int, places) // place → consuming transitions, ascending
+	for t, pre := range n.PreT {
+		for _, p := range pre {
+			postP[p] = append(postP[p], t)
+		}
+	}
+	lvl := make([]int, places)
+	for p := range lvl {
+		lvl[p] = -1
+	}
+	next := 0
+	var visit func(p int)
+	visit = func(p int) {
+		if lvl[p] != -1 {
+			return
+		}
+		lvl[p] = next
+		next++
+		for _, t := range postP[p] {
+			for _, q := range n.PostT[t] {
+				visit(q)
+			}
+		}
+	}
 	for p := 0; p < places; p++ {
 		if n.InitialMarking[p] {
-			init = m.And(init, m.Var(p))
+			visit(p)
+		}
+	}
+	for p := 0; p < places; p++ {
+		visit(p) // disconnected leftovers keep their relative order
+	}
+	return lvl
+}
+
+// placeSets splits a transition's pre/post place lists into the three
+// disjoint classes firing distinguishes, sorted for determinism.
+func placeSets(n *STG, t int) (consumed, produced, held []int, dupPost bool) {
+	pre := map[int]bool{}
+	for _, p := range n.PreT[t] {
+		pre[p] = true
+	}
+	post := map[int]bool{}
+	for _, p := range n.PostT[t] {
+		if post[p] {
+			dupPost = true
+		}
+		post[p] = true
+	}
+	for p := range pre {
+		if post[p] {
+			held = append(held, p)
 		} else {
-			init = m.And(init, m.NVar(p))
+			consumed = append(consumed, p)
 		}
 	}
-
-	// Per-transition enabling conditions and frame data.
-	type trans struct {
-		en      int   // all pre-places marked
-		changed []int // places whose value changes
-		post    int   // values of changed places after firing
-		unsafe  int   // condition: some produced place already marked
+	for p := range post {
+		if !pre[p] {
+			produced = append(produced, p)
+		}
 	}
-	ts := make([]trans, len(n.Trans))
-	for t := range n.Trans {
+	sort.Ints(consumed)
+	sort.Ints(produced)
+	sort.Ints(held)
+	return consumed, produced, held, dupPost
+}
+
+// buildRelations constructs, for every transition, the enabling
+// condition en(x), the 1-safety violation condition, and the full firing
+// relation T(x,x') = en(x) ∧ effect(x,x') ∧ frame(x,x'). The interleaved
+// variable order keeps each x'_p ↔ x_p frame conjunct adjacent to its
+// pair, so |T| stays linear in the place count.
+func (s *SymbolicSpace) buildRelations() {
+	n, m := s.Net, s.m
+	nt := len(n.Trans)
+	s.rel = make([]int, nt)
+	s.en = make([]int, nt)
+	s.unsafeCd = make([]int, nt)
+	for t := 0; t < nt; t++ {
+		consumed, produced, held, dupPost := placeSets(n, t)
+		class := make([]int8, s.places) // 0 frame, 1 consumed, 2 produced, 3 held
+		for _, p := range consumed {
+			class[p] = 1
+		}
+		for _, p := range produced {
+			class[p] = 2
+		}
+		for _, p := range held {
+			class[p] = 3
+		}
+		// Conjunction bottom-up (descending variable) so every And
+		// touches an already-reduced suffix.
+		rel := bdd.True
+		for i := s.places - 1; i >= 0; i-- {
+			p := s.byVar[i]
+			var c int
+			switch class[p] {
+			case 1: // consumed: marked before, empty after
+				c = m.And(m.Var(s.curVar(p)), m.NVar(s.nextVar(p)))
+			case 2: // produced: empty before (else unsafe), marked after
+				c = m.And(m.NVar(s.curVar(p)), m.Var(s.nextVar(p)))
+			case 3: // consumed and re-produced: marked on both sides
+				c = m.And(m.Var(s.curVar(p)), m.Var(s.nextVar(p)))
+			default: // untouched: value carried over
+				c = m.ITE(m.Var(s.curVar(p)), m.Var(s.nextVar(p)), m.NVar(s.nextVar(p)))
+			}
+			rel = m.And(c, rel)
+		}
+		s.rel[t] = rel
 		en := bdd.True
-		pre := map[int]bool{}
-		for _, p := range n.PreT[t] {
-			en = m.And(en, m.Var(p))
-			pre[p] = true
+		pre := append(append([]int(nil), consumed...), held...)
+		sort.Slice(pre, func(i, j int) bool { return s.pvar[pre[i]] < s.pvar[pre[j]] })
+		for i := len(pre) - 1; i >= 0; i-- {
+			en = m.And(m.Var(s.curVar(pre[i])), en)
 		}
-		post := map[int]bool{}
-		for _, p := range n.PostT[t] {
-			post[p] = true
+		s.en[t] = en
+		// Unsafe: enabled while a produced place is already marked — or a
+		// place repeated in the post-set, which no marking survives.
+		unsafe := bdd.False
+		if dupPost {
+			unsafe = bdd.True
 		}
-		tr := trans{en: en, unsafe: bdd.False}
-		after := bdd.True
-		for p := range pre {
-			if !post[p] {
-				tr.changed = append(tr.changed, p)
-				after = m.And(after, m.NVar(p))
-			}
+		for _, p := range produced {
+			unsafe = m.Or(unsafe, m.Var(s.curVar(p)))
 		}
-		for p := range post {
-			if !pre[p] {
-				tr.changed = append(tr.changed, p)
-				after = m.And(after, m.Var(p))
-				// Unsafe if p is already marked while the transition is
-				// enabled.
-				tr.unsafe = m.Or(tr.unsafe, m.Var(p))
-			}
-		}
-		tr.post = after
-		ts[t] = tr
+		s.unsafeCd[t] = unsafe
 	}
+}
 
-	reached := init
-	frontier := init
-	rep := SymbolicReport{}
-	for frontier != bdd.False {
-		rep.Iters++
-		next := bdd.False
-		for t := range ts {
-			enabled := m.And(frontier, ts[t].en)
-			if enabled == bdd.False {
-				continue
-			}
-			if m.And(enabled, ts[t].unsafe) != bdd.False {
-				rep.Unsafe = true
-				rep.BDDNodes = m.NumNodes()
-				return rep, fmt.Errorf("stg: net not 1-safe (transition %s)", n.TransLabel(t))
-			}
-			img := m.ExistsAll(enabled, ts[t].changed)
-			img = m.And(img, ts[t].post)
-			next = m.Or(next, img)
-		}
-		frontier = m.Diff(next, reached)
-		reached = m.Or(reached, frontier)
-		if rep.Iters > 1<<20 {
-			return rep, fmt.Errorf("stg: symbolic fixpoint did not converge")
+// buildInit encodes the initial marking as a minterm over current vars.
+func (s *SymbolicSpace) buildInit() {
+	m := s.m
+	init := bdd.True
+	for i := s.places - 1; i >= 0; i-- {
+		p := s.byVar[i]
+		if s.Net.InitialMarking[p] {
+			init = m.And(m.Var(s.curVar(p)), init)
+		} else {
+			init = m.And(m.NVar(s.curVar(p)), init)
 		}
 	}
-	rep.States = m.SatCount(reached)
-	rep.BDDNodes = m.NumNodes()
-	rep.FinalSize = m.Size(reached)
-	return rep, nil
+	s.init = init
+	s.reached = init
+}
+
+// imageRel is one image step through an explicit relation: the successors
+// of S (current vars) under rel, back on current vars.
+func (s *SymbolicSpace) imageRel(S, rel int) int {
+	return s.m.Replace(s.m.AndExists(S, rel, s.curCube), s.swap)
+}
+
+// preimageRel is the dual: predecessors of S under rel.
+func (s *SymbolicSpace) preimageRel(S, rel int) int {
+	return s.m.AndExists(s.m.Replace(S, s.swap), rel, s.nextCube)
+}
+
+// fixpoint runs breadth-first reachability, checking 1-safety on every
+// frontier and garbage-collecting the node table when it outgrows the
+// live BDDs.
+func (s *SymbolicSpace) fixpoint() error {
+	m := s.m
+	frontier := s.init
+	for frontier != bdd.False {
+		s.iters++
+		next := bdd.False
+		for t := range s.rel {
+			if m.And(m.And(frontier, s.en[t]), s.unsafeCd[t]) != bdd.False {
+				s.unsafe = true
+				return fmt.Errorf("stg: net not 1-safe (transition %s)", s.Net.TransLabel(t))
+			}
+			next = m.Or(next, s.imageRel(frontier, s.rel[t]))
+		}
+		frontier = m.Diff(next, s.reached)
+		s.reached = m.Or(s.reached, frontier)
+		if s.iters > 1<<20 {
+			return fmt.Errorf("stg: symbolic fixpoint did not converge")
+		}
+		frontier = s.maybeCollect(frontier)[0]
+	}
+	return nil
+}
+
+// roots gathers every live BDD of the space (transient extras appended),
+// and adopt writes the re-rooted ids back in the same order.
+func (s *SymbolicSpace) roots(extra []int) []int {
+	r := []int{s.curCube, s.nextCube, s.init, s.reached, s.relAll}
+	r = append(r, s.val...)
+	r = append(r, s.rel...)
+	r = append(r, s.en...)
+	r = append(r, s.unsafeCd...)
+	return append(r, extra...)
+}
+
+func (s *SymbolicSpace) adopt(r []int) []int {
+	s.curCube, s.nextCube, s.init, s.reached, s.relAll = r[0], r[1], r[2], r[3], r[4]
+	r = r[5:]
+	copy(s.val, r[:len(s.val)])
+	r = r[len(s.val):]
+	nt := len(s.rel)
+	copy(s.rel, r[:nt])
+	copy(s.en, r[nt:2*nt])
+	copy(s.unsafeCd, r[2*nt:3*nt])
+	return r[3*nt:]
+}
+
+// maybeCollect garbage-collects when the node table exceeds the current
+// threshold, re-rooting the space's BDDs plus the given extras, whose
+// new ids are returned in order (unchanged when no collection ran). The
+// threshold doubles relative to the live size after each collection so
+// GC work stays amortized.
+func (s *SymbolicSpace) maybeCollect(extras ...int) []int {
+	if s.m.NumNodes() < s.gcThreshold {
+		return extras
+	}
+	// relAll == -1 is a sentinel, not a node: park it on False.
+	sentinel := s.relAll < 0
+	if sentinel {
+		s.relAll = bdd.False
+	}
+	out := s.adopt(s.m.Collect(s.roots(extras)))
+	if sentinel {
+		s.relAll = -1
+	}
+	if t := 2 * s.m.NumNodes(); t > gcMinThreshold {
+		s.gcThreshold = t
+	} else {
+		s.gcThreshold = gcMinThreshold
+	}
+	return out
+}
+
+// Manager exposes the space's BDD manager.
+func (s *SymbolicSpace) Manager() *bdd.Manager { return s.m }
+
+// StateVars returns the current-state variables indexed by place:
+// StateVars()[p] is place p's variable. The slice is not sorted when
+// orderPlaces permuted the places; consumers that enumerate assignments
+// rely on ForEachSat indexing by caller position.
+func (s *SymbolicSpace) StateVars() []int { return s.curVars }
+
+// ReachedBDD returns the reachable-set BDD over current vars.
+func (s *SymbolicSpace) ReachedBDD() int { return s.reached }
+
+// InitBDD returns the initial-marking minterm.
+func (s *SymbolicSpace) InitBDD() int { return s.init }
+
+// States counts the reachable markings.
+func (s *SymbolicSpace) States() uint64 {
+	return s.m.SatCountVars(s.reached, s.curVars)
+}
+
+// NumSignals returns the net's signal count.
+func (s *SymbolicSpace) NumSignals() int { return len(s.Net.Signals) }
+
+// SignalName returns the name of signal sig.
+func (s *SymbolicSpace) SignalName(sig int) string { return s.Net.Signals[sig] }
+
+// IsInput reports whether signal sig is an input.
+func (s *SymbolicSpace) IsInput(sig int) bool { return s.Net.Kinds[sig] == Input }
+
+// unionRel returns the union of the listed transition relations.
+func (s *SymbolicSpace) unionRel(ts []int) int {
+	r := bdd.False
+	for _, t := range ts {
+		r = s.m.Or(r, s.rel[t])
+	}
+	return r
+}
+
+// allRel returns (building on demand) the union of all firing relations.
+func (s *SymbolicSpace) allRel() int {
+	if s.relAll < 0 {
+		ts := make([]int, len(s.rel))
+		for t := range ts {
+			ts[t] = t
+		}
+		s.relAll = s.unionRel(ts)
+	}
+	return s.relAll
+}
+
+// ImageBDD returns the reachable successors of S (one firing, any
+// transition).
+func (s *SymbolicSpace) ImageBDD(S int) int {
+	return s.m.And(s.imageRel(S, s.allRel()), s.reached)
+}
+
+// PreimageBDD returns the reachable predecessors of S.
+func (s *SymbolicSpace) PreimageBDD(S int) int {
+	return s.m.And(s.preimageRel(S, s.allRel()), s.reached)
+}
+
+// transOf lists the transitions of signal sig with direction d (+1/−1),
+// in index order.
+func (s *SymbolicSpace) transOf(sig, d int) []int {
+	var out []int
+	for t, tr := range s.Net.Trans {
+		if tr.Signal == sig && int(tr.Dir) == d {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// ExcitedBDD returns the reachable markings where a (sig, d) transition
+// is enabled.
+func (s *SymbolicSpace) ExcitedBDD(sig, d int) int {
+	r := bdd.False
+	for _, t := range s.transOf(sig, d) {
+		r = s.m.Or(r, s.en[t])
+	}
+	return s.m.And(r, s.reached)
+}
+
+// ImageBySignalBDD returns the reachable successors of S through (sig, d)
+// transitions only.
+func (s *SymbolicSpace) ImageBySignalBDD(S, sig, d int) int {
+	r := bdd.False
+	for _, t := range s.transOf(sig, d) {
+		r = s.m.Or(r, s.imageRel(S, s.rel[t]))
+	}
+	return s.m.And(r, s.reached)
+}
+
+// ComputeValues infers the binary value of every signal on every
+// reachable marking — the symbolic twin of the explicit encoder's value
+// fixpoint. For signal a, the 0-valued markings are those connected to a
+// 0-seed (a+ enabled, or just after a− fired) by firings of other
+// signals, and dually for 1; consistency requires the two closures to be
+// disjoint and to cover the reachable set. Must be called before
+// ValueBDD; it is idempotent.
+func (s *SymbolicSpace) ComputeValues() error {
+	if s.valsDone {
+		return nil
+	}
+	m := s.m
+	nsig := len(s.Net.Signals)
+	// Allocated up front (zero value bdd.False) so partially inferred
+	// values are GC roots while later signals iterate.
+	s.val = make([]int, 2*nsig)
+	for sig := 0; sig < nsig; sig++ {
+		// Transitions of other signals, for the value-preserving closure.
+		var others []int
+		for t, tr := range s.Net.Trans {
+			if tr.Signal != sig {
+				others = append(others, t)
+			}
+		}
+		rel := s.unionRel(others)
+		for _, d := range []int{+1, -1} {
+			// d = +1 seeds value 0 (a+ enabled, or a− just fired).
+			seed := bdd.False
+			for _, t := range s.transOf(sig, d) {
+				seed = m.Or(seed, m.And(s.en[t], s.reached))
+			}
+			for _, t := range s.transOf(sig, -d) {
+				seed = m.Or(seed, m.And(s.imageRel(s.reached, s.rel[t]), s.reached))
+			}
+			set := seed
+			for {
+				grown := m.Or(set, m.And(s.imageRel(set, rel), s.reached))
+				grown = m.Or(grown, m.And(s.preimageRel(set, rel), s.reached))
+				if grown == set {
+					break
+				}
+				r := s.maybeCollect(grown, rel)
+				set, rel = r[0], r[1]
+			}
+			if d == +1 {
+				s.val[2*sig] = set
+			} else {
+				s.val[2*sig+1] = set
+			}
+		}
+		v0, v1 := s.val[2*sig], s.val[2*sig+1]
+		if m.And(v0, v1) != bdd.False {
+			return fmt.Errorf("stg: inconsistent state assignment for signal %s", s.Net.Signals[sig])
+		}
+		if m.And(s.init, m.Or(v0, v1)) == bdd.False {
+			return fmt.Errorf("stg: signal %s never fires; cannot infer its value", s.Net.Signals[sig])
+		}
+		if m.Or(v0, v1) != s.reached {
+			return fmt.Errorf("stg: value of signal %s undetermined on some reachable markings", s.Net.Signals[sig])
+		}
+	}
+	s.valsDone = true
+	s.publish()
+	return nil
+}
+
+// ValueBDD returns the reachable markings where signal sig reads v.
+// ComputeValues must have succeeded first.
+func (s *SymbolicSpace) ValueBDD(sig int, v bool) int {
+	if !s.valsDone {
+		panic("stg: ValueBDD before ComputeValues")
+	}
+	if v {
+		return s.val[2*sig+1]
+	}
+	return s.val[2*sig]
+}
+
+// Report summarizes the space in the legacy SymbolicReport form.
+func (s *SymbolicSpace) Report() SymbolicReport {
+	return SymbolicReport{
+		States:    s.States(),
+		Iters:     s.iters,
+		BDDNodes:  s.m.NumNodes(),
+		FinalSize: s.m.Size(s.reached),
+	}
+}
+
+// publish reports the run's BDD tallies to the observability layer (a
+// no-op without an enabled observer) — once per construction and once
+// per value inference, never inside the fixpoint loops.
+func (s *SymbolicSpace) publish() {
+	o := obs.Get()
+	if o == nil {
+		return
+	}
+	st := s.m.Stats()
+	mt := o.Metrics
+	mt.Gauge("stg_symbolic_bdd_nodes").Set(int64(s.m.NumNodes()))
+	mt.Gauge("stg_symbolic_bdd_peak_nodes").Set(int64(st.PeakNodes))
+	mt.Counter("stg_symbolic_iters_total").Add(int64(s.iters))
+	mt.Counter("stg_symbolic_cache_hits_total").Add(st.CacheHits)
+	mt.Counter("stg_symbolic_cache_misses_total").Add(st.CacheMisses)
+	mt.Counter("stg_symbolic_cache_resets_total").Add(st.CacheResets)
+	mt.Counter("stg_symbolic_collections_total").Add(st.Collections)
+	obs.Info("symbolic space", "iters", s.iters, "nodes", s.m.NumNodes())
+}
+
+// SymbolicReachability computes the reachable markings of the net
+// symbolically: one BDD variable pair per place, breadth-first image
+// computation through per-transition firing relations until fixpoint.
+// It detects 1-safeness violations exactly like the explicit token game
+// and is cross-checked against it in the tests; unlike the explicit
+// exploration it scales with BDD size rather than state count (a k-way
+// fork has 2^k + 2^k markings but a linear BDD).
+func SymbolicReachability(n *STG) (SymbolicReport, error) {
+	s, err := NewSymbolicSpace(n)
+	if err != nil {
+		rep := SymbolicReport{}
+		if s != nil {
+			rep.Iters = s.iters
+			rep.BDDNodes = s.m.NumNodes()
+			rep.Unsafe = s.unsafe
+		}
+		return rep, err
+	}
+	return s.Report(), nil
 }

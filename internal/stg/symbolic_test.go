@@ -101,3 +101,103 @@ func TestSymbolicMatchesRandomSpecs(t *testing.T) {
 		}
 	}
 }
+
+func TestSymbolicValuesMatchExplicit(t *testing.T) {
+	for _, e := range benchdata.Table1 {
+		n := e.STG()
+		g, err := stg.BuildSG(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := stg.NewSymbolicSpace(n)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if err := sp.ComputeValues(); err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		marks, err := stg.ReachableMarkings(n, stg.DefaultStateLimit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := sp.Manager()
+		vars := sp.StateVars()
+		for sig := range n.Signals {
+			for _, v := range []bool{false, true} {
+				set := sp.ValueBDD(sig, v)
+				// Cardinality must match the explicit count...
+				want := uint64(0)
+				for s := 0; s < g.NumStates(); s++ {
+					if g.Value(s, sig) == v {
+						want++
+					}
+				}
+				if got := m.SatCountVars(set, vars); got != want {
+					t.Fatalf("%s: |%s=%v| symbolic %d, explicit %d", e.Name, n.Signals[sig], v, got, want)
+				}
+				// ...and each explicit state's marking must sit in the
+				// right value set.
+				for s, row := range marks {
+					assign := make([]bool, 2*len(row))
+					for p, b := range row {
+						assign[vars[p]] = b
+					}
+					if m.Eval(set, assign) != (g.Value(s, sig) == v) {
+						t.Fatalf("%s: state %d misclassified for %s=%v", e.Name, s, n.Signals[sig], v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSymbolicExcitedMatchesExplicit(t *testing.T) {
+	for _, e := range benchdata.Table1 {
+		n := e.STG()
+		g, err := stg.BuildSG(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := stg.NewSymbolicSpace(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := sp.Manager()
+		for sig := range n.Signals {
+			for _, d := range []int{+1, -1} {
+				want := uint64(0)
+				for s := 0; s < g.NumStates(); s++ {
+					for _, ed := range g.States[s].Succ {
+						if ed.Signal == sig && int(ed.Dir) == d {
+							want++
+							break
+						}
+					}
+				}
+				if got := m.SatCountVars(sp.ExcitedBDD(sig, d), sp.StateVars()); got != want {
+					t.Fatalf("%s: |excited %s %+d| symbolic %d, explicit %d", e.Name, n.Signals[sig], d, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSymbolicRunKeepsCacheBounded(t *testing.T) {
+	// Regression for the unbounded op-cache: a long symbolic run under a
+	// tight limit must reset instead of growing without bound.
+	sp, err := stg.NewSymbolicSpace(benchdata.GenParallelizer(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const limit = 1 << 10
+	sp.Manager().SetCacheLimit(limit)
+	if err := sp.ComputeValues(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sp.Manager().CacheLen(); got > limit {
+		t.Fatalf("op cache has %d entries past the %d limit", got, limit)
+	}
+	if sp.Manager().Stats().CacheResets == 0 {
+		t.Fatal("expected cache resets under a tight limit")
+	}
+}

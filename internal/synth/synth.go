@@ -43,6 +43,14 @@ type Options struct {
 	// fan-out (0 = GOMAXPROCS, 1 = sequential). It also seeds
 	// Repair.Workers when that is unset.
 	Parallel int
+	// Engine selects the analysis core driving repair's candidate
+	// scoring: "" or "explicit" for the per-state scans, "symbolic" for
+	// the BDD existence-only checks. The two return identical counts, so
+	// the synthesized netlist is byte-identical either way. Callers
+	// resolve "auto" (e.g. via engine.EstimateStates) before coming
+	// here: synthesis always needs the explicit graph, so this option
+	// never changes what is buildable, only how candidates are scored.
+	Engine string
 }
 
 // Report is the complete outcome of one synthesis run.
@@ -186,6 +194,14 @@ func CoverNetlist(final *sg.Graph, mc *core.Report, opts Options) (*netlist.Netl
 // FromGraph synthesizes a state-graph specification.
 func FromGraph(g *sg.Graph, opts Options) (*Report, error) {
 	rep := &Report{Name: g.Name, Spec: g, Final: g}
+
+	switch opts.Engine {
+	case "", "explicit":
+	case "symbolic":
+		opts.Repair.SymbolicMC = true
+	default:
+		return rep, fmt.Errorf("synth: unknown engine %q (want explicit or symbolic)", opts.Engine)
+	}
 
 	asp := obs.Start("analyze", obs.A("spec", g.Name), obs.A("states", g.NumStates()))
 	t0 := now()
