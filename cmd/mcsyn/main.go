@@ -204,6 +204,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	maxModels := flag.Int("maxmodels", 0, "max SAT models per conflict/strategy pair in repair (0 = default 128)")
 	repairWorkers := flag.Int("repair-workers", 0, "repair candidate-scoring pool size (0 = follow -parallel, 1 = sequential)")
+	portfolio := flag.Int("portfolio", 0, "SAT portfolio width for repair (0 = auto from -repair-workers, 1 = single solver, max 8); never changes the netlist")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	benchjson := flag.String("benchjson", "", "benchmark the Table-1 pipeline stages and write the JSON report to this file")
@@ -267,6 +268,7 @@ func main() {
 	opts := synth.Options{RS: *rs, Share: *share, Parallel: *parallel}
 	opts.Repair.MaxModels = *maxModels
 	opts.Repair.Workers = *repairWorkers
+	opts.Repair.Portfolio = *portfolio
 
 	if *table1 {
 		failed := false

@@ -56,6 +56,11 @@ var deterministicPackages = map[string]bool{
 	// under Options.SymbolicMC) stop meaning anything.
 	"repro/internal/bdd":    true,
 	"repro/internal/engine": true,
+	// The portfolio SAT layer: every model comes from the canonical
+	// anchor and clause exchange is merged in sorted order, so the
+	// whole package shares encode's any-worker-count determinism
+	// promise.
+	"repro/internal/sat": true,
 }
 
 // Suite returns the four analyzers with the package scope each one

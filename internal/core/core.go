@@ -37,8 +37,20 @@ type Analyzer struct {
 	Idx  *sg.Index     // dense excitation/successor index of G
 	Regs []*sg.Regions // indexed by signal
 
-	minterms [][]bool // per-state value vectors, precomputed
-	workers  int      // worker-pool bound for per-signal fan-out
+	minterms  [][]bool    // per-state value vectors, precomputed
+	mintCubes []cube.Cube // per-state minterm cubes, for O(words) covers
+	workers   int         // worker-pool bound for per-signal fan-out
+
+	// cfrBuf, ccBuf, candBuf, litsBuf and subBuf are the reusable
+	// buffers of the sequential existence-only scoring path
+	// (mcViolation). The parallel fan-outs of CheckGraph never touch
+	// them: they run checkSignal, which builds its cubes and CFRs per
+	// call.
+	cfrBuf  sg.StateSet
+	ccBuf   cube.Cube
+	candBuf cube.Cube
+	litsBuf []int
+	subBuf  []int
 
 	gspace *GraphSpace // lazy index-bit symbolic view of G, see graphSpace
 }
@@ -87,14 +99,22 @@ func newAnalyzerBase(g *sg.Graph, workers int) *Analyzer {
 		Regs:    make([]*sg.Regions, g.NumSignals()),
 		workers: par.Workers(workers),
 	}
+	// One flat backing array for all minterm rows: budgeted scoring
+	// builds an analyzer per candidate graph, so per-state row
+	// allocations dominate the constructor's cost.
 	n := g.NumSignals()
 	a.minterms = make([][]bool, g.NumStates())
+	a.mintCubes = make([]cube.Cube, g.NumStates())
+	flat := make([]bool, g.NumStates()*n)
+	wpc := cube.WordsFor(n)
+	mw := make([]uint64, g.NumStates()*wpc)
 	for s := range a.minterms {
-		v := make([]bool, n)
+		v := flat[s*n : (s+1)*n : (s+1)*n]
 		for i := 0; i < n; i++ {
 			v[i] = g.Value(s, i)
 		}
 		a.minterms[s] = v
+		a.mintCubes[s] = cube.MintermInto(v, mw[s*wpc:(s+1)*wpc:(s+1)*wpc])
 	}
 	return a
 }
@@ -128,8 +148,14 @@ func (a *Analyzer) MintermCube(s int) cube.Cube {
 // inside the region. It is the smallest cover cube; every other cover
 // cube is obtained by dropping literals from it.
 func (a *Analyzer) CoverCube(er *sg.Region) cube.Cube {
+	return a.coverCubeInto(er, cube.NewFull(a.G.NumSignals()))
+}
+
+// coverCubeInto is CoverCube writing into a caller-provided cube of the
+// graph's signal width, returning it for convenience.
+func (a *Analyzer) coverCubeInto(er *sg.Region, c cube.Cube) cube.Cube {
 	g := a.G
-	c := cube.NewFull(g.NumSignals())
+	c.Reset()
 	ref := er.States[0]
 	for b := range g.Signals {
 		if b == er.Signal || !a.Idx.Ordered(er, b) {
@@ -245,7 +271,7 @@ func (v *Violation) Describe(g *sg.Graph) string {
 
 // covers reports whether cube c covers state s.
 func (a *Analyzer) covers(c cube.Cube, s int) bool {
-	return c.ContainsMinterm(a.minterms[s])
+	return c.ContainsMintermCube(a.mintCubes[s])
 }
 
 // erIndex locates er inside its signal's region list.
@@ -355,17 +381,23 @@ func (a *Analyzer) doubleChange(cfr sg.StateSet, c cube.Cube) (int, int) {
 // — for an up-region, 1*-set(a) ∪ 0-set(a); for a down-region,
 // 0*-set(a) ∪ 1-set(a).
 func (a *Analyzer) CheckCorrectCover(er *sg.Region, c cube.Cube) *Violation {
-	sets := a.SetsOf(er.Signal)
-	forbidden := sets.OneStar.Union(sets.Zero)
-	if er.Dir == sg.Minus {
-		forbidden = sets.ZeroStar.Union(sets.One)
-	}
+	// Membership in the forbidden set follows directly from the state's
+	// value/excitation classification (Definition 13), so no
+	// characteristic sets are materialized: a state is forbidden for an
+	// up-region when a is excited at 1 or stable at 0, and dually for a
+	// down-region.
+	sig := er.Signal
+	up := er.Dir == sg.Plus
 	var bad []int
-	forbidden.ForEach(func(s int) {
+	for s := 0; s < a.G.NumStates(); s++ {
+		v, ex := a.G.Value(s, sig), a.Idx.Excited(s, sig)
+		if (v == ex) != up {
+			continue
+		}
 		if a.covers(c, s) {
 			bad = append(bad, s)
 		}
-	})
+	}
 	if len(bad) > 0 {
 		return &Violation{Kind: IncorrectCover, Signal: er.Signal, ER: er, Cube: c, States: bad}
 	}
@@ -422,20 +454,41 @@ func (a *Analyzer) FindMC(er *sg.Region) (cube.Cube, *Violation) {
 // changes that), but no cube is built, cloned or shrunk. The budgeted
 // candidate scorer calls it thousands of times per repair round.
 func (a *Analyzer) mcViolation(er *sg.Region) *Violation {
-	c := a.CoverCube(er)
-	v := a.CheckMC(er, c)
-	if v == nil {
+	regs := a.regs(er.Signal)
+	if a.cfrBuf == nil {
+		a.cfrBuf = sg.NewStateSet(a.G.NumStates())
+		a.ccBuf = cube.NewFull(a.G.NumSignals())
+		a.candBuf = cube.NewFull(a.G.NumSignals())
+	}
+	cfr := regs.CFRInto(a.erIndex(er), a.cfrBuf)
+	c := a.coverCubeInto(er, a.ccBuf)
+	// The three MC conditions of CheckMC, existence-only: first failure
+	// wins, no diagnostic state lists and no Cube in the Violation (the
+	// counting callers only test nil-ness; the cube is analyzer scratch).
+	// Conditions (1) and (3) are final for the canonical cube (enlarging
+	// only makes them worse); only a condition-(2) failure warrants the
+	// literal-dropping search below.
+	for _, s := range er.States {
+		if !a.covers(c, s) {
+			return &Violation{Kind: NotCovering, Signal: er.Signal, ER: er}
+		}
+	}
+	if u, _ := a.doubleChange(cfr, c); u < 0 {
+		for s := 0; s < a.G.NumStates(); s++ {
+			if !cfr.Has(s) && a.covers(c, s) {
+				return &Violation{Kind: OutsideCFR, Signal: er.Signal, ER: er, States: []int{s}}
+			}
+		}
 		return nil
 	}
-	if v.Kind != NonMonotonic {
-		return v
+	a.litsBuf = a.varyingLitsInto(c, cfr, a.litsBuf[:0])
+	lits := a.litsBuf
+	if cap(a.subBuf) < 2*len(lits) {
+		a.subBuf = make([]int, 2*len(lits))
 	}
-	regs := a.regs(er.Signal)
-	cfr := regs.CFR(a.erIndex(er))
-	lits := a.varyingLiterals(c, cfr)
-	cand := c.Clone()
+	cand := a.candBuf
 	for size := 1; size <= len(lits); size++ {
-		if forEachSubset(lits, size, func(drop []int) bool {
+		if forEachSubsetScratch(lits, size, a.subBuf, func(drop []int) bool {
 			cand.CopyFrom(c)
 			for _, l := range drop {
 				cand.Set(l, cube.Full)
@@ -445,7 +498,7 @@ func (a *Analyzer) mcViolation(er *sg.Region) *Violation {
 			return nil
 		}
 	}
-	return v
+	return &Violation{Kind: NonMonotonic, Signal: er.Signal, ER: er}
 }
 
 // shrinkMC greedily removes literals from a valid monotonous cover while
@@ -475,8 +528,16 @@ func (a *Analyzer) shrinkMC(er *sg.Region, c cube.Cube) cube.Cube {
 // varyingLiterals returns the cube's literals whose signals take both
 // values over the given state set.
 func (a *Analyzer) varyingLiterals(c cube.Cube, states sg.StateSet) []int {
-	var out []int
-	for _, l := range c.Literals() {
+	return a.varyingLitsInto(c, states, nil)
+}
+
+// varyingLitsInto is varyingLiterals appending into a caller-provided
+// buffer, walking the cube directly instead of materializing Literals.
+func (a *Analyzer) varyingLitsInto(c cube.Cube, states sg.StateSet, out []int) []int {
+	for l := 0; l < c.N(); l++ {
+		if c.Get(l) == cube.Full {
+			continue
+		}
 		saw0, saw1 := false, false
 		states.FindFirst(func(s int) bool {
 			if a.G.Value(s, l) {
@@ -496,8 +557,14 @@ func (a *Analyzer) varyingLiterals(c cube.Cube, states sg.StateSet) []int {
 // forEachSubset calls fn with every size-k subset of lits until fn
 // returns true; it reports whether fn succeeded.
 func forEachSubset(lits []int, k int, fn func([]int) bool) bool {
-	idx := make([]int, k)
-	sub := make([]int, k) // recycled between calls; fn must not retain it
+	return forEachSubsetScratch(lits, k, make([]int, 2*k), fn)
+}
+
+// forEachSubsetScratch is forEachSubset with a caller-provided scratch
+// of at least 2k ints.
+func forEachSubsetScratch(lits []int, k int, scratch []int, fn func([]int) bool) bool {
+	idx := scratch[:k]
+	sub := scratch[k : 2*k] // recycled between calls; fn must not retain it
 	var rec func(start, depth int) bool
 	rec = func(start, depth int) bool {
 		if depth == k {

@@ -101,6 +101,25 @@ func NewMinterm(values []bool) Cube {
 	return c
 }
 
+// WordsFor returns the number of backing words of an n-variable cube,
+// letting callers batch-allocate storage for MintermInto.
+func WordsFor(n int) int { return words(n) }
+
+// MintermInto is NewMinterm writing into caller-provided backing words
+// (len(w) must be WordsFor(len(values))).
+func MintermInto(values []bool, w []uint64) Cube {
+	c := Cube{n: len(values), w: w}
+	c.Reset()
+	for i, v := range values {
+		if v {
+			c.Set(i, One)
+		} else {
+			c.Set(i, Zero)
+		}
+	}
+	return c
+}
+
 // FromLits builds a cube over n variables from an explicit literal map;
 // variables not mentioned are don't cares.
 func FromLits(n int, lits map[int]Lit) Cube {
@@ -130,6 +149,13 @@ func (c Cube) Set(i int, l Lit) {
 // scratch cube instead of cloning per candidate.
 func (c Cube) CopyFrom(o Cube) {
 	copy(c.w, o.w)
+}
+
+// Reset makes c the universal cube (all don't cares) again, in place.
+func (c Cube) Reset() {
+	for i := range c.w {
+		c.w[i] = fullWordMask(c.n, i)
+	}
 }
 
 // Clone returns an independent copy of the cube.
@@ -232,6 +258,19 @@ func (c Cube) ContainsMinterm(values []bool) bool {
 	for i, v := range values {
 		l := c.Get(i)
 		if v && l == Zero || !v && l == One || l == Empty {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsMintermCube reports whether c covers the minterm held by m, a
+// cube with every variable assigned. In the positional encoding a cube
+// covers a minterm exactly when every assigned lane of the minterm
+// survives intersection, which is one mask test per word.
+func (c Cube) ContainsMintermCube(m Cube) bool {
+	for i, w := range m.w {
+		if c.w[i]&w != w {
 			return false
 		}
 	}

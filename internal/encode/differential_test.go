@@ -80,6 +80,113 @@ func TestRepairParallelSequentialIdentical(t *testing.T) {
 	}
 }
 
+// TestPortfolioDeterministic pins the portfolio contract: every model
+// the portfolio answers comes from the canonical anchor, so the worker
+// count and the portfolio width — 1, 4 or 8 racing configurations —
+// must never change what repair inserts. All nine Table-1
+// specifications are synthesized at the three widths and compared down
+// to the gate level.
+func TestPortfolioDeterministic(t *testing.T) {
+	for _, e := range benchdata.Table1 {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			net, err := stg.Parse(e.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := stg.BuildSG(net)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ref *encode.Result
+			var refNet string
+			for _, w := range []int{1, 4, 8} {
+				res, err := encode.Repair(g, encode.Options{Workers: w, Portfolio: w})
+				if err != nil {
+					t.Fatal(err)
+				}
+				nl := ""
+				if len(res.Added) > 0 {
+					nl = netlistOf(t, res)
+				}
+				if ref == nil {
+					ref, refNet = res, nl
+					continue
+				}
+				if !reflect.DeepEqual(ref.Added, res.Added) {
+					t.Errorf("workers=%d: added signals diverge: %v vs %v", w, ref.Added, res.Added)
+				}
+				if !reflect.DeepEqual(ref.Strategy, res.Strategy) {
+					t.Errorf("workers=%d: strategies diverge: %v vs %v", w, ref.Strategy, res.Strategy)
+				}
+				if ref.Models != res.Models || ref.Candidates != res.Candidates {
+					t.Errorf("workers=%d: search tallies diverge: models %d vs %d, candidates %d vs %d",
+						w, ref.Models, res.Models, ref.Candidates, res.Candidates)
+				}
+				if refNet != nl {
+					t.Errorf("workers=%d: netlists diverge:\n--- workers=1 ---\n%s--- workers=%d ---\n%s", w, refNet, w, nl)
+				}
+			}
+		})
+	}
+}
+
+// TestCrossRoundLearntsSound pins the carrying contract: clauses
+// carried from one repair round to the next are re-certified against
+// the grown formula by reverse unit propagation, so disabling the carry
+// must yield the identical model enumeration — same insertions, same
+// tallies, same gates — on every Table-1 specification.
+func TestCrossRoundLearntsSound(t *testing.T) {
+	for _, e := range benchdata.Table1 {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			net, err := stg.Parse(e.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := stg.BuildSG(net)
+			if err != nil {
+				t.Fatal(err)
+			}
+			carry, err := encode.Repair(g, encode.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain, err := encode.Repair(g, encode.Options{DisableLearntCarry: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(carry.Added, plain.Added) {
+				t.Errorf("added signals diverge: carry=%v plain=%v", carry.Added, plain.Added)
+			}
+			if !reflect.DeepEqual(carry.Strategy, plain.Strategy) {
+				t.Errorf("strategies diverge: carry=%v plain=%v", carry.Strategy, plain.Strategy)
+			}
+			if carry.Models != plain.Models || carry.Candidates != plain.Candidates ||
+				carry.Deduped != plain.Deduped || carry.Pruned != plain.Pruned {
+				t.Errorf("search tallies diverge: carry models=%d candidates=%d deduped=%d pruned=%d, plain models=%d candidates=%d deduped=%d pruned=%d",
+					carry.Models, carry.Candidates, carry.Deduped, carry.Pruned,
+					plain.Models, plain.Candidates, plain.Deduped, plain.Pruned)
+			}
+			if plain.Carried != 0 || plain.CarriedKept != 0 {
+				t.Errorf("carry disabled but tallies nonzero: carried=%d kept=%d", plain.Carried, plain.CarriedKept)
+			}
+			if len(carry.Added) > 1 && carry.Carried == 0 {
+				t.Errorf("multi-round repair (%d insertions) carried no clauses", len(carry.Added))
+			}
+			if carry.CarriedKept > carry.Carried {
+				t.Errorf("kept %d of %d carried clauses", carry.CarriedKept, carry.Carried)
+			}
+			if len(carry.Added) == 0 {
+				return
+			}
+			if cn, pn := netlistOf(t, carry), netlistOf(t, plain); cn != pn {
+				t.Errorf("netlists diverge:\n--- carry ---\n%s--- no carry ---\n%s", cn, pn)
+			}
+		})
+	}
+}
+
 // TestRepairSymbolicExplicitIdentical pins the engine-abstraction
 // contract on the repair loop: scoring candidates with the symbolic
 // existence-only MC counter selects byte-identical results to the

@@ -89,24 +89,92 @@ func allowedEdge(f, t Label) (ok, delayed bool) {
 // with the given name. It fails when the labelling violates the edge
 // rules or input properness, or when the new graph is inconsistent.
 func Expand(g *sg.Graph, labels []Label, name string) (*sg.Graph, error) {
+	ng, _, err := expand(g, labels, name)
+	return ng, err
+}
+
+// expand is Expand returning, additionally, the image map used by
+// cross-round learnt-clause carrying: images[s] is the index of old
+// state s in G′ when exactly one of its layers is reachable, and -1
+// when the state was split into both x-layers (or is unreachable).
+// Label constraints on an unsplit state have a natural counterpart on
+// its unique image, which is what makes remapped learnt clauses worth
+// offering to the next round's solver.
+func expand(g *sg.Graph, labels []Label, name string) (*sg.Graph, []int, error) {
+	return expandInto(g, labels, name, nil)
+}
+
+// expandScratch holds the reusable backing arrays of one expansion.
+// A graph built on a scratch aliases its memory and stays valid only
+// until the scratch's next use: callers must detach (deep-copy) any
+// expansion that outlives the scoring pass that built it.
+type expandScratch struct {
+	states []sg.State
+	succ   []sg.Edge
+	pred   []sg.Edge
+	idx    []int32
+	order  []int32
+}
+
+func (scr *expandScratch) ensure(n, nEdges int) {
+	if cap(scr.states) < 2*n {
+		scr.states = make([]sg.State, 0, 2*n)
+	}
+	scr.states = scr.states[:0]
+	if len(scr.succ) < 2*(nEdges+n) {
+		scr.succ = make([]sg.Edge, 2*(nEdges+n))
+		scr.pred = make([]sg.Edge, 2*(nEdges+n))
+	}
+	if len(scr.idx) < 2*n {
+		scr.idx = make([]int32, 2*n)
+	}
+	if cap(scr.order) < 2*n {
+		scr.order = make([]int32, 0, 2*n)
+	}
+	scr.order = scr.order[:0]
+}
+
+// detachGraph deep-copies a scratch-backed expansion so it survives the
+// scratch's reuse by later chunks.
+func detachGraph(g *sg.Graph) *sg.Graph {
+	total := 0
+	for i := range g.States {
+		total += len(g.States[i].Succ) + len(g.States[i].Pred)
+	}
+	buf := make([]sg.Edge, 0, total)
+	states := make([]sg.State, len(g.States))
+	for i := range g.States {
+		st := &g.States[i]
+		o := len(buf)
+		buf = append(buf, st.Succ...)
+		s2 := buf[o:len(buf):len(buf)]
+		o = len(buf)
+		buf = append(buf, st.Pred...)
+		p2 := buf[o:len(buf):len(buf)]
+		states[i] = sg.State{Code: st.Code, Succ: s2, Pred: p2}
+	}
+	return &sg.Graph{Signals: g.Signals, Input: g.Input, States: states, Initial: g.Initial, Name: g.Name}
+}
+
+func expandInto(g *sg.Graph, labels []Label, name string, scr *expandScratch) (*sg.Graph, []int, error) {
 	if len(labels) != g.NumStates() {
-		return nil, fmt.Errorf("encode: %d labels for %d states", len(labels), g.NumStates())
+		return nil, nil, fmt.Errorf("encode: %d labels for %d states", len(labels), g.NumStates())
 	}
 	if g.NumSignals() >= 64 {
-		return nil, fmt.Errorf("encode: signal limit reached")
+		return nil, nil, fmt.Errorf("encode: signal limit reached")
 	}
 	if g.SignalIndex(name) >= 0 {
-		return nil, fmt.Errorf("encode: signal name %q already exists", name)
+		return nil, nil, fmt.Errorf("encode: signal name %q already exists", name)
 	}
 	for s, st := range g.States {
 		for _, e := range st.Succ {
 			ok, delayed := allowedEdge(labels[s], labels[e.To])
 			if !ok {
-				return nil, fmt.Errorf("encode: edge s%d(%s)→s%d(%s) violates the label cycle",
+				return nil, nil, fmt.Errorf("encode: edge s%d(%s)→s%d(%s) violates the label cycle",
 					s, labels[s], e.To, labels[e.To])
 			}
 			if delayed && g.Input[e.Signal] {
-				return nil, fmt.Errorf("encode: input transition %s%s on delayed edge s%d→s%d",
+				return nil, nil, fmt.Errorf("encode: input transition %s%s on delayed edge s%d→s%d",
 					g.Signals[e.Signal], e.Dir, s, e.To)
 			}
 		}
@@ -120,68 +188,119 @@ func Expand(g *sg.Graph, labels []Label, name string) (*sg.Graph, error) {
 	}
 
 	// States are (original state, x value) pairs, created on demand
-	// during forward reachability.
-	type key struct {
-		s int
-		x bool
+	// during forward reachability. The pair is a flat index 2s+x into a
+	// dense table — this runs once per scored candidate, so no maps.
+	// The state table and both adjacency lists are carved out of
+	// preallocated backings: state (s,x) gets at most deg(s)+1 edges per
+	// direction (the original transitions stay in their layer, plus x's
+	// own transition), so append never reallocates on this hot path.
+	n := g.NumStates()
+	nEdges := 0
+	for s := range g.States {
+		nEdges += len(g.States[s].Succ)
 	}
-	idx := map[key]int{}
-	var order []key
-	intern := func(k key) int {
-		if i, ok := idx[k]; ok {
+	var (
+		succBuf, predBuf []sg.Edge
+		idx, order       []int32
+	)
+	if scr != nil {
+		scr.ensure(n, nEdges)
+		ng.States = scr.states
+		succBuf, predBuf = scr.succ, scr.pred
+		idx = scr.idx[:2*n]
+		order = scr.order
+	} else {
+		ng.States = make([]sg.State, 0, 2*n)
+		succBuf = make([]sg.Edge, 2*(nEdges+n))
+		predBuf = make([]sg.Edge, 2*(nEdges+n))
+		idx = make([]int32, 2*n)
+		order = make([]int32, 0, n+n/2)
+	}
+	soff, poff := 0, 0
+	for i := range idx {
+		idx[i] = -1
+	}
+	intern := func(k int32) int32 {
+		if i := idx[k]; i >= 0 {
 			return i
 		}
-		code := g.States[k.s].Code
-		if k.x {
+		s := int(k >> 1)
+		code := g.States[s].Code
+		if k&1 == 1 {
 			code |= 1 << uint(xSig)
 		}
-		i := ng.AddState(code)
+		i := int32(ng.AddState(code))
+		st := &ng.States[i]
+		ds := len(g.States[s].Succ) + 1
+		st.Succ = succBuf[soff : soff : soff+ds]
+		soff += ds
+		dp := len(g.States[s].Pred) + 1
+		st.Pred = predBuf[poff : poff : poff+dp]
+		poff += dp
 		idx[k] = i
 		order = append(order, k)
 		return i
 	}
+	b2i := func(b bool) int32 {
+		if b {
+			return 1
+		}
+		return 0
+	}
 
-	start := key{s: g.Initial, x: labels[g.Initial].xValue()}
-	ng.Initial = intern(start)
+	ng.Initial = int(intern(int32(2*g.Initial) + b2i(labels[g.Initial].xValue())))
 
 	for head := 0; head < len(order); head++ {
 		k := order[head]
-		from := idx[k]
-		lab := labels[k.s]
+		s, x := int(k>>1), k&1 == 1
+		from := int(idx[k])
+		lab := labels[s]
 		// x's own transitions.
-		if lab == LR && !k.x {
-			to := intern(key{s: k.s, x: true})
+		if lab == LR && !x {
+			to := int(intern(k | 1))
 			if err := ng.AddEdge(from, to, xSig, sg.Plus); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
-		if lab == LF && k.x {
-			to := intern(key{s: k.s, x: false})
+		if lab == LF && x {
+			to := int(intern(k &^ 1))
 			if err := ng.AddEdge(from, to, xSig, sg.Minus); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 		// Original transitions.
-		for _, e := range g.States[k.s].Succ {
+		for _, e := range g.States[s].Succ {
 			_, delayed := allowedEdge(lab, labels[e.To])
 			if delayed {
 				// up→1 fires only from the x=1 layer; down→0 only from
 				// the x=0 layer.
-				want := labels[e.To].xValue()
-				if k.x != want {
+				if x != labels[e.To].xValue() {
 					continue
 				}
 			}
-			to := intern(key{s: e.To, x: k.x})
+			to := int(intern(int32(2*e.To) + b2i(x)))
 			if err := ng.AddEdge(from, to, e.Signal, e.Dir); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 	}
 	if err := ng.CheckConsistency(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return ng, nil
+	// Image map: old state → its unique new index, -1 when split.
+	images := make([]int, n)
+	for s := 0; s < n; s++ {
+		lo, hi := idx[2*s], idx[2*s+1]
+		switch {
+		case lo >= 0 && hi < 0:
+			images[s] = int(lo)
+		case lo < 0 && hi >= 0:
+			images[s] = int(hi)
+		default:
+			images[s] = -1
+		}
+	}
+	return ng, images, nil
 }
 
 // Strategy selects how the MC violation seeds the SAT instance.
@@ -262,8 +381,44 @@ type Options struct {
 	// explicit per-state scans. The two scorers return identical counts,
 	// so the repair trajectory — and the final netlist — is unchanged.
 	SymbolicMC bool
+	// Portfolio is the width K of the deterministic SAT portfolio
+	// racing each round's queries (0 = auto: a single canonical solver
+	// when the effective worker count is 1, otherwise min(4, workers);
+	// 1 = single canonical solver; clamped to 8). Every model the
+	// portfolio returns comes from the canonical anchor, so K — like
+	// Workers — never changes the synthesized netlist, only how fast
+	// it is reached.
+	Portfolio int
+	// DisableLearntCarry turns off cross-round learnt-clause carrying.
+	// Carried clauses are re-certified against the next round's own
+	// formula by reverse unit propagation, so carrying never changes
+	// which labellings are enumerated — this switch exists for the
+	// differential test that proves it.
+	DisableLearntCarry bool
 	// Trace receives progress lines when non-nil.
 	Trace func(string)
+}
+
+// portfolioWidth resolves Options.Portfolio against the effective
+// worker count.
+func (o *Options) portfolioWidth() int {
+	k := o.Portfolio
+	if k == 0 {
+		if w := par.Workers(o.Workers); w <= 1 {
+			k = 1
+		} else if w < 4 {
+			k = w
+		} else {
+			k = 4
+		}
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > 8 {
+		k = 8
+	}
+	return k
 }
 
 func (o *Options) fill() {
@@ -288,8 +443,22 @@ type Result struct {
 
 	// Search-pruning tallies over the whole run.
 	Candidates int // label vectors actually expanded and scored
-	Deduped    int // models skipped because an identical label vector was already scored this round
+	Deduped    int // models skipped because they (or their mirror) were already scored this round
 	Pruned     int // candidates abandoned by the branch-and-bound scoring budget
+
+	// Cross-round clause carrying tallies.
+	Carried     int // remapped learnt clauses offered to a later round's solver
+	CarriedKept int // offered clauses the receiving solver certified and kept
+
+	// Symmetry-breaking tallies.
+	SymmetryPairs   int // interchangeable state pairs detected
+	SymmetryClauses int // lex-leader clauses added
+
+	// SAT aggregates search counters over every round and every
+	// portfolio member; Portfolio aggregates the portfolio-level
+	// counters (Wins maps config name to the queries it settled).
+	SAT       sat.Stats
+	Portfolio sat.PortfolioStats
 }
 
 // labelVars holds the CNF variables of one state's label: (v1, v0) with
@@ -329,9 +498,10 @@ func (lv labelVars) lits(l Label) (sat.Lit, sat.Lit) {
 // part of the formula — they are passed to Solve as assumptions
 // (assumptionsFor), so a single solver serves every conflict and
 // strategy of one repair round and the clauses it learns carry across
-// all of them instead of being rediscovered per pair.
-func buildCNF(g *sg.Graph) (*sat.Solver, []labelVars) {
-	s := sat.New()
+// all of them instead of being rediscovered per pair. The label
+// variables are allocated first — state i holds (2i+1, 2i+2) — which
+// is the contract cross-round clause remapping relies on.
+func buildCNF(s *sat.Portfolio, g *sg.Graph) []labelVars {
 	vars := make([]labelVars, g.NumStates())
 	for i := range vars {
 		vars[i] = labelVars{v1: s.NewVar(), v0: s.NewVar()}
@@ -371,7 +541,117 @@ func buildCNF(g *sg.Graph) (*sat.Solver, []labelVars) {
 	}
 	s.AddClause(ups...)
 	s.AddClause(downs...)
-	return s, vars
+	return vars
+}
+
+// interchangeablePairs finds pairs of states (i, j), i < j, whose
+// transposition is a symmetry of the whole round: equal binary codes,
+// neither is the initial state, swapping them is a graph automorphism
+// (their incident edges map onto each other), and every conflict of the
+// round treats them alike (same er / wit membership). Swapping the
+// labels of such a pair turns any valid labelling into another valid
+// labelling with the same score, the same expansion size and the same
+// compatibility with every strategy seed of the round — so the solver
+// may be restricted to the lexicographically least member of each
+// orbit without losing any distinct repair.
+func interchangeablePairs(g *sg.Graph, confl []conflict) [][2]int {
+	n := g.NumStates()
+	byCode := make(map[uint64][]int, n)
+	for i := 0; i < n; i++ {
+		byCode[g.States[i].Code] = append(byCode[g.States[i].Code], i)
+	}
+	// Exact conflict-membership signature per state: one byte per
+	// conflict, er bit and wit bit.
+	sig := make([][]byte, n)
+	for i := range sig {
+		sig[i] = make([]byte, len(confl))
+	}
+	for k, c := range confl {
+		for _, s := range c.er {
+			sig[s][k] |= 1
+		}
+		for _, s := range c.wit {
+			sig[s][k] |= 2
+		}
+	}
+	var out [][2]int
+	for i := 0; i < n; i++ {
+		group := byCode[g.States[i].Code]
+		for _, j := range group {
+			if j <= i || i == g.Initial || j == g.Initial {
+				continue
+			}
+			if string(sig[i]) != string(sig[j]) {
+				continue
+			}
+			if swapIsAutomorphism(g, i, j) {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}
+
+// swapIsAutomorphism reports whether exchanging states i and j maps the
+// edge set onto itself: every successor and predecessor edge of i must
+// have the φ-image edge at j and vice versa, where φ swaps i and j and
+// fixes everything else.
+func swapIsAutomorphism(g *sg.Graph, i, j int) bool {
+	phi := func(s int) int {
+		switch s {
+		case i:
+			return j
+		case j:
+			return i
+		}
+		return s
+	}
+	key := func(e sg.Edge, mapTo bool) int64 {
+		to := e.To
+		if mapTo {
+			to = phi(to)
+		}
+		return int64(to)<<16 | int64(e.Signal)<<2 | int64(e.Dir&3)
+	}
+	match := func(a, b []sg.Edge) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		ka := make([]int64, len(a))
+		kb := make([]int64, len(b))
+		for x := range a {
+			ka[x] = key(a[x], true) // φ-image of i's edges...
+			kb[x] = key(b[x], false)
+		}
+		sort.Slice(ka, func(x, y int) bool { return ka[x] < ka[y] })
+		sort.Slice(kb, func(x, y int) bool { return kb[x] < kb[y] })
+		for x := range ka {
+			if ka[x] != kb[x] {
+				return false
+			}
+		}
+		return true
+	}
+	return match(g.States[i].Succ, g.States[j].Succ) &&
+		match(g.States[i].Pred, g.States[j].Pred)
+}
+
+// addSymmetryClauses restricts each interchangeable pair (i, j) to
+// label(i) ≤ label(j) in the (v1, v0) 2-bit order via lex-leader
+// clauses, so the solver never enumerates both members of a swap
+// orbit. Returns the number of pairs broken and clauses added.
+func addSymmetryClauses(s *sat.Portfolio, vars []labelVars, pairs [][2]int) (int, int) {
+	clauses := 0
+	for _, p := range pairs {
+		a, b := vars[p[0]], vars[p[1]]
+		a1, a0 := sat.Lit(a.v1), sat.Lit(a.v0)
+		b1, b0 := sat.Lit(b.v1), sat.Lit(b.v0)
+		s.AddClause(a1.Neg(), b1)
+		s.AddClause(a1.Neg(), b1.Neg(), a0.Neg(), b0)
+		s.AddClause(a1, b1, a0.Neg(), b0)
+		clauses += 3
+	}
+	return len(pairs), clauses
 }
 
 // conflict is one separation problem for the inserted signal: the states
@@ -479,6 +759,7 @@ func Repair(g *sg.Graph, opts Options) (*Result, error) {
 	}
 
 	res := &Result{G: g}
+	var carried [][]sat.Lit // remapped learnt clauses from the previous round
 	for round := 0; ; round++ {
 		rsp := obs.Start("repair.round", obs.A("round", round), obs.A("spec", g.Name))
 		rep := core.NewAnalyzerN(res.G, opts.Workers).CheckGraph()
@@ -519,36 +800,81 @@ func Repair(g *sg.Graph, opts Options) (*Result, error) {
 			}
 		}
 		hot = append(hot, name)
-		search := newRoundSearch(res.G, name, opts, hot)
+		search := newRoundSearch(res.G, name, opts, hot, confl)
+		if len(carried) > 0 {
+			// Rehydrate: the previous round's learnt clauses, remapped
+			// onto this round's variables, re-certified against this
+			// round's own formula by reverse unit propagation. Clauses
+			// the new formula does not entail are dropped at the door,
+			// so carrying is a pure accelerator.
+			kept, _ := search.solver.ImportLearnts(carried)
+			res.Carried += len(carried)
+			res.CarriedKept += kept
+			trace(fmt.Sprintf("round %d: carried %d learnt clauses, %d certified", round, len(carried), kept))
+		}
 		best, bestScore, bestStrat := (*sg.Graph)(nil), cur, Free
-		for _, c := range confl {
-			for _, strat := range opts.Strategies {
-				g2, count := search.tryInsert(c, confl, strat, cur)
-				better := g2 != nil && (count < bestScore || best == nil ||
-					(count == bestScore && g2.NumStates() < best.NumStates()))
-				if g2 != nil && better {
-					best, bestScore, bestStrat = g2, count, strat
-					trace(fmt.Sprintf("  %s via %s: %d conflicts left (%d states)",
-						c.label, strat, count, g2.NumStates()))
-					if count == 0 {
-						break
+		var bestLabels []Label
+		sweep := func() {
+			for _, c := range confl {
+				for _, strat := range opts.Strategies {
+					g2, labels, count := search.tryInsert(c, confl, strat, cur)
+					better := g2 != nil && (count < bestScore || best == nil ||
+						(count == bestScore && g2.NumStates() < best.NumStates()))
+					if g2 != nil && better {
+						best, bestLabels, bestScore, bestStrat = g2, labels, count, strat
+						trace(fmt.Sprintf("  %s via %s: %d conflicts left (%d states)",
+							c.label, strat, count, g2.NumStates()))
+						if count == 0 {
+							break
+						}
 					}
 				}
+				if bestScore == 0 {
+					break
+				}
 			}
-			if bestScore == 0 {
-				break
-			}
+		}
+		sweep()
+		switch {
+		case best == nil:
+			// The fast sweep's stall cutoff found nothing. Before declaring
+			// the round unrepairable, sweep again without the cutoff or the
+			// per-pair model cap: global blocking means the rescue pass
+			// resumes each pair's enumeration exactly where the fast pass
+			// abandoned it, so no candidate is scored twice. The trigger is
+			// itself deterministic, so the two-tier search stays
+			// reproducible at any worker count.
+			search.noStall, search.uncap = true, true
+			trace(fmt.Sprintf("round %d: fast sweep stalled, rescanning exhaustively", round))
+			sweep()
+		case bestScore > 0 && search.models < smallRound:
+			// The fast sweep was cheap (the label space is nearly
+			// exhausted at a handful of models per pair) yet no candidate
+			// reached zero conflicts. On instances this small the stall
+			// cutoff saves nothing but can cost real quality — the paper's
+			// single-signal repairs hide past the cutoff horizon — so
+			// finish the enumeration under the ordinary model cap.
+			search.noStall = true
+			trace(fmt.Sprintf("round %d: small round (%d models), rescanning without cutoff", round, search.models))
+			sweep()
 		}
 		res.Models += search.models
 		res.Candidates += search.candidates
 		res.Deduped += search.deduped
 		res.Pruned += search.pruned
-		publishSAT(search.solver)
+		res.SymmetryPairs += search.symPairs
+		res.SymmetryClauses += search.symClauses
+		res.SAT.Add(search.solver.Stats())
+		res.Portfolio.Add(search.solver.PStats())
 		if best == nil {
 			rsp.End()
 			publishRepair(res, round)
 			return nil, fmt.Errorf("encode: no insertion reduces the %d %s conflicts of %s",
 				len(confl), targetName, res.G.Name)
+		}
+		carried = nil
+		if !opts.DisableLearntCarry {
+			carried = search.carryOut(bestLabels, name)
 		}
 		res.G = best
 		res.Added = append(res.Added, name)
@@ -557,6 +883,58 @@ func Repair(g *sg.Graph, opts Options) (*Result, error) {
 		rsp.SetAttr("strategy", bestStrat.String())
 		rsp.End()
 	}
+}
+
+// Cross-round carry caps: only short, low-LBD clauses are worth
+// remapping and re-certifying against the grown formula.
+const (
+	carryMaxLen = 10
+	carryMaxLBD = 8
+	carryMax    = 1024
+)
+
+// carryOut exports the round's learnt knowledge and remaps it onto the
+// variable space of the NEXT round, whose CNF is built over the chosen
+// expansion: old state s maps to label variables (2s+1, 2s+2), its
+// unique image i in the expanded graph to (2i+1, 2i+2). Clauses
+// touching split states, auxiliary variables, or round-local blocking
+// knowledge that does not survive the remap are dropped here; whatever
+// the next formula does not entail is dropped by its own import
+// certification.
+func (rs *roundSearch) carryOut(labels []Label, name string) [][]sat.Lit {
+	if labels == nil {
+		return nil
+	}
+	_, images, err := expand(rs.g, labels, name)
+	if err != nil {
+		return nil
+	}
+	exported := rs.solver.ExportLearnts(carryMaxLen, carryMaxLBD, carryMax)
+	maxVar := 2 * rs.g.NumStates()
+	out := make([][]sat.Lit, 0, len(exported))
+next:
+	for _, cl := range exported {
+		mapped := make([]sat.Lit, len(cl))
+		for i, l := range cl {
+			v := l.Var()
+			if v > maxVar {
+				continue next // auxiliary up/down variable
+			}
+			state := (v - 1) / 2
+			img := images[state]
+			if img < 0 {
+				continue next // split state: no unique counterpart
+			}
+			nv := 2*img + 1 + (v-1)%2
+			if l.Sign() {
+				mapped[i] = sat.Lit(nv)
+			} else {
+				mapped[i] = sat.Lit(-nv)
+			}
+		}
+		out = append(out, mapped)
+	}
+	return out
 }
 
 // publishRepair reports one repair run's tallies to the observability
@@ -573,20 +951,43 @@ func publishRepair(res *Result, rounds int) {
 	m.Counter("encode_candidates_total").Add(int64(res.Candidates))
 	m.Counter("encode_candidates_deduped_total").Add(int64(res.Deduped))
 	m.Counter("encode_candidates_pruned_total").Add(int64(res.Pruned))
+	m.Counter("encode_learnts_carried_total").Add(int64(res.Carried))
+	m.Counter("encode_learnts_carried_kept_total").Add(int64(res.CarriedKept))
+	m.Counter("encode_symmetry_pairs_total").Add(int64(res.SymmetryPairs))
+	m.Counter("encode_symmetry_clauses_total").Add(int64(res.SymmetryClauses))
+	publishSAT(res)
 }
 
-// publishSAT accumulates one solver's search statistics (a no-op
-// without an enabled observer).
-func publishSAT(s *sat.Solver) {
+// publishSAT reports the run's SAT search statistics, aggregated over
+// every round and every portfolio member — a single round can race
+// several solvers, and a run spans several rounds, so per-solver
+// snapshots would systematically under-count (a no-op without an
+// enabled observer).
+func publishSAT(res *Result) {
 	o := obs.Get()
 	if o == nil {
 		return
 	}
 	m := o.Metrics
-	m.Counter("sat_decisions_total").Add(s.Decisions)
-	m.Counter("sat_propagations_total").Add(s.Propagations)
-	m.Counter("sat_conflicts_total").Add(s.Conflicts)
-	m.Counter("sat_restarts_total").Add(s.Restarts)
+	m.Counter("sat_decisions_total").Add(res.SAT.Decisions)
+	m.Counter("sat_propagations_total").Add(res.SAT.Propagations)
+	m.Counter("sat_conflicts_total").Add(res.SAT.Conflicts)
+	m.Counter("sat_restarts_total").Add(res.SAT.Restarts)
+	ps := res.Portfolio
+	m.Counter("sat_portfolio_queries_total").Add(ps.Queries)
+	m.Counter("sat_portfolio_escalated_total").Add(ps.Escalated)
+	m.Counter("sat_portfolio_epochs_total").Add(ps.Epochs)
+	m.Counter("sat_learnts_exchanged_total").Add(ps.Exchanged)
+	m.Counter("sat_learnts_import_kept_total").Add(ps.ImpKept)
+	m.Counter("sat_learnts_import_dropped_total").Add(ps.ImpDropped)
+	names := make([]string, 0, len(ps.Wins))
+	for name := range ps.Wins { //reprolint:ordered keys are sorted before use
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m.Counter("sat_portfolio_wins_total", "config", name).Add(ps.Wins[name])
+	}
 }
 
 // freshSignalName picks a state-signal name not colliding with any
@@ -606,37 +1007,79 @@ func freshSignalName(g *sg.Graph, k int) string {
 	}
 }
 
-// scoreChunk is the number of unique candidate labellings enumerated
-// between scoring fan-outs. It is a fixed constant — NOT a function of
-// the worker count — so sequential (Workers=1) and parallel runs
-// enumerate exactly the same models, prune with exactly the same
-// budgets, and select byte-identical candidates.
-const scoreChunk = 16
+// scoreChunkMax caps the number of unique candidate labellings
+// enumerated between scoring fan-outs. Chunks follow the progressive
+// schedule 1, 2, 4, 8, 16, 16, … (chunkSize): the first candidates are
+// scored almost immediately, so the incumbent — and with it the
+// branch-and-bound budget every later candidate is scored under —
+// tightens as early as possible. The schedule is a fixed function of
+// the chunk index — NOT of the worker count — so sequential and
+// parallel runs enumerate exactly the same models, prune with exactly
+// the same budgets, and select byte-identical candidates.
+const scoreChunkMax = 16
+
+func chunkSize(idx int) int {
+	if idx < 4 {
+		return 1 << uint(idx)
+	}
+	return scoreChunkMax
+}
+
+// stallWindow stops a pair's enumeration after this many consecutively
+// scored unique candidates without an improvement of the incumbent.
+// Like the chunk schedule it is a pure function of the canonical model
+// sequence, so the cutoff is identical at every worker count.
+const stallWindow = 8
+
+// smallRound is the fast-sweep model count below which a round that
+// failed to reach zero conflicts is re-swept without the stall cutoff:
+// an instance whose whole round enumerates this few labellings is cheap
+// to finish exhaustively, and on such instances the cutoff is the only
+// thing standing between the search and the paper's minimal insertions.
+const smallRound = 200
 
 // roundSearch is the candidate-evaluation engine of one repair round.
-// It owns the round's single SAT solver (built once from the graph;
+// It owns the round's SAT portfolio (built once from the graph;
 // per-strategy seeds are assumptions, so learned clauses carry across
-// every conflict and strategy of the round), the seen-set that dedupes
-// identical label vectors across strategies, and the pruning tallies.
+// every conflict and strategy of the round), the mirror-canonical
+// seen-set that dedupes equivalent label vectors across strategies,
+// and the pruning tallies.
 type roundSearch struct {
 	g    *sg.Graph
 	name string
 	opts Options
 
-	solver    *sat.Solver
+	solver    *sat.Portfolio
 	vars      []labelVars
 	blockVars []int
-	seen      map[string]struct{} // label vectors already scored this round
+	seen      map[string]struct{} // canonical label-vector keys scored this round
 	hot       []string            // scan-first signals for budgeted scoring
 
 	models     int // SAT models enumerated
 	candidates int // unique label vectors expanded and scored
-	deduped    int // models skipped by the seen-set
+	deduped    int // models skipped by the mirror-canonical seen-set
 	pruned     int // candidates abandoned at the scoring budget
+
+	symPairs   int // interchangeable state pairs broken
+	symClauses int // lex-leader clauses added
+
+	// noStall disables the stall cutoff for a rescue sweep; uncap
+	// additionally lifts the per-pair model cap for the exhaustive
+	// rescue of a round whose fast sweep found no candidate at all.
+	noStall bool
+	uncap   bool
+
+	// scratch holds one set of reusable expansion buffers per chunk
+	// slot: slot i is touched only by the worker scoring chunk item i,
+	// and a chunk never exceeds scoreChunkMax candidates. Graphs kept
+	// beyond a chunk's reduction are detached from their slot first.
+	scratch [scoreChunkMax]expandScratch
 }
 
-func newRoundSearch(g *sg.Graph, name string, opts Options, hot []string) *roundSearch {
-	solver, vars := buildCNF(g)
+func newRoundSearch(g *sg.Graph, name string, opts Options, hot []string, confl []conflict) *roundSearch {
+	solver := sat.NewPortfolio(sat.DefaultConfigs(opts.portfolioWidth()), opts.Workers)
+	vars := buildCNF(solver, g)
+	pairs, clauses := addSymmetryClauses(solver, vars, interchangeablePairs(g, confl))
 	blockVars := make([]int, 0, 2*len(vars))
 	for _, lv := range vars {
 		blockVars = append(blockVars, lv.v1, lv.v0)
@@ -645,7 +1088,27 @@ func newRoundSearch(g *sg.Graph, name string, opts Options, hot []string) *round
 		g: g, name: name, opts: opts,
 		solver: solver, vars: vars, blockVars: blockVars,
 		seen: make(map[string]struct{}), hot: hot,
+		symPairs: pairs, symClauses: clauses,
 	}
+}
+
+// canonicalKey returns the lexicographically smaller of a label
+// vector's key and its mirror's key. The mirror labelling — 0↔1,
+// up↔down — is always valid when the original is (the label cycle and
+// its delayed edges map onto themselves), expands to an isomorphic
+// graph with the inserted signal's polarity inverted, and scores
+// identically; under the strict-improvement selection rule a mirror
+// can therefore never displace its twin, so scoring one member of
+// each mirror orbit is enough.
+func canonicalKey(key []byte) string {
+	mirror := make([]byte, len(key))
+	for i, b := range key {
+		mirror[i] = (b + 2) & 3 // L0↔L1, LR↔LF
+	}
+	if string(mirror) < string(key) {
+		return string(mirror)
+	}
+	return string(key)
 }
 
 // scored is one candidate's verdict. A nil graph marks an invalid
@@ -662,9 +1125,11 @@ type scored struct {
 // abandoning the count at budget (candidates at or above the incumbent
 // can never be selected, so their exact count is irrelevant). It runs
 // on pool workers: everything it touches is either task-local or a
-// read-only view of the round's graph.
-func (rs *roundSearch) score(labels []Label, budget int) scored {
-	g2, err := Expand(rs.g, labels, rs.name)
+// read-only view of the round's graph. The scratch is owned by this
+// call for its duration (one chunk slot, one worker); the returned
+// graph aliases it and must be detached if it outlives the chunk.
+func (rs *roundSearch) score(labels []Label, budget int, scr *expandScratch) scored {
+	g2, _, err := expandInto(rs.g, labels, rs.name, scr)
 	if err != nil {
 		return scored{}
 	}
@@ -686,23 +1151,37 @@ func (rs *roundSearch) score(labels []Label, budget int) scored {
 // tryInsert enumerates labellings for one conflict and strategy,
 // returning the expanded graph with the lowest remaining conflict
 // count (only when strictly below the current score; ties broken
-// towards smaller expansions) and that count. Model enumeration stays
-// serial on the round's shared solver — it is cheap next to scoring —
-// while each chunk of unique models fans its Expand + semi-modularity
-// + conflict-count scoring out over the worker pool. The reduction
-// walks candidates in model order with budgets fixed at chunk
-// boundaries, so the selection is deterministic regardless of worker
-// count or completion order.
-func (rs *roundSearch) tryInsert(c conflict, all []conflict, strat Strategy, target int) (*sg.Graph, int) {
+// towards smaller expansions), its labelling, and that count. Model
+// enumeration stays serial on the round's shared portfolio — it is
+// cheap next to scoring — while each chunk of unique models fans its
+// Expand + semi-modularity + conflict-count scoring out over the
+// worker pool. The reduction walks candidates in model order with
+// budgets fixed at chunk boundaries, so the selection is deterministic
+// regardless of worker count or completion order.
+//
+// Blocking is global: the canonical anchor enumerates each labelling
+// of the round exactly once, whichever pair first reaches it, and
+// later pairs' enumerations resume past everything already blocked
+// instead of re-deriving (and re-blocking) the same models under a
+// fresh selector. The seen-set still guards scoring — mirror twins
+// arrive as distinct models but share a canonical key.
+func (rs *roundSearch) tryInsert(c conflict, all []conflict, strat Strategy, target int) (*sg.Graph, []Label, int) {
 	solver, vars := rs.solver, rs.vars
 	assume := assumptionsFor(strat, c, vars)
+	if strat == Free {
+		// Mirror-orbit pin: every labelling or its mirror puts state 0
+		// in {0, up} (¬v1), and the Free enumeration — whose empty seed
+		// is mirror-symmetric — loses nothing by only visiting that
+		// half of the space. Seeded strategies break the symmetry, so
+		// only Free may pin.
+		assume = append(assume, sat.Lit(-vars[0].v1))
+	}
 
 	// Each pair's search starts from virgin branching heuristics: saved
 	// phases from a previous pair's enumeration would otherwise steer
-	// the early models into that pair's region of the label space, and
-	// the quality of the first few models is what makes MaxModels a
-	// usable cutoff. Learned clauses are kept — they are consequences of
-	// the base formula and only speed the search up.
+	// the racers' early models into that pair's region of the label
+	// space. The canonical anchor is unaffected — its answers never
+	// depend on search state — and learned clauses are kept everywhere.
 	solver.ResetSearch()
 
 	// Packing strategies: greedily commit the separation constraints of
@@ -710,7 +1189,7 @@ func (rs *roundSearch) tryInsert(c conflict, all []conflict, strat Strategy, tar
 	// signal repairs as many conflicts as possible.
 	if strat == PackLow || strat == PackHigh {
 		if !solver.Solve(assume...) {
-			return nil, target
+			return nil, nil, target
 		}
 		for i := range all {
 			c2 := all[i]
@@ -727,21 +1206,33 @@ func (rs *roundSearch) tryInsert(c conflict, all []conflict, strat Strategy, tar
 		}
 	}
 
-	// Fresh selector variable per enumeration: blocking clauses carry
-	// its negation, so they bite only under this enumeration's
-	// assumptions and earlier enumerations don't censor this one.
-	sel := sat.Lit(solver.NewVar())
-	enum := append(append([]sat.Lit(nil), assume...), sel)
-
 	var best *sg.Graph
+	var bestLabels []Label
 	bestCount := target
 	models, maxModels := 0, rs.opts.MaxModels
 	exhausted, stop := false, false
-	for !stop && !exhausted && models < maxModels {
-		// Enumerate the next chunk of unique label vectors.
+	stall := 0
+	window := stallWindow
+	if rs.noStall {
+		window = int(^uint(0) >> 1)
+	}
+	if rs.uncap {
+		// Exhaustive rescue: press each pair's enumeration to exhaustion
+		// before giving the round up.
+		maxModels = int(^uint(0) >> 1)
+	}
+	for chunkIdx := 0; !stop && !exhausted && models < maxModels && stall < window; chunkIdx++ {
+		// Enumerate the next chunk of unique label vectors. The chunk is
+		// capped by the remaining stall allowance: a pair that has gone
+		// window-1 candidates without improving may enumerate only one
+		// more, not a full chunk, so the cutoff cannot overshoot.
+		limit := chunkSize(chunkIdx)
+		if rem := window - stall; rem < limit {
+			limit = rem
+		}
 		var chunk [][]Label
-		for models < maxModels && len(chunk) < scoreChunk {
-			if !solver.Solve(enum...) {
+		for models < maxModels && len(chunk) < limit {
+			if !solver.Solve(assume...) {
 				exhausted = true
 				break
 			}
@@ -753,17 +1244,17 @@ func (rs *roundSearch) tryInsert(c conflict, all []conflict, strat Strategy, tar
 				labels[i] = labelOf(m, lv)
 				key[i] = byte(labels[i])
 			}
-			if !solver.BlockModelWith(sel.Neg(), rs.blockVars...) {
+			if !solver.BlockModel(rs.blockVars...) {
 				exhausted = true
 			}
-			if _, dup := rs.seen[string(key)]; dup {
-				// The same model routinely reappears under PackLow /
-				// PackHigh / Free; its first scoring already speaks for
-				// it in this round's selection.
+			ck := canonicalKey(key)
+			if _, dup := rs.seen[ck]; dup {
+				// A mirror twin of an already-scored labelling: its
+				// orbit already speaks for it in this round's selection.
 				rs.deduped++
 				continue
 			}
-			rs.seen[string(key)] = struct{}{}
+			rs.seen[ck] = struct{}{}
 			chunk = append(chunk, labels)
 		}
 		if len(chunk) == 0 {
@@ -779,43 +1270,48 @@ func (rs *roundSearch) tryInsert(c conflict, all []conflict, strat Strategy, tar
 		budget := bestCount + 1
 		scores := make([]scored, len(chunk))
 		par.ForEachHook(len(chunk), rs.opts.Workers, func(i int) {
-			scores[i] = rs.score(chunk[i], budget)
+			scores[i] = rs.score(chunk[i], budget, &rs.scratch[i])
 		}, obs.TaskHook("encode.score"))
 		rs.candidates += len(chunk)
-		for _, sc := range scores {
-			if sc.g == nil {
-				continue
+		chunkImproved := false
+		for i, sc := range scores {
+			improved := false
+			if sc.g != nil {
+				switch {
+				case sc.pruned:
+					rs.pruned++
+				case sc.count >= budget:
+					// Exact but not competitive (CSC scoring is never
+					// truncated); above the chunk budget it can beat no
+					// incumbent this reduction reaches.
+				case sc.count < bestCount || (best != nil && sc.count == bestCount && sc.g.NumStates() < best.NumStates()):
+					best, bestLabels, bestCount = sc.g, chunk[i], sc.count
+					improved = true
+					chunkImproved = true
+				}
 			}
-			if sc.pruned {
-				rs.pruned++
-				continue
-			}
-			if sc.count >= budget {
-				// Exact but not competitive (CSC scoring is never
-				// truncated); above the chunk budget it can beat no
-				// incumbent this reduction reaches.
-				continue
-			}
-			if sc.count < bestCount || (best != nil && sc.count == bestCount && sc.g.NumStates() < best.NumStates()) {
-				best, bestCount = sc.g, sc.count
-				if sc.count == 0 && sc.g.NumStates() <= rs.g.NumStates()+2 {
+			if improved {
+				stall = 0
+				if bestCount == 0 && best.NumStates() <= rs.g.NumStates()+2 {
 					stop = true // minimal possible insertion footprint
 					break
 				}
+			} else if sc.g != nil {
+				// Only valid-but-uncompetitive candidates spend the stall
+				// budget: invalid labellings fail in Expand long before
+				// the conflict count runs, so they say nothing about
+				// whether this pair's region is worth mining further.
+				stall++
 			}
 		}
+		if chunkImproved {
+			// The incumbent aliases a chunk slot's scratch; detach it
+			// before the next chunk's scoring overwrites the slot.
+			best = detachGraph(best)
+		}
 	}
-	// Retire the selector: pinning it false permanently satisfies this
-	// enumeration's blocking clauses and keeps later searches from
-	// branching on it (a phase-saved sel=true branch would re-arm the
-	// blocking clauses and censor models from later enumerations).
-	// Simplify then drops the satisfied blocking clauses outright —
-	// hundreds of full-width clauses per pair would otherwise keep
-	// taxing propagation for the rest of the round.
-	solver.AddClause(sel.Neg())
-	solver.Simplify()
 	rs.models += models
-	return best, bestCount
+	return best, bestLabels, bestCount
 }
 
 // DescribeLabels renders a labelling for diagnostics.

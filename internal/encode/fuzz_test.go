@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/encode"
+	"repro/internal/sg"
 	"repro/internal/stg"
 )
 
@@ -26,10 +27,44 @@ done- p0
 .end
 `
 
-// FuzzExpand throws arbitrary label vectors at Expand. The contract
-// under test: a vector violating the labelling rules (Section V) must
-// come back as an error — never a panic — and any accepted expansion
-// must be a consistent state graph with exactly one more signal.
+// fuzzSpecMulti is the event duplicator — a spec whose repair runs
+// multiple rounds (two inserted state signals). Its repaired graph is
+// the second fuzz target below: label vectors over a graph that is
+// itself the product of cross-round insertion, the exact shape the
+// learnt-clause carrier hands to the next round's CNF.
+const fuzzSpecMulti = `
+.model duplicator
+.inputs a b
+.outputs x y
+.graph
+a+ x+
+x+ a-
+a- x-
+x- a+/2
+a+/2 b+
+b+ x+/2
+x+/2 a-/2
+a-/2 x-/2
+x-/2 a+/3
+a+/3 y+
+y+ a-/3
+a-/3 y-
+y- a+/4
+a+/4 b-
+b- y+/2
+y+/2 a-/4
+a-/4 y-/2
+y-/2 a+
+.marking { <y-/2,a+> }
+.end
+`
+
+// FuzzExpand throws arbitrary label vectors at Expand — both on a flat
+// handshake graph and on a multi-round repaired graph (see
+// fuzzSpecMulti). The contract under test: a vector violating the
+// labelling rules (Section V) must come back as an error — never a
+// panic — and any accepted expansion must be a consistent state graph
+// with exactly one more signal.
 func FuzzExpand(f *testing.F) {
 	net, err := stg.Parse(fuzzSpec)
 	if err != nil {
@@ -40,6 +75,21 @@ func FuzzExpand(f *testing.F) {
 		f.Fatal(err)
 	}
 	n := g.NumStates()
+
+	netM, err := stg.Parse(fuzzSpecMulti)
+	if err != nil {
+		f.Fatal(err)
+	}
+	gm, err := stg.BuildSG(netM)
+	if err != nil {
+		f.Fatal(err)
+	}
+	res, err := encode.Repair(gm, encode.Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	g2 := res.G // duplicator after its multi-round repair
+	n2 := g2.NumStates()
 
 	// Seed with the all-constant vectors and a plausible insertion
 	// shape (rise at the first state, fall halfway).
@@ -61,9 +111,24 @@ func FuzzExpand(f *testing.F) {
 		}
 	}
 	f.Add(mixed)
+	// Seeds sized for the multi-round graph, so the fuzzer starts with
+	// vectors long enough to label every one of its states.
+	f.Add(make([]byte, n2))
+	mixed2 := make([]byte, n2)
+	for i := range mixed2 {
+		switch {
+		case i == 0:
+			mixed2[i] = byte(encode.LR)
+		case i < n2/2:
+			mixed2[i] = byte(encode.L1)
+		case i == n2/2:
+			mixed2[i] = byte(encode.LF)
+		}
+	}
+	f.Add(mixed2)
 
-	f.Fuzz(func(t *testing.T, raw []byte) {
-		labels := make([]encode.Label, n)
+	check := func(t *testing.T, base *sg.Graph, raw []byte) {
+		labels := make([]encode.Label, base.NumStates())
 		for i := range labels {
 			var b byte
 			if i < len(raw) {
@@ -71,18 +136,22 @@ func FuzzExpand(f *testing.F) {
 			}
 			labels[i] = encode.Label(b % 4)
 		}
-		g2, err := encode.Expand(g, labels, "x")
+		ng, err := encode.Expand(base, labels, "fz")
 		if err != nil {
 			return // rejected vectors are fine; panics are not
 		}
-		if g2.NumSignals() != g.NumSignals()+1 {
-			t.Fatalf("accepted expansion has %d signals, want %d", g2.NumSignals(), g.NumSignals()+1)
+		if ng.NumSignals() != base.NumSignals()+1 {
+			t.Fatalf("accepted expansion has %d signals, want %d", ng.NumSignals(), base.NumSignals()+1)
 		}
-		if err := g2.CheckConsistency(); err != nil {
-			t.Fatalf("accepted expansion is inconsistent: %v\nlabels: %s", err, encode.DescribeLabels(g, labels))
+		if err := ng.CheckConsistency(); err != nil {
+			t.Fatalf("accepted expansion is inconsistent: %v\nlabels: %s", err, encode.DescribeLabels(base, labels))
 		}
-		if x := g2.SignalIndex("x"); x < 0 || g2.Input[x] {
+		if x := ng.SignalIndex("fz"); x < 0 || ng.Input[x] {
 			t.Fatal("inserted signal must exist as a non-input")
 		}
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		check(t, g, raw)
+		check(t, g2, raw)
 	})
 }

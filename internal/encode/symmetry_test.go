@@ -1,0 +1,142 @@
+package encode
+
+import (
+	"testing"
+
+	"repro/internal/sat"
+	"repro/internal/sg"
+)
+
+// twinGraph builds a six-state graph whose two parallel-branch states
+// are interchangeable: equal codes, neither initial, and swapping them
+// maps the edge set onto itself. Real Table-1 benchmarks happen to
+// contain no such pair, so the symmetry breaker is exercised on a
+// crafted one. The tail s3→s4→s5→s0 lengthens the cycle so the label
+// cycle has slack: the twins can legally take different labels, which
+// is exactly the orbit the lex-leader clauses must halve.
+//
+//	s0 —a+→ {s1, s2} —a−→ s3 —b+→ s4 —c+→ s5 —d+→ s0
+func twinGraph() *sg.Graph {
+	e := func(sig, to int, d sg.Dir) sg.Edge { return sg.Edge{Signal: sig, Dir: d, To: to} }
+	return &sg.Graph{
+		Signals: []string{"a", "b", "c", "d"},
+		Input:   []bool{false, false, false, false},
+		States: []sg.State{
+			{Code: 0, Succ: []sg.Edge{e(0, 1, sg.Plus), e(0, 2, sg.Plus)}, Pred: []sg.Edge{e(3, 5, sg.Plus)}},
+			{Code: 1, Succ: []sg.Edge{e(0, 3, sg.Minus)}, Pred: []sg.Edge{e(0, 0, sg.Plus)}},
+			{Code: 1, Succ: []sg.Edge{e(0, 3, sg.Minus)}, Pred: []sg.Edge{e(0, 0, sg.Plus)}},
+			{Code: 0, Succ: []sg.Edge{e(1, 4, sg.Plus)}, Pred: []sg.Edge{e(0, 1, sg.Minus), e(0, 2, sg.Minus)}},
+			{Code: 2, Succ: []sg.Edge{e(2, 5, sg.Plus)}, Pred: []sg.Edge{e(1, 3, sg.Plus)}},
+			{Code: 6, Succ: []sg.Edge{e(3, 0, sg.Plus)}, Pred: []sg.Edge{e(2, 4, sg.Plus)}},
+		},
+		Initial: 0,
+		Name:    "twin",
+	}
+}
+
+func TestInterchangeablePairs(t *testing.T) {
+	g := twinGraph()
+	pairs := interchangeablePairs(g, nil)
+	if len(pairs) != 1 || pairs[0] != [2]int{1, 2} {
+		t.Fatalf("pairs = %v, want [[1 2]]", pairs)
+	}
+	// A conflict whose ER holds only one twin distinguishes them: the
+	// swap is no longer a symmetry of the round.
+	pairs = interchangeablePairs(g, []conflict{{er: []int{1}, wit: []int{3}}})
+	if len(pairs) != 0 {
+		t.Fatalf("pairs = %v, want none when a conflict separates the twins", pairs)
+	}
+	// A conflict treating both twins alike keeps the pair.
+	pairs = interchangeablePairs(g, []conflict{{er: []int{1, 2}, wit: []int{0}}})
+	if len(pairs) != 1 {
+		t.Fatalf("pairs = %v, want the twin pair back for a symmetric conflict", pairs)
+	}
+}
+
+// labelBits is the 2-bit (v1, v0) order the lex-leader clauses are
+// stated in: 0 < up < down < 1.
+func labelBits(l Label) int {
+	switch l {
+	case L0:
+		return 0
+	case LR:
+		return 1
+	case LF:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// enumerateLabellings returns every valid labelling of g as a string
+// key, with the symmetry clauses of pairs added when breakSym is set.
+func enumerateLabellings(t *testing.T, g *sg.Graph, pairs [][2]int, breakSym bool) map[string][]Label {
+	t.Helper()
+	s := sat.NewPortfolio(sat.DefaultConfigs(1), 1)
+	vars := buildCNF(s, g)
+	if breakSym {
+		addSymmetryClauses(s, vars, pairs)
+	}
+	blockVars := make([]int, 0, 2*len(vars))
+	for _, lv := range vars {
+		blockVars = append(blockVars, lv.v1, lv.v0)
+	}
+	out := map[string][]Label{}
+	for s.Solve() {
+		m := s.Model()
+		labels := make([]Label, len(vars))
+		key := ""
+		for i, lv := range vars {
+			labels[i] = labelOf(m, lv)
+			key += labels[i].String() + ","
+		}
+		if _, dup := out[key]; dup {
+			t.Fatalf("model enumeration repeated labelling %s", key)
+		}
+		out[key] = labels
+		if !s.BlockModel(blockVars...) {
+			break
+		}
+	}
+	return out
+}
+
+// TestSymmetryClausesLexLeader proves the lex-leader restriction is
+// exactly orbit canonicalization: with the clauses added, the solver
+// enumerates precisely the labellings whose twin pair is in
+// non-decreasing label order, and every excluded labelling is the swap
+// image of an enumerated one.
+func TestSymmetryClausesLexLeader(t *testing.T) {
+	g := twinGraph()
+	pairs := interchangeablePairs(g, nil)
+	if len(pairs) != 1 {
+		t.Fatalf("pairs = %v, want exactly one", pairs)
+	}
+	i, j := pairs[0][0], pairs[0][1]
+	all := enumerateLabellings(t, g, pairs, false)
+	led := enumerateLabellings(t, g, pairs, true)
+	if len(led) >= len(all) {
+		t.Fatalf("symmetry clauses pruned nothing: %d vs %d labellings", len(led), len(all))
+	}
+	for key, l := range led {
+		if _, ok := all[key]; !ok {
+			t.Errorf("restricted enumeration invented labelling %s", key)
+		}
+		if labelBits(l[i]) > labelBits(l[j]) {
+			t.Errorf("labelling %s violates lex-leader order on (%d,%d)", key, i, j)
+		}
+	}
+	for key, l := range all {
+		canon := append([]Label(nil), l...)
+		if labelBits(canon[i]) > labelBits(canon[j]) {
+			canon[i], canon[j] = canon[j], canon[i]
+		}
+		ck := ""
+		for _, cl := range canon {
+			ck += cl.String() + ","
+		}
+		if _, ok := led[ck]; !ok {
+			t.Errorf("orbit of %s lost: canonical form %s not enumerated", key, ck)
+		}
+	}
+}

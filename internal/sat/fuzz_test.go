@@ -1,0 +1,115 @@
+package sat
+
+import (
+	"bytes"
+	"testing"
+)
+
+// decodeCNF turns fuzz bytes into a CNF over n variables: each byte is
+// a literal (0 terminates a clause), giving the fuzzer a dense,
+// crash-friendly encoding.
+func decodeCNF(data []byte, n int) [][]Lit {
+	var cnf [][]Lit
+	var cl []Lit
+	for _, b := range data {
+		if b == 0 || len(cl) >= 6 {
+			if len(cl) > 0 {
+				cnf = append(cnf, cl)
+				cl = nil
+			}
+			continue
+		}
+		v := int(b%byte(n)) + 1
+		l := Lit(v)
+		if b >= 128 {
+			l = -l
+		}
+		cl = append(cl, l)
+	}
+	if len(cl) > 0 {
+		cnf = append(cnf, cl)
+	}
+	return cnf
+}
+
+// FuzzImportLearnts feeds a solver arbitrary foreign clauses — junk,
+// out-of-range variables, tautologies, real exports — and checks the
+// soundness contract: imports never flip the verdict, never change the
+// canonical model, and a full export/import round trip onto the same
+// formula certifies every clause.
+func FuzzImportLearnts(f *testing.F) {
+	f.Add([]byte{1, 2, 0, 129, 3, 0}, []byte{2, 0})
+	f.Add([]byte{5, 0, 133, 0}, []byte{5, 133, 0, 7, 200, 0})
+	f.Add([]byte{1, 130, 0, 2, 131, 0, 3, 129, 0}, []byte{0, 0, 1, 1, 1})
+	f.Add([]byte{}, []byte{255, 254, 253})
+	f.Fuzz(func(t *testing.T, formula, foreign []byte) {
+		const n = 7
+		cnf := decodeCNF(formula, n)
+		junk := decodeCNF(foreign, n+4) // deliberately out of range
+
+		ref := NewWith(Config{Canonical: true})
+		refOK := addAll(ref, n, cnf)
+		refSat := refOK && ref.Solve()
+		var refModel []bool
+		if refSat {
+			refModel = ref.Model()
+		}
+
+		s := NewWith(Config{Canonical: true})
+		sOK := addAll(s, n, cnf)
+		if sOK {
+			kept, dropped := s.ImportLearnts(junk)
+			if kept+dropped != len(junk) {
+				t.Fatalf("import accounting: kept %d + dropped %d != %d offered", kept, dropped, len(junk))
+			}
+		}
+		sSat := sOK && s.Solve()
+		if refSat != sSat {
+			t.Fatalf("junk import flipped verdict: %v -> %v", refSat, sSat)
+		}
+		if refSat && !modelsEqual(refModel, s.Model()) {
+			t.Fatal("junk import changed the canonical model")
+		}
+
+		// Round trip: a donor on the same formula exports after solving;
+		// everything it knows is entailed, so the only legal drops are
+		// clauses already satisfied at the receiver's level 0.
+		donor := New()
+		if addAll(donor, n, cnf) {
+			donor.Solve()
+			recv := NewWith(Config{Canonical: true})
+			if addAll(recv, n, cnf) {
+				exported := donor.ExportLearnts(16, 16, 0)
+				recv.ImportLearnts(exported)
+				recvSat := recv.Solve()
+				if recvSat != refSat {
+					t.Fatalf("round-trip import flipped verdict: %v -> %v", refSat, recvSat)
+				}
+				if refSat && !modelsEqual(refModel, recv.Model()) {
+					t.Fatal("round-trip import changed the canonical model")
+				}
+				// Exports are canonical bytes: re-exporting yields a
+				// deterministic snapshot.
+				again := donor.ExportLearnts(16, 16, 0)
+				if len(again) != len(exported) {
+					t.Fatalf("re-export changed size: %d -> %d", len(exported), len(again))
+				}
+				for i := range again {
+					a := litsToBytes(exported[i])
+					b := litsToBytes(again[i])
+					if !bytes.Equal(a, b) {
+						t.Fatalf("re-export changed clause %d", i)
+					}
+				}
+			}
+		}
+	})
+}
+
+func litsToBytes(ls []Lit) []byte {
+	out := make([]byte, 0, len(ls)*4)
+	for _, l := range ls {
+		out = append(out, byte(l), byte(l>>8), byte(l>>16), byte(l>>24))
+	}
+	return out
+}

@@ -1,0 +1,380 @@
+package sat
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"repro/internal/par"
+)
+
+// Learnt-clause exchange caps: at every epoch barrier each solver
+// exports at most exchangeMax clauses of at most exchangeMaxLen
+// literals with learn-time LBD at most exchangeMaxLBD. The caps bound
+// the per-epoch exchange cost; the seen-set makes each clause cross the
+// barrier once in the portfolio's lifetime.
+const (
+	exchangeMaxLen = 12
+	exchangeMaxLBD = 8
+	exchangeMax    = 256
+)
+
+// PortfolioStats counts portfolio-level events (per-solver search
+// counters live in Stats).
+type PortfolioStats struct {
+	Queries    int64            // Solve/SolveVerdict calls answered
+	Escalated  int64            // queries that outlived the anchor-only epoch
+	Epochs     int64            // epochs run, anchor-only epochs included
+	Exchanged  int64            // distinct clauses that crossed an epoch barrier
+	ImpKept    int64            // exchanged clauses certified and kept by receivers
+	ImpDropped int64            // exchanged clauses a receiver could not certify
+	Wins       map[string]int64 // config name → queries it settled
+}
+
+// Add accumulates other into s (Wins merged by config name, in sorted
+// key order so accumulation is deterministic).
+func (s *PortfolioStats) Add(other PortfolioStats) {
+	s.Queries += other.Queries
+	s.Escalated += other.Escalated
+	s.Epochs += other.Epochs
+	s.Exchanged += other.Exchanged
+	s.ImpKept += other.ImpKept
+	s.ImpDropped += other.ImpDropped
+	if len(other.Wins) == 0 {
+		return
+	}
+	if s.Wins == nil {
+		s.Wins = make(map[string]int64, len(other.Wins))
+	}
+	names := make([]string, 0, len(other.Wins))
+	for name := range other.Wins { //reprolint:ordered keys are sorted before use
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s.Wins[name] += other.Wins[name]
+	}
+}
+
+// Portfolio races K differently-configured solvers over one formula in
+// deterministic conflict-budget epochs. Config 0 must be the canonical
+// configuration: it alone answers model queries, so every model the
+// portfolio returns is the lexicographically least one — a pure
+// function of the formula — and racing, clause exchange and worker
+// count can only change how fast that answer arrives, never what it
+// is. Racers contribute by proving Unsat (any solver's Unsat settles a
+// query) and by exporting learnt clauses the anchor imports at epoch
+// barriers.
+//
+// Racers are lazy: they are only materialized — by replaying the
+// portfolio's operation log — the first time a query survives the
+// anchor-only first epoch, so easy queries (the vast majority) pay a
+// single budget check over a plain solver.
+type Portfolio struct {
+	cfgs    []Config
+	solvers []*Solver // solvers[0] is the canonical anchor; 1.. lazy racers
+	workers int
+	epoch   int64 // conflict budget of the first epoch; doubles per epoch
+
+	log []logOp // everything needed to rebuild a solver
+
+	seenEx map[string]uint32 // exchanged-clause key → bitmask of holders
+	stats  PortfolioStats
+}
+
+type logOpKind uint8
+
+const (
+	opVar logOpKind = iota
+	opClause
+	opReset
+	opSimplify
+)
+
+type logOp struct {
+	kind logOpKind
+	lits []Lit
+}
+
+// DefaultEpoch is the conflict budget of a portfolio's first epoch.
+const DefaultEpoch = 2048
+
+// DefaultConfigs returns the first k portfolio configurations. Config 0
+// is always the canonical one; the rest diversify branching polarity,
+// phase saving, activity decay and restart cadence. k is clamped to
+// [1, 8].
+func DefaultConfigs(k int) []Config {
+	base := []Config{
+		{Name: "canonical", Canonical: true},
+		{Name: "vsids"},
+		{Name: "vsids-pos", PosPhase: true},
+		{Name: "vsids-fast", VarDecay: 0.85, RestartBase: 64},
+		{Name: "vsids-nophase", NoPhaseSaving: true, RestartBase: 128},
+		{Name: "vsids-slow", VarDecay: 0.99, RestartBase: 512},
+		{Name: "vsids-pos-fast", PosPhase: true, VarDecay: 0.9, RestartBase: 96},
+		{Name: "vsids-nophase-pos", NoPhaseSaving: true, PosPhase: true},
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > len(base) {
+		k = len(base)
+	}
+	return base[:k]
+}
+
+// NewPortfolio builds a portfolio over the given configurations (nil or
+// empty means DefaultConfigs(1)), running raced epochs on at most
+// workers goroutines. cfgs[0] must be canonical — the model-answering
+// anchor — and the call panics otherwise.
+func NewPortfolio(cfgs []Config, workers int) *Portfolio {
+	if len(cfgs) == 0 {
+		cfgs = DefaultConfigs(1)
+	}
+	if !cfgs[0].Canonical {
+		panic("sat: portfolio config 0 must be canonical")
+	}
+	p := &Portfolio{
+		cfgs:    cfgs,
+		workers: par.Workers(workers),
+		epoch:   DefaultEpoch,
+		seenEx:  make(map[string]uint32),
+	}
+	p.stats.Wins = make(map[string]int64, len(cfgs))
+	p.solvers = []*Solver{NewWith(cfgs[0])}
+	return p
+}
+
+// Anchor exposes the canonical solver, for callers that need
+// solver-level APIs the portfolio does not mirror.
+func (p *Portfolio) Anchor() *Solver { return p.solvers[0] }
+
+// NewVar allocates a fresh variable in every solver and returns its
+// (1-based) number.
+func (p *Portfolio) NewVar() int {
+	p.log = append(p.log, logOp{kind: opVar})
+	v := p.solvers[0].NewVar()
+	for _, s := range p.solvers[1:] {
+		s.NewVar()
+	}
+	return v
+}
+
+// NVars returns the number of allocated variables.
+func (p *Portfolio) NVars() int { return p.solvers[0].NVars() }
+
+// AddClause adds a clause to every solver. The return value is the
+// anchor's: false when the formula became trivially unsatisfiable.
+func (p *Portfolio) AddClause(lits ...Lit) bool {
+	cl := make([]Lit, len(lits))
+	copy(cl, lits)
+	p.log = append(p.log, logOp{kind: opClause, lits: cl})
+	ok := p.solvers[0].AddClause(lits...)
+	for _, s := range p.solvers[1:] {
+		s.AddClause(lits...)
+	}
+	return ok
+}
+
+// Simplify drops level-0-satisfied clauses in every solver.
+func (p *Portfolio) Simplify() {
+	p.log = append(p.log, logOp{kind: opSimplify})
+	for _, s := range p.solvers {
+		s.Simplify()
+	}
+}
+
+// ResetSearch restores every solver's branching heuristics to their
+// initial state (a no-op for the canonical anchor, which has none).
+func (p *Portfolio) ResetSearch() {
+	p.log = append(p.log, logOp{kind: opReset})
+	for _, s := range p.solvers {
+		s.ResetSearch()
+	}
+}
+
+// Value returns variable v's value in the anchor's last model.
+func (p *Portfolio) Value(v int) bool { return p.solvers[0].Value(v) }
+
+// Model returns a copy of the anchor's last model.
+func (p *Portfolio) Model() []bool { return p.solvers[0].Model() }
+
+// BlockModel forbids the anchor's last model restricted to vars in
+// every solver, enabling enumeration in lexicographic order.
+func (p *Portfolio) BlockModel(vars ...int) bool {
+	return p.AddClause(p.solvers[0].blockLits(nil, vars)...)
+}
+
+// BlockModelWith is BlockModel scoped by an escape literal.
+func (p *Portfolio) BlockModelWith(escape Lit, vars ...int) bool {
+	return p.AddClause(p.solvers[0].blockLits([]Lit{escape}, vars)...)
+}
+
+// ExportLearnts snapshots the anchor's learnt knowledge (see
+// Solver.ExportLearnts). Racer knowledge already flowed into the anchor
+// at the last epoch barrier, so the anchor's view is the portfolio's.
+func (p *Portfolio) ExportLearnts(maxLen, maxLBD, max int) [][]Lit {
+	return p.solvers[0].ExportLearnts(maxLen, maxLBD, max)
+}
+
+// ImportLearnts offers foreign clauses to every live solver; each
+// keeps only what it can certify by reverse unit propagation. The
+// returned counts are the anchor's.
+func (p *Portfolio) ImportLearnts(clauses [][]Lit) (kept, dropped int) {
+	kept, dropped = p.solvers[0].ImportLearnts(clauses)
+	for _, s := range p.solvers[1:] {
+		s.ImportLearnts(clauses)
+	}
+	return kept, dropped
+}
+
+// Solve decides satisfiability under the assumptions; on Sat the
+// anchor's canonical model is available through Value/Model.
+func (p *Portfolio) Solve(assumptions ...Lit) bool {
+	return p.SolveVerdict(assumptions...) == Sat
+}
+
+// SolveVerdict is Solve returning the full verdict (never Unknown: the
+// portfolio races until some solver decides).
+func (p *Portfolio) SolveVerdict(assumptions ...Lit) Verdict {
+	p.stats.Queries++
+	anchor := p.solvers[0]
+	if len(p.cfgs) == 1 {
+		v := anchor.SolveBounded(-1, assumptions...)
+		p.stats.Epochs++
+		p.stats.Wins[p.cfgs[0].Name]++
+		return v
+	}
+	// Epoch 0: the anchor runs alone, so queries it can settle within
+	// one budget never pay for racers.
+	p.stats.Epochs++
+	if v := anchor.SolveBounded(p.epoch, assumptions...); v != Unknown {
+		p.stats.Wins[p.cfgs[0].Name]++
+		return v
+	}
+	p.stats.Escalated++
+	p.ensureRacers()
+	budget := p.epoch
+	for {
+		// Geometric budgets keep total raced work within a constant
+		// factor of a single unbounded run, which also guarantees
+		// termination: some epoch's budget exceeds what the anchor
+		// needs outright.
+		if budget < 1<<40 {
+			budget *= 2
+		}
+		p.stats.Epochs++
+		verdicts := make([]Verdict, len(p.solvers))
+		par.ForEach(len(p.solvers), p.workers, func(i int) {
+			verdicts[i] = p.solvers[i].SolveBounded(budget, assumptions...)
+		})
+		// Deterministic reduction in config order: any Unsat settles
+		// the query (unsatisfiability is config-independent); a racer's
+		// Sat does not, because only the anchor's model is canonical.
+		for i, v := range verdicts {
+			if v == Unsat {
+				p.stats.Wins[p.cfgs[i].Name]++
+				return Unsat
+			}
+		}
+		if verdicts[0] == Sat {
+			p.stats.Wins[p.cfgs[0].Name]++
+			return Sat
+		}
+		p.exchange()
+	}
+}
+
+// ensureRacers materializes solvers 1..K-1 by replaying the operation
+// log, bringing them to the exact formula the anchor holds.
+func (p *Portfolio) ensureRacers() {
+	if len(p.solvers) == len(p.cfgs) {
+		return
+	}
+	for _, cfg := range p.cfgs[len(p.solvers):] {
+		s := NewWith(cfg)
+		for _, op := range p.log {
+			switch op.kind {
+			case opVar:
+				s.NewVar()
+			case opClause:
+				s.AddClause(op.lits...)
+			case opReset:
+				s.ResetSearch()
+			case opSimplify:
+				s.Simplify()
+			}
+		}
+		p.solvers = append(p.solvers, s)
+	}
+}
+
+// exchange shares learnt clauses across solvers at an epoch barrier.
+// Exports are collected in config order, deduplicated against every
+// clause exchanged before (the holder bitmask records who is known to
+// have it), and imported — again in config order — by every solver not
+// already holding the clause. Receivers re-certify each clause by
+// reverse unit propagation, so exchange can only speed solvers up.
+func (p *Portfolio) exchange() {
+	fresh := make([][]Lit, 0, exchangeMax)
+	keys := make([]string, 0, exchangeMax)
+	for i, s := range p.solvers {
+		for _, cl := range s.ExportLearnts(exchangeMaxLen, exchangeMaxLBD, exchangeMax) {
+			k := litKey(cl)
+			mask, seen := p.seenEx[k]
+			if !seen {
+				fresh = append(fresh, cl)
+				keys = append(keys, k)
+				p.stats.Exchanged++
+			}
+			p.seenEx[k] = mask | 1<<uint(i)
+		}
+	}
+	if len(fresh) == 0 {
+		return
+	}
+	batch := make([][]Lit, 0, len(fresh))
+	for j, s := range p.solvers {
+		batch = batch[:0]
+		for idx, cl := range fresh {
+			if p.seenEx[keys[idx]]&(1<<uint(j)) == 0 {
+				batch = append(batch, cl)
+			}
+		}
+		kept, dropped := s.ImportLearnts(batch)
+		p.stats.ImpKept += int64(kept)
+		p.stats.ImpDropped += int64(dropped)
+	}
+}
+
+// litKey encodes a normalized clause as a map key.
+func litKey(cl []Lit) string {
+	b := make([]byte, 0, len(cl)*3)
+	for _, l := range cl {
+		b = binary.AppendVarint(b, int64(l))
+	}
+	return string(b)
+}
+
+// Stats returns the summed search counters of every solver ever
+// materialized, so portfolio totals are comparable to single-solver
+// totals.
+func (p *Portfolio) Stats() Stats {
+	var total Stats
+	for _, s := range p.solvers {
+		total.Add(s.Stats())
+	}
+	return total
+}
+
+// PStats returns the portfolio-level counters.
+func (p *Portfolio) PStats() PortfolioStats {
+	wins := make(map[string]int64, len(p.cfgs))
+	for _, c := range p.cfgs {
+		if w := p.stats.Wins[c.Name]; w != 0 {
+			wins[c.Name] = w
+		}
+	}
+	out := p.stats
+	out.Wins = wins
+	return out
+}

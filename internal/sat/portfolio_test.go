@@ -1,0 +1,409 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomCNF builds a reproducible random CNF over n variables.
+func randomCNF(rr *rand.Rand, n, m int) [][]Lit {
+	cnf := make([][]Lit, m)
+	for i := range cnf {
+		k := 1 + rr.Intn(3)
+		cl := make([]Lit, 0, k)
+		for j := 0; j < k; j++ {
+			v := 1 + rr.Intn(n)
+			if rr.Intn(2) == 0 {
+				cl = append(cl, Lit(v))
+			} else {
+				cl = append(cl, Lit(-v))
+			}
+		}
+		cnf[i] = cl
+	}
+	return cnf
+}
+
+func addAll(s *Solver, n int, cnf [][]Lit) bool {
+	for i := 0; i < n; i++ {
+		s.NewVar()
+	}
+	ok := true
+	for _, cl := range cnf {
+		if !s.AddClause(cl...) {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// lexLeastModel finds the lexicographically least satisfying assignment
+// by brute force (variable 1 most significant, false < true), or nil.
+func lexLeastModel(n int, cnf [][]Lit) []bool {
+	for m := 0; m < 1<<uint(n); m++ {
+		model := make([]bool, n)
+		for v := 1; v <= n; v++ {
+			model[v-1] = m>>uint(n-v)&1 == 1
+		}
+		ok := true
+		for _, cl := range cnf {
+			sat := false
+			for _, l := range cl {
+				if model[l.Var()-1] == l.Sign() {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return model
+		}
+	}
+	return nil
+}
+
+func modelsEqual(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// The canonical configuration's keystone property: the first model is
+// the lexicographically least one, whatever the solver has learned.
+func TestCanonicalLexLeastModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 2 + rr.Intn(7)
+		cnf := randomCNF(rr, n, 1+rr.Intn(3*n))
+		want := lexLeastModel(n, cnf)
+		s := NewWith(Config{Canonical: true})
+		okAdd := addAll(s, n, cnf)
+		if want == nil {
+			return !(okAdd && s.Solve())
+		}
+		if !okAdd || !s.Solve() {
+			return false
+		}
+		return modelsEqual(s.Model(), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Canonical enumeration yields models in strictly increasing
+// lexicographic order, and the sequence is invariant to learnt-clause
+// imports from another solver.
+func TestCanonicalEnumerationInvariantToImports(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 2 + rr.Intn(6)
+		cnf := randomCNF(rr, n, 1+rr.Intn(3*n))
+
+		enumerate := func(s *Solver, okAdd bool) [][]bool {
+			var out [][]bool
+			if !okAdd {
+				return out
+			}
+			for s.Solve() {
+				out = append(out, s.Model())
+				if len(out) > 1<<uint(n) {
+					return nil
+				}
+				if !s.BlockModel() {
+					break
+				}
+			}
+			return out
+		}
+
+		plain := NewWith(Config{Canonical: true})
+		ref := enumerate(plain, addAll(plain, n, cnf))
+
+		// A donor solver with different heuristics works the same
+		// formula and donates everything it learned.
+		donor := NewWith(Config{PosPhase: true, VarDecay: 0.8})
+		donorOK := addAll(donor, n, cnf)
+		donor.Solve()
+		fed := NewWith(Config{Canonical: true})
+		fedOK := addAll(fed, n, cnf)
+		if donorOK && fedOK {
+			fed.ImportLearnts(donor.ExportLearnts(16, 16, 0))
+		}
+		got := enumerate(fed, fedOK)
+
+		if len(ref) != len(got) {
+			return false
+		}
+		for i := range ref {
+			if !modelsEqual(ref[i], got[i]) {
+				return false
+			}
+		}
+		// Strictly increasing lexicographic order.
+		for i := 1; i < len(ref); i++ {
+			less := false
+			for v := 0; v < n; v++ {
+				if ref[i-1][v] != ref[i][v] {
+					less = !ref[i-1][v]
+					break
+				}
+			}
+			if !less {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveBoundedUnknownThenResumes(t *testing.T) {
+	const P, H = 6, 5
+	s := newVars(P * H)
+	vr := func(p, h int) Lit { return Lit(p*H + h + 1) }
+	for p := 0; p < P; p++ {
+		lits := make([]Lit, H)
+		for h := 0; h < H; h++ {
+			lits[h] = vr(p, h)
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < H; h++ {
+		for p1 := 0; p1 < P; p1++ {
+			for p2 := p1 + 1; p2 < P; p2++ {
+				s.AddClause(-vr(p1, h), -vr(p2, h))
+			}
+		}
+	}
+	if v := s.SolveBounded(1); v != Unknown {
+		t.Fatalf("budget 1 on PHP(6,5): got %v, want unknown", v)
+	}
+	for i := 0; i < 10000; i++ {
+		if v := s.SolveBounded(50); v != Unknown {
+			if v != Unsat {
+				t.Fatalf("PHP(6,5): got %v, want unsat", v)
+			}
+			return
+		}
+	}
+	t.Fatal("PHP(6,5) did not finish in 10000 bounded resumes")
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 3 + rr.Intn(7)
+		cnf := randomCNF(rr, n, 2+rr.Intn(3*n))
+
+		a := New()
+		aOK := addAll(a, n, cnf)
+		aSat := aOK && a.Solve()
+
+		b := New()
+		bOK := addAll(b, n, cnf)
+		if aOK && bOK {
+			exported := a.ExportLearnts(16, 16, 0)
+			kept, dropped := b.ImportLearnts(exported)
+			// Same formula: everything a learned is entailed in b, so
+			// nothing may be dropped for failing certification (drops
+			// can only come from level-0-satisfied candidates).
+			if kept+dropped != len(exported) {
+				return false
+			}
+		}
+		bSat := bOK && b.Solve()
+		return aSat == bSat
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Importing arbitrary junk must never flip a verdict or perturb the
+// canonical model: uncertifiable clauses are dropped at the door.
+func TestImportJunkNeverFlips(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 2 + rr.Intn(6)
+		cnf := randomCNF(rr, n, 1+rr.Intn(3*n))
+		junk := randomCNF(rr, n+2, 1+rr.Intn(8)) // vars may be out of range
+
+		ref := NewWith(Config{Canonical: true})
+		refOK := addAll(ref, n, cnf)
+		refSat := refOK && ref.Solve()
+
+		s := NewWith(Config{Canonical: true})
+		sOK := addAll(s, n, cnf)
+		if sOK {
+			s.ImportLearnts(junk)
+		}
+		sSat := sOK && s.Solve()
+		if refSat != sSat {
+			return false
+		}
+		if refSat && !modelsEqual(ref.Model(), s.Model()) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The portfolio must behave exactly like a lone canonical solver —
+// same verdicts, same models, same enumeration — at any width and any
+// worker count, including under forced escalation.
+func TestPortfolioMatchesCanonicalSolver(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 2 + rr.Intn(6)
+		cnf := randomCNF(rr, n, 1+rr.Intn(3*n))
+
+		ref := NewWith(Config{Canonical: true})
+		refOK := addAll(ref, n, cnf)
+		var refModels [][]bool
+		if refOK {
+			for ref.Solve() {
+				refModels = append(refModels, ref.Model())
+				if !ref.BlockModel() {
+					break
+				}
+			}
+		}
+
+		for _, k := range []int{1, 4} {
+			for _, workers := range []int{1, 4} {
+				p := NewPortfolio(DefaultConfigs(k), workers)
+				p.epoch = 4 // tiny epochs force the racing path
+				pOK := true
+				for i := 0; i < n; i++ {
+					p.NewVar()
+				}
+				for _, cl := range cnf {
+					if !p.AddClause(cl...) {
+						pOK = false
+					}
+				}
+				if pOK != refOK {
+					return false
+				}
+				var got [][]bool
+				if pOK {
+					for p.Solve() {
+						got = append(got, p.Model())
+						if len(got) > 1<<uint(n) {
+							return false
+						}
+						if !p.BlockModel() {
+							break
+						}
+					}
+				}
+				if len(got) != len(refModels) {
+					return false
+				}
+				for i := range got {
+					if !modelsEqual(got[i], refModels[i]) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPortfolioUnsatEscalates(t *testing.T) {
+	const P, H = 6, 5
+	p := NewPortfolio(DefaultConfigs(4), 4)
+	p.epoch = 8
+	for i := 0; i < P*H; i++ {
+		p.NewVar()
+	}
+	vr := func(pp, h int) Lit { return Lit(pp*H + h + 1) }
+	for pp := 0; pp < P; pp++ {
+		lits := make([]Lit, H)
+		for h := 0; h < H; h++ {
+			lits[h] = vr(pp, h)
+		}
+		p.AddClause(lits...)
+	}
+	for h := 0; h < H; h++ {
+		for p1 := 0; p1 < P; p1++ {
+			for p2 := p1 + 1; p2 < P; p2++ {
+				p.AddClause(-vr(p1, h), -vr(p2, h))
+			}
+		}
+	}
+	if v := p.SolveVerdict(); v != Unsat {
+		t.Fatalf("PHP(6,5): got %v, want unsat", v)
+	}
+	st := p.PStats()
+	if st.Escalated == 0 {
+		t.Fatal("expected the query to escalate past the anchor-only epoch")
+	}
+	var wins int64
+	for _, w := range st.Wins {
+		wins += w
+	}
+	if wins != st.Queries {
+		t.Fatalf("wins %d != queries %d", wins, st.Queries)
+	}
+	if got := p.Stats(); got.Conflicts == 0 {
+		t.Fatal("aggregated stats should count conflicts")
+	}
+}
+
+func TestPortfolioLazyRacers(t *testing.T) {
+	p := NewPortfolio(DefaultConfigs(4), 1)
+	for i := 0; i < 3; i++ {
+		p.NewVar()
+	}
+	p.AddClause(1, 2)
+	if !p.Solve() {
+		t.Fatal("easy formula should be SAT")
+	}
+	if len(p.solvers) != 1 {
+		t.Fatalf("easy query materialized %d solvers, want anchor only", len(p.solvers))
+	}
+	if p.PStats().Escalated != 0 {
+		t.Fatal("easy query must not escalate")
+	}
+}
+
+func TestDefaultConfigs(t *testing.T) {
+	for _, k := range []int{-1, 0, 1, 3, 8, 99} {
+		cfgs := DefaultConfigs(k)
+		if len(cfgs) < 1 || len(cfgs) > 8 {
+			t.Fatalf("DefaultConfigs(%d): %d configs", k, len(cfgs))
+		}
+		if !cfgs[0].Canonical {
+			t.Fatalf("DefaultConfigs(%d): config 0 not canonical", k)
+		}
+		seen := map[string]bool{}
+		for _, c := range cfgs {
+			if c.Name == "" || seen[c.Name] {
+				t.Fatalf("DefaultConfigs(%d): duplicate or empty name %q", k, c.Name)
+			}
+			seen[c.Name] = true
+		}
+	}
+}

@@ -14,9 +14,111 @@
 // variables (BlockModelWith) extend the same sharing to enumeration,
 // scoping each enumeration's blocking clauses to its own assumption
 // context.
+//
+// Beyond the single CDCL engine, the package provides the pieces the
+// repair loop's deterministic portfolio is built from:
+//
+//   - Config parameterizes the branching/restart heuristics. The
+//     canonical configuration (Config.Canonical) branches on the
+//     lowest-index unassigned variable, false first, which makes every
+//     answer a pure function of the formula: the first model returned is
+//     the lexicographically least one, regardless of which entailed
+//     clauses the solver happens to have learned or imported. That
+//     invariance is what lets clause sharing and cross-round clause
+//     carrying accelerate the search without ever changing its result.
+//   - SolveBounded runs the search under a conflict budget, the logical
+//     time base of portfolio epochs (wall-clock never decides anything).
+//   - ExportLearnts / ImportLearnts move learnt clauses between solvers.
+//     Import re-validates every candidate clause against the receiving
+//     solver's own formula by reverse unit propagation, so importing is
+//     sound even across formulas (the cross-round case) and importing
+//     arbitrary junk can never flip a verdict.
+//   - Portfolio (portfolio.go) races K configurations in deterministic
+//     conflict-budget epochs with learnt-clause exchange at the barriers.
 package sat
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
+
+// Verdict is the outcome of a bounded solving attempt.
+type Verdict int8
+
+// SolveBounded outcomes.
+const (
+	Unknown Verdict = iota // conflict budget exhausted before a decision
+	Sat                    // a model was found
+	Unsat                  // the formula is unsatisfiable under the assumptions
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterizes a solver's search heuristics. The zero value is
+// the package default: VSIDS branching with phase saving, decay 0.95,
+// first restart after 256 conflicts. Heuristics never affect which
+// formulas are satisfiable, only how fast an answer is found — and in
+// canonical mode, not even which model is found.
+type Config struct {
+	// Name labels the configuration in portfolio win statistics.
+	Name string
+	// Canonical branches on the lowest-index unassigned variable and
+	// always tries false first, ignoring activities and saved phases.
+	// The first model found is then the lexicographically least model
+	// of the formula under the assumptions, independent of the learnt
+	// clause database; enumeration through blocking clauses yields
+	// models in strictly increasing lexicographic order.
+	Canonical bool
+	// PosPhase makes unassigned variables default to true instead of
+	// false (both as the initial saved phase and as the branch value
+	// when phase saving is off). Ignored in canonical mode.
+	PosPhase bool
+	// NoPhaseSaving disables phase saving: decisions always use
+	// PosPhase rather than the variable's last assigned value.
+	NoPhaseSaving bool
+	// VarDecay is the VSIDS activity decay divisor in (0, 1); higher
+	// values keep activity history longer. 0 means the default 0.95.
+	VarDecay float64
+	// RestartBase is the conflict budget of the first restart interval
+	// (later intervals grow with the learnt database). 0 means 256.
+	RestartBase int
+}
+
+func (c Config) fill() Config {
+	if c.VarDecay == 0 {
+		c.VarDecay = 0.95
+	}
+	if c.RestartBase == 0 {
+		c.RestartBase = 256
+	}
+	return c
+}
+
+// Stats is a snapshot of a solver's search counters.
+type Stats struct {
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Restarts     int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Conflicts += other.Conflicts
+	s.Decisions += other.Decisions
+	s.Propagations += other.Propagations
+	s.Restarts += other.Restarts
+}
 
 // Lit is a literal: +v for variable v, -v for its negation. Variables are
 // numbered from 1.
@@ -59,6 +161,7 @@ type clause struct {
 	learnt  bool
 	act     float64
 	deleted bool
+	lbd     int32 // literal block distance at learn time (learnt clauses)
 }
 
 // Solver is a CDCL SAT solver. The zero value is not usable; create
@@ -67,7 +170,7 @@ type Solver struct {
 	nVars   int
 	clauses []*clause
 	learnts []*clause
-	watches [][]*clause // literal index → clauses watching that literal
+	watches [][]watcher // literal index → clauses watching that literal
 
 	assign  []lbool // variable (1-based) → value
 	level   []int   // variable → decision level of assignment
@@ -83,6 +186,15 @@ type Solver struct {
 
 	claInc float64
 
+	cfg     Config
+	lowHint int   // canonical mode: smallest variable that may be unassigned
+	lbdMark []int // level → generation stamp, scratch for LBD computation
+	lbdGen  int
+
+	seenMark   []int // variable → generation stamp, scratch for analyze
+	seenGen    int
+	analyzeBuf []Lit // reusable learnt-clause buffer for analyze
+
 	// Statistics, exported for benchmarking and diagnostics.
 	Conflicts    int64
 	Decisions    int64
@@ -93,9 +205,25 @@ type Solver struct {
 	ok    bool
 }
 
-// New returns an empty, satisfiable solver.
+// New returns an empty, satisfiable solver with the default heuristics.
 func New() *Solver {
-	return &Solver{varInc: 1, claInc: 1, ok: true}
+	return NewWith(Config{})
+}
+
+// NewWith returns an empty, satisfiable solver using the given
+// heuristic configuration.
+func NewWith(cfg Config) *Solver {
+	return &Solver{varInc: 1, claInc: 1, ok: true, cfg: cfg.fill(), lowHint: 1}
+}
+
+// Stats returns a snapshot of the solver's search counters.
+func (s *Solver) Stats() Stats {
+	return Stats{
+		Conflicts:    s.Conflicts,
+		Decisions:    s.Decisions,
+		Propagations: s.Propagations,
+		Restarts:     s.Restarts,
+	}
 }
 
 // NewVar allocates a fresh variable and returns its (1-based) number.
@@ -105,7 +233,7 @@ func (s *Solver) NewVar() int {
 	s.level = append(s.level, 0)
 	s.reason = append(s.reason, nil)
 	s.activity = append(s.activity, 0)
-	s.phase = append(s.phase, false)
+	s.phase = append(s.phase, s.cfg.PosPhase)
 	s.watches = append(s.watches, nil, nil)
 	return s.nVars
 }
@@ -138,7 +266,7 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	// Normalize: sort, drop duplicates and false literals, detect
 	// tautologies and satisfied clauses.
 	ls := append([]Lit(nil), lits...)
-	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	slices.Sort(ls)
 	out := ls[:0]
 	var prev Lit
 	for _, l := range ls {
@@ -186,17 +314,36 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		}
 		return true
 	}
+	// Store highest variables first: the watched literals are then the
+	// ones assigned LAST under lexicographic branching, which keeps
+	// wide clauses — model-blocking clauses above all — dormant until a
+	// branch has nearly reproduced them, instead of being inspected by
+	// every low-variable decision. (Clause order is semantically
+	// irrelevant; this only places the watches.)
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
 	c := &clause{lits: out}
 	s.clauses = append(s.clauses, c)
 	s.watch(c)
 	return true
 }
 
+// watcher is one entry of a literal's watch list. The blocker is some
+// literal of the clause (initially the other watched one): when it is
+// already true the clause is satisfied and propagation can skip the
+// clause without touching its memory. Model-blocking clauses are wide
+// and numerous here, so most watcher visits end at this one-word check.
+type watcher struct {
+	c       *clause
+	blocker Lit
+}
+
 func (s *Solver) watch(c *clause) {
 	// Watch the negations of the first two literals: when one becomes
 	// true (literal false), the clause is inspected.
-	s.watches[c.lits[0].Neg().index()] = append(s.watches[c.lits[0].Neg().index()], c)
-	s.watches[c.lits[1].Neg().index()] = append(s.watches[c.lits[1].Neg().index()], c)
+	s.watches[c.lits[0].Neg().index()] = append(s.watches[c.lits[0].Neg().index()], watcher{c, c.lits[1]})
+	s.watches[c.lits[1].Neg().index()] = append(s.watches[c.lits[1].Neg().index()], watcher{c, c.lits[0]})
 }
 
 func (s *Solver) enqueue(l Lit, from *clause) bool {
@@ -240,7 +387,15 @@ func (s *Solver) propagate() *clause {
 		ws := s.watches[l.index()]
 		j := 0
 		for wi := 0; wi < len(ws); wi++ {
-			c := ws[wi]
+			w := ws[wi]
+			// Satisfied via the cached blocker: keep watching, skip the
+			// clause body entirely.
+			if s.value(w.blocker) == lTrue {
+				ws[j] = w
+				j++
+				continue
+			}
+			c := w.c
 			if c.deleted {
 				continue
 			}
@@ -248,9 +403,11 @@ func (s *Solver) propagate() *clause {
 			if c.lits[0] == l.Neg() {
 				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
 			}
-			// If the other watched literal is true, keep watching.
-			if s.value(c.lits[0]) == lTrue {
-				ws[j] = c
+			// If the other watched literal is true, keep watching and
+			// remember it as the blocker.
+			first := c.lits[0]
+			if s.value(first) == lTrue {
+				ws[j] = watcher{c, first}
 				j++
 				continue
 			}
@@ -259,7 +416,7 @@ func (s *Solver) propagate() *clause {
 			for k := 2; k < len(c.lits); k++ {
 				if s.value(c.lits[k]) != lFalse {
 					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					s.watches[c.lits[1].Neg().index()] = append(s.watches[c.lits[1].Neg().index()], c)
+					s.watches[c.lits[1].Neg().index()] = append(s.watches[c.lits[1].Neg().index()], watcher{c, first})
 					found = true
 					break
 				}
@@ -268,9 +425,9 @@ func (s *Solver) propagate() *clause {
 				continue
 			}
 			// Clause is unit or conflicting.
-			ws[j] = c
+			ws[j] = watcher{c, first}
 			j++
-			if !s.enqueue(c.lits[0], c) {
+			if !s.enqueue(first, c) {
 				// Conflict: restore remaining watchers and report.
 				j += copy(ws[j:], ws[wi+1:])
 				s.watches[l.index()] = ws[:j]
@@ -293,13 +450,45 @@ func (s *Solver) bumpVar(v int) {
 	}
 }
 
-func (s *Solver) decayVar() { s.varInc /= 0.95 }
+func (s *Solver) decayVar() { s.varInc /= s.cfg.VarDecay }
+
+// computeLBD returns the literal block distance of a clause: the number
+// of distinct decision levels among its literals' assignments. Small
+// LBD marks "glue" clauses worth sharing across solvers.
+func (s *Solver) computeLBD(lits []Lit) int32 {
+	need := len(s.limits) + 1
+	if len(s.lbdMark) < need {
+		s.lbdMark = append(s.lbdMark, make([]int, need-len(s.lbdMark))...)
+	}
+	s.lbdGen++
+	var n int32
+	for _, l := range lits {
+		lv := s.level[l.Var()-1]
+		if lv < len(s.lbdMark) && s.lbdMark[lv] != s.lbdGen {
+			s.lbdMark[lv] = s.lbdGen
+			n++
+		}
+	}
+	return n
+}
 
 // analyze performs first-UIP conflict analysis and returns the learnt
 // clause (asserting literal first) and the backtrack level.
 func (s *Solver) analyze(confl *clause) ([]Lit, int) {
-	learnt := []Lit{0} // slot 0 reserved for the asserting literal
-	seen := make(map[int]bool)
+	learnt := append(s.analyzeBuf[:0], 0) // slot 0 reserved for the asserting literal
+	if len(s.seenMark) < s.nVars {
+		s.seenMark = make([]int, s.nVars)
+	}
+	s.seenGen++
+	gen := s.seenGen
+	seen := func(v int) bool { return s.seenMark[v-1] == gen }
+	setSeen := func(v int, b bool) {
+		if b {
+			s.seenMark[v-1] = gen
+		} else {
+			s.seenMark[v-1] = 0
+		}
+	}
 	counter := 0
 	var p Lit
 	idx := len(s.trail) - 1
@@ -311,10 +500,10 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 				continue
 			}
 			v := q.Var()
-			if seen[v] || s.value(q) != lFalse {
+			if seen(v) || s.value(q) != lFalse {
 				continue
 			}
-			seen[v] = true
+			setSeen(v, true)
 			s.bumpVar(v)
 			if s.level[v-1] == len(s.limits) {
 				counter++
@@ -323,7 +512,7 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 			}
 		}
 		// Find the next trail literal to resolve on.
-		for idx >= 0 && !seen[s.trail[idx].Var()] {
+		for idx >= 0 && !seen(s.trail[idx].Var()) {
 			idx--
 		}
 		if idx < 0 {
@@ -331,7 +520,7 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 		}
 		p = s.trail[idx]
 		c = s.reason[p.Var()-1]
-		seen[p.Var()] = false
+		setSeen(p.Var(), false)
 		counter--
 		idx--
 		if counter == 0 {
@@ -357,6 +546,7 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 	if backIdx > 1 {
 		learnt[1], learnt[backIdx] = learnt[backIdx], learnt[1]
 	}
+	s.analyzeBuf = learnt
 	return learnt, back
 }
 
@@ -366,9 +556,12 @@ func (s *Solver) backtrackTo(level int) {
 	}
 	lo := s.limits[level]
 	for i := len(s.trail) - 1; i >= lo; i-- {
-		v := s.trail[i].Var() - 1
-		s.assign[v] = lUndef
-		s.reason[v] = nil
+		v := s.trail[i].Var()
+		s.assign[v-1] = lUndef
+		s.reason[v-1] = nil
+		if v < s.lowHint {
+			s.lowHint = v
+		}
 	}
 	s.trail = s.trail[:lo]
 	s.trailLo = lo
@@ -383,7 +576,7 @@ func (s *Solver) backtrackTo(level int) {
 // enumeration's search trajectory.
 func (s *Solver) ResetSearch() {
 	for i := range s.phase {
-		s.phase[i] = false
+		s.phase[i] = s.cfg.PosPhase
 	}
 	for i := range s.activity {
 		s.activity[i] = 0
@@ -430,9 +623,21 @@ func (s *Solver) dropSatisfied(cs []*clause) []*clause {
 	return out
 }
 
-// pickBranch returns the unassigned variable with the highest activity,
-// or 0 when everything is assigned.
+// pickBranch returns the next decision literal, or 0 when everything is
+// assigned. In canonical mode that is the lowest-index unassigned
+// variable, negated (false first); otherwise the unassigned variable
+// with the highest activity, in its preferred phase.
 func (s *Solver) pickBranch() Lit {
+	if s.cfg.Canonical {
+		for v := s.lowHint; v <= s.nVars; v++ {
+			if s.assign[v-1] == lUndef {
+				s.lowHint = v
+				return Lit(-v)
+			}
+		}
+		s.lowHint = s.nVars + 1
+		return 0
+	}
 	best, bestAct := 0, -1.0
 	for v := 1; v <= s.nVars; v++ {
 		if s.assign[v-1] == lUndef && s.activity[v-1] > bestAct {
@@ -442,7 +647,11 @@ func (s *Solver) pickBranch() Lit {
 	if best == 0 {
 		return 0
 	}
-	if s.phase[best-1] {
+	ph := s.phase[best-1]
+	if s.cfg.NoPhaseSaving {
+		ph = s.cfg.PosPhase
+	}
+	if ph {
 		return Lit(best)
 	}
 	return Lit(-best)
@@ -453,13 +662,24 @@ func (s *Solver) pickBranch() Lit {
 // re-solved with different assumptions and extended with further clauses
 // between calls.
 func (s *Solver) Solve(assumptions ...Lit) bool {
+	return s.SolveBounded(-1, assumptions...) == Sat
+}
+
+// SolveBounded is Solve under a conflict budget: it returns Unknown
+// once the search has gone through maxConflicts conflicts without an
+// answer (the solver backtracks to level 0 and keeps everything it
+// learned, so a later call resumes the amortized search). A negative
+// budget is unlimited. Conflict budgets are the portfolio's logical
+// time base: epochs measured in conflicts are reproducible, epochs
+// measured in wall-clock time are not.
+func (s *Solver) SolveBounded(maxConflicts int64, assumptions ...Lit) Verdict {
 	if !s.ok {
-		return false
+		return Unsat
 	}
 	s.backtrackTo(0)
 	if s.propagate() != nil {
 		s.ok = false
-		return false
+		return Unsat
 	}
 
 	// Apply assumptions, each at its own decision level.
@@ -469,25 +689,26 @@ func (s *Solver) Solve(assumptions ...Lit) bool {
 			continue
 		case lFalse:
 			s.backtrackTo(0)
-			return false
+			return Unsat
 		}
 		s.limits = append(s.limits, len(s.trail))
 		s.enqueue(a, nil)
 		if s.propagate() != nil {
 			s.backtrackTo(0)
-			return false
+			return Unsat
 		}
 	}
 	assumpLevel := len(s.limits)
 
-	conflictBudget := 256
+	restartBudget := s.cfg.RestartBase
+	remaining := maxConflicts
 	for {
 		confl := s.propagate()
 		if confl != nil {
 			s.Conflicts++
 			if len(s.limits) <= assumpLevel {
 				s.backtrackTo(0)
-				return false
+				return Unsat
 			}
 			learnt, back := s.analyze(confl)
 			if back < assumpLevel {
@@ -497,21 +718,31 @@ func (s *Solver) Solve(assumptions ...Lit) bool {
 			if len(learnt) == 1 {
 				if !s.enqueue(learnt[0], nil) {
 					s.backtrackTo(0)
-					return false
+					return Unsat
 				}
 			} else {
-				c := &clause{lits: learnt, learnt: true, act: s.claInc}
+				// analyze returns its reusable buffer; the kept clause needs
+				// its own copy.
+				c := &clause{lits: append(make([]Lit, 0, len(learnt)), learnt...),
+					learnt: true, act: s.claInc, lbd: s.computeLBD(learnt)}
 				s.learnts = append(s.learnts, c)
 				s.watch(c)
 				s.enqueue(learnt[0], c)
 			}
 			s.decayVar()
-			conflictBudget--
-			if conflictBudget <= 0 {
+			if remaining > 0 {
+				remaining--
+				if remaining == 0 {
+					s.backtrackTo(0)
+					return Unknown
+				}
+			}
+			restartBudget--
+			if restartBudget <= 0 {
 				// Restart: keep learnt clauses, drop the search tree.
 				s.Restarts++
 				s.backtrackTo(assumpLevel)
-				conflictBudget = 256 + len(s.learnts)/2
+				restartBudget = s.cfg.RestartBase + len(s.learnts)/2
 			}
 			continue
 		}
@@ -523,7 +754,7 @@ func (s *Solver) Solve(assumptions ...Lit) bool {
 				s.model[v-1] = s.assign[v-1] == lTrue
 			}
 			s.backtrackTo(0)
-			return true
+			return Sat
 		}
 		s.Decisions++
 		s.limits = append(s.limits, len(s.trail))
@@ -566,6 +797,181 @@ func (s *Solver) BlockModel(vars ...int) bool {
 // under a new selector sees the earlier enumeration's models again.
 func (s *Solver) BlockModelWith(escape Lit, vars ...int) bool {
 	return s.AddClause(s.blockLits([]Lit{escape}, vars)...)
+}
+
+// ExportLearnts returns a snapshot of the solver's learnt knowledge as
+// plain clauses: every level-0 fact as a unit clause, plus every live
+// learnt clause with at most maxLen literals and literal block distance
+// at most maxLBD, reduced by the level-0 assignment (satisfied clauses
+// skipped, false literals stripped). Clauses are internally sorted and
+// the snapshot is sorted by (length, lexicographic) and deduplicated,
+// so two solvers holding the same knowledge export the same bytes; max
+// truncates the result (0 means no cap). Export requires decision level
+// 0 — which every Solve/SolveBounded call restores — and returns nil
+// mid-search.
+func (s *Solver) ExportLearnts(maxLen, maxLBD, max int) [][]Lit {
+	if !s.ok || len(s.limits) != 0 {
+		return nil
+	}
+	var out [][]Lit
+	for _, l := range s.trail {
+		out = append(out, []Lit{l})
+	}
+	buf := make([]Lit, 0, maxLen)
+	for _, c := range s.learnts {
+		if c.deleted || int(c.lbd) > maxLBD || len(c.lits) > maxLen+len(s.trail) {
+			// The length pre-filter is loose (stripping can only shrink);
+			// the exact check happens after reduction.
+			continue
+		}
+		buf = buf[:0]
+		sat0 := false
+		for _, l := range c.lits {
+			switch s.value(l) {
+			case lTrue:
+				sat0 = true
+			case lFalse:
+				// Stripped: false at level 0 forever.
+			default:
+				buf = append(buf, l)
+			}
+			if sat0 {
+				break
+			}
+		}
+		if sat0 || len(buf) == 0 || len(buf) > maxLen {
+			continue
+		}
+		cl := make([]Lit, len(buf))
+		copy(cl, buf)
+		slices.Sort(cl)
+		out = append(out, cl)
+	}
+	sort.Slice(out, func(i, j int) bool { return litSliceLess(out[i], out[j]) })
+	j := 0
+	for i, cl := range out {
+		if i > 0 && litSliceEqual(cl, out[j-1]) {
+			continue
+		}
+		out[j] = cl
+		j++
+	}
+	out = out[:j]
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// ImportLearnts adds foreign clauses to the solver's learnt database,
+// keeping only those it can itself certify. Each candidate is
+// normalized, range-checked against the solver's variables, reduced by
+// the level-0 assignment, and then re-validated by reverse unit
+// propagation: assume the clause's negation and propagate — only a
+// clause whose negation immediately conflicts is entailed by the
+// receiving formula and kept. That certificate is computed locally, so
+// importing is sound whatever the clauses' provenance: another solver
+// on the same formula, a previous repair round's solver on a smaller
+// formula, or fuzzer junk. Certified units are asserted at level 0.
+// Returns how many clauses were kept and how many dropped.
+func (s *Solver) ImportLearnts(clauses [][]Lit) (kept, dropped int) {
+	if !s.ok || len(s.limits) != 0 {
+		return 0, len(clauses)
+	}
+	buf := make([]Lit, 0, 16)
+next:
+	for _, cand := range clauses {
+		buf = append(buf[:0], cand...)
+		slices.Sort(buf)
+		out := buf[:0]
+		var prev Lit
+		for _, l := range buf {
+			if l == 0 || l.Var() > s.nVars {
+				dropped++
+				continue next
+			}
+			if l == prev {
+				continue
+			}
+			switch s.value(l) {
+			case lTrue:
+				dropped++ // already satisfied at level 0: nothing to learn
+				continue next
+			case lFalse:
+				continue
+			}
+			out = append(out, l)
+			prev = l
+		}
+		for i := 0; i+1 < len(out); i++ {
+			for j := i + 1; j < len(out); j++ {
+				if out[i] == -out[j] {
+					dropped++ // tautology
+					continue next
+				}
+			}
+		}
+		if len(out) == 0 {
+			dropped++
+			continue
+		}
+		// Reverse unit propagation: assume ¬out at a scratch decision
+		// level; a conflict certifies that the formula entails out.
+		s.limits = append(s.limits, len(s.trail))
+		entailed := false
+		for _, l := range out {
+			if !s.enqueue(l.Neg(), nil) {
+				entailed = true
+				break
+			}
+		}
+		if !entailed {
+			entailed = s.propagate() != nil
+		}
+		s.backtrackTo(0)
+		if !entailed {
+			dropped++
+			continue
+		}
+		if len(out) == 1 {
+			if !s.enqueue(out[0], nil) || s.propagate() != nil {
+				s.ok = false
+			}
+			kept++
+			continue
+		}
+		cl := make([]Lit, len(out))
+		copy(cl, out)
+		c := &clause{lits: cl, learnt: true, act: s.claInc, lbd: int32(len(cl))}
+		s.learnts = append(s.learnts, c)
+		s.watch(c)
+		kept++
+	}
+	return kept, dropped
+}
+
+func litSliceLess(a, b []Lit) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func litSliceEqual(a, b []Lit) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // blockLits builds the blocking clause of the last model over vars

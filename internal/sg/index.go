@@ -12,21 +12,19 @@ type Index struct {
 	nsig    int
 	excited []uint64 // per-state bitmask of excited signals
 	excOut  []uint64 // per-state bitmask of excited non-input signals
-	succ    []int32  // state*nsig + sig → successor state, or -1
+	succ    []int32  // state*nsig + sig → successor state + 1, or 0
 }
 
 // NewIndex builds the dense index of g.
 func NewIndex(g *Graph) *Index {
 	ns, nsig := g.NumStates(), g.NumSignals()
+	bits := make([]uint64, 2*ns)
 	ix := &Index{
 		G:       g,
 		nsig:    nsig,
-		excited: make([]uint64, ns),
-		excOut:  make([]uint64, ns),
+		excited: bits[:ns:ns],
+		excOut:  bits[ns:],
 		succ:    make([]int32, ns*nsig),
-	}
-	for i := range ix.succ {
-		ix.succ[i] = -1
 	}
 	inputMask := uint64(0)
 	for sig, in := range g.Input {
@@ -39,7 +37,9 @@ func NewIndex(g *Graph) *Index {
 		row := ix.succ[s*nsig : (s+1)*nsig]
 		for _, e := range g.States[s].Succ {
 			m |= 1 << uint(e.Signal)
-			row[e.Signal] = int32(e.To)
+			// Stored shifted by one so the zeroed allocation already
+			// means "no edge" — the table needs no -1 fill pass.
+			row[e.Signal] = int32(e.To) + 1
 		}
 		ix.excited[s] = m
 		ix.excOut[s] = m &^ inputMask
@@ -60,7 +60,7 @@ func (ix *Index) ExcitedOutputs(s int) uint64 { return ix.excOut[s] }
 // whether such an edge exists.
 func (ix *Index) Successor(s, sig int) (int, bool) {
 	to := ix.succ[s*ix.nsig+sig]
-	return int(to), to >= 0
+	return int(to) - 1, to > 0
 }
 
 // Ordered reports whether signal b is ordered with respect to the

@@ -64,19 +64,32 @@ type Regions struct {
 // components using only edges whose both endpoints lie in the set.
 func (g *Graph) connectedComponents(states []int) [][]int {
 	n := g.NumStates()
-	in := NewStateSet(n)
+	return g.components(states, NewStateSet(n), NewStateSet(n),
+		make([]int, len(states)), make([]int, 0, len(states)), nil)
+}
+
+// components is connectedComponents with caller-provided scratch: in
+// and seen must be empty sets sized for the graph (they come back
+// dirty), buf is the backing the returned components are carved out of
+// (len ≥ len(states)), q is a reusable BFS queue, and new components
+// are appended to comps. RegionsOf decomposes four partitions per
+// signal and shares one scratch set across them.
+func (g *Graph) components(states []int, in, seen StateSet, buf, q []int, comps [][]int) [][]int {
 	for _, s := range states {
 		in.Add(s)
 	}
-	seen := NewStateSet(n)
-	var comps [][]int
+	off := 0
 	for _, s := range states {
 		if seen.Has(s) {
 			continue
 		}
-		comp := []int{s}
+		// Each component occupies the next contiguous window of buf:
+		// its appends finish before the following component starts, so
+		// sharing the tail capacity is safe.
+		comp := buf[off:off:len(buf)]
+		comp = append(comp, s)
 		seen.Add(s)
-		for q := []int{s}; len(q) > 0; {
+		for q = append(q[:0], s); len(q) > 0; {
 			u := q[len(q)-1]
 			q = q[:len(q)-1]
 			for _, e := range g.States[u].Succ {
@@ -94,6 +107,7 @@ func (g *Graph) connectedComponents(states []int) [][]int {
 				}
 			}
 		}
+		off += len(comp)
 		sort.Ints(comp)
 		comps = append(comps, comp)
 	}
@@ -133,7 +147,28 @@ func (g *Graph) RegionsOf(sig int) *Regions {
 func (ix *Index) RegionsOf(sig int) *Regions {
 	g := ix.G
 	bit := uint64(1) << uint(sig)
-	var erPlus, erMinus, qr0, qr1 []int
+	// The four partitions always sum to the state count: count each
+	// class first, then carve exact windows out of one n-int backing.
+	n := g.NumStates()
+	nEP, nEM, nQ0 := 0, 0, 0
+	for s := range g.States {
+		v := g.Value(s, sig)
+		if ix.excited[s]&bit != 0 {
+			if v {
+				nEM++
+			} else {
+				nEP++
+			}
+		} else if !v {
+			nQ0++
+		}
+	}
+	buf := make([]int, n)
+	o1, o2, o3 := nEP, nEP+nEM, nEP+nEM+nQ0
+	erPlus := buf[0:0:o1]
+	erMinus := buf[o1:o1:o2]
+	qr0 := buf[o2:o2:o3]
+	qr1 := buf[o3:o3:n]
 	for s := range g.States {
 		v := g.Value(s, sig)
 		if ix.excited[s]&bit != 0 {
@@ -151,29 +186,85 @@ func (ix *Index) RegionsOf(sig int) *Regions {
 		}
 	}
 	res := &Regions{Signal: sig}
-	idx := 0
-	for _, comp := range g.connectedComponents(erPlus) {
-		idx++
-		res.ER = append(res.ER, newRegion(g, sig, Plus, idx, comp))
+	// One scratch set pair and one component backing serve all four
+	// decompositions (their states are disjoint and sum to n), and all
+	// regions of the signal share batch-allocated structs, bitsets and
+	// minimal-state storage: region decomposition runs once per scanned
+	// signal of every scored candidate graph, so the constant count of
+	// allocations per call matters more than their size. The int
+	// scratch (component storage, BFS queue, minimal states, QRAfter)
+	// and the bitset words (in/seen scratch plus the ≤ n region sets)
+	// are each carved from a single backing.
+	w := (n + 63) / 64
+	words := make([]uint64, (n+2)*w)
+	in, seen := StateSet(words[:w:w]), StateSet(words[w:2*w:2*w])
+	sets := words[2*w:]
+	ints := make([]int, 4*n)
+	cbuf := ints[:n]
+	q := ints[n : n : 2*n]
+	minBuf := ints[2*n : 2*n : 3*n]
+	qrAfter := ints[3*n : 3*n : 4*n]
+	// Components are disjoint and nonempty, so across the four
+	// partitions there are at most n of them: one header backing, with
+	// each comps() call returning its own full-capacity window.
+	all := make([][]int, 0, n)
+	used := 0
+	comps := func(states []int) [][]int {
+		clear(in)
+		clear(seen)
+		start := len(all)
+		all = g.components(states, in, seen, cbuf[used:used+len(states)], q, all)
+		used += len(states)
+		return all[start:len(all):len(all)]
 	}
-	idx = 0
-	for _, comp := range g.connectedComponents(erMinus) {
-		idx++
-		res.ER = append(res.ER, newRegion(g, sig, Minus, idx, comp))
+	erP, erM := comps(erPlus), comps(erMinus)
+	// QR(+a_i): a stable at 1, follows an up transition.
+	qrP, qrM := comps(qr1), comps(qr0)
+	tot := len(erP) + len(erM) + len(qrP) + len(qrM)
+	regs := make([]Region, tot)
+	ptrs := make([]*Region, tot)
+	ri := 0
+	build := func(d Dir, idx int, comp []int) *Region {
+		r := &regs[ri]
+		r.Signal, r.Dir, r.Index, r.States = sig, d, idx, comp
+		r.set = sets[ri*w : (ri+1)*w : (ri+1)*w]
+		ri++
+		for _, s := range comp {
+			r.set.Add(s)
+		}
+		off := len(minBuf)
+		for _, s := range comp {
+			minimal := true
+			for _, e := range g.States[s].Pred {
+				if r.set.Has(e.To) {
+					minimal = false
+					break
+				}
+			}
+			if minimal {
+				minBuf = append(minBuf, s)
+			}
+		}
+		r.Min = minBuf[off:len(minBuf):len(minBuf)]
+		return r
 	}
-	idx = 0
-	for _, comp := range g.connectedComponents(qr1) {
-		idx++
-		// QR(+a_i): a stable at 1, follows an up transition.
-		res.QR = append(res.QR, newRegion(g, sig, Plus, idx, comp))
+	ne := len(erP) + len(erM)
+	res.ER = ptrs[:0:ne]
+	res.QR = ptrs[ne:ne:tot]
+	for i, comp := range erP {
+		res.ER = append(res.ER, build(Plus, i+1, comp))
 	}
-	idx = 0
-	for _, comp := range g.connectedComponents(qr0) {
-		idx++
-		res.QR = append(res.QR, newRegion(g, sig, Minus, idx, comp))
+	for i, comp := range erM {
+		res.ER = append(res.ER, build(Minus, i+1, comp))
+	}
+	for i, comp := range qrP {
+		res.QR = append(res.QR, build(Plus, i+1, comp))
+	}
+	for i, comp := range qrM {
+		res.QR = append(res.QR, build(Minus, i+1, comp))
 	}
 	// Associate each ER with the QR entered when its transition fires.
-	res.QRAfter = make([]int, len(res.ER))
+	res.QRAfter = qrAfter[:len(res.ER)]
 	for i, er := range res.ER {
 		res.QRAfter[i] = -1
 		for _, s := range er.States {
@@ -204,11 +295,20 @@ func (g *Graph) QRLabel(r *Region) string { return r.label(g, "QR") }
 // CFR returns the constant function region of the i-th excitation region
 // of res (Definition 7): ER(*a_i) ∪ QR(*a_i), as a state set.
 func (res *Regions) CFR(i int) StateSet {
-	out := res.ER[i].set.Clone()
+	return res.CFRInto(i, make(StateSet, len(res.ER[i].set)))
+}
+
+// CFRInto is CFR writing into a caller-provided set of at least the
+// region bitset's word width, returning the written prefix. It lets the
+// per-candidate scoring loop reuse one buffer across its CFR queries.
+func (res *Regions) CFRInto(i int, dst StateSet) StateSet {
+	er := res.ER[i].set
+	dst = dst[:len(er)]
+	copy(dst, er)
 	if j := res.QRAfter[i]; j >= 0 {
-		out.UnionWith(res.QR[j].set)
+		dst.UnionWith(res.QR[j].set)
 	}
-	return out
+	return dst
 }
 
 // Trigger is a transition that can enter an excitation region from

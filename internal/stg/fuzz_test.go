@@ -36,6 +36,36 @@ y- x+
 	f.Add("a+ b+\n")
 	f.Add(".inputs a\n.graph\na+/0 a-\n")
 	f.Add(".model\n.graph\n.marking {}\n")
+	// A multi-round repair spec (the event duplicator needs two state
+	// signals): indexed transitions (a+/2), multi-phase cycles and a
+	// marking deep inside the super-cycle, so mutations explore the
+	// syntax that feeds the cross-round repair path downstream.
+	f.Add(`
+.model duplicator
+.inputs a b
+.outputs x y
+.graph
+a+ x+
+x+ a-
+a- x-
+x- a+/2
+a+/2 b+
+b+ x+/2
+x+/2 a-/2
+a-/2 x-/2
+x-/2 a+/3
+a+/3 y+
+y+ a-/3
+a-/3 y-
+y- a+/4
+a+/4 b-
+b- y+/2
+y+/2 a-/4
+a-/4 y-/2
+y-/2 a+
+.marking { <y-/2,a+> }
+.end
+`)
 	f.Fuzz(func(t *testing.T, src string) {
 		n, err := Parse(src)
 		if err == nil && n == nil {
