@@ -42,6 +42,13 @@
 //	-metrics f  write engine counters in Prometheus text format to f
 //	-trace f    write a Chrome trace_event JSON (about:tracing/Perfetto)
 //	-report f   write a machine-readable run report (JSON) per spec
+//	-journal f  append a JSONL flight-recorder journal: every pipeline
+//	            event with provenance (spec/netlist sha-256, config,
+//	            per-stage wall and allocation counters)
+//	-serve-obs a  serve the live ops plane on address a — /metrics,
+//	            /progress (SSE event stream), /trace, /debug/pprof/
+//	-profile-stages  capture per-stage CPU/alloc profiles; top-N symbol
+//	            summaries land in the -report JSON (-profile-top N)
 //	-v          structured slog progress logging to stderr
 //
 // All output files — profiles included — are flushed on every exit
@@ -63,6 +70,9 @@ import (
 	"repro/internal/engine"
 	"repro/internal/netlist"
 	"repro/internal/obs"
+	"repro/internal/obs/journal"
+	"repro/internal/obs/obshttp"
+	"repro/internal/obs/prof"
 	"repro/internal/stg"
 	"repro/internal/synth"
 	"repro/internal/tech"
@@ -83,6 +93,9 @@ type session struct {
 
 	o       *obs.Observer
 	reports []*obs.RunReport
+	jw      *journal.Writer
+	srv     *obshttp.Server
+	prof    *prof.Profiler
 }
 
 var ses session
@@ -138,6 +151,14 @@ func (s *session) flush() {
 				fmt.Fprintf(os.Stderr, "mcsyn: report: %v\n", err)
 			}
 		}
+		if s.jw != nil {
+			if err := s.jw.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "mcsyn: journal: %v\n", err)
+			}
+		}
+		if s.srv != nil {
+			s.srv.Close()
+		}
 	})
 }
 
@@ -155,6 +176,7 @@ func (s *session) begin() (finish func(spec string, fill func(r *obs.RunReport))
 		if fill != nil {
 			fill(r)
 		}
+		r.Profiles = s.prof.Take()
 		s.reports = append(s.reports, r)
 	}
 }
@@ -188,6 +210,49 @@ func fillSynth(r *obs.RunReport, rep *synth.Report, err error) {
 	}
 }
 
+// runConfig snapshots the flags that shape one synthesis run for the
+// journal's run_start record. Engine is the requested engine ("auto"
+// included); the per-spec resolution is visible in the run report.
+func runConfig(engineName string, opts synth.Options) journal.RunConfig {
+	return journal.RunConfig{
+		Engine:        engineName,
+		Portfolio:     opts.Repair.Portfolio,
+		RepairWorkers: opts.Repair.Workers,
+		MaxModels:     opts.Repair.MaxModels,
+		Parallel:      opts.Parallel,
+		RS:            opts.RS,
+		Share:         opts.Share,
+	}
+}
+
+// journalRunEnd publishes one synthesis outcome's digests to the
+// journal sinks (a no-op without sinks).
+func journalRunEnd(spec string, rep *synth.Report, err error) {
+	if !obs.SinksEnabled() {
+		return
+	}
+	var text, verdict string
+	var added int
+	var ok bool
+	if rep != nil {
+		if rep.Netlist != nil {
+			text = rep.Netlist.String()
+		}
+		added = len(rep.AddedSignals)
+		ok = rep.OK()
+		if rep.Verify != nil {
+			verdict = rep.Verify.String()
+		} else {
+			verdict = "synthesized (verification skipped)"
+		}
+	}
+	if err != nil {
+		verdict = "error: " + err.Error()
+		ok = false
+	}
+	journal.PublishRunEnd(spec, text, added, verdict, ok)
+}
+
 func main() {
 	rs := flag.Bool("rs", false, "emit the standard RS-implementation")
 	share := flag.Bool("share", false, "enable generalized-MC gate sharing (Section VI)")
@@ -210,6 +275,10 @@ func main() {
 	benchjson := flag.String("benchjson", "", "benchmark the Table-1 pipeline stages and write the JSON report to this file")
 	benchtime := flag.Duration("benchtime", 0, "per-stage measuring time for -benchjson (0 = testing default of 1s)")
 	metricsOut := flag.String("metrics", "", "write engine metrics in Prometheus text format to this file at exit")
+	journalOut := flag.String("journal", "", "append a JSONL flight-recorder journal of every pipeline event to this file")
+	serveObs := flag.String("serve-obs", "", "serve the live ops plane (/metrics, /progress SSE, /trace, /debug/pprof) on this address")
+	profileStages := flag.Bool("profile-stages", false, "capture per-stage CPU and allocation profiles; top-N symbol summaries land in the -report JSON")
+	profileTop := flag.Int("profile-top", 0, "symbols per stage-profile summary (0 = default 5)")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON trace to this file at exit")
 	reportOut := flag.String("report", "", "write a machine-readable JSON run report to this file at exit")
 	verbose := flag.Bool("v", false, "structured progress logging (slog) to stderr")
@@ -217,7 +286,8 @@ func main() {
 
 	ses.memPath = *memprofile
 	ses.metricsPath, ses.tracePath, ses.reportPath = *metricsOut, *traceOut, *reportOut
-	if *metricsOut != "" || *traceOut != "" || *reportOut != "" || *verbose {
+	if *metricsOut != "" || *traceOut != "" || *reportOut != "" || *verbose ||
+		*journalOut != "" || *serveObs != "" || *profileStages {
 		var lg *slog.Logger
 		if *verbose {
 			lg = slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -226,6 +296,29 @@ func main() {
 		obs.Enable(ses.o)
 	}
 	defer ses.flush()
+
+	if *journalOut != "" {
+		jw, err := journal.Create(*journalOut)
+		if err != nil {
+			fatalf("journal: %v", err)
+		}
+		ses.jw = jw
+		ses.o.AddSink(jw)
+	}
+	if *serveObs != "" {
+		srv := obshttp.New(ses.o)
+		addr, err := srv.Start(*serveObs)
+		if err != nil {
+			fatalf("serve-obs: %v", err)
+		}
+		ses.srv = srv
+		ses.o.AddSink(srv)
+		fmt.Fprintf(os.Stderr, "mcsyn: ops plane on http://%s (/metrics /progress /trace /debug/pprof)\n", addr)
+	}
+	if *profileStages {
+		ses.prof = prof.New(*profileTop)
+		ses.o.SetStageHook(ses.prof)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -279,8 +372,11 @@ func main() {
 			for _, e := range benchdata.Table1 {
 				finish := ses.begin()
 				o := opts
-				o.Engine = resolveEngine(*engineName, e.STG())
-				rep, err := synth.FromSTG(e.STG(), o)
+				journal.PublishRunStart(e.Name, e.Source, runConfig(*engineName, o))
+				net := e.STG()
+				o.Engine = resolveEngine(*engineName, net)
+				rep, err := synth.FromSTG(net, o)
+				journalRunEnd(e.Name, rep, err)
 				finish(e.Name, func(r *obs.RunReport) { fillSynth(r, rep, err) })
 				failed = printTable1Result(benchdata.Table1Result{Entry: e, Report: rep, Err: err}, *quiet) || failed
 			}
@@ -298,22 +394,29 @@ func main() {
 
 	finish := ses.begin()
 	var net *stg.STG
+	var source string
 	switch {
 	case *benchName != "":
 		e, ok := benchdata.Table1ByName(*benchName)
 		if !ok {
 			fatalf("unknown benchmark %q (use -list)", *benchName)
 		}
+		source = e.Source
+		journal.PublishRunStart(e.Name, source, runConfig(*engineName, opts))
 		net = e.STG()
 	case flag.NArg() == 1:
 		data, err := os.ReadFile(flag.Arg(0))
 		if err != nil {
 			fatalf("%v", err)
 		}
-		net, err = stg.Parse(string(data))
+		source = string(data)
+		net, err = stg.Parse(source)
 		if err != nil {
 			fatalf("%v", err)
 		}
+		// The spec's name is only known after parsing, so a file-spec
+		// journal opens its run just after the parse stage event.
+		journal.PublishRunStart(net.Name, source, runConfig(*engineName, opts))
 	default:
 		flag.Usage()
 		exit(2)
@@ -333,6 +436,7 @@ func main() {
 			fatalf("baseline: %v", err)
 		}
 		res := verify.Check(nl, g)
+		journal.PublishRunEnd(net.Name, nl.String(), 0, res.String(), res.OK())
 		finish(net.Name, func(r *obs.RunReport) {
 			r.Verdict = res.String()
 			r.OK = res.OK()
@@ -360,6 +464,7 @@ func main() {
 		analysisOnly(net, finish, *quiet)
 		return
 	}
+	journalRunEnd(net.Name, rep, err)
 	finish(net.Name, func(r *obs.RunReport) { fillSynth(r, rep, err) })
 	if err != nil {
 		fatalf("%v", err)
@@ -429,6 +534,7 @@ func analysisOnly(net *stg.STG, finish func(string, func(*obs.RunReport)), quiet
 	default:
 		verdict += ", every excitation region has a monotonous cover"
 	}
+	journal.PublishRunEnd(net.Name, "", 0, verdict, ok)
 	finish(net.Name, func(r *obs.RunReport) {
 		r.Verdict = verdict
 		r.OK = ok

@@ -6,9 +6,23 @@ import (
 	"repro/internal/analysis/lint"
 )
 
-// obsPkgPath is the observability layer every instrumented package
-// talks to.
+// obsPkgPath is the core observability package every instrumented
+// package talks to — the one that exports Get().
 const obsPkgPath = "repro/internal/obs"
+
+// obsLayerPkgs is the full observability layer: the core package plus
+// the flight recorder, the HTTP ops plane and the per-stage profiler.
+// The layer manages its own nil discipline (so it is exempt from the
+// Get() rule), but calls INTO any of these packages from a hotpath
+// loop violate the publish-once-per-stage contract — a journal write
+// or SSE fan-out per iteration is strictly worse than the atomics PR 3
+// removed.
+var obsLayerPkgs = map[string]bool{
+	obsPkgPath:                   true,
+	"repro/internal/obs/journal": true,
+	"repro/internal/obs/obshttp": true,
+	"repro/internal/obs/prof":    true,
+}
 
 // ObsSafe enforces the two contracts of the observability layer:
 //
@@ -19,8 +33,9 @@ const obsPkgPath = "repro/internal/obs"
 //     obs.Enabled) are always safe.
 //  2. publish once per stage — //reprolint:hotpath functions accumulate
 //     plain struct-local tallies and publish after the loop; any call
-//     into the obs layer inside one of their loops reintroduces the
-//     per-iteration atomics and clock reads PR 3 removed.
+//     into the obs layer (the core package, the journal, the SSE
+//     server, the stage profiler) inside one of their loops
+//     reintroduces the per-iteration costs PR 3 removed.
 var ObsSafe = &lint.Analyzer{
 	Name: "obssafe",
 	Doc: "flags field access on an unchecked obs.Get() result and obs calls inside " +
@@ -32,7 +47,7 @@ var ObsSafe = &lint.Analyzer{
 const obsEscape = "obs"
 
 func runObsSafe(pass *lint.Pass) error {
-	if pass.Pkg.Path() == obsPkgPath {
+	if obsLayerPkgs[pass.Pkg.Path()] {
 		return nil // the layer itself manages its own nil discipline
 	}
 	for _, file := range pass.Files {
@@ -80,7 +95,7 @@ func checkObsInLoops(pass *lint.Pass, dirs *lint.DirectiveIndex, fd *ast.FuncDec
 				return true
 			}
 			fn := lint.Callee(pass.TypesInfo, call)
-			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != obsPkgPath {
+			if fn == nil || fn.Pkg() == nil || !obsLayerPkgs[fn.Pkg().Path()] {
 				return true
 			}
 			if escaped(pass, dirs, call, obsEscape) {

@@ -3,7 +3,10 @@
 // loops are flagged, the nil-safe helpers and checked handles are not.
 package obssafe
 
-import "repro/internal/obs"
+import (
+	"repro/internal/obs"
+	"repro/internal/obs/journal"
+)
 
 func Chained() {
 	obs.Get().Metrics.Counter("states").Add(1) // want "bind and nil-check the observer before touching Metrics"
@@ -44,4 +47,15 @@ func Sampled(n int) {
 func BareEscape() {
 	//reprolint:obs
 	obs.Get().Metrics.Counter("states").Add(1) // want "escape needs a justification" "bind and nil-check the observer"
+}
+
+//reprolint:hotpath
+func HotJournal(specs []string) {
+	for _, s := range specs {
+		// The whole obs layer is fenced out of hotpath loops, not just
+		// the core package: a journal write per iteration is a JSON
+		// encode plus a locked buffered write.
+		journal.PublishRunStart(s, "", journal.RunConfig{}) // want "obs publish PublishRunStart inside a loop"
+	}
+	journal.PublishRunEnd("done", "", 0, "ok", true) // post-loop publish is fine
 }

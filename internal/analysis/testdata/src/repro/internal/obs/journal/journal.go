@@ -1,0 +1,16 @@
+// Package journal is a fixture stub of the flight recorder: the same
+// entry-point names, no behaviour. The obssafe analyzer matches on the
+// import path only, so this is all the tests need.
+package journal
+
+// RunConfig mirrors the real run_start configuration record.
+type RunConfig struct {
+	Engine string
+}
+
+// PublishRunStart records the beginning of one run. Nil-safe, but a
+// journal write — never call it per hot-loop iteration.
+func PublishRunStart(spec, source string, cfg RunConfig) {}
+
+// PublishRunEnd records one run's outcome digests.
+func PublishRunEnd(spec, netlist string, added int, verdict string, ok bool) {}

@@ -1,0 +1,26 @@
+package bdd
+
+import "repro/internal/obs"
+
+// PublishObs exports the manager's op-cache effectiveness and node
+// high-water mark as obs gauges, labelled by the caller's scope (the
+// symbolic substrate serves several clients — reachability spaces,
+// engine-level analysis — and their cache behaviour differs wildly).
+// Gauges, not counters: a manager republishing at several milestones
+// must overwrite, never double-count. A no-op without an enabled
+// observer; call it once per completed phase, never inside operator
+// loops.
+func (m *Manager) PublishObs(scope string) {
+	o := obs.Get()
+	if o == nil {
+		return
+	}
+	st := m.Stats()
+	mt := o.Metrics
+	if total := st.CacheHits + st.CacheMisses; total > 0 {
+		mt.Gauge("bdd_cache_hit_ratio_ppm", "scope", scope).Set(st.CacheHits * 1_000_000 / total)
+	}
+	mt.Gauge("bdd_nodes_peak", "scope", scope).Set(int64(st.PeakNodes))
+	mt.Gauge("bdd_nodes", "scope", scope).Set(int64(m.NumNodes()))
+	mt.Gauge("bdd_cache_entries", "scope", scope).Set(int64(m.CacheLen()))
+}

@@ -1,0 +1,106 @@
+package bdd_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/obs"
+	"repro/internal/stg"
+)
+
+func TestPublishObsGauges(t *testing.T) {
+	o := obs.New(nil)
+	obs.Enable(o)
+	defer obs.Enable(nil)
+
+	m := bdd.New(8)
+	// Drive the op cache: conjoin enough variable pairs that at least
+	// one apply result is served from cache.
+	f := m.Var(0)
+	for v := 1; v < 8; v++ {
+		f = m.And(f, m.Var(v))
+	}
+	for v := 1; v < 8; v++ {
+		m.And(m.Var(v-1), m.Var(v))
+	}
+	m.PublishObs("test_scope")
+
+	snap := o.Metrics.Snapshot()
+	for _, name := range []string{"bdd_nodes_peak", "bdd_nodes", "bdd_cache_entries"} {
+		key := name + `{scope="test_scope"}`
+		if snap[key] <= 0 {
+			t.Fatalf("%s = %v, want > 0 (snapshot %v)", key, snap[key], keysLike(snap, "bdd"))
+		}
+	}
+	// The hit ratio is only published once the cache has been consulted;
+	// with repeated identical And calls it must be present here.
+	if hit := snap[`bdd_cache_hit_ratio_ppm{scope="test_scope"}`]; hit <= 0 || hit > 1_000_000 {
+		t.Fatalf("bdd_cache_hit_ratio_ppm = %v, want in (0, 1e6]", hit)
+	}
+
+	// Republishing overwrites (gauge semantics): values must not
+	// accumulate across milestones.
+	before := snap[`bdd_nodes{scope="test_scope"}`]
+	m.PublishObs("test_scope")
+	after := o.Metrics.Snapshot()[`bdd_nodes{scope="test_scope"}`]
+	if after != before {
+		t.Fatalf("republish changed bdd_nodes from %v to %v without new allocation", before, after)
+	}
+}
+
+// TestPublishObsDisabled: without an observer the export is a no-op.
+func TestPublishObsDisabled(t *testing.T) {
+	obs.Enable(nil)
+	m := bdd.New(4)
+	m.And(m.Var(0), m.Var(1))
+	m.PublishObs("off") // must not panic
+}
+
+// TestSymbolicReachPublishesGauges pins the integration point: building
+// a symbolic space under an enabled observer lands the BDD gauges in
+// the registry with the stg_space scope.
+func TestSymbolicReachPublishesGauges(t *testing.T) {
+	o := obs.New(nil)
+	obs.Enable(o)
+	defer obs.Enable(nil)
+
+	n, err := stg.Parse(`
+.model toggle
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stg.NewSymbolicSpace(n); err != nil {
+		t.Fatal(err)
+	}
+	snap := o.Metrics.Snapshot()
+	found := false
+	for k := range snap { //reprolint:ordered existence scan only
+		if strings.HasPrefix(k, "bdd_nodes_peak{scope=\"stg_space\"}") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no stg_space BDD gauges in %v", keysLike(snap, "bdd"))
+	}
+}
+
+func keysLike(m map[string]float64, sub string) []string {
+	var out []string
+	for k := range m { //reprolint:ordered diagnostic output only
+		if strings.Contains(k, sub) {
+			out = append(out, k)
+		}
+	}
+	return out
+}

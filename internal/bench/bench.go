@@ -60,18 +60,51 @@ type Entry struct {
 }
 
 // Report is the full BENCH_table1.json payload. The run-metadata
-// fields (commit, timestamp, GOMAXPROCS) make any two archived reports
-// comparable without consulting the CI logs they came from.
+// fields (commit, timestamp, GOMAXPROCS, CPU model, GOGC) make any two
+// archived reports comparable without consulting the CI logs they came
+// from — and let benchdiff refuse a comparison across machines whose
+// wall-clock numbers were never commensurable.
 type Report struct {
 	GoVersion    string   `json:"go_version"`
 	GOOS         string   `json:"goos"`
 	GOARCH       string   `json:"goarch"`
 	GOMAXPROCS   int      `json:"gomaxprocs"`
+	NumCPU       int      `json:"num_cpu"`
+	CPUModel     string   `json:"cpu_model,omitempty"`
+	GOGC         string   `json:"gogc"`
 	GitCommit    string   `json:"git_commit,omitempty"`
 	GeneratedUTC string   `json:"generated_utc"`
 	Benchtime    string   `json:"benchtime"`
 	StageOrder   []string `json:"stage_order"`
 	Entries      []Entry  `json:"entries"`
+}
+
+// cpuModel best-effort identifies the host CPU. Linux exposes the
+// marketing name in /proc/cpuinfo; elsewhere (or in stripped
+// containers) the field stays empty and benchdiff falls back to the
+// GOOS/GOARCH fingerprint alone.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, v, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return ""
+}
+
+// gogc reports the effective GOGC setting ("100" when unset — the
+// runtime default).
+func gogc() string {
+	if v := os.Getenv("GOGC"); v != "" {
+		return v
+	}
+	return "100"
 }
 
 // gitCommit resolves the source revision: the vcs.revision build
@@ -131,6 +164,9 @@ func RunTable1(benchtime time.Duration) (*Report, error) {
 		GOOS:         runtime.GOOS,
 		GOARCH:       runtime.GOARCH,
 		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+		CPUModel:     cpuModel(),
+		GOGC:         gogc(),
 		GitCommit:    gitCommit(),
 		GeneratedUTC: time.Now().UTC().Format(time.RFC3339),
 		Benchtime:    benchtime.String(),

@@ -781,6 +781,9 @@ func Repair(g *sg.Graph, opts Options) (*Result, error) {
 		rsp.SetAttr("conflicts", len(confl))
 		trace(fmt.Sprintf("round %d: %d conflicts", round, len(confl)))
 		obs.Info("repair round", "spec", g.Name, "round", round, "conflicts", len(confl))
+		if obs.SinksEnabled() {
+			obs.Publish("repair_round", g.Name, "round", round, "conflicts", len(confl))
+		}
 		for _, c := range confl {
 			trace("  " + c.label)
 		}
@@ -955,6 +958,9 @@ func publishRepair(res *Result, rounds int) {
 	m.Counter("encode_learnts_carried_kept_total").Add(int64(res.CarriedKept))
 	m.Counter("encode_symmetry_pairs_total").Add(int64(res.SymmetryPairs))
 	m.Counter("encode_symmetry_clauses_total").Add(int64(res.SymmetryClauses))
+	obs.Publish("repair_done", res.G.Name,
+		"rounds", rounds, "added", len(res.Added),
+		"models", res.Models, "candidates", res.Candidates)
 	publishSAT(res)
 }
 
@@ -988,6 +994,10 @@ func publishSAT(res *Result) {
 	for _, name := range names {
 		m.Counter("sat_portfolio_wins_total", "config", name).Add(ps.Wins[name])
 	}
+	obs.Publish("sat_stats", res.G.Name,
+		"decisions", res.SAT.Decisions, "conflicts", res.SAT.Conflicts,
+		"propagations", res.SAT.Propagations, "restarts", res.SAT.Restarts,
+		"portfolio_queries", ps.Queries, "learnts_exchanged", ps.Exchanged)
 }
 
 // freshSignalName picks a state-signal name not colliding with any

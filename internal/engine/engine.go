@@ -258,6 +258,10 @@ func (s *Symbolic) Analyze(n *stg.STG) (*Analysis, error) {
 		}
 	}
 	sort.Strings(res.MCUnresolved)
+	// The analysis drove the whole region/MC workload through the
+	// space's manager; publish its cache tallies under a scope apart
+	// from the reachability fixpoint's.
+	sp.Manager().PublishObs("engine_analyze")
 	return res, nil
 }
 

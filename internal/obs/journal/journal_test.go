@@ -1,0 +1,131 @@
+package journal
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestWriterRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []obs.Event{
+		{Seq: 1, TUs: 10, Kind: "run_start", Spec: "ab", Fields: map[string]any{"engine": "explicit"}},
+		{Seq: 2, TUs: 20, Kind: "stage_end", Fields: map[string]any{"stage": "parse", "wall_us": 7.0}},
+		{Seq: 3, TUs: 30, Kind: "run_end", Spec: "ab", Fields: map[string]any{"ok": true}},
+	}
+	for _, ev := range in {
+		w.Publish(ev)
+	}
+	if got := w.Events(); got != int64(len(in)) {
+		t.Fatalf("Events() = %d, want %d", got, len(in))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("read %d events, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Seq != in[i].Seq || out[i].Kind != in[i].Kind || out[i].Spec != in[i].Spec {
+			t.Fatalf("event %d = %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestNilWriterIsInert(t *testing.T) {
+	var w *Writer
+	w.Publish(obs.Event{Kind: "x"})
+	if w.Events() != 0 || w.Err() != nil || w.Close() != nil {
+		t.Fatal("nil writer must drop everything without error")
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriterStickyError(t *testing.T) {
+	w := New(&failWriter{n: 1}) // fails on the first flush-sized write
+	for i := 0; i < 10_000; i++ {
+		w.Publish(obs.Event{Seq: int64(i), Kind: "stage_end"})
+	}
+	w.Close()
+	if w.Err() == nil {
+		t.Fatal("write error was not kept")
+	}
+}
+
+func TestSpecSHA(t *testing.T) {
+	if got := SpecSHA("abc"); got != "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad" {
+		t.Fatalf("SpecSHA(abc) = %s", got)
+	}
+}
+
+// TestReconstruct folds a hand-built journal — with the spec-less parse
+// stage the real pipeline produces — back into run records.
+func TestReconstruct(t *testing.T) {
+	evs := []obs.Event{
+		{Kind: "run_start", Spec: "ab", Fields: map[string]any{
+			"spec_sha256": "aa", "engine": "explicit", "portfolio": 2.0,
+			"repair_workers": 4.0, "maxmodels": 128.0, "parallel": 1.0,
+			"rs": true, "share": false, "go_version": "go1.23",
+		}},
+		// Parse runs before the spec has a name: spec-less, attaches to
+		// the open run.
+		{Kind: "stage_end", Fields: map[string]any{"stage": "parse", "wall_us": 42.0, "allocs": 7.0, "alloc_bytes": 512.0}},
+		{Kind: "stage_end", Spec: "ab", Fields: map[string]any{"stage": "reach", "wall_us": 100.0, "states": 24.0}},
+		{Kind: "repair_round", Spec: "ab", Fields: map[string]any{"round": 0.0}},
+		{Kind: "repair_round", Spec: "ab", Fields: map[string]any{"round": 1.0}},
+		// A stage event for some other spec must not leak into this run.
+		{Kind: "stage_end", Spec: "other", Fields: map[string]any{"stage": "reach", "wall_us": 9.0}},
+		{Kind: "run_end", Spec: "ab", Fields: map[string]any{
+			"netlist_sha256": "bb", "added": 2.0, "verdict": "speed-independent", "ok": true,
+		}},
+	}
+	runs := Reconstruct(evs)
+	if len(runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(runs))
+	}
+	r := runs[0]
+	if r.Spec != "ab" || r.SpecSHA != "aa" || !r.Complete {
+		t.Fatalf("run header = %+v", r)
+	}
+	if r.Config.Engine != "explicit" || r.Config.Portfolio != 2 || r.Config.RepairWorkers != 4 ||
+		r.Config.MaxModels != 128 || !r.Config.RS || r.Config.Share {
+		t.Fatalf("config = %+v", r.Config)
+	}
+	if p := r.Stages["parse"]; p.WallUs != 42 || p.Allocs != 7 || p.AllocBytes != 512 {
+		t.Fatalf("parse stage = %+v", p)
+	}
+	if rc := r.Stages["reach"]; rc.WallUs != 100 || rc.Attrs["states"] != 24.0 {
+		t.Fatalf("reach stage = %+v", rc)
+	}
+	if r.Rounds != 2 {
+		t.Fatalf("rounds = %d, want 2", r.Rounds)
+	}
+	if r.NetlistSHA != "bb" || r.Added != 2 || !r.OK || r.Verdict != "speed-independent" {
+		t.Fatalf("outcome = %+v", r)
+	}
+	if _, leaked := r.Stages["reach"]; !leaked {
+		t.Fatal("reach missing")
+	}
+	if r.Stages["reach"].WallUs == 9 {
+		t.Fatal("stage event of another spec leaked into the run")
+	}
+}

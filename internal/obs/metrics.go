@@ -278,6 +278,28 @@ func formatFloat(v float64) string {
 	return fmt.Sprintf("%g", v)
 }
 
+// Gauges returns the current value of every gauge, keyed like
+// Snapshot. Run reports use it to report gauges at their absolute value
+// (a high-water mark diffed against a previous spec's mark would be
+// meaningless).
+func (r *Registry) Gauges() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := map[string]float64{}
+	for name, f := range r.families {
+		if f.kind != kindGauge {
+			continue
+		}
+		for k, m := range f.series {
+			out[name+k] = float64(m.(*Gauge).Value())
+		}
+	}
+	return out
+}
+
 // Snapshot returns the current value of every counter and gauge (and
 // the _count/_sum pair of every histogram) keyed by the rendered series
 // name. Run reports diff two snapshots to attribute counters to one

@@ -18,23 +18,35 @@ package obs
 
 import (
 	"log/slog"
+	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// Observer bundles the three sinks of one observed run: the metric
-// registry, the span tracer, and an optional structured progress
-// logger. A nil *Observer is the disabled state; all methods no-op.
+// Observer bundles the sinks of one observed run: the metric registry,
+// the span tracer, an optional structured progress logger, and any
+// number of attached event sinks (the flight-recorder journal, the SSE
+// progress stream). A nil *Observer is the disabled state; all methods
+// no-op.
 type Observer struct {
 	Metrics *Registry
 	Tracer  *Tracer
 	Log     *slog.Logger
+
+	mu    sync.Mutex
+	hook  StageHook
+	sinks atomic.Pointer[[]Sink]
+	seq   atomic.Int64
+	epoch time.Time
 }
 
 // New returns an Observer with a fresh registry and tracer. log may be
 // nil (metrics and traces are still collected, progress lines are not).
 func New(log *slog.Logger) *Observer {
-	return &Observer{Metrics: NewRegistry(), Tracer: NewTracer(), Log: log}
+	o := &Observer{Metrics: NewRegistry(), Tracer: NewTracer(), Log: log}
+	o.epoch = o.Tracer.epoch
+	o.Tracer.owner = o
+	return o
 }
 
 var global atomic.Pointer[Observer]

@@ -1,0 +1,263 @@
+// Package obshttp is the live ops plane of the pipeline — the first
+// concrete slice of the mcsyn-as-a-service architecture. It serves one
+// observed process over stdlib net/http:
+//
+//	/metrics        engine counters, Prometheus text format
+//	/progress       live per-stage pipeline events as an SSE stream
+//	/trace          Chrome trace_event JSON snapshot of every span so far
+//	/debug/pprof/   the standard pprof handlers
+//
+// The server is an obs.Sink: every pipeline event is encoded once and
+// fanned out to all connected /progress subscribers. Subscribers that
+// stop reading are never allowed to stall the pipeline — their buffered
+// channel fills and further events are dropped (counted in
+// obs_sse_dropped_total). New subscribers replay a bounded ring of
+// recent events first, so a watcher attaching mid-run still sees the
+// stages that already finished.
+package obshttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ringLimit bounds the replay ring; at a few dozen events per spec this
+// holds hundreds of synthesized specs.
+const ringLimit = 8192
+
+// subBuffer is each /progress subscriber's channel capacity; a client
+// that falls further behind than this starts losing events.
+const subBuffer = 1024
+
+// Server is the HTTP ops plane of one observed run.
+type Server struct {
+	o       *obs.Observer
+	mux     *http.ServeMux
+	dropped *obs.Counter
+	events  *obs.Counter
+
+	mu     sync.Mutex
+	subs   map[chan []byte]struct{}
+	ring   [][]byte
+	closed bool
+
+	hs *http.Server
+	ln net.Listener
+}
+
+// New builds a server over the observer's metrics, tracer and events.
+// Attach it with o.AddSink(s) to feed /progress.
+func New(o *obs.Observer) *Server {
+	s := &Server{
+		o:       o,
+		mux:     http.NewServeMux(),
+		subs:    map[chan []byte]struct{}{},
+		dropped: o.Metrics.Counter("obs_sse_dropped_total"),
+		events:  o.Metrics.Counter("obs_sse_events_total"),
+	}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/progress", s.handleProgress)
+	s.mux.HandleFunc("/trace", s.handleTrace)
+	s.mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	return s
+}
+
+// Publish implements obs.Sink: encode once, append to the replay ring,
+// fan out without blocking.
+func (s *Server) Publish(ev obs.Event) {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	s.events.Add(1)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if len(s.ring) >= ringLimit {
+		s.ring = append(s.ring[:0:0], s.ring[len(s.ring)-ringLimit/2:]...)
+	}
+	s.ring = append(s.ring, data)
+	for ch := range s.subs {
+		select {
+		case ch <- data:
+		default:
+			s.dropped.Add(1)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Handler returns the ops-plane handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (host:port; an empty host or port 0 work) and
+// serves in the background. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.hs = &http.Server{Handler: s.mux}
+	go s.hs.Serve(ln) //reprolint:go long-lived HTTP accept loop, not a pipeline fan-out; lifecycle owned by Close
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and ends every /progress stream.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for ch := range s.subs {
+		close(ch)
+	}
+	s.subs = map[chan []byte]struct{}{}
+	s.mu.Unlock()
+	if s.hs != nil {
+		return s.hs.Close()
+	}
+	return nil
+}
+
+// subscribe registers a new /progress consumer and returns its channel
+// plus the replay backlog.
+func (s *Server) subscribe() (chan []byte, [][]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, nil, false
+	}
+	ch := make(chan []byte, subBuffer)
+	s.subs[ch] = struct{}{}
+	backlog := append([][]byte(nil), s.ring...)
+	return ch, backlog, true
+}
+
+func (s *Server) unsubscribe(ch chan []byte) {
+	s.mu.Lock()
+	if _, ok := s.subs[ch]; ok {
+		delete(s.subs, ch)
+		close(ch)
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "mcsyn ops plane\n\n"+
+		"  /metrics        Prometheus text metrics\n"+
+		"  /progress       live pipeline events (SSE)\n"+
+		"  /trace          Chrome trace_event JSON snapshot\n"+
+		"  /debug/pprof/   pprof profiles\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.o.Metrics.WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.o.Tracer.WriteChromeTrace(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleProgress streams pipeline events as server-sent events: the
+// replay backlog first, then live events until the client disconnects
+// or the server closes. A periodic comment line keeps idle connections
+// from being reaped by proxies.
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	ch, backlog, ok := s.subscribe()
+	if !ok {
+		http.Error(w, "server closed", http.StatusServiceUnavailable)
+		return
+	}
+	defer s.unsubscribe(ch)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	for _, data := range backlog {
+		if writeSSE(w, data) != nil {
+			return
+		}
+	}
+	fl.Flush()
+
+	keepalive := time.NewTicker(15 * time.Second)
+	defer keepalive.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-keepalive.C:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case data, ok := <-ch:
+			if !ok {
+				return
+			}
+			if writeSSE(w, data) != nil {
+				return
+			}
+			// Drain whatever queued before flushing once.
+			for drained := true; drained; {
+				select {
+				case more, ok := <-ch:
+					if !ok {
+						return
+					}
+					if writeSSE(w, more) != nil {
+						return
+					}
+				default:
+					drained = false
+				}
+			}
+			fl.Flush()
+		}
+	}
+}
+
+func writeSSE(w http.ResponseWriter, data []byte) error {
+	if _, err := w.Write([]byte("data: ")); err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	_, err := w.Write([]byte("\n\n"))
+	return err
+}

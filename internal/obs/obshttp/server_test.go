@@ -1,0 +1,323 @@
+package obshttp_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/benchdata"
+	"repro/internal/obs"
+	"repro/internal/obs/journal"
+	"repro/internal/obs/obshttp"
+	"repro/internal/synth"
+)
+
+// sseClient subscribes to /progress and decodes events into a channel
+// until the context is cancelled.
+func sseClient(t *testing.T, ctx context.Context, url string) <-chan obs.Event {
+	t.Helper()
+	req, err := http.NewRequestWithContext(ctx, "GET", url+"/progress", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/progress status %d", resp.StatusCode)
+	}
+	out := make(chan obs.Event, 4096)
+	go func() {
+		defer resp.Body.Close()
+		defer close(out)
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			data, ok := strings.CutPrefix(line, "data: ")
+			if !ok {
+				continue // blank separators, ": keepalive" comments
+			}
+			var ev obs.Event
+			if json.Unmarshal([]byte(data), &ev) == nil {
+				out <- ev
+			}
+		}
+	}()
+	return out
+}
+
+// TestOpsPlaneEndToEnd is the tentpole acceptance test: synthesize all
+// nine Table-1 benchmarks with the journal and the SSE server attached,
+// watch the per-stage progress live over /progress, then reconstruct
+// stage timings, configuration and netlist digests for every benchmark
+// from the journal alone. Finally re-synthesize with observation off
+// and check the netlists are byte-identical — the whole obs plane must
+// be invisible to the results.
+func TestOpsPlaneEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthesizes all nine Table-1 benchmarks")
+	}
+
+	o := obs.New(nil)
+	jpath := filepath.Join(t.TempDir(), "run.jsonl")
+	jw, err := journal.Create(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := obshttp.New(o)
+	o.AddSink(jw)
+	o.AddSink(srv)
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	// Subscribe before the pipeline runs: the stream must carry events
+	// live, not only as backlog replay.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	events := sseClient(t, ctx, hs.URL)
+
+	obs.Enable(o)
+	defer obs.Enable(nil)
+
+	type outcome struct {
+		netlist string
+		added   int
+	}
+	want := map[string]outcome{}
+	for _, e := range benchdata.Table1 {
+		journal.PublishRunStart(e.Name, e.Source, journal.RunConfig{Engine: "explicit", MaxModels: 128})
+		rep, err := synth.FromSTG(e.STG(), synth.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if !rep.OK() {
+			t.Fatalf("%s: synthesis not OK: %s", e.Name, rep.Verify)
+		}
+		text := rep.Netlist.String()
+		journal.PublishRunEnd(e.Name, text, len(rep.AddedSignals), rep.Verify.String(), true)
+		want[e.Name] = outcome{netlist: text, added: len(rep.AddedSignals)}
+	}
+	obs.Enable(nil)
+	if err := jw.Close(); err != nil {
+		t.Fatalf("journal: %v", err)
+	}
+
+	// --- live SSE stream: the subscriber must have received run and
+	// stage events for every benchmark as they happened.
+	liveRunEnds := map[string]bool{}
+	liveStageEnds := 0
+	deadline := time.After(30 * time.Second)
+collect:
+	for len(liveRunEnds) < len(benchdata.Table1) {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				break collect
+			}
+			switch ev.Kind {
+			case "run_end":
+				liveRunEnds[ev.Spec] = true
+			case "stage_end":
+				liveStageEnds++
+			}
+		case <-deadline:
+			break collect
+		}
+	}
+	if len(liveRunEnds) != len(benchdata.Table1) {
+		t.Fatalf("SSE stream delivered run_end for %d specs, want %d", len(liveRunEnds), len(benchdata.Table1))
+	}
+	if liveStageEnds == 0 {
+		t.Fatal("SSE stream delivered no stage_end events")
+	}
+
+	// --- flight recorder: everything must be recoverable from the
+	// journal file alone.
+	evs, err := journal.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := journal.Reconstruct(evs)
+	if len(runs) != len(benchdata.Table1) {
+		t.Fatalf("reconstructed %d runs, want %d", len(runs), len(benchdata.Table1))
+	}
+	for i, e := range benchdata.Table1 {
+		r := runs[i]
+		if r.Spec != e.Name {
+			t.Fatalf("run %d spec = %q, want %q", i, r.Spec, e.Name)
+		}
+		if !r.Complete || !r.OK {
+			t.Fatalf("%s: run incomplete or failed: %+v", e.Name, r)
+		}
+		if r.SpecSHA != journal.SpecSHA(e.Source) {
+			t.Fatalf("%s: spec digest mismatch", e.Name)
+		}
+		if r.Config.Engine != "explicit" || r.Config.MaxModels != 128 {
+			t.Fatalf("%s: config not recovered: %+v", e.Name, r.Config)
+		}
+		if r.NetlistSHA != journal.SpecSHA(want[e.Name].netlist) {
+			t.Fatalf("%s: netlist digest mismatch", e.Name)
+		}
+		if r.Added != want[e.Name].added {
+			t.Fatalf("%s: added = %d, want %d", e.Name, r.Added, want[e.Name].added)
+		}
+		for _, stage := range []string{"reach", "analyze", "repair", "synth", "verify"} {
+			if _, ok := r.Stages[stage]; !ok {
+				t.Fatalf("%s: stage %q missing from journal (have %v)", e.Name, stage, stageNames(r.Stages))
+			}
+		}
+		if _, ok := r.Stages["parse"]; !ok {
+			t.Fatalf("%s: spec-less parse stage not attached to the run", e.Name)
+		}
+		if r.Stages["repair"].WallUs < 0 {
+			t.Fatalf("%s: negative repair wall time", e.Name)
+		}
+		if r.Stages["repair"].Allocs == 0 {
+			t.Fatalf("%s: repair stage has no allocation counter", e.Name)
+		}
+	}
+
+	// --- invisibility: with observation fully off the same pipeline
+	// must produce byte-identical netlists.
+	for _, e := range benchdata.Table1 {
+		rep, err := synth.FromSTG(e.STG(), synth.Options{})
+		if err != nil {
+			t.Fatalf("%s (obs off): %v", e.Name, err)
+		}
+		if rep.Netlist.String() != want[e.Name].netlist {
+			t.Fatalf("%s: netlist differs between observed and unobserved runs", e.Name)
+		}
+	}
+}
+
+func stageNames(m map[string]journal.Stage) []string {
+	var out []string
+	for k := range m { //reprolint:ordered diagnostic output only
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestMetricsAndTraceEndpoints exercises the non-streaming pages.
+func TestMetricsAndTraceEndpoints(t *testing.T) {
+	o := obs.New(nil)
+	o.Metrics.Counter("test_total").Add(3)
+	srv := obshttp.New(o)
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	body := get(t, hs.URL+"/metrics")
+	if !strings.Contains(body, "test_total 3") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	if body := get(t, hs.URL+"/trace"); !json.Valid([]byte(body)) {
+		t.Fatalf("/trace is not valid JSON:\n%s", body)
+	}
+	if body := get(t, hs.URL+"/"); !strings.Contains(body, "/progress") {
+		t.Fatalf("index page unexpected:\n%s", body)
+	}
+	if body := get(t, hs.URL+"/debug/pprof/cmdline"); body == "" {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}
+
+// TestProgressBacklogReplay: a subscriber attaching after events were
+// published still sees them via the replay ring.
+func TestProgressBacklogReplay(t *testing.T) {
+	o := obs.New(nil)
+	srv := obshttp.New(o)
+	o.AddSink(srv)
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	obs.Enable(o)
+	obs.Publish("run_start", "late-spec", "engine", "explicit")
+	obs.Publish("run_end", "late-spec", "ok", true)
+	obs.Enable(nil)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	events := sseClient(t, ctx, hs.URL)
+	var got []obs.Event
+	for len(got) < 2 {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				t.Fatalf("stream closed after %d events", len(got))
+			}
+			got = append(got, ev)
+		case <-ctx.Done():
+			t.Fatalf("timed out after %d events", len(got))
+		}
+	}
+	if got[0].Kind != "run_start" || got[0].Spec != "late-spec" || got[1].Kind != "run_end" {
+		t.Fatalf("replayed events = %+v", got)
+	}
+}
+
+// TestSlowSubscriberDrops: a subscriber that never reads must not stall
+// Publish; its overflow lands in the dropped counter.
+func TestSlowSubscriberDrops(t *testing.T) {
+	o := obs.New(nil)
+	srv := obshttp.New(o)
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	// A raw connection that subscribes and then never reads the body.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", hs.URL+"/progress", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Far beyond the subscriber buffer; must complete without
+		// blocking even though nobody drains the stream.
+		for i := 0; i < 5000; i++ {
+			srv.Publish(obs.Event{Seq: int64(i), Kind: "stage_end"})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Publish blocked on a slow subscriber")
+	}
+	if v := counterValue(o, "obs_sse_events_total"); v != 5000 {
+		t.Fatalf("events counter = %d, want 5000", v)
+	}
+}
+
+func counterValue(o *obs.Observer, name string) int64 {
+	return int64(o.Metrics.Snapshot()[name])
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	return string(data)
+}

@@ -1,0 +1,311 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// This file is a minimal, dependency-free reader for the pprof
+// profile.proto wire format — just enough to turn a CPU or allocs
+// profile into a flat top-N symbol table. Field numbers follow
+// github.com/google/pprof/proto/profile.proto:
+//
+//	Profile:  1 sample_type (ValueType), 2 sample (Sample),
+//	          4 location (Location), 5 function (Function),
+//	          6 string_table (string)
+//	ValueType: 1 type (string index), 2 unit (string index)
+//	Sample:   1 location_id (repeated uint64), 2 value (repeated int64)
+//	Location: 1 id, 4 line (repeated Line)
+//	Line:     1 function_id
+//	Function: 1 id, 2 name (string index)
+//
+// Samples attribute their values to the leaf location (index 0 of
+// location_id, per the pprof convention); the parser resolves that to
+// the function name of the location's first Line.
+
+// valueType is one (type, unit) column of a profile's sample values.
+type valueType struct {
+	Type string
+	Unit string
+}
+
+// profile is the decoded subset of one pprof profile.
+type profile struct {
+	SampleTypes []valueType
+	samples     []sampleRec
+	locFunc     map[uint64]string // location id → leaf function name
+}
+
+type sampleRec struct {
+	leafLoc uint64
+	values  []int64
+}
+
+// parseProfile decodes a (possibly gzipped) profile.proto payload.
+func parseProfile(data []byte) (*profile, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		if data, err = io.ReadAll(zr); err != nil {
+			return nil, err
+		}
+	}
+	var (
+		strTab    []string
+		types     []struct{ typ, unit uint64 }
+		samples   []sampleRec
+		locLine   = map[uint64]uint64{} // location id → first function id
+		funcName  = map[uint64]uint64{} // function id → name string index
+		locAddr   = map[uint64]uint64{} // location id → address (fallback name)
+		walkEntry = func(field uint64, wire int, varint uint64, chunk []byte) error {
+			switch field {
+			case 1: // sample_type
+				vt := struct{ typ, unit uint64 }{}
+				if err := walkMessage(chunk, func(f uint64, w int, v uint64, c []byte) error {
+					switch f {
+					case 1:
+						vt.typ = v
+					case 2:
+						vt.unit = v
+					}
+					return nil
+				}); err != nil {
+					return err
+				}
+				types = append(types, vt)
+			case 2: // sample
+				var rec sampleRec
+				first := true
+				if err := walkMessage(chunk, func(f uint64, w int, v uint64, c []byte) error {
+					switch f {
+					case 1: // location_id, possibly packed
+						forEachVarint(w, v, c, func(u uint64) {
+							if first {
+								rec.leafLoc = u
+								first = false
+							}
+						})
+					case 2: // value, possibly packed
+						forEachVarint(w, v, c, func(u uint64) {
+							rec.values = append(rec.values, int64(u))
+						})
+					}
+					return nil
+				}); err != nil {
+					return err
+				}
+				samples = append(samples, rec)
+			case 4: // location
+				var id, fn, addr uint64
+				gotLine := false
+				if err := walkMessage(chunk, func(f uint64, w int, v uint64, c []byte) error {
+					switch f {
+					case 1:
+						id = v
+					case 3:
+						addr = v
+					case 4:
+						if gotLine {
+							return nil
+						}
+						gotLine = true
+						return walkMessage(c, func(lf uint64, lw int, lv uint64, lc []byte) error {
+							if lf == 1 {
+								fn = lv
+							}
+							return nil
+						})
+					}
+					return nil
+				}); err != nil {
+					return err
+				}
+				locLine[id] = fn
+				locAddr[id] = addr
+			case 5: // function
+				var id, name uint64
+				if err := walkMessage(chunk, func(f uint64, w int, v uint64, c []byte) error {
+					switch f {
+					case 1:
+						id = v
+					case 2:
+						name = v
+					}
+					return nil
+				}); err != nil {
+					return err
+				}
+				funcName[id] = name
+			case 6: // string_table
+				strTab = append(strTab, string(chunk))
+			}
+			return nil
+		}
+	)
+	if err := walkMessage(data, walkEntry); err != nil {
+		return nil, err
+	}
+	str := func(i uint64) string {
+		if i < uint64(len(strTab)) {
+			return strTab[i]
+		}
+		return ""
+	}
+	p := &profile{locFunc: make(map[uint64]string, len(locLine))}
+	for _, vt := range types {
+		p.SampleTypes = append(p.SampleTypes, valueType{Type: str(vt.typ), Unit: str(vt.unit)})
+	}
+	for id, fn := range locLine {
+		name := str(funcName[fn])
+		if name == "" {
+			name = fmt.Sprintf("0x%x", locAddr[id])
+		}
+		p.locFunc[id] = name
+	}
+	p.samples = samples
+	return p, nil
+}
+
+// valueIndex finds the sample-value column with the given type name
+// ("cpu", "alloc_space", ...), or -1.
+func (p *profile) valueIndex(typeName string) int {
+	for i, vt := range p.SampleTypes {
+		if vt.Type == typeName {
+			return i
+		}
+	}
+	return -1
+}
+
+// flat sums the named value column per leaf function.
+func (p *profile) flat(typeName string) map[string]int64 {
+	vi := p.valueIndex(typeName)
+	if vi < 0 {
+		return nil
+	}
+	out := map[string]int64{}
+	for _, s := range p.samples {
+		if vi >= len(s.values) || s.values[vi] == 0 {
+			continue
+		}
+		name := p.locFunc[s.leafLoc]
+		if name == "" {
+			name = "<unknown>"
+		}
+		out[name] += s.values[vi]
+	}
+	return out
+}
+
+// topN turns a flat symbol map into the n largest entries, sorted by
+// value descending with name as the deterministic tie-break.
+func topN(flat map[string]int64, n int) []obs.ProfileSample {
+	if len(flat) == 0 || n <= 0 {
+		return nil
+	}
+	out := make([]obs.ProfileSample, 0, len(flat))
+	for name, v := range flat { //reprolint:ordered sorted immediately below
+		if v > 0 {
+			out = append(out, obs.ProfileSample{Func: name, Value: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Value != out[j].Value {
+			return out[i].Value > out[j].Value
+		}
+		return out[i].Func < out[j].Func
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// walkMessage iterates a protobuf message's fields. For varint fields
+// the value is passed directly; for length-delimited fields the chunk
+// is passed. Fixed32/fixed64 fields are skipped.
+func walkMessage(data []byte, fn func(field uint64, wire int, varint uint64, chunk []byte) error) error {
+	for len(data) > 0 {
+		tag, n := readVarint(data)
+		if n <= 0 {
+			return fmt.Errorf("pprof: bad field tag")
+		}
+		data = data[n:]
+		field, wire := tag>>3, int(tag&7)
+		switch wire {
+		case 0: // varint
+			v, n := readVarint(data)
+			if n <= 0 {
+				return fmt.Errorf("pprof: bad varint in field %d", field)
+			}
+			data = data[n:]
+			if err := fn(field, wire, v, nil); err != nil {
+				return err
+			}
+		case 1: // fixed64
+			if len(data) < 8 {
+				return fmt.Errorf("pprof: truncated fixed64")
+			}
+			data = data[8:]
+		case 2: // length-delimited
+			l, n := readVarint(data)
+			if n <= 0 || uint64(len(data)-n) < l {
+				return fmt.Errorf("pprof: bad length in field %d", field)
+			}
+			chunk := data[n : n+int(l)]
+			data = data[n+int(l):]
+			if err := fn(field, wire, 0, chunk); err != nil {
+				return err
+			}
+		case 5: // fixed32
+			if len(data) < 4 {
+				return fmt.Errorf("pprof: truncated fixed32")
+			}
+			data = data[4:]
+		default:
+			return fmt.Errorf("pprof: unsupported wire type %d", wire)
+		}
+	}
+	return nil
+}
+
+// forEachVarint visits the integers of a repeated varint field, which
+// the encoder may emit packed (wire 2) or one by one (wire 0).
+func forEachVarint(wire int, v uint64, chunk []byte, fn func(uint64)) {
+	if wire == 0 {
+		fn(v)
+		return
+	}
+	for len(chunk) > 0 {
+		u, n := readVarint(chunk)
+		if n <= 0 {
+			return
+		}
+		chunk = chunk[n:]
+		fn(u)
+	}
+}
+
+// readVarint decodes one base-128 varint; n <= 0 signals malformed
+// input.
+func readVarint(data []byte) (v uint64, n int) {
+	var shift uint
+	for i, b := range data {
+		if i == 10 {
+			return 0, -1
+		}
+		v |= uint64(b&0x7f) << shift
+		if b&0x80 == 0 {
+			return v, i + 1
+		}
+		shift += 7
+	}
+	return 0, -1
+}

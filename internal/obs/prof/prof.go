@@ -1,0 +1,128 @@
+// Package prof captures per-stage CPU and heap profiles of the
+// synthesis pipeline and reduces them to top-N flat symbol summaries
+// for the JSON run report — `mcsyn -profile-stages` without dragging a
+// profile viewer into the loop.
+//
+// The Profiler implements obs.StageHook: at every top-level stage
+// boundary it starts/stops a stage-scoped CPU profile and snapshots the
+// cumulative allocs profile, so each stage's summary shows where that
+// stage burned CPU and allocated bytes. Profiles are decoded by the
+// minimal profile.proto reader in this package — no external pprof
+// dependency.
+//
+// Caveats, by construction: the CPU profiler samples at 100 Hz, so
+// stages shorter than tens of milliseconds legitimately produce an
+// empty CPU summary; and a `-cpuprofile` covering the whole process
+// takes precedence — stage profiles then silently skip CPU capture
+// (the heap side still works).
+package prof
+
+import (
+	"bytes"
+	"runtime/pprof"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// DefaultTopN is the default symbol count per stage summary.
+const DefaultTopN = 5
+
+// Profiler captures per-stage profiles. It is driven from the
+// sequential pipeline goroutine via obs.StageHook; Take may be called
+// from any goroutine.
+type Profiler struct {
+	topN int
+
+	mu        sync.Mutex
+	cpuBuf    bytes.Buffer
+	cpuOn     bool
+	heapStart map[string]int64
+	out       []obs.StageProfile
+}
+
+// New returns a profiler summarizing the top n symbols per stage
+// (n <= 0 selects DefaultTopN).
+func New(n int) *Profiler {
+	if n <= 0 {
+		n = DefaultTopN
+	}
+	return &Profiler{topN: n}
+}
+
+// StageStart implements obs.StageHook: begin a stage-scoped CPU
+// profile and snapshot the allocation profile.
+func (p *Profiler) StageStart(string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.heapStart = allocFlat()
+	p.cpuBuf.Reset()
+	// Fails when a process-wide CPU profile is already running
+	// (mcsyn -cpuprofile); the stage summary then omits CPU.
+	p.cpuOn = pprof.StartCPUProfile(&p.cpuBuf) == nil
+}
+
+// StageEnd implements obs.StageHook: stop the stage profile and record
+// the stage's top-N summary.
+func (p *Profiler) StageEnd(stage string, wall time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sp := obs.StageProfile{Stage: stage, WallUs: wall.Microseconds()}
+	if p.cpuOn {
+		pprof.StopCPUProfile()
+		p.cpuOn = false
+		if prof, err := parseProfile(p.cpuBuf.Bytes()); err == nil {
+			sp.CPUNs = topN(prof.flat("cpu"), p.topN)
+		}
+	}
+	if p.heapStart != nil {
+		end := allocFlat()
+		for name, v := range p.heapStart { //reprolint:ordered delta map is sorted by topN before use
+			end[name] -= v
+		}
+		sp.AllocBytes = topN(end, p.topN)
+		p.heapStart = nil
+	}
+	p.out = append(p.out, sp)
+}
+
+// Take returns the stage summaries recorded since the last Take and
+// resets the accumulator — one call per synthesized spec.
+func (p *Profiler) Take() []obs.StageProfile {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := p.out
+	p.out = nil
+	return out
+}
+
+// allocFlat snapshots the cumulative allocs profile as flat
+// alloc_space bytes per leaf function. Alloc profiles are cumulative
+// since process start, so the difference of two snapshots is the
+// stage's own allocation profile (subject to runtime.MemProfileRate
+// sampling).
+func allocFlat() map[string]int64 {
+	lookup := pprof.Lookup("allocs")
+	if lookup == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := lookup.WriteTo(&buf, 0); err != nil {
+		return nil
+	}
+	prof, err := parseProfile(buf.Bytes())
+	if err != nil {
+		return nil
+	}
+	return prof.flat("alloc_space")
+}

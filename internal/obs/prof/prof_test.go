@@ -1,0 +1,109 @@
+package prof
+
+import (
+	"bytes"
+	"runtime/pprof"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ballast keeps stage allocations reachable so the allocs profile
+// records them.
+var ballast [][]byte
+
+//go:noinline
+func allocateForProfile(n int) {
+	for i := 0; i < n; i++ {
+		ballast = append(ballast, make([]byte, 1<<20))
+	}
+}
+
+// TestParseRealAllocsProfile feeds the decoder an actual runtime
+// profile — the one encoder whose output matters.
+func TestParseRealAllocsProfile(t *testing.T) {
+	allocateForProfile(8)
+	var buf bytes.Buffer
+	if err := pprof.Lookup("allocs").WriteTo(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	p, err := parseProfile(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.valueIndex("alloc_space") < 0 {
+		t.Fatalf("no alloc_space column in %v", p.SampleTypes)
+	}
+	flat := p.flat("alloc_space")
+	if len(flat) == 0 {
+		t.Fatal("empty flat profile")
+	}
+	total := int64(0)
+	for _, v := range flat { //reprolint:ordered commutative sum
+		total += v
+	}
+	if total <= 0 {
+		t.Fatalf("non-positive alloc_space total %d", total)
+	}
+}
+
+func TestProfilerStageSummary(t *testing.T) {
+	p := New(3)
+	p.StageStart("repair")
+	allocateForProfile(32) // well past the default 512KiB sampling rate
+	p.StageEnd("repair", 5*time.Millisecond)
+
+	out := p.Take()
+	if len(out) != 1 {
+		t.Fatalf("got %d summaries, want 1", len(out))
+	}
+	sp := out[0]
+	if sp.Stage != "repair" || sp.WallUs != 5000 {
+		t.Fatalf("summary header = %+v", sp)
+	}
+	if len(sp.AllocBytes) == 0 {
+		t.Fatal("no alloc_space symbols attributed to the stage")
+	}
+	if len(sp.AllocBytes) > 3 {
+		t.Fatalf("topN=3 returned %d symbols", len(sp.AllocBytes))
+	}
+	found := false
+	for _, s := range sp.AllocBytes {
+		if s.Value <= 0 {
+			t.Fatalf("non-positive sample %+v", s)
+		}
+		if s.Func == "repro/internal/obs/prof.allocateForProfile" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("the allocating function is not in the top symbols: %+v", sp.AllocBytes)
+	}
+	if again := p.Take(); len(again) != 0 {
+		t.Fatal("Take did not reset the accumulator")
+	}
+}
+
+func TestProfilerNilSafe(t *testing.T) {
+	var p *Profiler
+	p.StageStart("x")
+	p.StageEnd("x", time.Millisecond)
+	if p.Take() != nil {
+		t.Fatal("nil profiler must return nothing")
+	}
+}
+
+func TestTopNOrdering(t *testing.T) {
+	flat := map[string]int64{"b": 10, "a": 10, "c": 30, "d": 5, "neg": -1}
+	got := topN(flat, 3)
+	want := []obs.ProfileSample{{Func: "c", Value: 30}, {Func: "a", Value: 10}, {Func: "b", Value: 10}}
+	if len(got) != len(want) {
+		t.Fatalf("got %+v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

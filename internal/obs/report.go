@@ -16,6 +16,23 @@ type StageSpan struct {
 	Attrs   map[string]any `json:"attrs,omitempty"`
 }
 
+// ProfileSample is one symbol's flat share of a per-stage profile.
+type ProfileSample struct {
+	Func  string `json:"func"`
+	Value int64  `json:"value"`
+}
+
+// StageProfile is the top-N symbol summary of one pipeline stage,
+// captured by the per-stage profiler (internal/obs/prof): flat CPU
+// nanoseconds from a stage-scoped CPU profile and flat allocated bytes
+// from the delta of two allocs-profile snapshots.
+type StageProfile struct {
+	Stage      string          `json:"stage"`
+	WallUs     int64           `json:"wall_us"`
+	CPUNs      []ProfileSample `json:"cpu_ns,omitempty"`
+	AllocBytes []ProfileSample `json:"alloc_bytes,omitempty"`
+}
+
 // RunReport is the machine-readable record of one synthesized spec:
 // the stage spans of its pipeline, the counters its run moved, and the
 // verdict fields the CLI fills in from the synthesis report.
@@ -35,6 +52,7 @@ type RunReport struct {
 
 	Stages   []StageSpan        `json:"stages"`
 	Counters map[string]float64 `json:"counters"`
+	Profiles []StageProfile     `json:"profiles,omitempty"`
 }
 
 // BuildRunReport assembles a report from everything observed since the
@@ -70,7 +88,17 @@ func (o *Observer) BuildRunReport(spec string, mark int, base map[string]float64
 		r.Stages = append(r.Stages, st)
 	}
 	sort.SliceStable(r.Stages, func(i, j int) bool { return r.Stages[i].StartUs < r.Stages[j].StartUs })
+	// Counters and histograms are reported as deltas against the run's
+	// baseline; gauges (high-water marks, pool sizes, cache ratios) are
+	// point-in-time values, so they land at their absolute reading.
+	gauges := o.Metrics.Gauges()
 	for k, v := range o.Metrics.Snapshot() {
+		if _, isGauge := gauges[k]; isGauge {
+			if v != 0 {
+				r.Counters[k] = v
+			}
+			continue
+		}
 		if d := v - base[k]; d != 0 {
 			r.Counters[k] = d
 		}

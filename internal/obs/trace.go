@@ -27,6 +27,7 @@ type Tracer struct {
 	epoch time.Time
 	cur   *Span
 	recs  []SpanRecord
+	owner *Observer // notified of top-level span boundaries; may be nil
 }
 
 // NewTracer returns a tracer whose timestamps count from now.
@@ -43,14 +44,20 @@ type SpanRecord struct {
 }
 
 // Span is an in-flight traced interval. The nil span (what a disabled
-// tracer returns) accepts SetAttr and End.
+// tracer returns) accepts SetAttr and End. SetAttr and End synchronize
+// on a per-span mutex, and End snapshots the attributes into the
+// record, so a span touched after its End (or from another goroutine)
+// can never tear a record a concurrent trace reader — the live /trace
+// endpoint, a mid-run Chrome-trace dump — is encoding.
 type Span struct {
 	t      *Tracer
 	name   string
 	parent *Span
 	depth  int
 	start  time.Time
-	attrs  []Attr
+
+	mu    sync.Mutex
+	attrs []Attr
 }
 
 // Start opens a span nested under the tracer's current span and makes
@@ -66,7 +73,11 @@ func (t *Tracer) Start(name string, attrs ...Attr) *Span {
 		sp.depth = t.cur.depth + 1
 	}
 	t.cur = sp
+	owner := t.owner
 	t.mu.Unlock()
+	if sp.depth == 0 && owner != nil {
+		owner.stageStart(name, specAttr(attrs))
+	}
 	return sp
 }
 
@@ -75,6 +86,8 @@ func (s *Span) SetAttr(key string, value any) {
 	if s == nil {
 		return
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for i := range s.attrs {
 		if s.attrs[i].Key == key {
 			s.attrs[i].Value = value
@@ -85,26 +98,37 @@ func (s *Span) SetAttr(key string, value any) {
 }
 
 // End closes the span and appends its record. Ending out of order is
-// tolerated: the current pointer only pops when the span is on top.
+// tolerated: the current pointer only pops when the span is on top. The
+// record owns a copy of the attributes — later SetAttr calls on the
+// ended span cannot reach (and therefore cannot race with readers of)
+// the finished record.
 func (s *Span) End() {
 	if s == nil {
 		return
 	}
 	end := time.Now()
+	s.mu.Lock()
+	attrs := append([]Attr(nil), s.attrs...)
+	s.mu.Unlock()
 	t := s.t
-	t.mu.Lock()
-	if t.cur == s {
-		t.cur = s.parent
-	}
-	t.recs = append(t.recs, SpanRecord{
+	rec := SpanRecord{
 		Name:  s.name,
 		TID:   1,
 		Depth: s.depth,
 		Start: s.start.Sub(t.epoch),
 		Dur:   end.Sub(s.start),
-		Attrs: s.attrs,
-	})
+		Attrs: attrs,
+	}
+	t.mu.Lock()
+	if t.cur == s {
+		t.cur = s.parent
+	}
+	t.recs = append(t.recs, rec)
+	owner := t.owner
 	t.mu.Unlock()
+	if s.depth == 0 && owner != nil {
+		owner.stageEnd(&rec, specAttr(attrs))
+	}
 }
 
 // Event records a complete interval directly, bypassing the span stack

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"repro/internal/par"
+)
+
+// TestTraceConcurrentSpansValidJSON hammers the tracer from a par
+// worker pool — Start/SetAttr/End/Event racing each other — while
+// WriteChromeTrace encodes snapshots concurrently. Every emitted trace
+// must be valid JSON: the historical hazard is a span whose attrs slice
+// is appended to after End handed the record to a concurrent encoder.
+func TestTraceConcurrentSpansValidJSON(t *testing.T) {
+	o := New(nil)
+	tr := o.Tracer
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	traces := make(chan []byte, 64)
+	// Encoder goroutine: snapshot the trace continuously mid-run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			if err := tr.WriteChromeTrace(&buf); err != nil {
+				t.Errorf("WriteChromeTrace: %v", err)
+				return
+			}
+			select {
+			case traces <- buf.Bytes():
+			default:
+			}
+		}
+	}()
+
+	// The pipeline side: spans opened, attributed and closed from every
+	// worker of a real par pool, exactly the shape internal/verify and
+	// internal/core drive the tracer with.
+	const tasks = 2000
+	par.ForEach(tasks, 8, func(i int) {
+		sp := tr.Start("task", A("i", i))
+		sp.SetAttr("phase", "explore")
+		if i%3 == 0 {
+			inner := tr.Start("inner")
+			inner.SetAttr("depth", 1)
+			inner.End()
+		}
+		sp.SetAttr("states", i*7)
+		sp.End()
+		// The SetAttr-after-End hazard: must be dropped, not corrupt the
+		// record a concurrent encoder may already be serializing.
+		sp.SetAttr("late", true)
+	})
+	close(stop)
+	wg.Wait()
+	close(traces)
+
+	n := 0
+	for data := range traces {
+		n++
+		if !json.Valid(data) {
+			t.Fatalf("mid-run trace snapshot is invalid JSON:\n%.400s", data)
+		}
+	}
+	var final bytes.Buffer
+	if err := tr.WriteChromeTrace(&final); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(final.Bytes()) {
+		t.Fatal("final trace is invalid JSON")
+	}
+	t.Logf("validated %d mid-run snapshots", n)
+}
+
+// TestSpanSetAttrAfterEndDropped pins the immutability contract: a
+// record handed to the trace log never changes afterwards.
+func TestSpanSetAttrAfterEndDropped(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Start("stage", A("spec", "ab"))
+	sp.SetAttr("states", 24)
+	sp.End()
+	sp.SetAttr("late", "value")
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("late")) {
+		t.Fatal("attribute set after End leaked into the trace record")
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("states")) {
+		t.Fatal("attribute set before End missing from the trace record")
+	}
+}

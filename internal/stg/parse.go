@@ -18,6 +18,7 @@ func Parse(src string) (*STG, error) {
 		sp = obs.Start("parse", obs.A("bytes", len(src)))
 	}
 	defer sp.End()
+	defer sp.AttrMemDelta(obs.MarkMem())
 	sc := bufio.NewScanner(strings.NewReader(src))
 	b := NewBuilder("stg")
 	var graphLines [][]string

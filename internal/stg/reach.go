@@ -349,6 +349,7 @@ func BuildSGLimit(n *STG, limit int) (*sg.Graph, error) {
 	}
 	sp := obs.Start("reach", obs.A("spec", n.Name))
 	defer sp.End()
+	defer sp.AttrMemDelta(obs.MarkMem())
 	esp := obs.Start("reach.explore")
 	tb, edges, unsafe, err := explore(n, limit)
 	esp.End()

@@ -550,6 +550,7 @@ func (s *SymbolicSpace) publish() {
 	mt.Counter("stg_symbolic_cache_misses_total").Add(st.CacheMisses)
 	mt.Counter("stg_symbolic_cache_resets_total").Add(st.CacheResets)
 	mt.Counter("stg_symbolic_collections_total").Add(st.Collections)
+	s.m.PublishObs("stg_space")
 	obs.Info("symbolic space", "iters", s.iters, "nodes", s.m.NumNodes())
 }
 

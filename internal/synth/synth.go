@@ -204,6 +204,7 @@ func FromGraph(g *sg.Graph, opts Options) (*Report, error) {
 	}
 
 	asp := obs.Start("analyze", obs.A("spec", g.Name), obs.A("states", g.NumStates()))
+	amem := obs.MarkMem()
 	t0 := now()
 	if err := g.CheckConsistency(); err != nil {
 		asp.End()
@@ -211,6 +212,7 @@ func FromGraph(g *sg.Graph, opts Options) (*Report, error) {
 	}
 	rep.Props = g.Check()
 	rep.AnalyzeTime = since(t0)
+	asp.AttrMemDelta(amem)
 	asp.End()
 	obs.Info("analyze done", "spec", g.Name, "states", g.NumStates(), "dur", rep.AnalyzeTime)
 	if !rep.Props.OutputSemiModular {
@@ -218,6 +220,7 @@ func FromGraph(g *sg.Graph, opts Options) (*Report, error) {
 	}
 
 	rsp := obs.Start("repair", obs.A("spec", g.Name))
+	rmem := obs.MarkMem()
 	t1 := now()
 	if opts.Repair.Workers == 0 {
 		opts.Repair.Workers = opts.Parallel
@@ -230,6 +233,7 @@ func FromGraph(g *sg.Graph, opts Options) (*Report, error) {
 	}
 	rsp.SetAttr("added", len(fixed.Added))
 	rsp.SetAttr("models", fixed.Models)
+	rsp.AttrMemDelta(rmem)
 	rsp.End()
 	rep.Final = fixed.G
 	rep.AddedSignals = fixed.Added
@@ -242,6 +246,7 @@ func FromGraph(g *sg.Graph, opts Options) (*Report, error) {
 	}
 
 	ssp := obs.Start("synth", obs.A("spec", g.Name))
+	smem := obs.MarkMem()
 	t2 := now()
 	nl, saved, err := CoverNetlist(rep.Final, rep.MC, opts)
 	rep.CoverTime = since(t2)
@@ -253,11 +258,13 @@ func FromGraph(g *sg.Graph, opts Options) (*Report, error) {
 	rep.Netlist = nl
 	rep.Stats = nl.Stats()
 	ssp.SetAttr("literals", rep.Stats.Literals)
+	ssp.AttrMemDelta(smem)
 	ssp.End()
 	obs.Info("synth done", "spec", g.Name, "literals", rep.Stats.Literals, "dur", rep.CoverTime)
 
 	if !opts.SkipVerify {
 		vsp := obs.Start("verify", obs.A("spec", g.Name))
+		vmem := obs.MarkMem()
 		t3 := now()
 		limit := opts.VerifyLimit
 		if limit == 0 {
@@ -267,6 +274,7 @@ func FromGraph(g *sg.Graph, opts Options) (*Report, error) {
 		rep.VerifyTime = since(t3)
 		vsp.SetAttr("composed_states", rep.Verify.States)
 		vsp.SetAttr("ok", rep.Verify.OK())
+		vsp.AttrMemDelta(vmem)
 		vsp.End()
 		if !rep.Verify.OK() {
 			return rep, fmt.Errorf("synth: %s: synthesized circuit failed verification:\n%s", g.Name, rep.Verify)
