@@ -10,6 +10,12 @@
 // its budget, 1 on at least one regression, 2 on usage or
 // incomparable-report errors (including a cross-machine fingerprint
 // mismatch without -allow-cross-machine).
+//
+// With -loadgen the two arguments are bench.LoadReport files from
+// cmd/loadgen instead, and the gate is each shared phase's p95 latency
+// under the same noise/budget discipline — per-phase budgets come from
+// -stage-budget entries named load_cold, load_warm, load_mixed. This
+// is how warm-cache serving latency regressions fail CI.
 package main
 
 import (
@@ -32,6 +38,7 @@ func main() {
 		allowCross  = flag.Bool("allow-cross-machine", false, "compare despite differing machine fingerprints")
 		all         = flag.Bool("all", false, "print within-noise rows too")
 		jsonOut     = flag.Bool("json", false, "emit the full diff result as JSON instead of a table")
+		loadgen     = flag.Bool("loadgen", false, "compare bench.LoadReport files (phase p95 gate) instead of stage reports")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -53,6 +60,11 @@ func main() {
 	var err error
 	if opts.StageBudgets, err = parseStageBudgets(*stageBudget); err != nil {
 		fatal(err)
+	}
+
+	if *loadgen {
+		diffLoad(flag.Arg(0), flag.Arg(1), opts, *jsonOut)
+		return
 	}
 
 	oldR, err := loadMin(flag.Arg(0))
@@ -78,6 +90,36 @@ func main() {
 	if res.Regressions > 0 {
 		os.Exit(1)
 	}
+}
+
+// diffLoad runs the -loadgen comparison and exits with the gate's
+// status.
+func diffLoad(oldPath, newPath string, opts bench.DiffOptions, jsonOut bool) {
+	oldR, err := bench.ReadLoadReport(oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newR, err := bench.ReadLoadReport(newPath)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := bench.LoadDiff(oldR, newR, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if jsonOut {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s\n", data)
+	} else {
+		res.WriteTable(os.Stdout)
+	}
+	if res.Regressions > 0 {
+		os.Exit(1)
+	}
+	os.Exit(0)
 }
 
 // loadMin reads a comma-separated report list and min-reduces it.

@@ -1,0 +1,313 @@
+// Command loadgen drives a running mcsyn synthesis server (mcsyn
+// -serve) open-loop and reports latency percentiles per phase, writing
+// a bench.LoadReport that benchdiff -loadgen can gate on.
+//
+//	loadgen -addr http://127.0.0.1:8377 -rps 50 -duration 5s -json load.json
+//
+// Open-loop means requests fire on the target schedule regardless of
+// completions — the driver never waits for one request before sending
+// the next, so a slow server accumulates in-flight work and the
+// latency distribution shows the queueing it caused (a closed-loop
+// driver would hide it by self-throttling).
+//
+// Phases (selected with -phases, comma-separated, run in order):
+//
+//	cold   every request is a spec the server has never seen
+//	       (deterministic random handshake specs derived from -seed)
+//	warm   round-robin over the nine Table-1 specs, primed untimed
+//	       first, so every stage of every request is a cache hit
+//	mixed  alternates warm Table-1 replays and fresh random specs
+//
+// With -smoke the driver instead runs the CI correctness protocol: it
+// submits all Table-1 specs twice, asserts the second pass resolved
+// every stage from cache with digests identical to the first, and —
+// when -journal names the server's journal file — cross-checks every
+// digest against the journal's reconstructed run_end records. Exit
+// status 1 on any mismatch.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/benchdata"
+	"repro/internal/obs/journal"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8377", "server base URL")
+		rps      = flag.Float64("rps", 50, "target requests per second per phase")
+		duration = flag.Duration("duration", 5*time.Second, "measured duration per phase")
+		phases   = flag.String("phases", "cold,warm,mixed", "comma-separated phase list")
+		seed     = flag.Int64("seed", 1, "base seed for the random spec pool")
+		size     = flag.Int("size", 6, "random spec size (handshake components)")
+		jsonOut  = flag.String("json", "", "write the bench.LoadReport to this path")
+		smoke    = flag.Bool("smoke", false, "run the CI smoke protocol instead of load phases")
+		jpath    = flag.String("journal", "", "smoke mode: verify digests against this server journal")
+	)
+	flag.Parse()
+
+	client := &http.Client{Timeout: 5 * time.Minute}
+	if *smoke {
+		if err := runSmoke(client, *addr, *jpath); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: smoke:", err)
+			os.Exit(1)
+		}
+		fmt.Println("smoke: ok")
+		return
+	}
+
+	rep := &bench.LoadReport{
+		GoVersion:    runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		CPUModel:     cpuModel(),
+		GeneratedUTC: time.Now().UTC().Format(time.RFC3339),
+		Server:       *addr,
+		Specs:        len(benchdata.Table1),
+	}
+	coldSeq := *seed
+	for _, name := range strings.Split(*phases, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		ph, err := runPhase(client, *addr, name, *rps, *duration, &coldSeq, *size)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: phase %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		rep.Phases = append(rep.Phases, ph)
+		fmt.Printf("%-6s  %6.1f req/s achieved  p50 %s  p95 %s  p99 %s  (%d requests, %d rejected, %d errors)\n",
+			name, ph.AchievedRPS, us(ph.P50Us), us(ph.P95Us), us(ph.P99Us), ph.Requests, ph.Rejected, ph.Errors)
+	}
+	if *jsonOut != "" {
+		if err := rep.WriteFile(*jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func us(v int64) string { return (time.Duration(v) * time.Microsecond).String() }
+
+// nextSpec returns the phase's i-th request payload.
+//
+// Cold requests cycle the Table-1 sources with the model name rewritten
+// to a sequence-unique one: the content-addressed cache keys on the
+// canonical source, so every request misses every stage, yet the
+// synthesis cost is exactly a real benchmark's — not a toy spec's.
+// Warm requests replay the Table-1 set verbatim. Mixed alternates warm
+// replays with fresh random handshake specs from the benchdata
+// generator, the "new design arriving amid regression reruns" shape.
+func nextSpec(phase string, i int, coldSeq *int64, size int) serve.Request {
+	warm := func(n int) serve.Request {
+		e := benchdata.Table1[n%len(benchdata.Table1)]
+		return serve.Request{Name: e.Name, Source: e.Source}
+	}
+	cold := func() serve.Request {
+		*coldSeq++
+		e := benchdata.Table1[int(*coldSeq)%len(benchdata.Table1)]
+		name := fmt.Sprintf("%s__c%d", e.Name, *coldSeq)
+		return serve.Request{Name: name, Source: strings.Replace(e.Source, e.Name, name, 1)}
+	}
+	switch phase {
+	case "warm":
+		return warm(i)
+	case "mixed":
+		if i%2 == 0 {
+			return warm(i / 2)
+		}
+		*coldSeq++
+		rs := benchdata.GenRandomSpec(*coldSeq, size)
+		return serve.Request{Name: rs.Net.Name, Source: rs.Net.Format()}
+	default: // cold
+		return cold()
+	}
+}
+
+// runPhase fires requests open-loop at the target rate for the given
+// duration and folds the completions into one LoadPhase.
+func runPhase(client *http.Client, addr, name string, rps float64, d time.Duration, coldSeq *int64, size int) (bench.LoadPhase, error) {
+	if rps <= 0 {
+		return bench.LoadPhase{}, fmt.Errorf("rps must be positive")
+	}
+	if name == "warm" || name == "mixed" {
+		// Prime the cache untimed so warm requests measure pure cache
+		// latency rather than a first-pass synthesis.
+		for _, e := range benchdata.Table1 {
+			if _, _, err := post(client, addr, serve.Request{Name: e.Name, Source: e.Source}); err != nil {
+				return bench.LoadPhase{}, fmt.Errorf("prime %s: %w", e.Name, err)
+			}
+		}
+	}
+
+	var (
+		mu       sync.Mutex
+		latUs    []int64
+		rejected int
+		errors   int
+		wg       sync.WaitGroup
+	)
+	interval := time.Duration(float64(time.Second) / rps)
+	deadline := time.Now().Add(d)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for i := 0; time.Now().Before(deadline); i++ {
+		req := nextSpec(name, i, coldSeq, size)
+		wg.Add(1)
+		go func() { //reprolint:go open-loop load driver: requests must not wait for each other
+			defer wg.Done()
+			start := time.Now()
+			status, _, err := post(client, addr, req)
+			lat := time.Since(start).Microseconds()
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err != nil:
+				errors++
+			case status == http.StatusTooManyRequests:
+				rejected++
+			case status != http.StatusOK:
+				errors++
+			default:
+				latUs = append(latUs, lat)
+			}
+		}()
+		<-tick.C
+	}
+	wg.Wait()
+	return bench.SummarizePhase(name, rps, d.Seconds(), latUs, rejected, errors), nil
+}
+
+// post submits one spec with ?wait=1 and returns the HTTP status and
+// decoded entry.
+func post(client *http.Client, addr string, req serve.Request) (int, *synthEntry, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := client.Post(addr+"/synth?wait=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	var e synthEntry
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, &e); err != nil {
+			return resp.StatusCode, nil, fmt.Errorf("bad response: %w", err)
+		}
+	}
+	return resp.StatusCode, &e, nil
+}
+
+// synthEntry mirrors the server's POST /synth response element.
+type synthEntry struct {
+	Job    string         `json:"job"`
+	Result *serve.Result  `json:"result"`
+	Trace  *serve.Trace   `json:"trace"`
+	Extra  map[string]any `json:"-"`
+}
+
+// runSmoke is the CI correctness protocol: two passes over Table-1,
+// second pass must be all-hit with identical digests; optionally
+// cross-checked against the server's journal.
+func runSmoke(client *http.Client, addr, jpath string) error {
+	type outcome struct{ digest, verdict string }
+	pass := func() (map[string]outcome, map[string]*serve.Trace, error) {
+		digests := map[string]outcome{}
+		traces := map[string]*serve.Trace{}
+		for _, e := range benchdata.Table1 {
+			status, ent, err := post(client, addr, serve.Request{Name: e.Name, Source: e.Source})
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: %w", e.Name, err)
+			}
+			if status != http.StatusOK || ent.Result == nil {
+				return nil, nil, fmt.Errorf("%s: status %d, no result", e.Name, status)
+			}
+			if ent.Result.Err != "" {
+				return nil, nil, fmt.Errorf("%s: %s", e.Name, ent.Result.Err)
+			}
+			digests[e.Name] = outcome{ent.Result.NetlistSHA, ent.Result.Verdict}
+			traces[e.Name] = ent.Trace
+		}
+		return digests, traces, nil
+	}
+
+	first, _, err := pass()
+	if err != nil {
+		return fmt.Errorf("pass 1: %w", err)
+	}
+	second, traces, err := pass()
+	if err != nil {
+		return fmt.Errorf("pass 2: %w", err)
+	}
+	for _, e := range benchdata.Table1 {
+		if first[e.Name] != second[e.Name] {
+			return fmt.Errorf("%s: cached result diverged: %+v vs %+v", e.Name, first[e.Name], second[e.Name])
+		}
+		tr := traces[e.Name]
+		if tr == nil || len(tr.Computed) > 0 || len(tr.Hits) != len(serve.Stages) {
+			return fmt.Errorf("%s: second pass not fully cached: %+v", e.Name, tr)
+		}
+		fmt.Printf("%-16s %s  (pass 2: %d/%d stages from cache)\n", e.Name, first[e.Name].digest, len(tr.Hits), len(serve.Stages))
+	}
+
+	if jpath == "" {
+		return nil
+	}
+	evs, err := journal.ReadFile(jpath)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	fromJournal := map[string]string{}
+	for _, run := range journal.Reconstruct(evs) {
+		if run.Complete {
+			fromJournal[run.Spec] = run.NetlistSHA
+		}
+	}
+	for _, e := range benchdata.Table1 {
+		jd, ok := fromJournal[e.Name]
+		if !ok {
+			return fmt.Errorf("%s: no completed run in journal %s", e.Name, jpath)
+		}
+		if jd != first[e.Name].digest {
+			return fmt.Errorf("%s: journal digest %s != response digest %s", e.Name, jd, first[e.Name].digest)
+		}
+	}
+	fmt.Printf("journal: %d runs cross-checked against %s\n", len(benchdata.Table1), jpath)
+	return nil
+}
+
+// cpuModel best-effort identifies the host CPU (Linux only), matching
+// bench.Report's fingerprint field.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, v, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return ""
+}

@@ -37,6 +37,23 @@
 //	            analyze, repair, cover, verify) and write a JSON report
 //	-benchtime  per-stage measuring time for -benchjson
 //
+// Service mode (see DESIGN.md §12):
+//
+//	-serve a        run the synthesis service on address a: POST /synth
+//	                (single or batch, ?wait=1 blocks), GET /job/{id}
+//	                (?sse=1 streams progress), GET /result/{digest},
+//	                /metrics. Stage results are cached content-addressed
+//	                and identical concurrent submissions coalesce.
+//	-serve-shards N pipeline worker shards (0 = GOMAXPROCS)
+//	-serve-queue N  queued jobs beyond running before 429 backpressure
+//	                (0 = 2x shards)
+//	-serve-cache N  stage-cache entry cap (0 = 1024)
+//
+// SIGINT/SIGTERM drain cleanly in every mode: in-flight server jobs
+// finish, the ops plane closes, and profiles/journals flush through the
+// same once-only path as a normal exit. A second signal terminates
+// immediately.
+//
 // Observability (see the Observability section of README.md):
 //
 //	-metrics f  write engine counters in Prometheus text format to f
@@ -60,9 +77,11 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sync"
+	"syscall"
 
 	"repro/internal/baseline"
 	"repro/internal/bench"
@@ -73,6 +92,7 @@ import (
 	"repro/internal/obs/journal"
 	"repro/internal/obs/obshttp"
 	"repro/internal/obs/prof"
+	"repro/internal/serve"
 	"repro/internal/stg"
 	"repro/internal/synth"
 	"repro/internal/tech"
@@ -95,6 +115,7 @@ type session struct {
 	reports []*obs.RunReport
 	jw      *journal.Writer
 	srv     *obshttp.Server
+	synsrv  *serve.Server
 	prof    *prof.Profiler
 }
 
@@ -104,6 +125,12 @@ var ses session
 // but do not abort the remaining writers.
 func (s *session) flush() {
 	s.once.Do(func() {
+		// The synthesis service drains first: in-flight jobs finish and
+		// publish their journal run_end events while the journal writer
+		// below is still open.
+		if s.synsrv != nil {
+			s.synsrv.Close()
+		}
 		if s.cpu != nil {
 			pprof.StopCPUProfile()
 			s.cpu.Close()
@@ -277,6 +304,10 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write engine metrics in Prometheus text format to this file at exit")
 	journalOut := flag.String("journal", "", "append a JSONL flight-recorder journal of every pipeline event to this file")
 	serveObs := flag.String("serve-obs", "", "serve the live ops plane (/metrics, /progress SSE, /trace, /debug/pprof) on this address")
+	serveAddr := flag.String("serve", "", "run the synthesis service on this address (POST /synth, GET /job/{id}, GET /result/{digest}, /metrics)")
+	serveShards := flag.Int("serve-shards", 0, "synthesis service pipeline shards (0 = GOMAXPROCS)")
+	serveQueue := flag.Int("serve-queue", 0, "synthesis service queued jobs beyond running before 429 backpressure (0 = 2x shards)")
+	serveCache := flag.Int("serve-cache", 0, "synthesis service stage-cache entry cap (0 = 1024)")
 	profileStages := flag.Bool("profile-stages", false, "capture per-stage CPU and allocation profiles; top-N symbol summaries land in the -report JSON")
 	profileTop := flag.Int("profile-top", 0, "symbols per stage-profile summary (0 = default 5)")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON trace to this file at exit")
@@ -287,7 +318,7 @@ func main() {
 	ses.memPath = *memprofile
 	ses.metricsPath, ses.tracePath, ses.reportPath = *metricsOut, *traceOut, *reportOut
 	if *metricsOut != "" || *traceOut != "" || *reportOut != "" || *verbose ||
-		*journalOut != "" || *serveObs != "" || *profileStages {
+		*journalOut != "" || *serveObs != "" || *serveAddr != "" || *profileStages {
 		var lg *slog.Logger
 		if *verbose {
 			lg = slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -296,6 +327,20 @@ func main() {
 		obs.Enable(ses.o)
 	}
 	defer ses.flush()
+
+	// Trap SIGINT/SIGTERM in every mode so the service drains and the
+	// once-only flush (profiles, journal, reports) runs before exit —
+	// a Ctrl-C previously truncated the journal mid-record, silently
+	// because of the Writer's sticky-error path. A second signal gets
+	// the default immediate termination.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() { //reprolint:go signal watcher, not a pipeline fan-out; lives for the whole process
+		sig := <-sigc
+		signal.Stop(sigc)
+		fmt.Fprintf(os.Stderr, "mcsyn: received %v; draining and flushing (send again to force quit)\n", sig)
+		exit(130)
+	}()
 
 	if *journalOut != "" {
 		jw, err := journal.Create(*journalOut)
@@ -318,6 +363,26 @@ func main() {
 	if *profileStages {
 		ses.prof = prof.New(*profileTop)
 		ses.o.SetStageHook(ses.prof)
+	}
+
+	if *serveAddr != "" {
+		sv := serve.New(serve.Options{
+			Shards:       *serveShards,
+			Queue:        *serveQueue,
+			CacheEntries: *serveCache,
+			JobWorkers:   *repairWorkers,
+			Obs:          ses.o, // nil falls back to a private registry
+		})
+		addr, err := sv.Start(*serveAddr)
+		if err != nil {
+			fatalf("serve: %v", err)
+		}
+		ses.synsrv = sv
+		// Route pipeline events (repair rounds, run_start/run_end) to
+		// per-job SSE feeds alongside the journal and ops-plane sinks.
+		ses.o.AddSink(sv)
+		fmt.Fprintf(os.Stderr, "mcsyn: synthesis service on http://%s (POST /synth, GET /job/{id}, GET /result/{digest}, /metrics)\n", addr)
+		select {} // serve until a signal drains us through exit()
 	}
 
 	if *cpuprofile != "" {

@@ -61,6 +61,10 @@ var deterministicPackages = map[string]bool{
 	// whole package shares encode's any-worker-count determinism
 	// promise.
 	"repro/internal/sat": true,
+	// The synthesis server: cached, coalesced and sharded execution
+	// must return byte-identical results to a cold sequential run, so
+	// the serving layer itself carries the determinism promise.
+	"repro/internal/serve": true,
 }
 
 // Suite returns the four analyzers with the package scope each one

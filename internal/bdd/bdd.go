@@ -16,10 +16,12 @@ import (
 type Manager struct {
 	nvars      int
 	nodes      []node
-	unique     map[node]int
-	cache      map[opKey]int
-	cacheLimit int     // op-cache entry bound; the cache resets when full
-	shifts     [][]int // registered variable-substitution maps
+	unique     []int     // open-addressed hash-cons table of node ids; 0 = empty, power-of-two length
+	uniqueUsed int       // occupied unique slots
+	cache      []opEntry // direct-mapped op cache; power-of-two length
+	cacheUsed  int       // occupied cache slots
+	cacheLimit int       // op-cache entry bound; caps the table size
+	shifts     [][]int   // registered variable-substitution maps
 	stats      Stats
 }
 
@@ -33,6 +35,30 @@ type opKey struct {
 	a, b, c int
 }
 
+// opEntry is one direct-mapped cache slot; op == 0 marks it empty (all
+// operation tags are non-zero bytes). A colliding insert overwrites —
+// the cache memoizes, it never defines semantics, so lossiness costs
+// recomputation only.
+type opEntry struct {
+	op      byte
+	a, b, c int
+	r       int
+}
+
+// hash mixes an operation key into a table index. Fibonacci-style
+// multiplicative mixing keeps consecutive node ids (the common case —
+// ids are allocation-ordered) from clustering into runs of slots.
+func (k opKey) hash() uint64 {
+	h := uint64(uint(k.a))*0x9E3779B97F4A7C15 +
+		uint64(uint(k.b))*0xC2B2AE3D27D4EB4F +
+		uint64(uint(k.c))*0x165667B19E3779F9 +
+		uint64(k.op)*0x27D4EB2F165667C5
+	h ^= h >> 32
+	h *= 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	return h
+}
+
 // Terminal node indices.
 const (
 	False = 0
@@ -40,18 +66,22 @@ const (
 )
 
 // DefaultCacheLimit bounds the op cache of a fresh manager. Memoization
-// is the only purpose of the cache, so resetting it at the bound costs
+// is the only purpose of the cache, so evicting at the bound costs
 // recomputation but never correctness; without a bound a long fixpoint
 // (symbolic reachability of a 10^6-state net) grows the cache without
 // limit even while the live node count stays small.
 const DefaultCacheLimit = 1 << 20
 
+// initialCacheSize is the op-cache table's starting length; the table
+// doubles as it fills, up to the limit's power-of-two floor.
+const initialCacheSize = 1 << 10
+
 // New creates a manager over nvars variables.
 func New(nvars int) *Manager {
 	m := &Manager{
 		nvars:      nvars,
-		unique:     make(map[node]int),
-		cache:      make(map[opKey]int),
+		unique:     make([]int, initialCacheSize),
+		cache:      make([]opEntry, initialCacheSize),
 		cacheLimit: DefaultCacheLimit,
 	}
 	m.nodes = append(m.nodes,
@@ -61,21 +91,46 @@ func New(nvars int) *Manager {
 	return m
 }
 
-// SetCacheLimit bounds the op cache to n entries (n ≥ 1). When an
-// insertion would exceed the bound the whole cache is dropped and the
-// CacheResets counter increments.
+// nodeHash mixes a node triple into a unique-table index.
+func nodeHash(v, lo, hi int) uint64 {
+	h := uint64(uint(v))*0x27D4EB2F165667C5 +
+		uint64(uint(lo))*0x9E3779B97F4A7C15 +
+		uint64(uint(hi))*0xC2B2AE3D27D4EB4F
+	h ^= h >> 32
+	h *= 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	return h
+}
+
+// pow2floor returns the largest power of two ≤ n (minimum 1).
+func pow2floor(n int) int {
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	return p
+}
+
+// SetCacheLimit bounds the op cache to n entries (n ≥ 1). The
+// direct-mapped table never grows past the limit's power-of-two floor;
+// colliding inserts evict in place and count toward CacheResets.
 func (m *Manager) SetCacheLimit(n int) {
 	if n < 1 {
 		panic("bdd: cache limit must be ≥ 1")
 	}
 	m.cacheLimit = n
+	if cap := pow2floor(n); len(m.cache) > cap {
+		m.cache = make([]opEntry, cap)
+		m.cacheUsed = 0
+		m.stats.CacheResets++
+	}
 }
 
 // Stats are the manager's lifetime operation counters.
 type Stats struct {
 	CacheHits   int64
 	CacheMisses int64
-	CacheResets int64 // op-cache drops forced by the cache limit
+	CacheResets int64 // op-cache entries dropped by the bound (collision evictions + forced shrinks)
 	Collections int64 // Collect garbage collections
 	PeakNodes   int   // high-water node-table size across collections
 }
@@ -91,28 +146,35 @@ func (m *Manager) Stats() Stats {
 
 // CacheLen returns the current op-cache entry count (for the
 // bounded-cache regression tests).
-func (m *Manager) CacheLen() int { return len(m.cache) }
+func (m *Manager) CacheLen() int { return m.cacheUsed }
 
 // cacheGet looks an operation up, counting hits and misses.
 func (m *Manager) cacheGet(k opKey) (int, bool) {
-	r, ok := m.cache[k]
-	if ok {
+	e := &m.cache[k.hash()&uint64(len(m.cache)-1)]
+	if e.op == k.op && e.a == k.a && e.b == k.b && e.c == k.c {
 		m.stats.CacheHits++
-	} else {
-		m.stats.CacheMisses++
+		return e.r, true
 	}
-	return r, ok
+	m.stats.CacheMisses++
+	return 0, false
 }
 
-// cachePut memoizes an operation result, resetting the cache first when
-// it is full. It returns r so call sites can memoize and return in one
-// expression.
+// cachePut memoizes an operation result, growing the table (dropping
+// its contents — they are memoization only) while under the limit and
+// evicting the colliding slot once at it. It returns r so call sites
+// can memoize and return in one expression.
 func (m *Manager) cachePut(k opKey, r int) int {
-	if len(m.cache) >= m.cacheLimit {
-		m.cache = make(map[opKey]int, m.cacheLimit/4)
+	if m.cacheUsed >= len(m.cache)-len(m.cache)/4 && len(m.cache) < pow2floor(m.cacheLimit) {
+		m.cache = make([]opEntry, len(m.cache)*2)
+		m.cacheUsed = 0
+	}
+	e := &m.cache[k.hash()&uint64(len(m.cache)-1)]
+	if e.op == 0 {
+		m.cacheUsed++
+	} else {
 		m.stats.CacheResets++
 	}
-	m.cache[k] = r
+	*e = opEntry{op: k.op, a: k.a, b: k.b, c: k.c, r: r}
 	return r
 }
 
@@ -122,19 +184,49 @@ func (m *Manager) NumVars() int { return m.nvars }
 // NumNodes returns the size of the node table (including terminals).
 func (m *Manager) NumNodes() int { return len(m.nodes) }
 
-// mk returns the canonical node for (v, lo, hi).
+// mk returns the canonical node for (v, lo, hi), hash-consing through
+// the open-addressed unique table (linear probing; node ids start at 2,
+// so 0 doubles as the empty marker).
 func (m *Manager) mk(v, lo, hi int) int {
 	if lo == hi {
 		return lo
 	}
-	n := node{v: v, lo: lo, hi: hi}
-	if id, ok := m.unique[n]; ok {
-		return id
+	mask := uint64(len(m.unique) - 1)
+	i := nodeHash(v, lo, hi) & mask
+	for {
+		id := m.unique[i]
+		if id == 0 {
+			break
+		}
+		if n := &m.nodes[id]; n.v == v && n.lo == lo && n.hi == hi {
+			return id
+		}
+		i = (i + 1) & mask
 	}
-	m.nodes = append(m.nodes, n)
+	m.nodes = append(m.nodes, node{v: v, lo: lo, hi: hi})
 	id := len(m.nodes) - 1
-	m.unique[n] = id
+	m.unique[i] = id
+	m.uniqueUsed++
+	if m.uniqueUsed >= len(m.unique)-len(m.unique)/4 {
+		m.growUnique(len(m.unique) * 2)
+	}
 	return id
+}
+
+// growUnique reindexes every live node into a fresh table of the given
+// power-of-two size.
+func (m *Manager) growUnique(size int) {
+	m.unique = make([]int, size)
+	mask := uint64(size - 1)
+	for id := 2; id < len(m.nodes); id++ {
+		n := &m.nodes[id]
+		i := nodeHash(n.v, n.lo, n.hi) & mask
+		for m.unique[i] != 0 {
+			i = (i + 1) & mask
+		}
+		m.unique[i] = id
+	}
+	m.uniqueUsed = len(m.nodes) - 2
 }
 
 // Var returns the BDD of variable i.

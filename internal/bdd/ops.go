@@ -250,8 +250,16 @@ func (m *Manager) Collect(roots []int) []int {
 	m.nodes = make([]node, 2, len(old)/2+2)
 	m.nodes[False] = old[False]
 	m.nodes[True] = old[True]
-	m.unique = make(map[node]int, len(old)/2)
-	m.cache = make(map[opKey]int)
+	size := initialCacheSize
+	for size < len(old)/2 {
+		size *= 2
+	}
+	m.unique = make([]int, size)
+	m.uniqueUsed = 0
+	// Node ids are remapped below, so every cached op result is stale;
+	// clearing in place keeps the table's capacity across collections.
+	clear(m.cache)
+	m.cacheUsed = 0
 	remap := make([]int, len(old))
 	for i := range remap {
 		remap[i] = -1

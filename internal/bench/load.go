@@ -1,0 +1,184 @@
+// Load reports: the serving-path counterpart of BENCH_table1.json.
+// cmd/loadgen drives a running synthesis server open-loop and writes
+// one LoadReport per session; benchdiff's -loadgen mode compares two of
+// them and gates on warm-cache latency regressions the same way the
+// per-stage diff gates on pipeline regressions.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// LoadPhase is one measured phase of a load session. Phases differ only
+// in their spec mix: "cold" submits specs the server has never seen,
+// "warm" replays specs whose every stage is cached, "mixed" alternates
+// the two.
+type LoadPhase struct {
+	Name        string  `json:"name"`
+	TargetRPS   float64 `json:"target_rps"`
+	DurationSec float64 `json:"duration_sec"`
+	Requests    int     `json:"requests"`
+	Rejected    int     `json:"rejected"` // 429 backpressure responses
+	Errors      int     `json:"errors"`   // transport or non-2xx/429 responses
+	AchievedRPS float64 `json:"achieved_rps"`
+	P50Us       int64   `json:"p50_us"`
+	P95Us       int64   `json:"p95_us"`
+	P99Us       int64   `json:"p99_us"`
+	MaxUs       int64   `json:"max_us"`
+}
+
+// LoadReport is the full loadgen session payload. The machine
+// fingerprint mirrors Report's so cross-machine comparisons can be
+// refused on the same grounds.
+type LoadReport struct {
+	GoVersion    string      `json:"go_version"`
+	GOOS         string      `json:"goos"`
+	GOARCH       string      `json:"goarch"`
+	CPUModel     string      `json:"cpu_model,omitempty"`
+	GeneratedUTC string      `json:"generated_utc"`
+	Server       string      `json:"server"`
+	Specs        int         `json:"specs"` // distinct specs in the mix
+	Phases       []LoadPhase `json:"phases"`
+}
+
+// Percentile returns the p-th percentile (nearest-rank) of the sorted
+// latency slice in microseconds; 0 on an empty slice.
+func Percentile(sortedUs []int64, p float64) int64 {
+	if len(sortedUs) == 0 {
+		return 0
+	}
+	rank := int(p*float64(len(sortedUs))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sortedUs) {
+		rank = len(sortedUs) - 1
+	}
+	return sortedUs[rank]
+}
+
+// SummarizePhase folds raw request latencies into one LoadPhase.
+func SummarizePhase(name string, targetRPS, durationSec float64, latUs []int64, rejected, errors int) LoadPhase {
+	sorted := append([]int64(nil), latUs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	ph := LoadPhase{
+		Name:        name,
+		TargetRPS:   targetRPS,
+		DurationSec: durationSec,
+		Requests:    len(latUs),
+		Rejected:    rejected,
+		Errors:      errors,
+		P50Us:       Percentile(sorted, 0.50),
+		P95Us:       Percentile(sorted, 0.95),
+		P99Us:       Percentile(sorted, 0.99),
+	}
+	if len(sorted) > 0 {
+		ph.MaxUs = sorted[len(sorted)-1]
+	}
+	if durationSec > 0 {
+		ph.AchievedRPS = float64(len(latUs)) / durationSec
+	}
+	return ph
+}
+
+// Phase returns the named phase, or nil.
+func (r *LoadReport) Phase(name string) *LoadPhase {
+	for i := range r.Phases {
+		if r.Phases[i].Name == name {
+			return &r.Phases[i]
+		}
+	}
+	return nil
+}
+
+// WriteFile marshals the report as indented JSON to path.
+func (r *LoadReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadLoadReport decodes a LoadReport file.
+func ReadLoadReport(path string) (*LoadReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r LoadReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// LoadDelta is one phase's latency comparison.
+type LoadDelta struct {
+	Phase   string  `json:"phase"`
+	OldP95  int64   `json:"old_p95_us"`
+	NewP95  int64   `json:"new_p95_us"`
+	Rel     float64 `json:"rel"` // (new-old)/old
+	Verdict string  `json:"verdict"`
+}
+
+// LoadDiffResult is the -loadgen comparison outcome.
+type LoadDiffResult struct {
+	Deltas      []LoadDelta `json:"deltas"`
+	Regressions int         `json:"regressions"`
+	CrossNote   string      `json:"cross_note,omitempty"`
+}
+
+// LoadDiff compares phase-by-phase warm/cold/mixed p95 latencies under
+// the same noise/budget discipline as the stage diff. Phases present on
+// only one side are skipped — a session that measured fewer phases
+// gates only on the shared ones.
+func LoadDiff(oldR, newR *LoadReport, opts DiffOptions) (*LoadDiffResult, error) {
+	if oldR == nil || newR == nil {
+		return nil, fmt.Errorf("bench: nil load report")
+	}
+	oldFP := fmt.Sprintf("%s/%s/%s/%s", oldR.GoVersion, oldR.GOOS, oldR.GOARCH, oldR.CPUModel)
+	newFP := fmt.Sprintf("%s/%s/%s/%s", newR.GoVersion, newR.GOOS, newR.GOARCH, newR.CPUModel)
+	res := &LoadDiffResult{}
+	if oldFP != newFP {
+		if !opts.AllowCrossMachine {
+			return nil, fmt.Errorf("bench: load reports from different machines (%q vs %q); pass -allow-cross-machine to override", oldFP, newFP)
+		}
+		res.CrossNote = fmt.Sprintf("cross-machine: %s vs %s", oldFP, newFP)
+	}
+	for _, op := range oldR.Phases {
+		np := newR.Phase(op.Name)
+		if np == nil || op.P95Us == 0 {
+			continue
+		}
+		rel := float64(np.P95Us-op.P95Us) / float64(op.P95Us)
+		d := LoadDelta{Phase: op.Name, OldP95: op.P95Us, NewP95: np.P95Us, Rel: rel}
+		switch {
+		case rel < -opts.noise():
+			d.Verdict = VerdictImproved
+		case rel <= opts.noise():
+			d.Verdict = VerdictNoise
+		case rel <= opts.timeBudget("load_"+op.Name):
+			d.Verdict = VerdictSlower
+		default:
+			d.Verdict = VerdictRegression
+			res.Regressions++
+		}
+		res.Deltas = append(res.Deltas, d)
+	}
+	return res, nil
+}
+
+// WriteTable renders the load diff human-readably.
+func (r *LoadDiffResult) WriteTable(w *os.File) {
+	if r.CrossNote != "" {
+		fmt.Fprintf(w, "note: %s\n", r.CrossNote)
+	}
+	fmt.Fprintf(w, "%-8s %12s %12s %8s  %s\n", "phase", "old p95", "new p95", "delta", "verdict")
+	for _, d := range r.Deltas {
+		fmt.Fprintf(w, "%-8s %10dus %10dus %+7.1f%%  %s\n", d.Phase, d.OldP95, d.NewP95, 100*d.Rel, d.Verdict)
+	}
+}

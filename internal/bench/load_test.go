@@ -1,0 +1,87 @@
+package bench
+
+import "testing"
+
+func loadRep(p95 map[string]int64) *LoadReport {
+	r := &LoadReport{GoVersion: "go1.x", GOOS: "linux", GOARCH: "amd64"}
+	for _, name := range []string{"cold", "warm", "mixed"} {
+		if v, ok := p95[name]; ok {
+			r.Phases = append(r.Phases, LoadPhase{Name: name, P95Us: v, Requests: 100})
+		}
+	}
+	return r
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	for _, tc := range []struct {
+		p    float64
+		want int64
+	}{{0.50, 50}, {0.95, 100}, {0.99, 100}, {0.10, 10}} {
+		if got := Percentile(sorted, tc.p); got != tc.want {
+			t.Errorf("p%.0f = %d, want %d", 100*tc.p, got, tc.want)
+		}
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty slice must yield 0")
+	}
+}
+
+func TestLoadDiffGates(t *testing.T) {
+	oldR := loadRep(map[string]int64{"cold": 50_000, "warm": 500, "mixed": 2_000})
+
+	// Warm p95 doubling is a regression; cold staying put is noise.
+	res, err := LoadDiff(oldR, loadRep(map[string]int64{"cold": 50_000, "warm": 1_000, "mixed": 2_000}), DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regressions != 1 {
+		t.Fatalf("regressions = %d, want 1 (warm p95 doubled)", res.Regressions)
+	}
+	for _, d := range res.Deltas {
+		want := VerdictNoise
+		if d.Phase == "warm" {
+			want = VerdictRegression
+		}
+		if d.Verdict != want {
+			t.Errorf("%s verdict = %s, want %s", d.Phase, d.Verdict, want)
+		}
+	}
+
+	// Within budget: +8% under the default 10% budget is "slower", not a gate failure.
+	res, err = LoadDiff(oldR, loadRep(map[string]int64{"cold": 54_000, "warm": 500, "mixed": 2_000}), DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regressions != 0 {
+		t.Fatalf("within-budget growth must not gate: %+v", res.Deltas)
+	}
+
+	// A phase missing on one side is skipped, not an error.
+	res, err = LoadDiff(oldR, loadRep(map[string]int64{"warm": 400}), DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Deltas) != 1 || res.Deltas[0].Phase != "warm" || res.Deltas[0].Verdict != VerdictImproved {
+		t.Fatalf("got %+v", res.Deltas)
+	}
+
+	// Cross-machine refusal, overridable.
+	other := loadRep(map[string]int64{"warm": 500})
+	other.GoVersion = "go2.y"
+	if _, err := LoadDiff(oldR, other, DiffOptions{}); err == nil {
+		t.Fatal("cross-machine comparison must refuse by default")
+	}
+	if _, err := LoadDiff(oldR, other, DiffOptions{AllowCrossMachine: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Per-phase budget override via the load_ stage-budget namespace.
+	res, err = LoadDiff(oldR, loadRep(map[string]int64{"warm": 1_000}), DiffOptions{StageBudgets: map[string]float64{"load_warm": 1.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regressions != 0 {
+		t.Fatal("load_warm budget override must allow the doubling")
+	}
+}

@@ -190,12 +190,17 @@ func PublishRunEnd(spec, netlistText string, added int, verdict string, ok bool)
 	)
 }
 
-// Read decodes a journal stream.
+// Read decodes a journal stream. A malformed FINAL line is dropped
+// rather than reported: reading a live journal (the writer buffers and
+// flushes on close) legitimately races one partially written trailing
+// event, and an append-only flight recorder must stay readable
+// mid-flight. Malformed lines with valid lines after them still error.
 func Read(r io.Reader) ([]obs.Event, error) {
 	var evs []obs.Event
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	line := 0
+	badLine, badErr := 0, error(nil)
 	for sc.Scan() {
 		line++
 		if len(sc.Bytes()) == 0 {
@@ -203,11 +208,21 @@ func Read(r io.Reader) ([]obs.Event, error) {
 		}
 		var ev obs.Event
 		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
-			return evs, fmt.Errorf("journal: line %d: %w", line, err)
+			if badErr == nil {
+				badLine, badErr = line, err
+				continue
+			}
+			return evs, fmt.Errorf("journal: line %d: %w", badLine, badErr)
+		}
+		if badErr != nil {
+			return evs, fmt.Errorf("journal: line %d: %w", badLine, badErr)
 		}
 		evs = append(evs, ev)
 	}
-	return evs, sc.Err()
+	if err := sc.Err(); err != nil {
+		return evs, err
+	}
+	return evs, nil
 }
 
 // ReadFile decodes a journal file.
@@ -243,16 +258,35 @@ type Run struct {
 	Complete   bool // a run_end was observed
 }
 
-// Reconstruct folds a journal back into per-run records, in journal
-// order. Stage events carry the owning spec when the pipeline knew it;
-// spec-less stage events between a run_start and its run_end (the parse
-// stage runs before the spec has a name) attach to the open run.
+// Reconstruct folds a journal back into per-run records, in run_start
+// order. Concurrent runs (a synthesis server journals many specs at
+// once) interleave their events; attribution is by spec, so any
+// interleaving reconstructs identically to the sequential journal of
+// the same runs. Spec-less events (the parse stage runs before the
+// spec has a name) attach to the sole open run when exactly one is
+// open — the sequential case — and are dropped otherwise, since they
+// cannot be attributed.
 func Reconstruct(evs []obs.Event) []Run {
 	var runs []Run
-	var cur *Run
+	open := map[string]int{} // spec → index of its open run in runs
+	sole := -1               // index of the single open run, -1 when 0 or >1 are open
+	resolve := func(spec string) *Run {
+		if spec != "" {
+			if i, ok := open[spec]; ok {
+				return &runs[i]
+			}
+			return nil
+		}
+		if sole >= 0 {
+			return &runs[sole]
+		}
+		return nil
+	}
 	for _, ev := range evs {
 		switch ev.Kind {
 		case "run_start":
+			// A re-run of a still-open spec supersedes it: the older run
+			// stays incomplete, exactly as a crashed sequential run would.
 			runs = append(runs, Run{
 				Spec:    ev.Spec,
 				SpecSHA: str(ev.Fields, "spec_sha256"),
@@ -268,9 +302,15 @@ func Reconstruct(evs []obs.Event) []Run {
 				GoVersion: str(ev.Fields, "go_version"),
 				Stages:    map[string]Stage{},
 			})
-			cur = &runs[len(runs)-1]
+			open[ev.Spec] = len(runs) - 1
+			if len(open) == 1 {
+				sole = len(runs) - 1
+			} else {
+				sole = -1
+			}
 		case "stage_end":
-			if cur == nil || cur.Complete || (ev.Spec != "" && ev.Spec != cur.Spec) {
+			cur := resolve(ev.Spec)
+			if cur == nil || cur.Complete {
 				continue
 			}
 			st := Stage{
@@ -288,11 +328,12 @@ func Reconstruct(evs []obs.Event) []Run {
 			}
 			cur.Stages[str(ev.Fields, "stage")] = st
 		case "repair_round":
-			if cur != nil && !cur.Complete {
+			if cur := resolve(ev.Spec); cur != nil && !cur.Complete {
 				cur.Rounds++
 			}
 		case "run_end":
-			if cur == nil || cur.Complete || (ev.Spec != "" && ev.Spec != cur.Spec) {
+			cur := resolve(ev.Spec)
+			if cur == nil || cur.Complete {
 				continue
 			}
 			cur.NetlistSHA = str(ev.Fields, "netlist_sha256")
@@ -300,6 +341,13 @@ func Reconstruct(evs []obs.Event) []Run {
 			cur.Verdict = str(ev.Fields, "verdict")
 			cur.OK = boolean(ev.Fields, "ok")
 			cur.Complete = true
+			delete(open, cur.Spec)
+			sole = -1
+			if len(open) == 1 {
+				for _, i := range open { //reprolint:ordered single-entry map; the loop body runs at most once
+					sole = i
+				}
+			}
 		}
 	}
 	return runs

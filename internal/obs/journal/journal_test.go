@@ -3,6 +3,7 @@ package journal
 import (
 	"errors"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/obs"
@@ -127,5 +128,90 @@ func TestReconstruct(t *testing.T) {
 	}
 	if r.Stages["reach"].WallUs == 9 {
 		t.Fatal("stage event of another spec leaked into the run")
+	}
+}
+
+func TestReconstructInterleaved(t *testing.T) {
+	// Two concurrent runs whose events interleave, as a synthesis
+	// server journals them. Attribution is by spec; the spec-less
+	// stage_end can only belong to "b" once "a" has ended.
+	evs := []obs.Event{
+		{Kind: "run_start", Spec: "a", Fields: map[string]any{"spec_sha256": "sha-a", "engine": "explicit"}},
+		{Kind: "run_start", Spec: "b", Fields: map[string]any{"spec_sha256": "sha-b", "engine": "symbolic"}},
+		{Kind: "stage_end", Spec: "b", Fields: map[string]any{"stage": "reach", "wall_us": 5.0}},
+		{Kind: "stage_end", Spec: "a", Fields: map[string]any{"stage": "reach", "wall_us": 7.0}},
+		{Kind: "repair_round", Spec: "a", Fields: map[string]any{}},
+		{Kind: "run_end", Spec: "a", Fields: map[string]any{"netlist_sha256": "net-a", "ok": true}},
+		{Kind: "stage_end", Fields: map[string]any{"stage": "cover", "wall_us": 3.0}},
+		{Kind: "run_end", Spec: "b", Fields: map[string]any{"netlist_sha256": "net-b", "ok": true}},
+	}
+	runs := Reconstruct(evs)
+	if len(runs) != 2 {
+		t.Fatalf("got %d runs, want 2", len(runs))
+	}
+	a, b := runs[0], runs[1]
+	if a.Spec != "a" || b.Spec != "b" {
+		t.Fatalf("run order = %s, %s", a.Spec, b.Spec)
+	}
+	if !a.Complete || !b.Complete {
+		t.Fatal("both runs must be complete")
+	}
+	if a.NetlistSHA != "net-a" || b.NetlistSHA != "net-b" {
+		t.Fatalf("digests crossed: %s / %s", a.NetlistSHA, b.NetlistSHA)
+	}
+	if a.Stages["reach"].WallUs != 7 || b.Stages["reach"].WallUs != 5 {
+		t.Fatalf("stage attribution crossed: a=%d b=%d", a.Stages["reach"].WallUs, b.Stages["reach"].WallUs)
+	}
+	if a.Rounds != 1 || b.Rounds != 0 {
+		t.Fatalf("rounds = %d/%d, want 1/0", a.Rounds, b.Rounds)
+	}
+	// The spec-less cover stage landed on b (sole open run after a ended).
+	if _, ok := a.Stages["cover"]; ok {
+		t.Fatal("spec-less stage attached to a completed run")
+	}
+	if b.Stages["cover"].WallUs != 3 {
+		t.Fatal("spec-less stage must attach to the sole open run")
+	}
+}
+
+func TestReconstructSequentialUnchanged(t *testing.T) {
+	// The pre-server shape: one run at a time, spec-less parse stage.
+	evs := []obs.Event{
+		{Kind: "run_start", Spec: "x", Fields: map[string]any{"spec_sha256": "sha-x"}},
+		{Kind: "stage_end", Fields: map[string]any{"stage": "parse", "wall_us": 2.0}},
+		{Kind: "run_end", Spec: "x", Fields: map[string]any{"netlist_sha256": "net-x", "ok": true}},
+		{Kind: "run_start", Spec: "y", Fields: map[string]any{"spec_sha256": "sha-y"}},
+		{Kind: "stage_end", Fields: map[string]any{"stage": "parse", "wall_us": 4.0}},
+		{Kind: "run_end", Spec: "y", Fields: map[string]any{"netlist_sha256": "net-y", "ok": false}},
+	}
+	runs := Reconstruct(evs)
+	if len(runs) != 2 || !runs[0].Complete || !runs[1].Complete {
+		t.Fatalf("got %+v", runs)
+	}
+	if runs[0].Stages["parse"].WallUs != 2 || runs[1].Stages["parse"].WallUs != 4 {
+		t.Fatal("spec-less parse stages must attach to their own runs")
+	}
+	if runs[1].OK {
+		t.Fatal("y must reconstruct as failed")
+	}
+}
+
+func TestReadToleratesTruncatedTail(t *testing.T) {
+	// A live journal legitimately ends mid-event; the reader must keep
+	// every complete line and drop only the partial tail.
+	data := `{"seq":1,"kind":"run_start","spec":"a"}` + "\n" +
+		`{"seq":2,"kind":"run_end","spec":"a"}` + "\n" +
+		`{"seq":3,"kind":"stage_`
+	evs, err := Read(strings.NewReader(data))
+	if err != nil {
+		t.Fatalf("truncated tail must not error: %v", err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	// Mid-file corruption is still an error.
+	bad := `{"seq":1,"kind":"run_start"` + "\n" + `{"seq":2,"kind":"run_end","spec":"a"}` + "\n"
+	if _, err := Read(strings.NewReader(bad)); err == nil {
+		t.Fatal("mid-file corruption must error")
 	}
 }

@@ -3,6 +3,13 @@
 // decomposition, per-signal MC checking, per-benchmark synthesis) run on
 // up to GOMAXPROCS goroutines while callers keep deterministic output by
 // writing results into index-addressed slots.
+//
+// Two pool shapes live here. ForEach is the batch fan-out: a known task
+// count, drained to completion, panic re-raised on the caller. Pool is
+// the long-running shard pool of the synthesis server: a fixed worker
+// set pulling from a bounded queue whose fullness is the server's
+// backpressure signal, with panics contained per task so one poisoned
+// job cannot take a shard down.
 package par
 
 import (
@@ -90,4 +97,104 @@ func ForEachHook(n, workers int, fn func(i int), hook TaskHook) {
 	if panicked != nil {
 		panic(panicked)
 	}
+}
+
+// Pool is a long-running bounded worker pool: a fixed set of shard
+// goroutines pulling tasks from a bounded queue. Unlike ForEach it is
+// built for servers — tasks arrive over time, the queue length is the
+// backpressure signal, and a panicking task is contained (reported to
+// the OnPanic hook) instead of tearing the pool down. Determinism is
+// still the submitter's contract: tasks must not depend on which shard
+// runs them.
+type Pool struct {
+	queue   chan func()
+	wg      sync.WaitGroup
+	workers int
+
+	mu       sync.Mutex
+	closed   bool
+	inflight int
+
+	// OnPanic, when non-nil, observes a recovered task panic. Set it
+	// before the first Submit; it runs on the worker goroutine.
+	OnPanic func(v any)
+}
+
+// NewPool starts a pool of `workers` shard goroutines (0 = GOMAXPROCS)
+// over a queue of `depth` waiting tasks (minimum 1). TrySubmit fails
+// once `depth` tasks are queued on top of the `workers` running ones —
+// that bound is the caller's backpressure line.
+func NewPool(workers, depth int) *Pool {
+	workers = Workers(workers)
+	if depth < 1 {
+		depth = 1
+	}
+	p := &Pool{queue: make(chan func(), depth), workers: workers}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() { //reprolint:go long-lived shard worker owned by Pool; lifecycle bounded by Close
+			defer p.wg.Done()
+			for fn := range p.queue {
+				p.run(fn)
+			}
+		}()
+	}
+	return p
+}
+
+// run executes one task with panic containment.
+func (p *Pool) run(fn func()) {
+	defer func() {
+		p.mu.Lock()
+		p.inflight--
+		p.mu.Unlock()
+		if v := recover(); v != nil && p.OnPanic != nil {
+			p.OnPanic(v)
+		}
+	}()
+	fn()
+}
+
+// TrySubmit enqueues fn unless the queue is full or the pool closed.
+// The false return is the backpressure signal servers turn into a 429.
+func (p *Pool) TrySubmit(fn func()) bool {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return false
+	}
+	select {
+	case p.queue <- fn:
+		p.inflight++
+		p.mu.Unlock()
+		return true
+	default:
+		p.mu.Unlock()
+		return false
+	}
+}
+
+// Workers returns the pool's shard count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Depth returns the number of submitted tasks not yet finished —
+// queued plus running.
+func (p *Pool) Depth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.inflight
+}
+
+// Close stops intake and waits for every queued task to finish. Safe to
+// call twice.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.queue)
+	p.wg.Wait()
 }

@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/encode"
+	"repro/internal/netlist"
+	"repro/internal/sg"
+	"repro/internal/stg"
+	"repro/internal/synth"
+	"repro/internal/verify"
+)
+
+// The staged pipeline, cache-aware. Each stage is the smallest unit
+// whose inputs are content-addressable: parse, reach and analyze key on
+// the canonical source alone, repair adds the repair fingerprint, and
+// the netlist stage (cover + build + verify) adds the implementation
+// fingerprint. A request that differs from a cached one only in RS
+// therefore reuses the repair result — the stage that dominates cold
+// cost by orders of magnitude — and recomputes only covers and
+// verification.
+
+// parseResult is the parse stage's cache value. Errors are cached too:
+// the pipeline is deterministic, so a spec that fails to parse fails
+// identically forever, and negative entries keep a hostile or broken
+// client from re-running the failure path.
+type parseResult struct {
+	net *stg.STG
+	err error
+}
+
+type reachResult struct {
+	g   *sg.Graph
+	err error
+}
+
+type analyzeResult struct {
+	props sg.PropertyReport
+	err   error
+}
+
+// repairResult carries the repaired graph plus the MC report whose
+// analyzer derives covers on demand. The analyzer memoizes region
+// decompositions lazily, so concurrent cover derivations on one shared
+// entry must serialize on mu — that is the only mutable state a cached
+// stage value owns.
+type repairResult struct {
+	mu     sync.Mutex
+	final  *sg.Graph
+	added  []string
+	mc     *core.Report
+	models int
+	err    error
+}
+
+// Result is the netlist stage's cache value and the API's result
+// payload: everything a client needs to consume or re-verify one
+// synthesis, addressed by the sha-256 of the netlist text.
+type Result struct {
+	Spec           string   `json:"spec"`
+	SpecSHA        string   `json:"spec_sha256"`
+	Key            string   `json:"key"`                      // netlist stage cache key
+	NetlistSHA     string   `json:"netlist_sha256,omitempty"` // sha-256 of Netlist
+	Netlist        string   `json:"netlist,omitempty"`        // rendered netlist text
+	Literals       int      `json:"literals,omitempty"`
+	Added          []string `json:"added,omitempty"` // inserted state signals
+	SpecStates     int      `json:"spec_states,omitempty"`
+	FinalStates    int      `json:"final_states,omitempty"`
+	ComposedStates int      `json:"composed_states,omitempty"` // verification state count
+	Verdict        string   `json:"verdict"`
+	OK             bool     `json:"ok"`
+	Err            string   `json:"error,omitempty"`
+}
+
+// Trace records how one request's stages resolved — which came from
+// cache, which were computed, and which joined another request's
+// in-progress computation. Tests and the load driver use it to tell
+// cold from warm work apart.
+type Trace struct {
+	Hits      []string `json:"hits,omitempty"`
+	Computed  []string `json:"computed,omitempty"`
+	Coalesced []string `json:"coalesced,omitempty"`
+}
+
+// stage resolves one stage: cache lookup, then singleflight-coalesced
+// computation. Exactly one caller per key computes; the result (error
+// included) lands in the cache for everyone after.
+func (s *Server) stage(tr *Trace, name, key string, compute func() any) any {
+	if v, ok := s.cache.Get(name, key); ok {
+		tr.Hits = append(tr.Hits, name)
+		return v
+	}
+	v, _, coalesced := s.flights.Do(key, func() (any, error) {
+		// Double-check under the flight: a previous flight may have
+		// populated the key between the Get above and here.
+		if v, ok := s.cache.Peek(key); ok {
+			return v, nil
+		}
+		s.computes[name].Add(1)
+		v := compute()
+		s.cache.Put(name, key, v)
+		return v, nil
+	})
+	if coalesced {
+		tr.Coalesced = append(tr.Coalesced, name)
+		s.coalesced.Add(1)
+	} else {
+		tr.Computed = append(tr.Computed, name)
+	}
+	return v
+}
+
+// synthesize runs (or replays from cache) the full pipeline for one
+// request. It mirrors synth.FromGraph stage for stage — consistency and
+// property checks, repair, the bisimulation guard, covers, netlist,
+// verification — so a cache-assembled result is byte-identical to a
+// monolithic synthesis of the same spec and config.
+//
+// onSpec, when non-nil, fires once as soon as the specification's name
+// is known (right after parse) — the hook the server uses to route
+// progress events and open the journal run before the expensive stages
+// begin.
+func (s *Server) synthesize(name, source string, cfg Config, onSpec func(spec string)) (*Result, *Trace) {
+	tr := &Trace{}
+	canon := Canonicalize(source)
+	srcSHA := SHA(canon)
+
+	kParse := stageKey("parse", srcSHA)
+	kReach := stageKey("reach", kParse)
+	kAnalyze := stageKey("analyze", kReach)
+	kRepair := stageKey("repair", kReach, cfg.RepairFP())
+	kNet := stageKey("netlist", kRepair, cfg.NetlistFP())
+
+	fail := func(err error) (*Result, *Trace) {
+		res := &Result{Spec: name, SpecSHA: srcSHA, Key: kNet, Verdict: "error: " + err.Error(), Err: err.Error()}
+		return res, tr
+	}
+
+	pr := s.stage(tr, "parse", kParse, func() any {
+		net, err := stg.Parse(canon)
+		return &parseResult{net: net, err: err}
+	}).(*parseResult)
+	if pr.err != nil {
+		return fail(pr.err)
+	}
+	if name == "" {
+		name = pr.net.Name
+	}
+	if onSpec != nil {
+		onSpec(pr.net.Name)
+	}
+
+	rr := s.stage(tr, "reach", kReach, func() any {
+		g, err := stg.BuildSG(pr.net)
+		return &reachResult{g: g, err: err}
+	}).(*reachResult)
+	if rr.err != nil {
+		return fail(rr.err)
+	}
+
+	ar := s.stage(tr, "analyze", kAnalyze, func() any {
+		if err := rr.g.CheckConsistency(); err != nil {
+			return &analyzeResult{err: err}
+		}
+		props := rr.g.Check()
+		if !props.OutputSemiModular {
+			return &analyzeResult{props: props, err: fmt.Errorf(
+				"synth: %s is not output semi-modular; no speed-independent implementation exists", rr.g.Name)}
+		}
+		return &analyzeResult{props: props}
+	}).(*analyzeResult)
+	if ar.err != nil {
+		return fail(ar.err)
+	}
+
+	rep := s.stage(tr, "repair", kRepair, func() any {
+		ropts := encode.Options{
+			MaxModels:  cfg.MaxModels,
+			Workers:    s.jobWorkers(),
+			SymbolicMC: cfg.Engine == "symbolic",
+		}
+		fixed, err := encode.Repair(rr.g, ropts)
+		if err != nil {
+			return &repairResult{err: err}
+		}
+		if len(fixed.Added) > 0 && rr.g.NumStates() <= 4096 {
+			if err := sg.WeaklyBisimilar(rr.g, fixed.G); err != nil {
+				return &repairResult{err: fmt.Errorf("synth: insertion changed the visible behaviour: %w", err)}
+			}
+		}
+		return &repairResult{final: fixed.G, added: fixed.Added, mc: fixed.Report, models: fixed.Models}
+	}).(*repairResult)
+	if rep.err != nil {
+		return fail(rep.err)
+	}
+
+	res := s.stage(tr, "netlist", kNet, func() any {
+		// The MC report's analyzer builds region decompositions lazily;
+		// serialize cover derivation per repair entry so two netlist
+		// configs sharing it never race on that memoization.
+		rep.mu.Lock()
+		nl, _, err := synth.CoverNetlist(rep.final, rep.mc, synth.Options{RS: cfg.RS, Share: cfg.Share})
+		rep.mu.Unlock()
+		out := &Result{
+			Spec:        name,
+			SpecSHA:     srcSHA,
+			Key:         kNet,
+			Added:       rep.added,
+			SpecStates:  rr.g.NumStates(),
+			FinalStates: rep.final.NumStates(),
+		}
+		if err != nil {
+			out.Verdict = "error: " + err.Error()
+			out.Err = err.Error()
+			return out
+		}
+		var stats netlist.Stats = nl.Stats()
+		out.Netlist = nl.String()
+		out.NetlistSHA = SHA(out.Netlist)
+		out.Literals = stats.Literals
+		vres := verify.CheckLimit(nl, rep.final, verify.DefaultStateLimit)
+		out.Verdict = vres.String()
+		out.ComposedStates = vres.States
+		out.OK = rep.mc.Satisfied() && vres.OK()
+		if !vres.OK() {
+			out.Err = fmt.Sprintf("synth: %s: synthesized circuit failed verification", name)
+		}
+		s.indexResult(out)
+		return out
+	}).(*Result)
+	if res.Spec != name && name != "" {
+		// A coalesced or cached result may carry the first submitter's
+		// display name; the payload is identical, so rebrand a copy.
+		clone := *res
+		clone.Spec = name
+		res = &clone
+	}
+	s.indexResult(res)
+	return res, tr
+}
+
+// jobWorkers resolves the per-job repair worker count. Shards already
+// provide cross-request parallelism, so each job defaults to a
+// sequential repair — worker count never changes the netlist, only
+// contention.
+func (s *Server) jobWorkers() int {
+	if s.opts.JobWorkers > 0 {
+		return s.opts.JobWorkers
+	}
+	return 1
+}

@@ -52,11 +52,27 @@ type SymbolicSpace struct {
 	unsafeCd []int // per-transition 1-safety violation condition (current vars)
 	relAll   int   // union of rel, built on first Image/Preimage; -1 before
 
+	// byDir[2*sig] / byDir[2*sig+1] list the −/+ transitions of each
+	// signal in index order, so per-signal queries stop rescanning the
+	// whole transition list.
+	byDir [][]int
+
 	// val[2*sig+1] / val[2*sig] are the reached markings where the
 	// signal reads 1 / 0; filled by ComputeValues.
-	val      []int
+	val []int
+	// exc[2*sig] / exc[2*sig+1] cache ExcitedBDD(sig, −1) / (sig, +1):
+	// the per-signal MC existence queries ask for these over and over
+	// (one pair per signal per region cube), and rebuilding them was
+	// the dominant redundant work of a symbolic analysis. Filled by
+	// ComputeValues; nil before.
+	exc      []int
 	valsDone bool
 	unsafe   bool
+
+	// extraRoots holds transient BDDs that must survive a collection
+	// triggered mid-computation (ComputeValues' per-signal relation
+	// unions). Always nil outside those windows.
+	extraRoots []int
 
 	gcThreshold int
 }
@@ -308,6 +324,8 @@ func (s *SymbolicSpace) fixpoint() error {
 func (s *SymbolicSpace) roots(extra []int) []int {
 	r := []int{s.curCube, s.nextCube, s.init, s.reached, s.relAll}
 	r = append(r, s.val...)
+	r = append(r, s.exc...)
+	r = append(r, s.extraRoots...)
 	r = append(r, s.rel...)
 	r = append(r, s.en...)
 	r = append(r, s.unsafeCd...)
@@ -319,6 +337,10 @@ func (s *SymbolicSpace) adopt(r []int) []int {
 	r = r[5:]
 	copy(s.val, r[:len(s.val)])
 	r = r[len(s.val):]
+	copy(s.exc, r[:len(s.exc)])
+	r = r[len(s.exc):]
+	copy(s.extraRoots, r[:len(s.extraRoots)])
+	r = r[len(s.extraRoots):]
 	nt := len(s.rel)
 	copy(s.rel, r[:nt])
 	copy(s.en, r[nt:2*nt])
@@ -414,20 +436,37 @@ func (s *SymbolicSpace) PreimageBDD(S int) int {
 }
 
 // transOf lists the transitions of signal sig with direction d (+1/−1),
-// in index order.
+// in index order. The grouping is indexed on first use; the net is
+// immutable once the space exists.
 func (s *SymbolicSpace) transOf(sig, d int) []int {
-	var out []int
-	for t, tr := range s.Net.Trans {
-		if tr.Signal == sig && int(tr.Dir) == d {
-			out = append(out, t)
+	if s.byDir == nil {
+		s.byDir = make([][]int, 2*len(s.Net.Signals))
+		for t, tr := range s.Net.Trans {
+			i := 2 * tr.Signal
+			if tr.Dir > 0 {
+				i++
+			}
+			s.byDir[i] = append(s.byDir[i], t)
 		}
 	}
-	return out
+	i := 2 * sig
+	if d > 0 {
+		i++
+	}
+	return s.byDir[i]
 }
 
 // ExcitedBDD returns the reachable markings where a (sig, d) transition
-// is enabled.
+// is enabled. After ComputeValues the answer comes from the exc cache —
+// the MC existence queries ask for every signal's excitation per region
+// cube, so the uncached O(transitions-of-sig) rebuild would dominate.
 func (s *SymbolicSpace) ExcitedBDD(sig, d int) int {
+	if s.exc != nil {
+		if d > 0 {
+			return s.exc[2*sig+1]
+		}
+		return s.exc[2*sig]
+	}
 	r := bdd.False
 	for _, t := range s.transOf(sig, d) {
 		r = s.m.Or(r, s.en[t])
@@ -461,15 +500,32 @@ func (s *SymbolicSpace) ComputeValues() error {
 	// Allocated up front (zero value bdd.False) so partially inferred
 	// values are GC roots while later signals iterate.
 	s.val = make([]int, 2*nsig)
+	// Each signal's closure fires "all transitions of other signals".
+	// Building that union per signal from scratch is O(nsig·ntrans) Or
+	// operations; per-signal relation unions combined through prefix and
+	// suffix partial unions give every others-relation in O(ntrans+nsig)
+	// total. The resulting slice is rooted via extraRoots because the
+	// fixpoint loops below may collect while later entries are still
+	// pending.
+	sigRel := make([]int, nsig)
+	for t, tr := range s.Net.Trans {
+		sigRel[tr.Signal] = m.Or(sigRel[tr.Signal], s.rel[t])
+	}
+	suffix := make([]int, nsig+1)
+	suffix[nsig] = bdd.False
+	for i := nsig - 1; i >= 0; i-- {
+		suffix[i] = m.Or(suffix[i+1], sigRel[i])
+	}
+	others := make([]int, nsig)
+	prefix := bdd.False
+	for i := 0; i < nsig; i++ {
+		others[i] = m.Or(prefix, suffix[i+1])
+		prefix = m.Or(prefix, sigRel[i])
+	}
+	s.extraRoots = others
+	defer func() { s.extraRoots = nil }()
 	for sig := 0; sig < nsig; sig++ {
-		// Transitions of other signals, for the value-preserving closure.
-		var others []int
-		for t, tr := range s.Net.Trans {
-			if tr.Signal != sig {
-				others = append(others, t)
-			}
-		}
-		rel := s.unionRel(others)
+		rel := others[sig]
 		for _, d := range []int{+1, -1} {
 			// d = +1 seeds value 0 (a+ enabled, or a− just fired).
 			seed := bdd.False
@@ -505,6 +561,19 @@ func (s *SymbolicSpace) ComputeValues() error {
 		if m.Or(v0, v1) != s.reached {
 			return fmt.Errorf("stg: value of signal %s undetermined on some reachable markings", s.Net.Signals[sig])
 		}
+	}
+	// Fill the excitation cache eagerly: every (sig, d) pair is queried
+	// by the MC existence checks, usually many times over.
+	s.exc = make([]int, 2*nsig)
+	for t, tr := range s.Net.Trans {
+		i := 2 * tr.Signal
+		if tr.Dir > 0 {
+			i++
+		}
+		s.exc[i] = m.Or(s.exc[i], s.en[t])
+	}
+	for i := range s.exc {
+		s.exc[i] = m.And(s.exc[i], s.reached)
 	}
 	s.valsDone = true
 	s.publish()
