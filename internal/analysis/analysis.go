@@ -1,8 +1,10 @@
-// Package analysis is reprolint's checker suite: four invariant
+// Package analysis is reprolint's checker suite: seven invariant
 // analyzers that machine-check the contracts the synthesis pipeline
 // otherwise enforces only by convention — the same move the paper makes
 // when it replaces designer judgement with the machine-checkable MC
 // requirement, applied to our own implementation.
+//
+// Syntactic (per-package) analyzers:
 //
 //   - determinism: reproducible packages must not iterate maps bare or
 //     read clocks/PRNGs (escape: //reprolint:ordered <why>);
@@ -13,7 +15,21 @@
 //     points and publishes once per stage, never per hot-loop iteration
 //     (escape: //reprolint:obs <why>);
 //   - parpool: fan-out goes through internal/par with index-disjoint
-//     result writes, never raw goroutines (escape: //reprolint:go <why>).
+//     result writes, never raw goroutines (escape: //reprolint:go <why>);
+//   - cachekey: every exported field of a struct with *FP() fingerprint
+//     methods must appear in a fingerprint string (escape:
+//     //reprolint:nonsemantic <why>).
+//
+// Interprocedural (fact-propagating) analyzers — these run over every
+// loaded package in import order and chase properties through the CHA
+// call graph (see internal/analysis/lint and DESIGN.md §13):
+//
+//   - determinism2: no call chain from a reproducible package may reach
+//     a bare map range, clock read or PRNG draw, even through helper
+//     packages (escape: //reprolint:ordered <why>);
+//   - lockdiscipline: no call that can block — channel ops, Wait,
+//     interface I/O, dynamic callbacks — while a sync.Mutex/RWMutex is
+//     held (escape: //reprolint:lock <why>).
 //
 // Escape comments annotate the offending line (trailing or directly
 // above) and must carry a justification; a bare escape suppresses
@@ -39,44 +55,19 @@ func escaped(pass *lint.Pass, dirs *lint.DirectiveIndex, node ast.Node, name str
 	return esc
 }
 
-// deterministicPackages promise byte-identical output for identical
-// input at any worker count: the Table-1 pipeline from MC analysis to
-// netlist emission.
-var deterministicPackages = map[string]bool{
-	"repro/internal/core":    true,
-	"repro/internal/encode":  true,
-	"repro/internal/netlist": true,
-	"repro/internal/synth":   true,
-	"repro/internal/verify":  true,
-	"repro/internal/cube":    true,
-	"repro/internal/tech":    true,
-	// The symbolic core: node ids, variable orders and region
-	// decompositions must come out identical run over run, or the
-	// engine differential tests (and the byte-identical-netlist promise
-	// under Options.SymbolicMC) stop meaning anything.
-	"repro/internal/bdd":    true,
-	"repro/internal/engine": true,
-	// The portfolio SAT layer: every model comes from the canonical
-	// anchor and clause exchange is merged in sorted order, so the
-	// whole package shares encode's any-worker-count determinism
-	// promise.
-	"repro/internal/sat": true,
-	// The synthesis server: cached, coalesced and sharded execution
-	// must return byte-identical results to a cold sequential run, so
-	// the serving layer itself carries the determinism promise.
-	"repro/internal/serve": true,
-}
-
-// Suite returns the four analyzers with the package scope each one
+// Suite returns the seven analyzers with the package scope each one
 // patrols in this repository. Analyzers themselves are scope-free (the
 // analysistest fixtures run them on arbitrary packages); the pairing
-// here is what cmd/reprolint enforces.
+// here is what cmd/reprolint enforces. For interprocedural analyzers
+// the scope gates only reporting: facts are computed for every loaded
+// package regardless.
 func Suite() []lint.ScopedAnalyzer {
 	inModule := func(path string) bool {
 		return path == "repro" || strings.HasPrefix(path, "repro/")
 	}
 	return []lint.ScopedAnalyzer{
-		{Analyzer: Determinism, Scope: func(p string) bool { return deterministicPackages[p] }},
+		{Analyzer: Determinism, Scope: func(p string) bool { return DeterministicScope[p] }},
+		{Analyzer: DeterminismV2, Scope: func(p string) bool { return DeterministicScope[p] }},
 		{Analyzer: HotAlloc, Scope: inModule},
 		{Analyzer: ObsSafe, Scope: inModule},
 		{Analyzer: ParPool, Scope: func(p string) bool {
@@ -84,5 +75,7 @@ func Suite() []lint.ScopedAnalyzer {
 			// belong; everything else in the module fans out through it.
 			return inModule(p) && p != "repro/internal/par"
 		}},
+		{Analyzer: CacheKey, Scope: func(p string) bool { return CacheKeyScope[p] }},
+		{Analyzer: LockDiscipline, Scope: func(p string) bool { return LockDisciplineScope[p] }},
 	}
 }

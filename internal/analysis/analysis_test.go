@@ -11,6 +11,30 @@ func TestDeterminism(t *testing.T) {
 	analysistest.Run(t, analysis.Determinism, "determinism")
 }
 
+// TestDeterminismV2 pivots the deterministic scope onto the fixture
+// package; its helper dependency stays out of scope, so taint planted
+// there must cross the boundary through serialized facts.
+func TestDeterminismV2(t *testing.T) {
+	old := analysis.DeterministicScope
+	analysis.DeterministicScope = map[string]bool{"determinism2": true}
+	defer func() { analysis.DeterministicScope = old }()
+	analysistest.Run(t, analysis.DeterminismV2, "determinism2")
+}
+
+func TestCacheKey(t *testing.T) {
+	analysistest.Run(t, analysis.CacheKey, "cachekey")
+}
+
+// TestLockDiscipline pivots the lock-discipline scope onto the fixture
+// package; the transitive-wait case crosses into the out-of-scope
+// helper through serialized facts.
+func TestLockDiscipline(t *testing.T) {
+	old := analysis.LockDisciplineScope
+	analysis.LockDisciplineScope = map[string]bool{"lockdiscipline": true}
+	defer func() { analysis.LockDisciplineScope = old }()
+	analysistest.Run(t, analysis.LockDiscipline, "lockdiscipline")
+}
+
 func TestHotAlloc(t *testing.T) {
 	analysistest.Run(t, analysis.HotAlloc, "hotalloc")
 }

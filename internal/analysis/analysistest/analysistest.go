@@ -31,6 +31,11 @@ import (
 // testdata/src), applies the analyzer, and fails the test unless the
 // diagnostics and the fixtures' want comments match one-to-one by file,
 // line, and regexp.
+//
+// Fixture packages imported by the targets are loaded too and — for
+// interprocedural analyzers — analyzed for facts, exactly as the real
+// runner treats dependency packages; want comments apply only to the
+// named targets.
 func Run(t *testing.T, a *lint.Analyzer, pkgPaths ...string) {
 	t.Helper()
 	h := newHarness(t)
@@ -40,11 +45,23 @@ func Run(t *testing.T, a *lint.Analyzer, pkgPaths ...string) {
 		targets = append(targets, h.parse(path, external))
 	}
 	h.loadExports(external)
-	var pkgs []*lint.Package
+	targetSet := map[string]bool{}
 	for _, p := range targets {
-		pkgs = append(pkgs, h.check(p))
+		targetSet[p.path] = true
 	}
-	findings, err := lint.Run(pkgs, []lint.ScopedAnalyzer{{Analyzer: a}})
+	// Check every parsed fixture package (targets plus their fixture
+	// dependencies) so fact analyzers see the whole import closure.
+	allPaths := make([]string, 0, len(h.parsed))
+	for path := range h.parsed {
+		allPaths = append(allPaths, path)
+	}
+	sort.Strings(allPaths)
+	var pkgs []*lint.Package
+	for _, path := range allPaths {
+		pkgs = append(pkgs, h.check(h.parsed[path]))
+	}
+	scope := func(p string) bool { return targetSet[p] }
+	findings, err := lint.Run(pkgs, []lint.ScopedAnalyzer{{Analyzer: a, Scope: scope}})
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}

@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis/lint"
+)
+
+// CacheKeyScope names the packages whose structs feed content-addressed
+// cache keys. Today that is the synthesis server: serve.Config flows
+// into RepairFP/NetlistFP, which flow into stageKey, which decides
+// cache-hit identity.
+var CacheKeyScope = map[string]bool{
+	"repro/internal/serve": true,
+}
+
+const nonsemanticEscape = "nonsemantic"
+
+// CacheKey proves the cache-key soundness invariant: any struct that
+// fingerprints itself (methods named *FP returning string) must fold
+// every exported field into some fingerprint string, or declare the
+// field cache-irrelevant with //reprolint:nonsemantic <justification>.
+// A field added to serve.Config without extending RepairFP/NetlistFP
+// would silently alias cache entries across semantically different
+// configurations — stale netlists served as fresh — and no runtime test
+// catches that until the colliding pair of requests happens to occur.
+//
+// The check is lexical on purpose: a field counts as fingerprinted when
+// "<lowercase name>=" appears in a string literal inside any of the
+// type's *FP methods, matching the "key=value|key=value" convention the
+// fingerprints use. Renaming a field without updating the format string
+// therefore also trips the analyzer.
+var CacheKey = &lint.Analyzer{
+	Name: "cachekey",
+	Doc: "every exported field of a struct with *FP() string fingerprint methods " +
+		"must appear as \"<name>=\" in a fingerprint format string, or carry " +
+		"//reprolint:nonsemantic <justification> declaring it cache-irrelevant",
+	Run: runCacheKey,
+}
+
+func runCacheKey(pass *lint.Pass) error {
+	// Pass 1: accumulate, per receiver type name, the lowercased text of
+	// every string literal inside its *FP methods.
+	blobs := map[string]string{}
+	hasFP := map[string]bool{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isFPMethod(fd) {
+				continue
+			}
+			recv := recvTypeName(fd)
+			if recv == "" {
+				continue
+			}
+			hasFP[recv] = true
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				lit, ok := n.(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				if s, err := strconv.Unquote(lit.Value); err == nil {
+					blobs[recv] += strings.ToLower(s) + "\x00"
+				}
+				return true
+			})
+		}
+	}
+	if len(hasFP) == 0 {
+		return nil
+	}
+	// Pass 2: check every exported field of each fingerprinted struct.
+	for _, file := range pass.Files {
+		dirs := lint.FileDirectives(pass.Fset, file)
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !hasFP[ts.Name.Name] {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				checkFingerprintedStruct(pass, dirs, ts.Name.Name, st, blobs[ts.Name.Name])
+			}
+		}
+	}
+	return nil
+}
+
+func checkFingerprintedStruct(pass *lint.Pass, dirs *lint.DirectiveIndex, typeName string, st *ast.StructType, blob string) {
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			if !name.IsExported() {
+				continue
+			}
+			if strings.Contains(blob, strings.ToLower(name.Name)+"=") {
+				continue
+			}
+			if escaped(pass, dirs, field, nonsemanticEscape) {
+				continue
+			}
+			pass.Reportf(name.Pos(), "field %s.%s is not in any %s fingerprint: add \"%s=\" to a *FP() "+
+				"format string or annotate //reprolint:nonsemantic <justification>",
+				typeName, name.Name, typeName, strings.ToLower(name.Name))
+		}
+		// Embedded fields contribute their own fields to the struct's
+		// identity; require the embedded type name itself to be keyed.
+		if len(field.Names) == 0 {
+			name := embeddedName(field.Type)
+			if name == "" || !token.IsExported(name) {
+				continue
+			}
+			if strings.Contains(blob, strings.ToLower(name)+"=") {
+				continue
+			}
+			if escaped(pass, dirs, field, nonsemanticEscape) {
+				continue
+			}
+			pass.Reportf(field.Pos(), "embedded field %s.%s is not in any %s fingerprint: add \"%s=\" to a *FP() "+
+				"format string or annotate //reprolint:nonsemantic <justification>",
+				typeName, name, typeName, strings.ToLower(name))
+		}
+	}
+}
+
+// isFPMethod reports whether fd is a fingerprint method: a method whose
+// name ends in "FP" and whose only result is a string.
+func isFPMethod(fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || !strings.HasSuffix(fd.Name.Name, "FP") {
+		return false
+	}
+	res := fd.Type.Results
+	if res == nil || len(res.List) != 1 || len(res.List[0].Names) > 1 {
+		return false
+	}
+	id, ok := res.List[0].Type.(*ast.Ident)
+	return ok && id.Name == "string"
+}
+
+// recvTypeName extracts the receiver's base type name ("Config" from
+// "(c Config)" or "(c *Config)").
+func recvTypeName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if ix, ok := t.(*ast.IndexExpr); ok {
+		t = ix.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// embeddedName extracts the type name of an embedded field.
+func embeddedName(t ast.Expr) string {
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	switch t := t.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.SelectorExpr:
+		return t.Sel.Name
+	}
+	return ""
+}

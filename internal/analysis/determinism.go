@@ -12,6 +12,11 @@ import (
 // packages that promise reproducible output. The Table-1 pinning tests
 // catch a nondeterministic netlist only after the fact; this analyzer
 // points at the construct that caused it.
+//
+// Determinism is syntactic and per-package: the construct is reported
+// where it is written. Its interprocedural companion (DeterminismV2)
+// chases the same construct class through call chains into packages
+// outside the reproducible scope.
 var Determinism = &lint.Analyzer{
 	Name: "determinism",
 	Doc: "flags bare map iteration and time/math-rand use in packages that promise " +
@@ -23,17 +28,51 @@ var Determinism = &lint.Analyzer{
 
 const orderedEscape = "ordered"
 
+// nondetRange reports whether n is a bare range over a map, returning
+// the hazard description.
+func nondetRange(pass *lint.Pass, n *ast.RangeStmt) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[n.X]
+	if !ok {
+		return "", false
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return "", false
+	}
+	return "map iteration order is nondeterministic", true
+}
+
+// nondetCall reports whether the call's static callee is a known
+// nondeterminism root (clock read, PRNG draw), returning the hazard
+// description.
+func nondetCall(pass *lint.Pass, n *ast.CallExpr) (string, bool) {
+	fn := lint.Callee(pass.TypesInfo, n)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	switch {
+	case path == "time" && (name == "Now" || name == "Since" || name == "Until"):
+		return "time." + name + " reads the wall clock", true
+	case path == "math/rand" || path == "math/rand/v2":
+		// Methods (rr.Float64 on a *rand.Rand) draw from whatever source
+		// the value was built with; the construction site (rand.New,
+		// rand.NewSource — package-level functions) is where the seed is
+		// visible and where the finding lands.
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return "", false
+		}
+		return path + "." + name + " draws from a process-seeded PRNG", true
+	}
+	return "", false
+}
+
 func runDeterminism(pass *lint.Pass) error {
 	for _, file := range pass.Files {
 		dirs := lint.FileDirectives(pass.Fset, file)
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.RangeStmt:
-				tv, ok := pass.TypesInfo.Types[n.X]
-				if !ok {
-					return true
-				}
-				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				if _, ok := nondetRange(pass, n); !ok {
 					return true
 				}
 				if escaped(pass, dirs, n, orderedEscape) {
@@ -42,19 +81,8 @@ func runDeterminism(pass *lint.Pass) error {
 				pass.Reportf(n.Pos(), "map iteration order is nondeterministic; sort the keys "+
 					"or annotate //reprolint:ordered <justification>")
 			case *ast.CallExpr:
-				fn := lint.Callee(pass.TypesInfo, n)
-				if fn == nil || fn.Pkg() == nil {
-					return true
-				}
-				path, name := fn.Pkg().Path(), fn.Name()
-				nondet := ""
-				switch {
-				case path == "time" && (name == "Now" || name == "Since" || name == "Until"):
-					nondet = "time." + name + " reads the wall clock"
-				case path == "math/rand" || path == "math/rand/v2":
-					nondet = path + "." + name + " draws from a process-seeded PRNG"
-				}
-				if nondet == "" {
+				nondet, ok := nondetCall(pass, n)
+				if !ok {
 					return true
 				}
 				if escaped(pass, dirs, n, orderedEscape) {

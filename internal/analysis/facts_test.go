@@ -1,0 +1,93 @@
+package analysis_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/lint"
+)
+
+// loadModulePkgs loads a slice of the real module through the
+// go list -export loader, the way cmd/reprolint does.
+func loadModulePkgs(t *testing.T) []*lint.Package {
+	t.Helper()
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate test source file")
+	}
+	root := filepath.Join(filepath.Dir(thisFile), "..", "..")
+	pkgs, err := lint.Load(root, "./internal/par", "./internal/sg", "./internal/stg", "./internal/core", "./internal/obs/journal")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	return pkgs
+}
+
+// TestFactsDeterministic pins the fact engine's reproducibility
+// contract: two independent loads of the same source must serialize
+// byte-identical fact streams — sorted object order, sorted fact-type
+// keys, topologically ordered packages. reprolint's own artifacts join
+// the determinism guarantee its analyzers enforce. (The runner is
+// sequential, so worker count cannot enter; two fresh loads also prove
+// the bytes are independent of token.FileSet state.)
+func TestFactsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads packages via go list -export")
+	}
+	suite := analysis.Suite()
+	_, store1, err := lint.RunFacts(loadModulePkgs(t), suite)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	_, store2, err := lint.RunFacts(loadModulePkgs(t), suite)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	b1, b2 := store1.EncodeAll(), store2.EncodeAll()
+	if len(b1) == 0 {
+		t.Fatal("no facts serialized; expected Blocks/Nondeterministic facts for the loaded packages")
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("fact serialization differs between identical runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", b1, b2)
+	}
+}
+
+// TestFactFilesSorted decodes one real fact file and asserts the
+// serialized object order is sorted — the property byte-identity
+// rests on.
+func TestFactFilesSorted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads packages via go list -export")
+	}
+	_, store, err := lint.RunFacts(loadModulePkgs(t), analysis.Suite())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	checked := 0
+	for _, analyzer := range []string{"determinism2", "lockdiscipline"} {
+		for _, pkgPath := range store.Packages(analyzer) {
+			var entries []struct {
+				Object string `json:"object"`
+			}
+			if err := json.Unmarshal(store.Encoded(analyzer, pkgPath), &entries); err != nil {
+				t.Fatalf("decoding %s facts of %s: %v", analyzer, pkgPath, err)
+			}
+			keys := make([]string, len(entries))
+			for i, e := range entries {
+				keys[i] = e.Object
+			}
+			if !sort.StringsAreSorted(keys) {
+				t.Errorf("%s facts of %s are not in sorted object order: %v", analyzer, pkgPath, keys)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no fact files to check; expected at least one package with facts")
+	}
+}

@@ -1,0 +1,278 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file builds the whole-program call graph the fact analyzers walk:
+// class-hierarchy analysis (CHA) over every loaded package. Static
+// calls resolve exactly; a call through an interface method resolves to
+// every concrete method of a loaded type that implements the interface
+// (the CHA over-approximation); a call through a plain function value
+// resolves to nothing and is recorded as a dynamic edge so analyzers
+// can choose their own conservatism. Go statements and deferred calls
+// keep their kind: a blocking analysis must not charge a goroutine's
+// waits to its spawner, while a taint analysis must follow both.
+
+// EdgeKind classifies how a call site reaches its callee.
+type EdgeKind int8
+
+const (
+	// EdgeStatic is a direct call to a named function or method.
+	EdgeStatic EdgeKind = iota
+	// EdgeIface is a CHA-resolved edge: the site calls an interface
+	// method and the callee is one concrete implementation.
+	EdgeIface
+	// EdgeDynamic is a call through a function value; the callee is
+	// unknown (Callee is nil).
+	EdgeDynamic
+	// EdgeGo marks a call that starts a goroutine (the callee runs, but
+	// not on the caller's stack).
+	EdgeGo
+	// EdgeDefer marks a deferred call (runs on the caller's stack, at
+	// return).
+	EdgeDefer
+)
+
+// Edge is one call site inside a function.
+type Edge struct {
+	// Site is the call (or go/defer statement's call) position.
+	Site token.Pos
+	// Call is the syntax of the call expression.
+	Call *ast.CallExpr
+	// Callee is the resolved target, nil for dynamic calls. For EdgeIface
+	// it is one concrete implementation; the interface method itself is
+	// in IfaceMethod.
+	Callee *types.Func
+	// IfaceMethod is the interface method a CHA edge dispatched through
+	// (nil otherwise). Analyzers match blocking-I/O roots like
+	// io.Writer.Write against it.
+	IfaceMethod *types.Func
+	Kind        EdgeKind
+}
+
+// CGNode is one declared function of a loaded package and its outgoing
+// call sites. Calls inside function literals are attributed to the
+// enclosing declaration: the literal's body executes on behalf of the
+// function that created it (a goroutine-spawning literal keeps EdgeGo).
+type CGNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	Out  []Edge
+}
+
+// CallGraph is the CHA call graph over one load's packages.
+type CallGraph struct {
+	nodes map[*types.Func]*CGNode
+	// byKey resolves "pkgpath\x00objectkey" → node, for fact correlation.
+	byKey map[string]*CGNode
+}
+
+// Node returns the graph node of fn, or nil when fn has no body in the
+// loaded packages (external functions, interface methods).
+func (g *CallGraph) Node(fn *types.Func) *CGNode { return g.nodes[fn] }
+
+// Nodes returns every node sorted by package path then object key — the
+// deterministic iteration order fact propagation uses.
+func (g *CallGraph) Nodes() []*CGNode {
+	out := make([]*CGNode, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := out[i].Pkg.Path, out[j].Pkg.Path
+		if pi != pj {
+			return pi < pj
+		}
+		return ObjectKey(out[i].Fn) < ObjectKey(out[j].Fn)
+	})
+	return out
+}
+
+// PackageNodes returns the nodes declared in one package, sorted by
+// object key.
+func (g *CallGraph) PackageNodes(pkgPath string) []*CGNode {
+	var out []*CGNode
+	for _, n := range g.nodes {
+		if n.Pkg.Path == pkgPath {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return ObjectKey(out[i].Fn) < ObjectKey(out[j].Fn) })
+	return out
+}
+
+// BuildCallGraph constructs the CHA call graph over pkgs.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{nodes: map[*types.Func]*CGNode{}, byKey: map[string]*CGNode{}}
+	// Pass 1: nodes, and the concrete named types CHA resolves against.
+	var concrete []types.Type
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &CGNode{Fn: fn, Decl: fd, Pkg: pkg}
+				g.nodes[fn] = n
+				g.byKey[pkg.Path+"\x00"+ObjectKey(fn)] = n
+			}
+		}
+		scope := pkg.Pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if _, isIface := named.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			concrete = append(concrete, named)
+		}
+	}
+	// Pass 2: edges.
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				n := g.nodes[pkg.Info.Defs[fd.Name].(*types.Func)]
+				if n == nil {
+					continue
+				}
+				collectEdges(pkg, fd.Body, n, concrete)
+			}
+		}
+	}
+	return g
+}
+
+// collectEdges walks one function body, attributing every call site
+// (including those inside nested function literals) to node n.
+func collectEdges(pkg *Package, body ast.Node, n *CGNode, concrete []types.Type) {
+	var walk func(node ast.Node, kind EdgeKind)
+	walk = func(node ast.Node, kind EdgeKind) {
+		ast.Inspect(node, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.GoStmt:
+				addCall(pkg, x.Call, n, EdgeGo, concrete)
+				// Arguments evaluate on the caller's stack; the spawned
+				// body's calls keep EdgeGo via the literal walk below.
+				if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+					walk(lit.Body, EdgeGo)
+				}
+				for _, arg := range x.Call.Args {
+					walk(arg, kind)
+				}
+				return false
+			case *ast.DeferStmt:
+				addCall(pkg, x.Call, n, EdgeDefer, concrete)
+				if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+					walk(lit.Body, EdgeDefer)
+				}
+				for _, arg := range x.Call.Args {
+					walk(arg, kind)
+				}
+				return false
+			case *ast.CallExpr:
+				addCall(pkg, x, n, kind, concrete)
+				return true
+			}
+			return true
+		})
+	}
+	walk(body, EdgeStatic)
+}
+
+// addCall resolves one call expression into zero or more edges on n.
+func addCall(pkg *Package, call *ast.CallExpr, n *CGNode, kind EdgeKind, concrete []types.Type) {
+	// Type conversions are not calls.
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		return
+	}
+	fn := Callee(pkg.Info, call)
+	if fn == nil {
+		// Builtin, or a call through a function value.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+				return
+			}
+		}
+		if _, isLit := ast.Unparen(call.Fun).(*ast.FuncLit); isLit {
+			return // immediately-invoked literal: its body is walked inline
+		}
+		n.Out = append(n.Out, Edge{Site: call.Pos(), Call: call, Kind: dynKind(kind)})
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	recvIface := interfaceRecv(sig)
+	if recvIface == nil {
+		n.Out = append(n.Out, Edge{Site: call.Pos(), Call: call, Callee: fn, Kind: kind})
+		return
+	}
+	// Interface dispatch: CHA edges to every loaded implementation, plus
+	// the interface method itself so root tables can match it.
+	n.Out = append(n.Out, Edge{Site: call.Pos(), Call: call, Callee: fn, IfaceMethod: fn, Kind: ifaceKind(kind)})
+	for _, t := range concrete {
+		impl := chaLookup(t, recvIface, fn)
+		if impl != nil {
+			n.Out = append(n.Out, Edge{Site: call.Pos(), Call: call, Callee: impl, IfaceMethod: fn, Kind: ifaceKind(kind)})
+		}
+	}
+}
+
+// dynKind preserves go/defer at dynamic call sites.
+func dynKind(k EdgeKind) EdgeKind {
+	if k == EdgeGo || k == EdgeDefer {
+		return k
+	}
+	return EdgeDynamic
+}
+
+// ifaceKind preserves go/defer at interface call sites.
+func ifaceKind(k EdgeKind) EdgeKind {
+	if k == EdgeGo || k == EdgeDefer {
+		return k
+	}
+	return EdgeIface
+}
+
+// interfaceRecv returns the receiver's interface type when sig is an
+// interface method signature, nil otherwise.
+func interfaceRecv(sig *types.Signature) *types.Interface {
+	if sig == nil || sig.Recv() == nil {
+		return nil
+	}
+	iface, _ := sig.Recv().Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// chaLookup returns t's (or *t's) concrete method implementing the
+// interface method m, when t satisfies iface.
+func chaLookup(t types.Type, iface *types.Interface, m *types.Func) *types.Func {
+	pt := types.NewPointer(t)
+	if !types.Implements(t, iface) && !types.Implements(pt, iface) {
+		return nil
+	}
+	sel := types.NewMethodSet(pt).Lookup(m.Pkg(), m.Name())
+	if sel == nil {
+		return nil
+	}
+	impl, _ := sel.Obj().(*types.Func)
+	return impl
+}

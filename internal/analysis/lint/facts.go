@@ -1,0 +1,251 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// This file is the fact engine: the half of the go/analysis protocol
+// that makes analyzers interprocedural. An analyzer declares the fact
+// types it produces (Analyzer.FactTypes); while running on one package
+// it attaches facts to that package's objects (Pass.ExportObjectFact)
+// and reads facts attached to any object — its own or an imported
+// package's (Pass.ImportObjectFact). The runner serializes each
+// package's facts after its pass completes and decodes them again for
+// every downstream importer, so a property proved about a helper in one
+// package propagates to its callers in another exactly the way export
+// data propagates its type: through the import graph, one deterministic
+// byte stream per package.
+//
+// Determinism is part of the contract: Encode renders facts in sorted
+// object order with sorted fact-type keys, so two runs over the same
+// source produce byte-identical fact files at any worker count —
+// reprolint's own output joins the reproducibility guarantee it
+// enforces.
+
+// Fact is a datum an analyzer attaches to a package-level object
+// (almost always a function) to export a property across package
+// boundaries. Implementations must be JSON-marshalable pointers; the
+// AFact marker keeps arbitrary types out of the fact store.
+type Fact interface{ AFact() }
+
+// ObjectKey renders the stable per-package key of an object: "Name" for
+// package-level objects, "Recv.Name" for methods (pointer receivers
+// dereferenced). Two distinct package-level objects never collide:
+// method names are unique per receiver and top-level names per package.
+func ObjectKey(obj types.Object) string {
+	if fn, ok := obj.(*types.Func); ok {
+		return FuncDisplayName(fn)
+	}
+	return obj.Name()
+}
+
+// factKey addresses one serialized fact set: one analyzer's facts about
+// one package.
+type factKey struct {
+	analyzer string
+	pkgPath  string
+}
+
+// objectFactJSON is the serialized form of one object's facts.
+type objectFactJSON struct {
+	Object string                     `json:"object"`
+	Facts  map[string]json.RawMessage `json:"facts"` // fact type name → payload
+}
+
+// FactStore holds every analyzer's serialized per-package facts for one
+// run. Packages under analysis write through pendingFacts; the store
+// only ever sees finalized byte streams, and imports decode from those
+// bytes — the round trip is exercised on every cross-package read, not
+// just when fact files are written to disk.
+type FactStore struct {
+	enc     map[factKey][]byte
+	decoded map[factKey]map[string]map[string]json.RawMessage // lazy decode cache
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{
+		enc:     map[factKey][]byte{},
+		decoded: map[factKey]map[string]map[string]json.RawMessage{},
+	}
+}
+
+// Encoded returns the serialized facts one analyzer exported for one
+// package (nil when the package exported none).
+func (s *FactStore) Encoded(analyzer, pkgPath string) []byte {
+	return s.enc[factKey{analyzer, pkgPath}]
+}
+
+// EncodeAll renders every fact file of the store into one deterministic
+// byte stream (sorted by analyzer, then package path) — the unit the
+// fact-determinism test pins and `reprolint -factdir` writes per
+// package.
+func (s *FactStore) EncodeAll() []byte {
+	keys := make([]factKey, 0, len(s.enc))
+	for k := range s.enc {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].analyzer != keys[j].analyzer {
+			return keys[i].analyzer < keys[j].analyzer
+		}
+		return keys[i].pkgPath < keys[j].pkgPath
+	})
+	var b bytes.Buffer
+	for _, k := range keys {
+		fmt.Fprintf(&b, "# %s %s\n", k.analyzer, k.pkgPath)
+		b.Write(s.enc[k])
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// Packages returns the package paths one analyzer exported facts for,
+// sorted.
+func (s *FactStore) Packages(analyzer string) []string {
+	var out []string
+	for k := range s.enc {
+		if k.analyzer == analyzer {
+			out = append(out, k.pkgPath)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// pendingFacts is the live fact set of the package currently under
+// analysis by one analyzer: exports accumulate here and are sealed into
+// the store when the pass finishes.
+type pendingFacts struct {
+	analyzer string
+	pkgPath  string
+	store    *FactStore
+	objects  map[string]map[string]Fact // object key → fact type name → fact
+}
+
+func newPendingFacts(analyzer, pkgPath string, store *FactStore) *pendingFacts {
+	return &pendingFacts{
+		analyzer: analyzer,
+		pkgPath:  pkgPath,
+		store:    store,
+		objects:  map[string]map[string]Fact{},
+	}
+}
+
+// factTypeName keys a fact by its concrete type's name (the pointer
+// dereferenced): distinct fact types of one analyzer must have distinct
+// type names.
+func factTypeName(f Fact) string {
+	t := reflect.TypeOf(f)
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	return t.Name()
+}
+
+// export attaches fact to obj (which must belong to the pending
+// package). Re-exporting the same fact type overwrites.
+func (p *pendingFacts) export(obj types.Object, f Fact) {
+	key := ObjectKey(obj)
+	m := p.objects[key]
+	if m == nil {
+		m = map[string]Fact{}
+		p.objects[key] = m
+	}
+	m[factTypeName(f)] = f
+}
+
+// importFact decodes the fact of ptr's type attached to obj into ptr.
+// Objects of the pending package read the live exports; every other
+// package reads the store's serialized bytes, proving the round trip.
+func (p *pendingFacts) importFact(obj types.Object, ptr Fact) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	key, tname := ObjectKey(obj), factTypeName(ptr)
+	if obj.Pkg().Path() == p.pkgPath {
+		f, ok := p.objects[key][tname]
+		if !ok {
+			return false
+		}
+		// Copy through JSON so callers can mutate the returned fact
+		// without corrupting the export.
+		data, err := json.Marshal(f)
+		if err != nil {
+			return false
+		}
+		return json.Unmarshal(data, ptr) == nil
+	}
+	raw, ok := p.store.lookup(factKey{p.analyzer, obj.Pkg().Path()}, key, tname)
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(raw, ptr) == nil
+}
+
+// lookup finds one serialized fact payload, decoding (and caching) the
+// package's fact file on first access.
+func (s *FactStore) lookup(k factKey, objKey, tname string) (json.RawMessage, bool) {
+	byObj, ok := s.decoded[k]
+	if !ok {
+		enc := s.enc[k]
+		if enc == nil {
+			s.decoded[k] = nil
+			return nil, false
+		}
+		var entries []objectFactJSON
+		if err := json.Unmarshal(enc, &entries); err != nil {
+			s.decoded[k] = nil
+			return nil, false
+		}
+		byObj = make(map[string]map[string]json.RawMessage, len(entries))
+		for _, of := range entries {
+			byObj[of.Object] = of.Facts
+		}
+		s.decoded[k] = byObj
+	}
+	raw, ok := byObj[objKey]
+	if !ok {
+		return nil, false
+	}
+	data, ok := raw[tname]
+	return data, ok
+}
+
+// seal serializes the pending exports deterministically (sorted object
+// keys, sorted fact type names inside each object via encoding/json's
+// sorted map keys) and registers them in the store. Packages that
+// exported nothing produce no entry.
+func (p *pendingFacts) seal() error {
+	if len(p.objects) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(p.objects))
+	for k := range p.objects {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]objectFactJSON, 0, len(keys))
+	for _, k := range keys {
+		entry := objectFactJSON{Object: k, Facts: map[string]json.RawMessage{}}
+		for tname, f := range p.objects[k] {
+			data, err := json.Marshal(f)
+			if err != nil {
+				return fmt.Errorf("marshal fact %s of %s.%s: %v", tname, p.pkgPath, k, err)
+			}
+			entry.Facts[tname] = data
+		}
+		out = append(out, entry)
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		return fmt.Errorf("marshal facts of %s: %v", p.pkgPath, err)
+	}
+	p.store.enc[factKey{p.analyzer, p.pkgPath}] = data
+	return nil
+}

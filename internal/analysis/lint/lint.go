@@ -32,10 +32,22 @@ type Analyzer struct {
 	// Run applies the analyzer to one type-checked package, reporting
 	// findings through pass.Report.
 	Run func(*Pass) error
+	// FactTypes declares the fact prototypes the analyzer exports. A
+	// non-empty list makes the analyzer interprocedural: the runner
+	// applies it to every loaded package in import order (its Scope then
+	// gates only reporting, never fact computation), builds the CHA call
+	// graph for it, and persists its per-package facts for downstream
+	// importers.
+	FactTypes []Fact
 }
 
+// Interprocedural reports whether the analyzer participates in the fact
+// protocol.
+func (a *Analyzer) Interprocedural() bool { return len(a.FactTypes) > 0 }
+
 // Pass carries one analyzer's view of one package: syntax, type
-// information, and the diagnostic sink.
+// information, and the diagnostic sink. Interprocedural analyzers
+// additionally see the whole-program call graph and the fact engine.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
@@ -43,6 +55,40 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+
+	// CallGraph is the CHA call graph over every loaded package; nil for
+	// analyzers without FactTypes.
+	CallGraph *CallGraph
+	// Reporting is false when the runner applies an interprocedural
+	// analyzer to an out-of-scope package purely to compute its facts;
+	// Report is a no-op then, and analyzers can skip report-only work.
+	Reporting bool
+
+	facts *pendingFacts
+}
+
+// ExportObjectFact attaches fact to obj, which must be declared in the
+// package under analysis. Facts survive the pass: the runner serializes
+// them and downstream packages import them by object.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.facts == nil {
+		panic(fmt.Sprintf("lint: %s has no FactTypes but exported a fact", p.Analyzer.Name))
+	}
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != p.Pkg.Path() {
+		panic(fmt.Sprintf("lint: %s exported a fact for foreign object %v", p.Analyzer.Name, obj))
+	}
+	p.facts.export(obj, fact)
+}
+
+// ImportObjectFact decodes the fact of ptr's concrete type attached to
+// obj into ptr, reporting whether one was found. Objects of the current
+// package resolve against the live exports; imported packages resolve
+// against their serialized fact files.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	if p.facts == nil {
+		return false
+	}
+	return p.facts.importFact(obj, ptr)
 }
 
 // Reportf reports a formatted diagnostic at pos.

@@ -33,29 +33,66 @@ type ScopedAnalyzer struct {
 // returns the findings sorted by file, line, column, analyzer. Analyzer
 // errors (not diagnostics) abort the run.
 func Run(pkgs []*Package, suite []ScopedAnalyzer) ([]Finding, error) {
+	findings, _, err := RunFacts(pkgs, suite)
+	return findings, err
+}
+
+// RunFacts is Run exposing the fact store of the finished run — the
+// serialized per-package facts interprocedural analyzers exported,
+// which cmd/reprolint can persist and the determinism test pins.
+//
+// Intraprocedural analyzers (no FactTypes) run only on the packages
+// their scope admits, in any order. Interprocedural analyzers run on
+// every package in import (topological) order so each package's pass
+// sees its dependencies' serialized facts; their scope gates only
+// whether diagnostics are collected.
+func RunFacts(pkgs []*Package, suite []ScopedAnalyzer) ([]Finding, *FactStore, error) {
+	store := NewFactStore()
+	var cg *CallGraph
+	for _, sa := range suite {
+		if sa.Analyzer.Interprocedural() {
+			cg = BuildCallGraph(pkgs)
+			break
+		}
+	}
+	ordered := topoOrder(pkgs)
 	var findings []Finding
-	for _, pkg := range pkgs {
+	for _, pkg := range ordered {
 		for _, sa := range suite {
-			if sa.Scope != nil && !sa.Scope(pkg.Path) {
+			a := sa.Analyzer
+			inScope := sa.Scope == nil || sa.Scope(pkg.Path)
+			if !a.Interprocedural() && !inScope {
 				continue
 			}
-			a := sa.Analyzer
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
 				Files:     pkg.Files,
 				Pkg:       pkg.Pkg,
 				TypesInfo: pkg.Info,
-				Report: func(d Diagnostic) {
+				CallGraph: cg,
+				Reporting: inScope,
+				Report:    func(Diagnostic) {},
+			}
+			if inScope {
+				pass.Report = func(d Diagnostic) {
 					findings = append(findings, Finding{
 						Analyzer: a.Name,
 						Pos:      pkg.Fset.Position(d.Pos),
 						Message:  d.Message,
 					})
-				},
+				}
+			}
+			if a.Interprocedural() {
+				pass.facts = newPendingFacts(a.Name, pkg.Path, store)
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
+				return nil, nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
+			}
+			if pass.facts != nil {
+				if err := pass.facts.seal(); err != nil {
+					return nil, nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
+				}
 			}
 		}
 	}
@@ -72,5 +109,65 @@ func Run(pkgs []*Package, suite []ScopedAnalyzer) ([]Finding, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, nil
+	return findings, store, nil
+}
+
+// topoOrder sorts packages so every package follows all of its loaded
+// dependencies — the order fact files must be written in. Ties (and the
+// result overall) are deterministic: Kahn's algorithm over import-path-
+// sorted inputs with a sorted ready list. Import cycles cannot occur in
+// valid Go; any leftover packages are appended sorted as a safety net.
+func topoOrder(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	indeg := make(map[string]int, len(pkgs))
+	dependents := map[string][]string{} // dep path → packages importing it
+	for _, p := range pkgs {
+		indeg[p.Path] += 0
+		for _, imp := range p.Pkg.Imports() {
+			if _, loaded := byPath[imp.Path()]; loaded {
+				indeg[p.Path]++
+				dependents[imp.Path()] = append(dependents[imp.Path()], p.Path)
+			}
+		}
+	}
+	ready := make([]string, 0, len(pkgs))
+	for _, p := range pkgs {
+		if indeg[p.Path] == 0 {
+			ready = append(ready, p.Path)
+		}
+	}
+	sort.Strings(ready)
+	out := make([]*Package, 0, len(pkgs))
+	seen := make(map[string]bool, len(pkgs))
+	for len(ready) > 0 {
+		path := ready[0]
+		ready = ready[1:]
+		seen[path] = true
+		out = append(out, byPath[path])
+		next := append([]string(nil), dependents[path]...)
+		sort.Strings(next)
+		for _, d := range next {
+			indeg[d]--
+			if indeg[d] == 0 {
+				ready = append(ready, d)
+				sort.Strings(ready)
+			}
+		}
+	}
+	if len(out) < len(pkgs) {
+		var rest []string
+		for _, p := range pkgs {
+			if !seen[p.Path] {
+				rest = append(rest, p.Path)
+			}
+		}
+		sort.Strings(rest)
+		for _, path := range rest {
+			out = append(out, byPath[path])
+		}
+	}
+	return out
 }

@@ -1,0 +1,573 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/lint"
+)
+
+// BlocksFact marks a function that can park its goroutine: a channel
+// send or receive outside select-with-default, a select without
+// default, sync.WaitGroup/Cond.Wait, time.Sleep, or interface I/O
+// (io.Writer, http.ResponseWriter) anywhere in its call graph. Holding
+// a mutex across such a call serializes every contender behind an
+// unbounded wait — the deadlock class the server's non-blocking
+// delivery paths exist to avoid.
+type BlocksFact struct {
+	// Reason describes the root blocking construct.
+	Reason string `json:"reason"`
+	// Path is the call chain from this function to the root.
+	Path []string `json:"path"`
+}
+
+// AFact marks BlocksFact as a lint fact.
+func (*BlocksFact) AFact() {}
+
+// LockDisciplineScope names the packages whose critical sections the
+// analyzer patrols: the synthesis server (cache, singleflight, SSE
+// fan-out) and the observability plane (tracer, journal, live ops
+// endpoints) — the places where a blocking call under a mutex turns
+// one slow subscriber into a stalled pipeline.
+var LockDisciplineScope = map[string]bool{
+	"repro/internal/serve":       true,
+	"repro/internal/obs":         true,
+	"repro/internal/obs/obshttp": true,
+	"repro/internal/obs/journal": true,
+}
+
+const lockEscape = "lock"
+
+// blockRoots maps "pkgpath.Display" of functions outside the loaded
+// module that park the calling goroutine (or hand control to an
+// arbitrary sink that can). Interface methods match the dispatch site:
+// lint.Callee resolves w.Write on an io.Writer to io.Writer.Write.
+// Deliberately absent: sync.Mutex.Lock — flagging every nested lock
+// acquisition would bury the real findings; lock-ordering deadlocks
+// are out of scope for this analyzer.
+var blockRoots = map[string]string{
+	"sync.WaitGroup.Wait":                 "sync.WaitGroup.Wait parks until the counter drains",
+	"sync.Cond.Wait":                      "sync.Cond.Wait parks until signalled",
+	"time.Sleep":                          "time.Sleep parks the goroutine",
+	"io.Writer.Write":                     "io.Writer.Write can block on the sink",
+	"io.ReadWriter.Write":                 "io.ReadWriter.Write can block on the sink",
+	"net/http.ResponseWriter.Write":       "http.ResponseWriter.Write can block on a slow client",
+	"net/http.ResponseWriter.WriteHeader": "http.ResponseWriter.WriteHeader can block on a slow client",
+	"net/http.Flusher.Flush":              "http.Flusher.Flush can block on a slow client",
+	"fmt.Fprintf":                         "fmt.Fprintf writes to an io.Writer, which can block",
+	"fmt.Fprint":                          "fmt.Fprint writes to an io.Writer, which can block",
+	"fmt.Fprintln":                        "fmt.Fprintln writes to an io.Writer, which can block",
+	"io.WriteString":                      "io.WriteString writes to an io.Writer, which can block",
+	"bufio.Writer.Write":                  "bufio.Writer.Write can flush to the underlying writer, which can block",
+	"bufio.Writer.WriteByte":              "bufio.Writer.WriteByte can flush to the underlying writer, which can block",
+	"bufio.Writer.WriteString":            "bufio.Writer.WriteString can flush to the underlying writer, which can block",
+	"bufio.Writer.Flush":                  "bufio.Writer.Flush writes to the underlying writer, which can block",
+}
+
+// writerRoots are the blockRoots whose first argument is the io.Writer
+// being written; when that argument is statically an in-memory sink
+// (strings.Builder, bytes.Buffer) the call cannot block and the root
+// does not apply.
+var writerRoots = map[string]bool{
+	"fmt.Fprintf":    true,
+	"fmt.Fprint":     true,
+	"fmt.Fprintln":   true,
+	"io.WriteString": true,
+}
+
+// matchBlockRoot returns the blockRoots description for fn at this call
+// site, suppressing writer roots whose destination is in-memory.
+func matchBlockRoot(info *types.Info, fn *types.Func, call *ast.CallExpr) (string, bool) {
+	key := rootKey(fn)
+	desc, ok := blockRoots[key]
+	if !ok {
+		return "", false
+	}
+	if writerRoots[key] && inMemoryWriter(info, call) {
+		return "", false
+	}
+	return desc, true
+}
+
+// inMemoryWriter reports whether the call's first argument is a
+// *strings.Builder or *bytes.Buffer — sinks that grow memory instead of
+// parking the goroutine.
+func inMemoryWriter(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	return full == "strings.Builder" || full == "bytes.Buffer"
+}
+
+// LockDiscipline is the interprocedural lock-discipline analyzer: no
+// statement executed while a sync.Mutex or RWMutex is held may call
+// anything that can block — directly (channel op, Wait, interface I/O),
+// transitively (a callee holding a BlocksFact), or unknowably (a call
+// through a plain function value, the Cache.onEvict class, which can
+// both block and re-enter the lock).
+var LockDiscipline = &lint.Analyzer{
+	Name: "lockdiscipline",
+	Doc: "flags channel operations, Wait calls, interface I/O, transitively " +
+		"blocking callees and dynamic callbacks executed while a sync.Mutex/RWMutex " +
+		"is held; move the call after Unlock (collect under the lock, deliver " +
+		"outside it) or annotate //reprolint:lock <justification>",
+	Run:       runLockDiscipline,
+	FactTypes: []lint.Fact{(*BlocksFact)(nil)},
+}
+
+func runLockDiscipline(pass *lint.Pass) error {
+	if pass.CallGraph == nil {
+		return fmt.Errorf("lockdiscipline requires the call graph (run through lint.RunFacts)")
+	}
+	seedBlocksFacts(pass)
+	propagateBlocksFacts(pass)
+	if pass.Reporting && LockDisciplineScope[pass.Pkg.Path()] {
+		reportLockViolations(pass)
+	}
+	return nil
+}
+
+// seedBlocksFacts exports a BlocksFact for every function whose body
+// directly contains a blocking construct. Function literals count
+// toward their declaring function except when go-spawned (a goroutine's
+// waits are not the spawner's). A justified //reprolint:lock on the
+// construct kills the seed.
+func seedBlocksFacts(pass *lint.Pass) {
+	for _, file := range pass.Files {
+		dirs := lint.FileDirectives(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if reason, pos, ok := firstBlockingConstruct(pass, dirs, fd.Body); ok {
+				pass.ExportObjectFact(fn, &BlocksFact{
+					Reason: reason,
+					Path:   []string{fmt.Sprintf("%s (%s)", reason, shortPos(pass.Fset, pos))},
+				})
+			}
+		}
+	}
+}
+
+// firstBlockingConstruct finds the first unescaped construct in body
+// that can park the executing goroutine.
+func firstBlockingConstruct(pass *lint.Pass, dirs *lint.DirectiveIndex, body ast.Node) (reason string, pos token.Pos, found bool) {
+	record := func(r string, p token.Pos) {
+		if !found {
+			reason, pos, found = r, p, true
+		}
+	}
+	var visit func(n ast.Node)
+	visit = func(root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				// Spawning never blocks; argument expressions evaluate on
+				// the caller's stack, the spawned body does not.
+				for _, arg := range n.Call.Args {
+					visit(arg)
+				}
+				return false
+			case *ast.SelectStmt:
+				if selectHasDefault(n) {
+					// Non-blocking by construction; the chosen case body
+					// still runs on this stack.
+					for _, c := range n.Body.List {
+						for _, s := range c.(*ast.CommClause).Body {
+							visit(s)
+						}
+					}
+					return false
+				}
+				if !justified(dirs, n, lockEscape) {
+					record("select without default", n.Pos())
+				}
+				return false
+			case *ast.SendStmt:
+				if !justified(dirs, n, lockEscape) {
+					record("channel send", n.Pos())
+				}
+				return false
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW && !justified(dirs, n, lockEscape) {
+					record("channel receive", n.Pos())
+				}
+			case *ast.CallExpr:
+				if fn := lint.Callee(pass.TypesInfo, n); fn != nil && fn.Pkg() != nil {
+					if _, isRoot := matchBlockRoot(pass.TypesInfo, fn, n); isRoot && !justified(dirs, n, lockEscape) {
+						record(rootKey(fn), n.Pos())
+					}
+				}
+			}
+			return !found
+		})
+	}
+	visit(body)
+	return reason, pos, found
+}
+
+// selectHasDefault reports whether the select has a default clause.
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// rootKey renders a function for the blockRoots table.
+func rootKey(fn *types.Func) string {
+	return fn.Pkg().Path() + "." + lint.FuncDisplayName(fn)
+}
+
+// propagateBlocksFacts runs the within-package fixpoint: a function
+// statically calling (or CHA-dispatching to, or deferring) a
+// BlocksFact holder inherits the fact. EdgeGo is excluded — a spawned
+// goroutine's waits do not park the spawner — and dynamic edges carry
+// no callee to look up (the reporter flags them at the call site
+// instead).
+func propagateBlocksFacts(pass *lint.Pass) {
+	nodes := pass.CallGraph.PackageNodes(pass.Pkg.Path())
+	for changed := true; changed; {
+		changed = false
+		for _, n := range nodes {
+			var have BlocksFact
+			if pass.ImportObjectFact(n.Fn, &have) {
+				continue
+			}
+			for _, e := range n.Out {
+				if e.Callee == nil || e.Kind == lint.EdgeGo {
+					continue
+				}
+				var f BlocksFact
+				if !pass.ImportObjectFact(e.Callee, &f) {
+					continue
+				}
+				pass.ExportObjectFact(n.Fn, &BlocksFact{
+					Reason: f.Reason,
+					Path:   extendPath(qualifiedName(e.Callee), f.Path),
+				})
+				changed = true
+				break
+			}
+		}
+	}
+}
+
+// reportLockViolations walks every function's critical sections. The
+// held-lock set is tracked linearly through each analysis unit (a
+// declared body, or a function literal's body as its own unit with no
+// locks held — a literal generally runs later, outside the region that
+// defined it); branches clone the set so a guard-pattern early unlock
+// in a terminating branch cannot leak.
+func reportLockViolations(pass *lint.Pass) {
+	for _, file := range pass.Files {
+		dirs := lint.FileDirectives(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			edgesAt := map[token.Pos][]lint.Edge{}
+			if n := pass.CallGraph.Node(fn); n != nil {
+				for _, e := range n.Out {
+					edgesAt[e.Site] = append(edgesAt[e.Site], e)
+				}
+			}
+			w := &lockWalker{pass: pass, dirs: dirs, edgesAt: edgesAt, reported: map[token.Pos]bool{}}
+			units := []*ast.BlockStmt{fd.Body}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					units = append(units, lit.Body)
+				}
+				return true
+			})
+			for _, u := range units {
+				w.block(u, lockState{})
+			}
+		}
+	}
+}
+
+// lockState maps a rendered lock expression ("s.mu") to its acquire
+// position.
+type lockState map[string]token.Pos
+
+func (s lockState) clone() lockState {
+	c := make(lockState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// names renders the held set deterministically for diagnostics.
+func (s lockState) names() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}
+
+type lockWalker struct {
+	pass     *lint.Pass
+	dirs     *lint.DirectiveIndex
+	edgesAt  map[token.Pos][]lint.Edge
+	reported map[token.Pos]bool
+}
+
+func (w *lockWalker) block(b *ast.BlockStmt, held lockState) {
+	for _, s := range b.List {
+		w.stmt(s, held)
+	}
+}
+
+// stmt processes one statement, mutating held for lock operations at
+// this nesting level and cloning it into branches.
+func (w *lockWalker) stmt(s ast.Stmt, held lockState) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if expr, acquire, release := lockOp(w.pass, call); acquire || release {
+				if acquire {
+					held[expr] = call.Pos()
+				} else {
+					delete(held, expr)
+				}
+				return
+			}
+		}
+		w.expr(s.X, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to the end of the
+		// function, which the linear model already represents. Other
+		// deferred calls run at return, when the held set here no longer
+		// describes reality; their bodies were seeded as facts instead.
+		return
+	case *ast.GoStmt:
+		// Spawning is non-blocking; the literal's body is its own unit.
+		for _, arg := range s.Call.Args {
+			w.expr(arg, held)
+		}
+	case *ast.BlockStmt:
+		w.block(s, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.expr(s.Cond, held)
+		w.block(s.Body, held.clone())
+		if s.Else != nil {
+			w.stmt(s.Else, held.clone())
+		}
+	case *ast.ForStmt:
+		inner := held.clone()
+		if s.Init != nil {
+			w.stmt(s.Init, inner)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, inner)
+		}
+		w.block(s.Body, inner)
+		if s.Post != nil {
+			w.stmt(s.Post, inner)
+		}
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		w.block(s.Body, held.clone())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				inner := held.clone()
+				for _, st := range cc.Body {
+					w.stmt(st, inner)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				inner := held.clone()
+				for _, st := range cc.Body {
+					w.stmt(st, inner)
+				}
+			}
+		}
+	case *ast.SelectStmt:
+		if len(held) > 0 && !selectHasDefault(s) {
+			if !w.reported[s.Pos()] && !escaped(w.pass, w.dirs, s, lockEscape) {
+				w.reported[s.Pos()] = true
+				w.pass.Reportf(s.Pos(), "blocking select while %s is held; add a default case, "+
+					"move it after Unlock, or annotate //reprolint:lock <justification>", held.names())
+			}
+			return
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				inner := held.clone()
+				// With a default present the comm itself cannot block;
+				// the case body still runs under the lock.
+				for _, st := range cc.Body {
+					w.stmt(st, inner)
+				}
+			}
+		}
+	case *ast.SendStmt:
+		if len(held) > 0 && !w.reported[s.Pos()] && !escaped(w.pass, w.dirs, s, lockEscape) {
+			w.reported[s.Pos()] = true
+			w.pass.Reportf(s.Pos(), "channel send while %s is held; collect under the lock and send "+
+				"after Unlock, or annotate //reprolint:lock <justification>", held.names())
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		w.expr(s.X, held)
+	}
+}
+
+// expr inspects an expression executed with held locks, reporting
+// channel receives and blocking calls. Function literals are skipped:
+// they are separate analysis units.
+func (w *lockWalker) expr(e ast.Expr, held lockState) {
+	if e == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !w.reported[n.Pos()] && !escaped(w.pass, w.dirs, n, lockEscape) {
+				w.reported[n.Pos()] = true
+				w.pass.Reportf(n.Pos(), "channel receive while %s is held; move it after Unlock "+
+					"or annotate //reprolint:lock <justification>", held.names())
+			}
+		case *ast.CallExpr:
+			w.call(n, held)
+		}
+		return true
+	})
+}
+
+// call checks one call site against the graph edges: dynamic callees,
+// blocking roots, and BlocksFact holders, reporting at most one finding
+// per site.
+func (w *lockWalker) call(call *ast.CallExpr, held lockState) {
+	if w.reported[call.Pos()] {
+		return
+	}
+	for _, e := range w.edgesAt[call.Pos()] {
+		if e.Kind == lint.EdgeGo {
+			continue
+		}
+		if e.Callee == nil {
+			if !escaped(w.pass, w.dirs, call, lockEscape) {
+				w.pass.Reportf(call.Pos(), "call through a function value while %s is held — the callback "+
+					"can block or re-enter the lock; invoke it after Unlock or annotate "+
+					"//reprolint:lock <justification>", held.names())
+			}
+			w.reported[call.Pos()] = true
+			return
+		}
+		if desc, ok := matchBlockRoot(w.pass.TypesInfo, e.Callee, call); ok {
+			if !escaped(w.pass, w.dirs, call, lockEscape) {
+				w.pass.Reportf(call.Pos(), "%s while %s is held; move it after Unlock or annotate "+
+					"//reprolint:lock <justification>", desc, held.names())
+			}
+			w.reported[call.Pos()] = true
+			return
+		}
+		var f BlocksFact
+		if w.pass.ImportObjectFact(e.Callee, &f) {
+			if !escaped(w.pass, w.dirs, call, lockEscape) {
+				w.pass.Reportf(call.Pos(), "call to %s can block while %s is held: %s; move it after "+
+					"Unlock or annotate //reprolint:lock <justification>",
+					qualifiedName(e.Callee), held.names(), strings.Join(f.Path, " → "))
+			}
+			w.reported[call.Pos()] = true
+			return
+		}
+	}
+}
+
+// lockOp classifies a call as a sync.Mutex/RWMutex acquire or release,
+// returning the rendered receiver expression ("s.mu"). Embedded
+// mutexes render as their embedding value ("c").
+func lockOp(pass *lint.Pass, call *ast.CallExpr) (expr string, acquire, release bool) {
+	fn := lint.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	switch lint.FuncDisplayName(fn) {
+	case "Mutex.Lock", "RWMutex.Lock", "RWMutex.RLock":
+		acquire = true
+	case "Mutex.Unlock", "RWMutex.Unlock", "RWMutex.RUnlock":
+		release = true
+	default:
+		return "", false, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	return types.ExprString(sel.X), acquire, release
+}

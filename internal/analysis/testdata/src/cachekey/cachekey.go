@@ -1,0 +1,41 @@
+// Package cachekey exercises the cache-key soundness analyzer: every
+// exported field of a struct with *FP() fingerprint methods must
+// appear as "<name>=" in a fingerprint string or carry a justified
+// //reprolint:nonsemantic escape. The planted Extra field is the
+// regression the analyzer exists to catch: a config field added
+// without extending the fingerprint, silently aliasing cache entries.
+package cachekey
+
+import "fmt"
+
+// Config fingerprints itself through two FP methods, mirroring
+// serve.Config's RepairFP/NetlistFP split.
+type Config struct {
+	Workers int
+	Engine  string
+	Share   bool
+	Extra   int  // want `field Config\.Extra is not in any Config fingerprint`
+	Verbose bool //reprolint:nonsemantic logging verbosity cannot change any synthesized artifact
+	//reprolint:nonsemantic
+	Trace bool // want "escape needs a justification" `field Config\.Trace is not in any Config fingerprint`
+}
+
+// KeyFP covers Workers and Engine.
+func (c Config) KeyFP() string {
+	return fmt.Sprintf("workers=%d|engine=%s", c.Workers, c.Engine)
+}
+
+// ShareFP covers Share.
+func (c *Config) ShareFP() string {
+	return fmt.Sprintf("share=%t", c.Share)
+}
+
+// Plain has no FP methods: its fields are not cache-key material and
+// are never checked.
+type Plain struct {
+	Anything int
+}
+
+// NotAFingerprint does not end in FP and returns no string; it must not
+// make Plain a fingerprinted type.
+func (p Plain) NotAFingerprint() int { return p.Anything }

@@ -1,0 +1,49 @@
+// Package determinism2 exercises the interprocedural determinism
+// analyzer: calls to transitively nondeterministic functions in the
+// (out-of-scope) helper package are flagged at the call site with the
+// offending path; justified //reprolint:ordered escapes at the call
+// site are honored; bare escapes are reported and suppress nothing.
+// The test pivots analysis.DeterministicScope onto this package.
+package determinism2
+
+import "determinism2helper"
+
+// TwoHop reaches the planted map range through two helper hops.
+func TwoHop(m map[string]int) int {
+	return determinism2helper.Middle(m) // want `call to determinism2helper\.Middle is transitively nondeterministic: determinism2helper\.rootRange → map iteration order is nondeterministic`
+}
+
+// Clock reaches a wall-clock read one hop away.
+func Clock() int64 {
+	return determinism2helper.Stamp() // want `call to determinism2helper\.Stamp is transitively nondeterministic: time\.Now reads the wall clock`
+}
+
+// ViaIface dispatches through an interface; CHA resolves the loaded
+// implementation and finds its map range.
+func ViaIface(m map[string]int) int {
+	var s determinism2helper.Summer = determinism2helper.MapSummer{}
+	return s.Sum(m) // want `call to determinism2helper\.MapSummer\.Sum is transitively nondeterministic: map iteration order is nondeterministic`
+}
+
+// Clean calls only deterministic helpers: no finding.
+func Clean(m map[string]int) int {
+	return determinism2helper.SortedLen(m)
+}
+
+// CleanJustified calls a helper whose construct carries a justified
+// escape, which killed the fact at the root: no finding.
+func CleanJustified(m map[string]int) int {
+	return determinism2helper.JustifiedRange(m)
+}
+
+// Waived calls a tainted helper under a justified call-site escape.
+func Waived(m map[string]int) int {
+	return determinism2helper.Middle(m) //reprolint:ordered result feeds only the debug dump, never the netlist
+}
+
+// Bare carries an escape with no justification: the escape itself is
+// reported and the underlying finding still fires.
+func Bare(m map[string]int) int {
+	//reprolint:ordered
+	return determinism2helper.Middle(m) // want "escape needs a justification" `call to determinism2helper\.Middle is transitively nondeterministic`
+}

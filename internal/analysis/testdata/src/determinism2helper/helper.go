@@ -1,0 +1,54 @@
+// Package determinism2helper is the out-of-scope dependency of the
+// determinism2 fixture: nondeterminism planted here must surface at the
+// call sites in the scoped package, two hops away.
+package determinism2helper
+
+import "time"
+
+// rootRange is the planted root: a bare map range, unexported and two
+// hops from the scoped caller.
+func rootRange(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Middle is the intermediate hop; it carries no construct of its own.
+func Middle(m map[string]int) int { return rootRange(m) }
+
+// Stamp reads the wall clock directly.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// SortedLen is deterministic: calls to it are clean.
+func SortedLen(m map[string]int) int { return len(m) }
+
+// JustifiedRange's construct carries a justified escape, so no fact is
+// exported and callers are clean.
+func JustifiedRange(m map[string]int) int {
+	n := 0
+	//reprolint:ordered the count does not depend on iteration order
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Summer is the interface the CHA case dispatches through.
+type Summer interface {
+	Sum(m map[string]int) int
+}
+
+// MapSummer is the loaded implementation CHA resolves Summer.Sum to;
+// its body is nondeterministic.
+type MapSummer struct{}
+
+// Sum ranges the map bare.
+func (MapSummer) Sum(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,134 @@
+// Package lockdiscipline exercises the lock-discipline analyzer:
+// channel operations, transitively blocking callees, interface I/O and
+// dynamic callbacks under a held sync.Mutex/RWMutex are flagged;
+// select-with-default and unlock-then-block patterns are clean;
+// justified //reprolint:lock escapes are honored; bare escapes are
+// reported and suppress nothing. The test pivots
+// analysis.LockDisciplineScope onto this package.
+package lockdiscipline
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"lockdisciplinehelper"
+)
+
+// Server mirrors the shape of the synthesis server's job fan-out: a
+// mutex guarding subscriber channels and a user-supplied callback.
+type Server struct {
+	mu      sync.Mutex
+	ch      chan int
+	onEvict func(int)
+}
+
+// SendUnderLock parks every contender behind the receiver.
+func (s *Server) SendUnderLock(v int) {
+	s.mu.Lock()
+	s.ch <- v // want `channel send while s\.mu is held`
+	s.mu.Unlock()
+}
+
+// RecvUnderLock parks every contender behind the sender.
+func (s *Server) RecvUnderLock() int {
+	s.mu.Lock()
+	v := <-s.ch // want `channel receive while s\.mu is held`
+	s.mu.Unlock()
+	return v
+}
+
+// SelectUnderLock has no default: it blocks until a case fires.
+func (s *Server) SelectUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `blocking select while s\.mu is held`
+	case v := <-s.ch:
+		_ = v
+	}
+}
+
+// TransitiveWait reaches a WaitGroup.Wait through the helper package.
+func (s *Server) TransitiveWait() {
+	s.mu.Lock()
+	lockdisciplinehelper.Block() // want `call to lockdisciplinehelper\.Block can block while s\.mu is held: sync\.WaitGroup\.Wait`
+	s.mu.Unlock()
+}
+
+// CallbackUnderLock invokes a user-supplied function value under the
+// lock — the Cache.onEvict class: the callback can block or re-enter.
+func (s *Server) CallbackUnderLock(k int) {
+	s.mu.Lock()
+	if s.onEvict != nil {
+		s.onEvict(k) // want `call through a function value while s\.mu is held`
+	}
+	s.mu.Unlock()
+}
+
+// NonBlockingSend uses select-with-default: clean.
+func (s *Server) NonBlockingSend(v int) {
+	s.mu.Lock()
+	select {
+	case s.ch <- v:
+	default:
+	}
+	s.mu.Unlock()
+}
+
+// SendAfterUnlock collects under the lock and delivers outside: the
+// pattern the analyzer pushes code toward.
+func (s *Server) SendAfterUnlock(v int) {
+	s.mu.Lock()
+	n := v + 1
+	s.mu.Unlock()
+	s.ch <- n
+}
+
+// QuickUnderLock calls a non-blocking helper: clean.
+func (s *Server) QuickUnderLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return lockdisciplinehelper.Quick()
+}
+
+// Waived sends under a justified escape.
+func (s *Server) Waived(v int) {
+	s.mu.Lock()
+	s.ch <- v //reprolint:lock the channel is buffered to the subscriber count; a send can never park here
+	s.mu.Unlock()
+}
+
+// Bare carries an escape with no justification: the escape itself is
+// reported and the underlying finding still fires.
+func (s *Server) Bare(v int) {
+	s.mu.Lock()
+	//reprolint:lock
+	s.ch <- v // want "escape needs a justification" `channel send while s\.mu is held`
+	s.mu.Unlock()
+}
+
+// Registry mirrors the metrics registry: an RWMutex guarding data that
+// handlers render.
+type Registry struct {
+	mu   sync.RWMutex
+	data string
+}
+
+// Dump writes to an arbitrary io.Writer while read-locked: a slow sink
+// stalls every writer to the registry.
+func (r *Registry) Dump(w io.Writer) {
+	r.mu.RLock()
+	fmt.Fprintf(w, "%s", r.data) // want `fmt\.Fprintf writes to an io\.Writer, which can block while r\.mu is held`
+	r.mu.RUnlock()
+}
+
+// DumpBuffered renders into an in-memory builder under the lock and
+// writes after release: clean.
+func (r *Registry) DumpBuffered(w io.Writer) {
+	var b strings.Builder
+	r.mu.RLock()
+	fmt.Fprintf(&b, "%s", r.data)
+	r.mu.RUnlock()
+	io.WriteString(w, b.String())
+}

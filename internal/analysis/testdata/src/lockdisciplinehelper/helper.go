@@ -1,0 +1,15 @@
+// Package lockdisciplinehelper is the out-of-scope dependency of the
+// lockdiscipline fixture: the blocking construct planted here must
+// surface at call sites under a lock in the scoped package.
+package lockdisciplinehelper
+
+import "sync"
+
+// Block parks on a WaitGroup: the planted blocking root.
+func Block() {
+	var wg sync.WaitGroup
+	wg.Wait()
+}
+
+// Quick is non-blocking: calls to it are clean even under a lock.
+func Quick() int { return 1 }

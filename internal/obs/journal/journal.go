@@ -79,11 +79,11 @@ func (w *Writer) Publish(ev obs.Event) {
 	if w.err != nil {
 		return
 	}
-	if _, err := w.bw.Write(data); err != nil {
+	if _, err := w.bw.Write(data); err != nil { //reprolint:lock w.mu exists to serialize journal writes; contenders expect to wait for the buffered flush
 		w.err = err
 		return
 	}
-	if err := w.bw.WriteByte('\n'); err != nil {
+	if err := w.bw.WriteByte('\n'); err != nil { //reprolint:lock w.mu exists to serialize journal writes; contenders expect to wait for the buffered flush
 		w.err = err
 		return
 	}
@@ -117,11 +117,11 @@ func (w *Writer) Close() error {
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if err := w.bw.Flush(); err != nil && w.err == nil {
+	if err := w.bw.Flush(); err != nil && w.err == nil { //reprolint:lock Close's final flush must run under w.mu so no Publish can interleave with shutdown
 		w.err = err
 	}
 	if w.c != nil {
-		if err := w.c.Close(); err != nil && w.err == nil {
+		if err := w.c.Close(); err != nil && w.err == nil { //reprolint:lock closing the underlying file under w.mu is the shutdown barrier; CHA resolves io.Closer to loaded types, but w.c is the journal file
 			w.err = err
 		}
 		w.c = nil

@@ -57,9 +57,9 @@ func ForEachHook(n, workers int, fn func(i int), hook TaskHook) {
 			fn(i)
 			return
 		}
-		start := time.Now()
+		start := time.Now() //reprolint:ordered hook-only timing observation; never reaches pipeline output
 		fn(i)
-		hook(i, worker, start, time.Since(start))
+		hook(i, worker, start, time.Since(start)) //reprolint:ordered hook-only timing observation; never reaches pipeline output
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {

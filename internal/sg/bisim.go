@@ -157,18 +157,19 @@ func WeaklyBisimilar(spec, impl *Graph) error {
 				implEnabled[l].Add(e.To)
 			}
 		})
-		for l := range specEnabled {
+		for l := range specEnabled { //reprolint:ordered the pass/fail verdict is order-independent; any refused label serves as counterexample
 			if implEnabled[l] == nil {
 				return fmt.Errorf("sg: implementation refuses %s after trace: %s",
 					l.render(spec), renderTrace(cur.trace, l.render(spec)))
 			}
 		}
-		for l := range implEnabled {
+		for l := range implEnabled { //reprolint:ordered the pass/fail verdict is order-independent; any unspecified label serves as counterexample
 			if _, ok := specEnabled[l]; !ok {
 				return fmt.Errorf("sg: implementation offers unspecified %s after trace: %s",
 					l.render(spec), renderTrace(cur.trace, l.render(spec)))
 			}
 		}
+		//reprolint:ordered exploration order only affects which counterexample surfaces; the seen-set makes the verdict order-independent
 		for l, to := range specEnabled {
 			next, err := closure(implEnabled[l])
 			if err != nil {

@@ -174,7 +174,7 @@ func (ix *Index) CSCViolations() []CSCViolation {
 	}
 	var out []CSCViolation
 	codes := make([]uint64, 0, len(byCode))
-	for c := range byCode {
+	for c := range byCode { //reprolint:ordered keys collected then sorted on the next line
 		codes = append(codes, c)
 	}
 	sort.Slice(codes, func(i, j int) bool { return codes[i] < codes[j] })

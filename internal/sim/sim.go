@@ -138,7 +138,7 @@ func (q *eventQueue) Pop() any {
 // Run simulates the netlist against its specification environment.
 func Run(nl *netlist.Netlist, spec *sg.Graph, cfg Config) *Result {
 	cfg.fill()
-	rr := rand.New(rand.NewSource(cfg.Seed))
+	rr := rand.New(rand.NewSource(cfg.Seed)) //reprolint:ordered fixed seed from Config.Seed; the stream is reproducible
 	res := &Result{}
 
 	// Fixed per-gate delays: the SI model's "unknown but fixed" delays.
@@ -247,6 +247,7 @@ func Run(nl *netlist.Netlist, spec *sg.Graph, cfg Config) *Result {
 				scheduleInput(e.Signal)
 			}
 		}
+		//reprolint:ordered entries are cancelled independently; no PRNG draw or output write happens in iteration order
 		for sig, e := range inputPending {
 			if !enabled[sig] {
 				// Input withdrawn by the environment's own choice

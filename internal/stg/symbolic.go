@@ -186,14 +186,14 @@ func placeSets(n *STG, t int) (consumed, produced, held []int, dupPost bool) {
 		}
 		post[p] = true
 	}
-	for p := range pre {
+	for p := range pre { //reprolint:ordered all three classes are sorted before return
 		if post[p] {
 			held = append(held, p)
 		} else {
 			consumed = append(consumed, p)
 		}
 	}
-	for p := range post {
+	for p := range post { //reprolint:ordered all three classes are sorted before return
 		if !pre[p] {
 			produced = append(produced, p)
 		}
